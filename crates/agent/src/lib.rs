@@ -1,0 +1,30 @@
+//! # ginflow-agent — the service agents
+//!
+//! A service agent (SA) is "composed of three elements": the service to
+//! invoke, "a storage place for a local copy of the multiset" and "an HOCL
+//! interpreter that reads and updates the local copy … each time it tries
+//! to apply one of the rules in the subsolution" (§IV-A). This crate
+//! implements the SA twice over the same logic:
+//!
+//! * [`SaCore`] — a **sans-IO state machine**: events in
+//!   ([`Event::Deliver`], [`Event::ServiceCompleted`]), commands out
+//!   ([`Command::Invoke`], [`Command::Send`], [`Command::Publish`]). It
+//!   owns the local solution and the HOCL engine and nothing else, so the
+//!   *same* coordination logic is driven by real threads here and by the
+//!   virtual-time simulator in `ginflow-sim` — what the benchmarks measure
+//!   is what the tests execute.
+//! * [`runtime::ThreadedRuntime`] — one thread per SA over a
+//!   [`ginflow_mq::Broker`], with the recovery mechanism of §IV-B: a
+//!   crashed SA is replaced by a fresh one that *replays its inbox topic*
+//!   from the beginning of the persistent log, rebuilding the lost local
+//!   state ("being able to log all incoming molecules of a SA and replay
+//!   them in the same order on a newly created SA will lead the second SA
+//!   in the same state as the first").
+
+pub mod core;
+pub mod message;
+pub mod runtime;
+
+pub use crate::core::{Command, Event, SaCore};
+pub use message::{topics, SaMessage, StatusUpdate};
+pub use runtime::{RunOptions, ThreadedRuntime, WaitError, WorkflowRun};

@@ -1,0 +1,116 @@
+//! Wire messages between service agents, and the status updates sent "to
+//! the multiset so as to update the status of the workflow" (§IV-A).
+
+use ginflow_core::{TaskState, Value};
+use serde::{Deserialize, Serialize};
+
+/// Point-to-point message between service agents.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SaMessage {
+    /// A produced result shipped from one agent to a successor — the
+    /// decentralised `gw_pass`.
+    Result {
+        /// Producing task.
+        from: String,
+        /// The result value.
+        value: Value,
+    },
+    /// The `ADAPT : k` token: enables the receiver's gated adaptation
+    /// rules (`add_dst`, `mv_src`).
+    Adapt {
+        /// Adaptation id.
+        adaptation: u32,
+    },
+    /// The `TRIGGER : k` token: activates a standby replacement agent.
+    Trigger {
+        /// Adaptation id.
+        adaptation: u32,
+    },
+}
+
+impl SaMessage {
+    /// Serialise to JSON bytes for the broker.
+    pub fn encode(&self) -> bytes::Bytes {
+        bytes::Bytes::from(serde_json::to_vec(self).expect("SaMessage serialisation"))
+    }
+
+    /// Deserialise from broker payload bytes.
+    pub fn decode(payload: &[u8]) -> Option<SaMessage> {
+        serde_json::from_slice(payload).ok()
+    }
+}
+
+/// Status update published to the shared status topic — the runtime's view
+/// of the "shared multiset" execution state (Fig 1's coloured nodes).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatusUpdate {
+    /// Task name.
+    pub task: String,
+    /// Current lifecycle state.
+    pub state: TaskState,
+    /// The result value, once completed.
+    pub result: Option<Value>,
+    /// Incarnation number (0 = first SA, bumped on every respawn).
+    pub incarnation: u32,
+}
+
+impl StatusUpdate {
+    /// Serialise to JSON bytes for the broker.
+    pub fn encode(&self) -> bytes::Bytes {
+        bytes::Bytes::from(serde_json::to_vec(self).expect("StatusUpdate serialisation"))
+    }
+
+    /// Deserialise from broker payload bytes.
+    pub fn decode(payload: &[u8]) -> Option<StatusUpdate> {
+        serde_json::from_slice(payload).ok()
+    }
+}
+
+/// Topic naming conventions shared by runtime and monitor.
+pub mod topics {
+    /// Inbox topic of a task's agent.
+    pub fn inbox(task: &str) -> String {
+        format!("sa.{task}")
+    }
+
+    /// The shared status topic.
+    pub const STATUS: &str = "status";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sa_message_roundtrip() {
+        for m in [
+            SaMessage::Result {
+                from: "T1".into(),
+                value: Value::str("out"),
+            },
+            SaMessage::Adapt { adaptation: 3 },
+            SaMessage::Trigger { adaptation: 0 },
+        ] {
+            let bytes = m.encode();
+            assert_eq!(SaMessage::decode(&bytes), Some(m));
+        }
+        assert_eq!(SaMessage::decode(b"not json"), None);
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        let s = StatusUpdate {
+            task: "T4".into(),
+            state: TaskState::Completed,
+            result: Some(Value::str("final")),
+            incarnation: 2,
+        };
+        assert_eq!(StatusUpdate::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn topic_names() {
+        assert_eq!(topics::inbox("T1"), "sa.T1");
+        assert_eq!(topics::STATUS, "status");
+    }
+}

@@ -1,0 +1,510 @@
+//! The threaded runtime: one OS thread per service agent over a
+//! [`Broker`], plus the §IV-B recovery machinery.
+//!
+//! Agents communicate point-to-point through per-task inbox topics and
+//! publish state transitions to the shared status topic (the runtime view
+//! of the shared multiset). A *crash* is simulated by a kill flag the
+//! agent observes between events — the thread exits, losing all local
+//! state, exactly like the paper's killed JVM. *Recovery* starts a fresh
+//! agent for the task; on a persistent broker it subscribes to its inbox
+//! **from the beginning**, replaying every molecule the dead incarnation
+//! ever received ("replay them in the same order on a newly created SA").
+//! Replayed invocations re-run the (idempotent) service and duplicate
+//! results are structurally ignored by the receivers' `gw_recv` rule.
+//!
+//! With the transient broker the same recovery *starts* but has no history
+//! to replay, so the workflow hangs — the reason the paper pairs recovery
+//! with Kafka (§IV-B) and accepts ActiveMQ's speed only when resilience is
+//! not needed (Fig 14 vs Fig 16).
+
+use crate::core::{Command, Event, SaCore};
+use crate::message::{topics, SaMessage, StatusUpdate};
+use ginflow_core::{ServiceRegistry, TaskState, Value, Workflow};
+use ginflow_hoclflow::{agent_programs, AdaptPlan, AgentProgram};
+use ginflow_mq::{Broker, SubscribeMode, Subscription};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Runtime tuning.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Inbox poll interval (also the crash-flag observation granularity).
+    pub poll_interval: Duration,
+    /// Automatically respawn agents whose thread died (the recovery
+    /// manager of §IV-B). Requires a persistent broker to be useful.
+    pub auto_recover: bool,
+    /// How often the recovery manager scans for dead agents.
+    pub monitor_interval: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            poll_interval: Duration::from_millis(5),
+            auto_recover: false,
+            monitor_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Waiting for a workflow failed.
+#[derive(Debug)]
+pub enum WaitError {
+    /// The deadline passed; the snapshot shows where execution stood.
+    Timeout {
+        /// Task states at the deadline.
+        statuses: Vec<(String, TaskState)>,
+    },
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::Timeout { statuses } => {
+                write!(f, "workflow did not complete in time; states: ")?;
+                for (t, s) in statuses {
+                    write!(f, "{t}={s} ")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+/// The launcher. Deployment strategies (`ginflow-executor`) decide *where*
+/// agents go; this runtime is the *how*.
+pub struct ThreadedRuntime {
+    broker: Arc<dyn Broker>,
+    registry: Arc<ServiceRegistry>,
+    options: RunOptions,
+}
+
+impl ThreadedRuntime {
+    /// Runtime over a broker and service registry.
+    pub fn new(broker: Arc<dyn Broker>, registry: Arc<ServiceRegistry>) -> Self {
+        ThreadedRuntime {
+            broker,
+            registry,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Override the default options.
+    pub fn with_options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Compile `workflow` and launch one agent per task.
+    pub fn launch(&self, workflow: &Workflow) -> WorkflowRun {
+        let (agents, plans) = agent_programs(workflow);
+        self.launch_programs(agents, plans)
+    }
+
+    /// Launch pre-compiled agent programs.
+    pub fn launch_programs(
+        &self,
+        agents: Vec<AgentProgram>,
+        plans: Vec<AdaptPlan>,
+    ) -> WorkflowRun {
+        let sinks: Vec<String> = agents
+            .iter()
+            .filter(|a| a.is_sink())
+            .map(|a| a.name.clone())
+            .collect();
+        let inner = Arc::new(RunInner {
+            broker: self.broker.clone(),
+            registry: self.registry.clone(),
+            programs: agents
+                .iter()
+                .map(|a| (a.name.clone(), a.clone()))
+                .collect(),
+            plans: Arc::new(plans),
+            agents: Mutex::new(HashMap::new()),
+            statuses: Mutex::new(HashMap::new()),
+            incarnations: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            options: self.options.clone(),
+            sinks,
+        });
+
+        // Status collector first: no update may be missed.
+        let status_sub = inner
+            .broker
+            .subscribe(topics::STATUS, SubscribeMode::Latest)
+            .expect("status subscription");
+        let status_inner = inner.clone();
+        let status_thread = std::thread::spawn(move || status_loop(status_inner, status_sub));
+
+        // All inbox subscriptions are created before any agent starts, so
+        // no agent can publish to a not-yet-subscribed inbox.
+        let mut pending: Vec<(AgentProgram, Subscription)> = Vec::with_capacity(agents.len());
+        for program in agents {
+            let sub = inner
+                .broker
+                .subscribe(&topics::inbox(&program.name), SubscribeMode::Latest)
+                .expect("inbox subscription");
+            pending.push((program, sub));
+        }
+        for (program, sub) in pending {
+            spawn_agent(&inner, program, sub, 0);
+        }
+
+        let monitor_thread = if self.options.auto_recover {
+            let mon_inner = inner.clone();
+            Some(std::thread::spawn(move || monitor_loop(mon_inner)))
+        } else {
+            None
+        };
+
+        WorkflowRun {
+            inner,
+            status_thread: Some(status_thread),
+            monitor_thread,
+        }
+    }
+}
+
+struct AgentHandle {
+    kill: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+    incarnation: u32,
+}
+
+struct RunInner {
+    broker: Arc<dyn Broker>,
+    registry: Arc<ServiceRegistry>,
+    programs: HashMap<String, AgentProgram>,
+    plans: Arc<Vec<AdaptPlan>>,
+    agents: Mutex<HashMap<String, AgentHandle>>,
+    statuses: Mutex<HashMap<String, StatusUpdate>>,
+    incarnations: Mutex<HashMap<String, u32>>,
+    shutdown: AtomicBool,
+    options: RunOptions,
+    sinks: Vec<String>,
+}
+
+/// A launched workflow: status observation, fault injection, recovery.
+pub struct WorkflowRun {
+    inner: Arc<RunInner>,
+    status_thread: Option<JoinHandle<()>>,
+    monitor_thread: Option<JoinHandle<()>>,
+}
+
+impl WorkflowRun {
+    /// Latest observed state of a task.
+    pub fn state_of(&self, task: &str) -> Option<TaskState> {
+        self.inner.statuses.lock().get(task).map(|s| s.state)
+    }
+
+    /// Latest observed result of a task.
+    pub fn result_of(&self, task: &str) -> Option<Value> {
+        self.inner
+            .statuses
+            .lock()
+            .get(task)
+            .and_then(|s| s.result.clone())
+    }
+
+    /// Snapshot of all observed task states.
+    pub fn statuses(&self) -> Vec<(String, TaskState)> {
+        let mut v: Vec<(String, TaskState)> = self
+            .inner
+            .statuses
+            .lock()
+            .iter()
+            .map(|(k, s)| (k.clone(), s.state))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Block until every sink task completes; returns their results.
+    pub fn wait(&self, timeout: Duration) -> Result<HashMap<String, Value>, WaitError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let statuses = self.inner.statuses.lock();
+                let done = self.inner.sinks.iter().all(|s| {
+                    statuses.get(s).map(|u| u.state) == Some(TaskState::Completed)
+                });
+                if done {
+                    return Ok(self
+                        .inner
+                        .sinks
+                        .iter()
+                        .filter_map(|s| {
+                            statuses
+                                .get(s)
+                                .and_then(|u| u.result.clone())
+                                .map(|r| (s.clone(), r))
+                        })
+                        .collect());
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(WaitError::Timeout {
+                    statuses: self.statuses(),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Crash a task's agent (it stops consuming and its thread exits; all
+    /// local state is lost). Returns whether the agent existed and was
+    /// alive.
+    pub fn kill(&self, task: &str) -> bool {
+        let agents = self.inner.agents.lock();
+        match agents.get(task) {
+            Some(h) if !h.thread.is_finished() => {
+                h.kill.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Is the task's agent thread alive?
+    pub fn alive(&self, task: &str) -> bool {
+        self.inner
+            .agents
+            .lock()
+            .get(task)
+            .map(|h| !h.thread.is_finished())
+            .unwrap_or(false)
+    }
+
+    /// Manually start a replacement agent for `task` (§IV-B recovery). On
+    /// a persistent broker the newcomer replays the full inbox history.
+    pub fn respawn(&self, task: &str) -> bool {
+        respawn(&self.inner, task)
+    }
+
+    /// Current incarnation number of a task's agent.
+    pub fn incarnation(&self, task: &str) -> u32 {
+        self.inner
+            .agents
+            .lock()
+            .get(task)
+            .map(|h| h.incarnation)
+            .unwrap_or(0)
+    }
+
+    /// Stop everything and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let handles: Vec<AgentHandle> = {
+            let mut agents = self.inner.agents.lock();
+            agents.drain().map(|(_, h)| h).collect()
+        };
+        for h in handles {
+            let _ = h.thread.join();
+        }
+        if let Some(t) = self.status_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.monitor_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkflowRun {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn spawn_agent(
+    inner: &Arc<RunInner>,
+    program: AgentProgram,
+    sub: Subscription,
+    incarnation: u32,
+) {
+    let name = program.name.clone();
+    let kill = Arc::new(AtomicBool::new(false));
+    let core = SaCore::new(program, inner.plans.clone());
+    let thread_inner = inner.clone();
+    let thread_kill = kill.clone();
+    let thread = std::thread::Builder::new()
+        .name(format!("sa-{name}"))
+        .spawn(move || agent_loop(thread_inner, core, sub, thread_kill, incarnation))
+        .expect("spawn agent thread");
+    inner.agents.lock().insert(
+        name,
+        AgentHandle {
+            kill,
+            thread,
+            incarnation,
+        },
+    );
+}
+
+fn respawn(inner: &Arc<RunInner>, task: &str) -> bool {
+    let Some(program) = inner.programs.get(task).cloned() else {
+        return false;
+    };
+    // Make sure any previous incarnation is (being) stopped.
+    if let Some(h) = inner.agents.lock().get(task) {
+        h.kill.store(true, Ordering::SeqCst);
+    }
+    let incarnation = {
+        let mut inc = inner.incarnations.lock();
+        let c = inc.entry(task.to_owned()).or_insert(0);
+        *c += 1;
+        *c
+    };
+    let mode = if inner.broker.persistent() {
+        SubscribeMode::Beginning
+    } else {
+        SubscribeMode::Latest
+    };
+    let Ok(sub) = inner.broker.subscribe(&topics::inbox(task), mode) else {
+        return false;
+    };
+    spawn_agent(inner, program, sub, incarnation);
+    true
+}
+
+fn agent_loop(
+    inner: Arc<RunInner>,
+    mut core: SaCore,
+    sub: Subscription,
+    kill: Arc<AtomicBool>,
+    incarnation: u32,
+) {
+    let name = core.name().to_owned();
+    if dispatch(&inner, &mut core, &name, incarnation, Event::Start).is_err() {
+        return;
+    }
+    loop {
+        if kill.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match sub.recv_timeout(inner.options.poll_interval) {
+            Ok(msg) => {
+                let Some(message) = SaMessage::decode(&msg.payload) else {
+                    continue;
+                };
+                // A crash between reception and processing loses the event
+                // locally — the log broker still has it for replay.
+                if kill.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if dispatch(&inner, &mut core, &name, incarnation, Event::Deliver(message))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Err(ginflow_mq::MqError::Timeout) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Run one event through the core and execute every resulting command,
+/// feeding service completions back in until quiescence.
+fn dispatch(
+    inner: &Arc<RunInner>,
+    core: &mut SaCore,
+    name: &str,
+    incarnation: u32,
+    event: Event,
+) -> Result<(), ()> {
+    let mut queue: VecDeque<Event> = VecDeque::from([event]);
+    while let Some(event) = queue.pop_front() {
+        let commands = core.handle(event).map_err(|_| ())?;
+        for command in commands {
+            match command {
+                Command::Invoke {
+                    effect,
+                    service,
+                    params,
+                } => {
+                    let result = match inner.registry.get(&service) {
+                        Some(s) => s.invoke(&params).map_err(|e| e.message),
+                        None => Err(format!("unknown service {service:?}")),
+                    };
+                    queue.push_back(Event::ServiceCompleted { effect, result });
+                }
+                Command::Send { to, message } => {
+                    let _ = inner.broker.publish(
+                        &topics::inbox(&to),
+                        Some(bytes::Bytes::from(to.clone().into_bytes())),
+                        message.encode(),
+                    );
+                }
+                Command::Publish { state, result } => {
+                    let update = StatusUpdate {
+                        task: name.to_owned(),
+                        state,
+                        result,
+                        incarnation,
+                    };
+                    let _ = inner
+                        .broker
+                        .publish(topics::STATUS, None, update.encode());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn status_loop(inner: Arc<RunInner>, sub: Subscription) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match sub.recv_timeout(inner.options.poll_interval) {
+            Ok(msg) => {
+                if let Some(update) = StatusUpdate::decode(&msg.payload) {
+                    inner
+                        .statuses
+                        .lock()
+                        .insert(update.task.clone(), update);
+                }
+            }
+            Err(ginflow_mq::MqError::Timeout) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// The recovery manager: respawn agents whose thread died while the
+/// workflow is still running (the in-process analogue of the paper's
+/// failure detector).
+fn monitor_loop(inner: Arc<RunInner>) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let dead: Vec<String> = {
+            let agents = inner.agents.lock();
+            agents
+                .iter()
+                .filter(|(_, h)| h.thread.is_finished())
+                .map(|(n, _)| n.clone())
+                .collect()
+        };
+        for task in dead {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            respawn(&inner, &task);
+        }
+        std::thread::sleep(inner.options.monitor_interval);
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the broker substrate: transient vs log
+//! publish/consume throughput and replay.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ginflow_mq::{Broker, LogBroker, SubscribeMode, TransientBroker};
+use std::hint::black_box;
+
+fn payload() -> Bytes {
+    Bytes::from_static(b"{\"Result\":{\"from\":\"T1\",\"value\":{\"Str\":\"x\"}}}")
+}
+
+fn bench_publish_consume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("publish_consume_1k");
+    group.bench_function(BenchmarkId::new("broker", "transient"), |b| {
+        b.iter(|| {
+            let broker = TransientBroker::new();
+            let sub = broker.subscribe("t", SubscribeMode::Latest).unwrap();
+            for _ in 0..1000 {
+                broker.publish("t", None, payload()).unwrap();
+            }
+            let mut n = 0;
+            while let Some(_m) = sub.try_recv().unwrap() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function(BenchmarkId::new("broker", "log"), |b| {
+        b.iter(|| {
+            let broker = LogBroker::new();
+            let sub = broker.subscribe("t", SubscribeMode::Latest).unwrap();
+            for _ in 0..1000 {
+                broker.publish("t", None, payload()).unwrap();
+            }
+            let mut n = 0;
+            while let Some(_m) = sub.try_recv().unwrap() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    // Replay cost is what a recovering agent pays (§IV-B).
+    let broker = LogBroker::new();
+    for _ in 0..10_000 {
+        broker.publish("inbox", None, payload()).unwrap();
+    }
+    c.bench_function("log_replay_10k", |b| {
+        b.iter(|| {
+            let sub = broker.subscribe("inbox", SubscribeMode::Beginning).unwrap();
+            let mut n = 0;
+            while let Some(_m) = sub.try_recv().unwrap() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("log_fetch_page_1k", |b| {
+        b.iter(|| {
+            let page = broker.fetch("inbox", 0, 4000, 1000).unwrap();
+            black_box(page.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_publish_consume, bench_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion smoke benchmarks of the figure simulations themselves —
+//! measuring how fast the *simulator* regenerates paper data points
+//! (virtual seconds per wall-clock second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ginflow_core::{patterns, Connectivity};
+use ginflow_sim::{simulate, CostModel, ServiceModel, SimConfig};
+use std::hint::black_box;
+
+fn bench_diamond_cell(c: &mut Criterion) {
+    let wf = patterns::diamond(6, 6, Connectivity::Full, "s").unwrap();
+    c.bench_function("sim_diamond_6x6_full", |b| {
+        b.iter(|| {
+            let r = simulate(
+                black_box(&wf),
+                &SimConfig {
+                    services: ServiceModel::constant(300_000),
+                    seed: 1,
+                    ..SimConfig::default()
+                },
+            );
+            assert!(r.completed);
+            black_box(r.makespan_us)
+        })
+    });
+}
+
+fn bench_montage_run(c: &mut Criterion) {
+    let wf = ginflow_montage::workflow();
+    let mut services = ServiceModel::constant(1_000_000);
+    for (task, secs) in ginflow_montage::durations_secs() {
+        services.set_duration_secs(task, secs);
+    }
+    c.bench_function("sim_montage_fault_free", |b| {
+        b.iter(|| {
+            let r = simulate(
+                black_box(&wf),
+                &SimConfig {
+                    cost: CostModel::kafka(),
+                    services: services.clone(),
+                    persistent_broker: true,
+                    seed: 1,
+                    ..SimConfig::default()
+                },
+            );
+            assert!(r.completed);
+            black_box(r.makespan_us)
+        })
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let wf = patterns::diamond(10, 10, Connectivity::Simple, "s").unwrap();
+    c.bench_function("compile_agent_programs_10x10", |b| {
+        b.iter(|| {
+            let (agents, plans) = ginflow_hoclflow::agent_programs(black_box(&wf));
+            black_box((agents.len(), plans.len()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_diamond_cell, bench_montage_run, bench_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Calibration helper: prints the anchor measurements the cost model is
+//! fitted against (not part of the figure set).
+
+use ginflow_bench::fig12;
+use ginflow_core::{patterns, Connectivity};
+use ginflow_mq::BrokerKind;
+use ginflow_sim::{simulate, CostModel, ServiceModel, SimConfig};
+
+fn main() {
+    // Fig 12 anchors.
+    for (h, v) in [(11usize, 11usize), (21, 21), (31, 31)] {
+        let simple = fig12::run_cell(h, v, Connectivity::Simple);
+        let full = fig12::run_cell(h, v, Connectivity::Full);
+        println!("diamond {h}x{v}: simple {simple:.1}s (anchor 54 @31) | full {full:.1}s (anchor 178 @31)");
+    }
+    // Fig 14 anchor: kafka/activemq execution ratio on 10x10 simple.
+    let wf = patterns::diamond(10, 10, Connectivity::Simple, "s").unwrap();
+    let exec = |kind: BrokerKind| {
+        simulate(
+            &wf,
+            &SimConfig {
+                cost: CostModel::for_broker(kind),
+                services: ServiceModel::constant(300_000),
+                persistent_broker: kind == BrokerKind::Log,
+                seed: 1,
+                ..SimConfig::default()
+            },
+        )
+        .makespan_secs()
+    };
+    let amq = exec(BrokerKind::Transient);
+    let kafka = exec(BrokerKind::Log);
+    println!("10x10: activemq {amq:.1}s kafka {kafka:.1}s ratio {:.2} (anchor ~4)", kafka / amq);
+    // Fig 16 anchor: fault-free Montage makespan.
+    let montage = ginflow_montage::workflow();
+    let mut services = ServiceModel::constant(1_000_000);
+    for (task, secs) in ginflow_montage::durations_secs() {
+        services.set_duration_secs(task, secs);
+    }
+    let r = simulate(
+        &montage,
+        &SimConfig {
+            cost: CostModel::kafka(),
+            services,
+            persistent_broker: true,
+            seed: 2,
+            ..SimConfig::default()
+        },
+    );
+    println!(
+        "montage fault-free: {:.1}s (anchor 484), completed={} msgs={}",
+        r.makespan_secs(),
+        r.completed,
+        r.messages
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig 12: coordination timespan of diamond-shaped workflows.
+
+use ginflow_bench::{fig12, quick_from_args};
+
+fn main() {
+    let quick = quick_from_args("fig12", "coordination timespan of diamond meshes");
+    let surfaces = fig12::run(quick);
+    for s in &surfaces {
+        println!("{}", fig12::render(s));
+    }
+    if !quick {
+        let simple = surfaces[0].at(31, 31).expect("swept");
+        let full = surfaces[1].at(31, 31).expect("swept");
+        println!("anchors: simple 31x31 = {simple:.1}s (paper ≈ 54 s) | full 31x31 = {full:.1}s (paper ≈ 178 s)");
+    }
+}

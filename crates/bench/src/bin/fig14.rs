@@ -1,0 +1,12 @@
+//! Regenerates Fig 14: executor × middleware deployment/execution grid.
+
+use ginflow_bench::{fig14, quick_from_args};
+
+fn main() {
+    let quick = quick_from_args("fig14", "executor and messaging middleware impact");
+    let bars = fig14::run(quick);
+    println!("{}", fig14::render(&bars));
+    let amq = fig14::bar(&bars, "mesos/activemq", 10).exec_secs;
+    let kafka = fig14::bar(&bars, "mesos/kafka", 10).exec_secs;
+    println!("execution ratio kafka/activemq at 10 nodes: {:.2} (paper ≈ 4)", kafka / amq);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 15: Montage workflow shape and duration CDF.
+
+use ginflow_bench::fig15;
+
+fn main() {
+    // Analytic figure: no --quick distinction.
+    let _ = ginflow_bench::quick_from_args("fig15", "Montage workflow shape and CDF");
+    println!("{}", fig15::render(&fig15::run()));
+}

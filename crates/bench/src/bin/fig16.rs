@@ -1,0 +1,10 @@
+//! Regenerates Fig 16: Montage execution under failure injection.
+
+use ginflow_bench::{fig16, quick_from_args};
+
+fn main() {
+    let quick = quick_from_args("fig16", "resilience under agent failure injection");
+    let f = fig16::run(quick);
+    println!("{}", fig16::render(&f));
+    println!("paper anchors: baseline 484 s (σ 13.5); T=0 failures ≈ 26/114/487 with overheads ≈ +3/+36/+208 s");
+}

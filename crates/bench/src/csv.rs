@@ -1,0 +1,96 @@
+//! Minimal CSV emission for the figure data (plot-friendly output of the
+//! campaign, written under `results/`).
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Quote a CSV cell if needed (commas, quotes, newlines).
+fn quote(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// Render rows as CSV text.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a CSV file, creating parent directories.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_csv(header, rows).as_bytes())
+}
+
+/// A Fig 12 surface as long-form rows `(connectivity, h, v, seconds)`.
+pub fn surface_rows(surface: &crate::fig12::Surface) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for (hi, h) in surface.axis.iter().enumerate() {
+        for (vi, v) in surface.axis.iter().enumerate() {
+            rows.push(vec![
+                surface.connectivity.label().to_owned(),
+                h.to_string(),
+                v.to_string(),
+                format!("{:.3}", surface.time_secs[hi][vi]),
+            ]);
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn renders_rows() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()], vec!["2".into(), "z".into()]],
+        );
+        assert_eq!(csv, "a,b\n1,\"x,y\"\n2,z\n");
+    }
+
+    #[test]
+    fn writes_files() {
+        let dir = std::env::temp_dir().join(format!("ginflow-csv-{}", std::process::id()));
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x"], &[vec!["1".into()]]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n1\n");
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig 12 — "Coordination timespan of diamond-shaped workflows".
+//!
+//! Sweep of `h × v` diamond meshes (h, v ∈ {1, 6, 11, 16, 21, 26, 31}) in
+//! both connectivities, executed on the decentralised engine with the
+//! ActiveMQ cost profile (§V-A used ActiveMQ). Tasks are constant-time
+//! synthetic scripts, so the reported time is dominated by coordination.
+//!
+//! Paper anchors: ≈ 54 s at simple-connected 31×31, ≈ 178 s at
+//! fully-connected 31×31, monotone growth in both axes, and a steeper
+//! vertical slope in the fully-connected surface.
+
+use ginflow_core::{patterns, Connectivity};
+use ginflow_sim::{simulate, ServiceModel, SimConfig};
+
+/// Mesh half-axis sweep (both h and v).
+pub fn sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 6, 11]
+    } else {
+        vec![1, 6, 11, 16, 21, 26, 31]
+    }
+}
+
+/// The constant synthetic task duration (§V-A: "a (very low) constant
+/// execution time").
+pub const SERVICE_SECS: f64 = 0.3;
+
+/// One surface: makespans (seconds) indexed `[h_index][v_index]`.
+#[derive(Clone, Debug)]
+pub struct Surface {
+    /// Connectivity of the mesh.
+    pub connectivity: Connectivity,
+    /// The h/v axis values.
+    pub axis: Vec<usize>,
+    /// Makespans in seconds.
+    pub time_secs: Vec<Vec<f64>>,
+}
+
+impl Surface {
+    /// Time at a given (h, v) from the sweep axis.
+    pub fn at(&self, h: usize, v: usize) -> Option<f64> {
+        let hi = self.axis.iter().position(|&x| x == h)?;
+        let vi = self.axis.iter().position(|&x| x == v)?;
+        Some(self.time_secs[hi][vi])
+    }
+}
+
+/// Run one cell of the sweep.
+pub fn run_cell(h: usize, v: usize, conn: Connectivity) -> f64 {
+    let wf = patterns::diamond(h, v, conn, "synthetic").expect("valid diamond");
+    let report = simulate(
+        &wf,
+        &SimConfig {
+            services: ServiceModel::constant((SERVICE_SECS * 1e6) as u64),
+            seed: 12,
+            ..SimConfig::default()
+        },
+    );
+    assert!(
+        report.completed,
+        "diamond {h}x{v} {conn:?} must complete, states: {:?}",
+        report.states
+    );
+    report.makespan_secs()
+}
+
+/// Produce both surfaces.
+pub fn run(quick: bool) -> Vec<Surface> {
+    let axis = sweep(quick);
+    [Connectivity::Simple, Connectivity::Full]
+        .into_iter()
+        .map(|conn| {
+            let time_secs = axis
+                .iter()
+                .map(|&h| axis.iter().map(|&v| run_cell(h, v, conn)).collect())
+                .collect();
+            Surface {
+                connectivity: conn,
+                axis: axis.clone(),
+                time_secs,
+            }
+        })
+        .collect()
+}
+
+/// Render one surface as a table (rows = h, columns = v).
+pub fn render(surface: &Surface) -> String {
+    let mut header: Vec<String> = vec!["h\\v".into()];
+    header.extend(surface.axis.iter().map(|v| v.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = surface
+        .axis
+        .iter()
+        .zip(&surface.time_secs)
+        .map(|(h, times)| {
+            let mut row = vec![h.to_string()];
+            row.extend(times.iter().map(|t| crate::table::secs(*t)));
+            row
+        })
+        .collect();
+    format!(
+        "Fig 12 ({}) — coordination timespan (s)\n{}",
+        surface.connectivity.label(),
+        crate::table::render(&header_refs, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_surfaces_are_monotone() {
+        let surfaces = run(true);
+        assert_eq!(surfaces.len(), 2);
+        for s in &surfaces {
+            // Monotone in v along each row and in h along each column.
+            for row in &s.time_secs {
+                for w in row.windows(2) {
+                    assert!(w[1] > w[0], "{:?} not monotone in v", s.connectivity);
+                }
+            }
+            for vi in 0..s.axis.len() {
+                for hi in 1..s.axis.len() {
+                    assert!(
+                        s.time_secs[hi][vi] > s.time_secs[hi - 1][vi],
+                        "{:?} not monotone in h",
+                        s.connectivity
+                    );
+                }
+            }
+        }
+        // Fully connected dominates simple at the largest quick cell.
+        let simple = surfaces[0].at(11, 11).unwrap();
+        let full = surfaces[1].at(11, 11).unwrap();
+        assert!(full > simple);
+    }
+
+    #[test]
+    fn render_contains_axis() {
+        let surfaces = run(true);
+        let text = render(&surfaces[0]);
+        assert!(text.contains("simple"));
+        assert!(text.contains("11"));
+    }
+}

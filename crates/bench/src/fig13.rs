@@ -1,0 +1,153 @@
+//! Fig 13 — "With-adaptiveness-over-without-adaptiveness ratio".
+//!
+//! Square diamonds (h = v ∈ {1, 6, 11, 16, 21}). Reference: a regular run.
+//! Adaptive run: "raising an execution exception on the last service of
+//! the mesh, and replacing the whole body of the diamond on-the-fly".
+//! Three scenarios: simple→simple, simple→full, full→simple.
+//!
+//! Paper shapes: scenario 1 never exceeds 2; scenario 2 sits between 2 and
+//! 3 for configurations beyond 1×1; scenario 3 stays constant or
+//! decreases.
+
+use ginflow_core::{patterns, AdaptiveDiamondSpec, Connectivity};
+use ginflow_sim::{simulate, ServiceModel, SimConfig};
+
+/// The §V-B scenarios.
+pub const SCENARIOS: [(&str, Connectivity, Connectivity); 3] = [
+    ("simple-to-simple", Connectivity::Simple, Connectivity::Simple),
+    ("simple-to-full", Connectivity::Simple, Connectivity::Full),
+    ("full-to-simple", Connectivity::Full, Connectivity::Simple),
+];
+
+/// Square configurations swept.
+pub fn sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 6]
+    } else {
+        vec![1, 6, 11, 16, 21]
+    }
+}
+
+/// One scenario's ratio series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Mesh sizes (h = v).
+    pub sizes: Vec<usize>,
+    /// Adaptive / regular makespan ratios.
+    pub ratios: Vec<f64>,
+}
+
+/// Makespan of the regular (no failure, no adaptation) run.
+fn regular_secs(n: usize, conn: Connectivity) -> f64 {
+    let wf = patterns::diamond(n, n, conn, "synthetic").expect("valid diamond");
+    let r = simulate(
+        &wf,
+        &SimConfig {
+            services: ServiceModel::constant((crate::fig12::SERVICE_SECS * 1e6) as u64),
+            seed: 13,
+            ..SimConfig::default()
+        },
+    );
+    assert!(r.completed);
+    r.makespan_secs()
+}
+
+/// Makespan of the adaptive run (last mesh service fails once, whole body
+/// replaced).
+fn adaptive_secs(n: usize, main: Connectivity, replacement: Connectivity) -> f64 {
+    let spec = AdaptiveDiamondSpec {
+        h: n,
+        v: n,
+        main,
+        replacement,
+    };
+    let wf = spec
+        .build("synthetic", "faulty")
+        .expect("valid adaptive diamond");
+    let services = ServiceModel::constant((crate::fig12::SERVICE_SECS * 1e6) as u64)
+        .fail_first(spec.failing_task());
+    let r = simulate(
+        &wf,
+        &SimConfig {
+            services,
+            seed: 13,
+            ..SimConfig::default()
+        },
+    );
+    assert!(
+        r.completed,
+        "adaptive diamond {n}x{n} {main:?}→{replacement:?} must complete; states: {:?}",
+        r.states
+    );
+    r.makespan_secs()
+}
+
+/// Run all scenarios.
+pub fn run(quick: bool) -> Vec<Series> {
+    let sizes = sweep(quick);
+    SCENARIOS
+        .iter()
+        .map(|&(scenario, main, replacement)| {
+            let ratios = sizes
+                .iter()
+                .map(|&n| adaptive_secs(n, main, replacement) / regular_secs(n, main))
+                .collect();
+            Series {
+                scenario,
+                sizes: sizes.clone(),
+                ratios,
+            }
+        })
+        .collect()
+}
+
+/// Render the three series as a table.
+pub fn render(series: &[Series]) -> String {
+    let mut header: Vec<String> = vec!["configuration".into()];
+    header.extend(series.iter().map(|s| s.scenario.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let sizes = &series[0].sizes;
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let mut row = vec![format!("{n}x{n}")];
+            row.extend(series.iter().map(|s| crate::table::ratio(s.ratios[i])));
+            row
+        })
+        .collect();
+    format!(
+        "Fig 13 — adaptiveness ratio (adaptive / regular)\n{}",
+        crate::table::render(&header_refs, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_ratios_match_paper_bands() {
+        let series = run(true);
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            for (&n, &r) in s.sizes.iter().zip(&s.ratios) {
+                assert!(r > 1.0, "{} at {n}: adaptation is not free ({r})", s.scenario);
+                assert!(r < 3.2, "{} at {n}: ratio {r} out of the paper's band", s.scenario);
+            }
+        }
+        // Scenario 1 stays under 2 beyond the degenerate 1×1.
+        let s1 = &series[0];
+        for (i, &n) in s1.sizes.iter().enumerate() {
+            if n > 1 {
+                assert!(
+                    s1.ratios[i] < 2.0,
+                    "simple→simple at {n} should stay below 2, got {}",
+                    s1.ratios[i]
+                );
+            }
+        }
+    }
+}

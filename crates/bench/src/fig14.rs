@@ -1,0 +1,149 @@
+//! Fig 14 — "Execution time with different execution scenarios":
+//! {SSH, Mesos} × {ActiveMQ, Kafka} × {5, 10, 15} nodes on a 10×10
+//! simple-connected diamond, split into deployment and execution time,
+//! averaged over ten runs.
+//!
+//! Paper shapes: SSH deployment grows slightly with node count; Mesos
+//! deployment decreases linearly; ActiveMQ execution ≈ 4× faster than
+//! Kafka; execution time does not depend much on node count (coordination
+//! is broker-bound, not host-bound).
+
+use ginflow_core::{patterns, Connectivity, Workflow};
+use ginflow_executor::{deploy_and_simulate, ExecutionSpec, ExecutorKind};
+use ginflow_mq::BrokerKind;
+use ginflow_sim::ServiceModel;
+
+/// Node counts swept.
+pub const NODES: [usize; 3] = [5, 10, 15];
+
+/// The four executor × middleware combinations.
+pub const COMBOS: [(ExecutorKind, BrokerKind); 4] = [
+    (ExecutorKind::Ssh, BrokerKind::Transient),
+    (ExecutorKind::Ssh, BrokerKind::Log),
+    (ExecutorKind::Mesos, BrokerKind::Transient),
+    (ExecutorKind::Mesos, BrokerKind::Log),
+];
+
+/// One bar of the figure.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    /// Combination label, e.g. `ssh/activemq`.
+    pub combo: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Mean deployment time (s).
+    pub deploy_secs: f64,
+    /// Mean execution time (s).
+    pub exec_secs: f64,
+    /// Execution-time standard deviation over the runs (s).
+    pub exec_std: f64,
+}
+
+fn workload() -> Workflow {
+    patterns::diamond(10, 10, Connectivity::Simple, "synthetic").expect("valid diamond")
+}
+
+/// Run the campaign: `runs` repetitions per bar (the paper used ten).
+pub fn run(quick: bool) -> Vec<Bar> {
+    let runs = if quick { 2 } else { 10 };
+    let wf = workload();
+    let mut bars = Vec::new();
+    for (executor, broker) in COMBOS {
+        for nodes in NODES {
+            let mut deploys = Vec::with_capacity(runs);
+            let mut execs = Vec::with_capacity(runs);
+            for run_idx in 0..runs {
+                let report = deploy_and_simulate(
+                    &wf,
+                    ExecutionSpec {
+                        executor,
+                        broker,
+                        nodes,
+                    },
+                    // Small duration jitter makes the ten runs distinct,
+                    // as on a real testbed.
+                    ServiceModel::constant((crate::fig12::SERVICE_SECS * 1e6) as u64)
+                        .with_jitter(0.05),
+                    run_idx as u64,
+                )
+                .expect("deployment fits the cluster");
+                assert!(report.execution.completed);
+                deploys.push(report.deployment_secs());
+                execs.push(report.execution_secs());
+            }
+            bars.push(Bar {
+                combo: format!("{}/{}", executor.label(), broker.label()),
+                nodes,
+                deploy_secs: crate::stats::mean(&deploys),
+                exec_secs: crate::stats::mean(&execs),
+                exec_std: crate::stats::std_dev(&execs),
+            });
+        }
+    }
+    bars
+}
+
+/// Render as a table.
+pub fn render(bars: &[Bar]) -> String {
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.combo.clone(),
+                b.nodes.to_string(),
+                crate::table::secs(b.deploy_secs),
+                crate::table::secs(b.exec_secs),
+                crate::table::secs(b.deploy_secs + b.exec_secs),
+                crate::table::secs(b.exec_std),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig 14 — 10×10 simple diamond, deployment vs execution (s, mean of runs)\n{}",
+        crate::table::render(
+            &["combo", "nodes", "deploy", "exec", "total", "exec σ"],
+            &rows
+        )
+    )
+}
+
+/// Look up a bar.
+pub fn bar<'a>(bars: &'a [Bar], combo: &str, nodes: usize) -> &'a Bar {
+    bars.iter()
+        .find(|b| b.combo == combo && b.nodes == nodes)
+        .expect("bar exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trends_match_fig14() {
+        let bars = run(true);
+        assert_eq!(bars.len(), 12);
+        // SSH deployment grows with nodes; Mesos deployment shrinks.
+        assert!(
+            bar(&bars, "ssh/activemq", 15).deploy_secs
+                > bar(&bars, "ssh/activemq", 5).deploy_secs
+        );
+        assert!(
+            bar(&bars, "mesos/activemq", 15).deploy_secs
+                < bar(&bars, "mesos/activemq", 5).deploy_secs
+        );
+        // Kafka execution much slower than ActiveMQ (paper: ≈ 4×).
+        for nodes in NODES {
+            let amq = bar(&bars, "mesos/activemq", nodes).exec_secs;
+            let kafka = bar(&bars, "mesos/kafka", nodes).exec_secs;
+            let ratio = kafka / amq;
+            assert!(
+                (2.5..6.0).contains(&ratio),
+                "kafka/activemq ratio at {nodes} nodes: {ratio}"
+            );
+        }
+        // Execution time is broker-bound: node count hardly matters.
+        let e5 = bar(&bars, "ssh/activemq", 5).exec_secs;
+        let e15 = bar(&bars, "ssh/activemq", 15).exec_secs;
+        assert!((e5 - e15).abs() / e5 < 0.2);
+    }
+}

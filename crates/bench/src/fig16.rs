@@ -1,0 +1,203 @@
+//! Fig 16 — "Execution time with different failure scenarios".
+//!
+//! The Montage workload on the Mesos + Kafka stack with §V-D's failure
+//! injection: every running agent crashes with probability
+//! p ∈ {0.2, 0.5, 0.8} after T ∈ {0, 15, 100} s of service execution;
+//! crashed agents respawn and replay their inbox. Ten runs per cell.
+//!
+//! Paper anchors: fault-free mean 484 s (σ 13.5); at T = 0 the observed
+//! failure counts were ≈ 26 / 114 / 487 with execution-time increases of
+//! ≈ +3 / +36 / +208 s; expected failures follow `p/(1−p) × N_T`.
+
+use ginflow_montage::{durations_secs, workflow};
+use ginflow_sim::{simulate, CostModel, FailureSpec, ServiceModel, SimConfig, SECOND};
+
+/// Failure probabilities swept.
+pub const PS: [f64; 3] = [0.2, 0.5, 0.8];
+
+/// Failure onset times (seconds) swept.
+pub const TS: [f64; 3] = [0.0, 15.0, 100.0];
+
+/// One cell of the grid.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Crash probability.
+    pub p: f64,
+    /// Onset time (s).
+    pub t: f64,
+    /// Mean execution time (s).
+    pub mean_secs: f64,
+    /// Standard deviation (s).
+    pub std_secs: f64,
+    /// Mean observed failures.
+    pub mean_failures: f64,
+    /// `p/(1−p) × N_T` (the paper's expectation).
+    pub expected_failures: f64,
+}
+
+/// The full figure: baseline + 3×3 grid.
+#[derive(Clone, Debug)]
+pub struct Fig16 {
+    /// Fault-free mean (s).
+    pub baseline_mean: f64,
+    /// Fault-free σ (s).
+    pub baseline_std: f64,
+    /// The grid cells.
+    pub cells: Vec<Cell>,
+}
+
+fn montage_services() -> ServiceModel {
+    let mut services = ServiceModel::constant(SECOND).with_jitter(0.08);
+    for (task, secs) in durations_secs() {
+        services.set_duration_secs(task, secs);
+    }
+    services
+}
+
+/// Number of services whose duration exceeds `t` seconds.
+pub fn n_t(t: f64) -> usize {
+    durations_secs().iter().filter(|(_, d)| *d > t).count()
+}
+
+fn one_run(failures: Option<FailureSpec>, seed: u64) -> ginflow_sim::SimReport {
+    let wf = workflow();
+    simulate(
+        &wf,
+        &SimConfig {
+            cost: CostModel::kafka(),
+            services: montage_services(),
+            failures,
+            persistent_broker: true,
+            seed,
+            max_events: 200_000_000,
+        },
+    )
+}
+
+/// Run the campaign (`quick`: 3 runs/cell instead of 10).
+///
+/// Baseline and failure runs share the same seed set: service-duration
+/// jitter is deterministic per (seed, task, invocation), so each cell's
+/// overhead is a *paired* difference against the baseline, isolating the
+/// cost of the failures from the workload noise.
+pub fn run(quick: bool) -> Fig16 {
+    let runs = if quick { 3 } else { 10 };
+    let seeds: Vec<u64> = (0..runs as u64).map(|s| 1000 + s).collect();
+    let baseline: Vec<f64> = seeds
+        .iter()
+        .map(|&s| {
+            let r = one_run(None, s);
+            assert!(r.completed);
+            r.makespan_secs()
+        })
+        .collect();
+    let mut cells = Vec::new();
+    for &t in &TS {
+        for &p in &PS {
+            let mut times = Vec::with_capacity(runs);
+            let mut fails = Vec::with_capacity(runs);
+            for &s in &seeds {
+                let r = one_run(
+                    Some(FailureSpec {
+                        p,
+                        t_us: (t * SECOND as f64) as u64,
+                    }),
+                    s,
+                );
+                assert!(
+                    r.completed,
+                    "p={p} T={t}: recovery must complete the run"
+                );
+                times.push(r.makespan_secs());
+                fails.push(r.failures as f64);
+            }
+            cells.push(Cell {
+                p,
+                t,
+                mean_secs: crate::stats::mean(&times),
+                std_secs: crate::stats::std_dev(&times),
+                mean_failures: crate::stats::mean(&fails),
+                expected_failures: p / (1.0 - p) * n_t(t) as f64,
+            });
+        }
+    }
+    Fig16 {
+        baseline_mean: crate::stats::mean(&baseline),
+        baseline_std: crate::stats::std_dev(&baseline),
+        cells,
+    }
+}
+
+/// Render as a table.
+pub fn render(f: &Fig16) -> String {
+    let mut out = format!(
+        "Fig 16 — Montage under failure injection (Mesos + Kafka)\nfault-free baseline: {:.1} s (σ {:.1})\n",
+        f.baseline_mean, f.baseline_std
+    );
+    let rows: Vec<Vec<String>> = f
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.0}", c.t),
+                format!("{:.1}", c.p),
+                crate::table::secs(c.mean_secs),
+                crate::table::secs(c.std_secs),
+                crate::table::secs(c.mean_secs - f.baseline_mean),
+                format!("{:.0}", c.mean_failures),
+                format!("{:.0}", c.expected_failures),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::table::render(
+        &["T(s)", "p", "exec", "σ", "overhead", "failures", "p/(1-p)·N_T"],
+        &rows,
+    ));
+    out
+}
+
+/// Look up a cell.
+pub fn cell(f: &Fig16, p: f64, t: f64) -> &Cell {
+    f.cells
+        .iter()
+        .find(|c| (c.p - p).abs() < 1e-9 && (c.t - t).abs() < 1e-9)
+        .expect("cell exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_t_matches_paper_semantics() {
+        // T = 0: every service can fail.
+        assert_eq!(n_t(0.0), 118);
+        // T = 15: the paper's "95% of the services have a running time
+        // greater than 15s".
+        assert!(n_t(15.0) as f64 / 118.0 > 0.95);
+        // T = 100: only the long half of the parallel band.
+        let n100 = n_t(100.0);
+        assert!(n100 < 108 && n100 > 60, "got {n100}");
+    }
+
+    #[test]
+    fn single_cell_behaves() {
+        // One quick cell rather than the full campaign (CI time).
+        let r = one_run(
+            Some(FailureSpec {
+                p: 0.5,
+                t_us: 0,
+            }),
+            99,
+        );
+        assert!(r.completed);
+        assert!(r.failures > 30, "p=0.5, T=0 over 118 tasks: {}", r.failures);
+        assert_eq!(r.failures, r.respawns);
+        let clean = one_run(None, 99);
+        assert!(clean.completed);
+        assert!(r.makespan_us > clean.makespan_us);
+        // Fault-free baseline lands on the paper's 484 ± 13.5 band.
+        let b = clean.makespan_secs();
+        assert!((470.0..500.0).contains(&b), "baseline {b}");
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end tests of the `ginflow` binary (spawned as a process).
+
+use std::io::Write;
+use std::process::Command;
+
+fn ginflow() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ginflow"))
+}
+
+fn write_workflow(dir: &std::path::Path, name: &str, json: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(json.as_bytes()).unwrap();
+    path
+}
+
+const FIG5: &str = r#"{
+    "name": "fig5",
+    "tasks": [
+        {"name": "T1", "service": "s1", "inputs": ["input"]},
+        {"name": "T2", "service": "s2", "depends_on": ["T1"]},
+        {"name": "T3", "service": "s3", "depends_on": ["T1"]},
+        {"name": "T4", "service": "s4", "depends_on": ["T2", "T3"]}
+    ],
+    "adaptations": [
+        {"name": "replace-T2", "region": ["T2"], "on_error_of": ["T2"],
+         "replacement": [{"name": "T2p", "service": "s2p", "depends_on": ["T1"]}]}
+    ]
+}"#;
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ginflow-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn validate_reports_structure() {
+    let path = write_workflow(&tmpdir(), "v.json", FIG5);
+    let out = ginflow().arg("validate").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("5 tasks"));
+    assert!(stdout.contains("1 standby"));
+    assert!(stdout.contains("1 adaptation"));
+}
+
+#[test]
+fn validate_rejects_garbage() {
+    let path = write_workflow(&tmpdir(), "bad.json", "{ not json");
+    let out = ginflow().arg("validate").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("JSON"));
+}
+
+#[test]
+fn translate_emits_chemistry() {
+    let path = write_workflow(&tmpdir(), "t.json", FIG5);
+    let out = ginflow().arg("translate").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["SRC:<", "DST:<", "gw_pass", "trigger_adapt_0_T2", "activate_0_T2p"] {
+        assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
+    }
+}
+
+#[test]
+fn run_centralized_prints_results() {
+    let path = write_workflow(&tmpdir(), "r.json", FIG5);
+    let out = ginflow()
+        .args(["run", "--executor", "centralized"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("s4(s2(s1(input)),s3(s1(input)))"));
+}
+
+#[test]
+fn run_threaded_with_kafka_completes() {
+    let path = write_workflow(&tmpdir(), "k.json", FIG5);
+    let out = ginflow()
+        .args(["run", "--broker", "kafka", "--timeout", "30"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("completed"));
+}
+
+#[test]
+fn simulate_reports_virtual_makespan() {
+    let path = write_workflow(&tmpdir(), "s.json", FIG5);
+    let out = ginflow()
+        .args(["simulate", "--seed", "7"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("completed=true"));
+    assert!(stdout.contains("makespan="));
+}
+
+#[test]
+fn simulate_with_failures_recovers_on_kafka() {
+    let path = write_workflow(&tmpdir(), "f.json", FIG5);
+    let out = ginflow()
+        .args(["simulate", "--broker", "kafka", "--fail-p", "0.5", "--fail-t", "0"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("completed=true"), "{stdout}");
+    // Some crash happened and was recovered.
+    assert!(!stdout.contains("failures=0 "), "{stdout}");
+}
+
+#[test]
+fn montage_info() {
+    let out = ginflow().arg("montage").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("118 tasks"));
+    assert!(stdout.contains("band width 108"));
+}
+
+#[test]
+fn unknown_command_fails_with_hint() {
+    let out = ginflow().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ginflow help"));
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = ginflow().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["validate", "translate", "run", "simulate", "montage"] {
+        assert!(stdout.contains(cmd));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for workflow construction and validation.
+
+use std::fmt;
+
+/// Everything that can go wrong building, validating or (de)serialising a
+/// workflow.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// Two tasks share a name.
+    DuplicateTask(String),
+    /// An edge or adaptation referenced an unknown task.
+    UnknownTask(String),
+    /// The dependency graph has a cycle through this task.
+    CycleDetected(String),
+    /// A task depends on itself.
+    SelfDependency(String),
+    /// An adaptation violates the replacement hypothesis of §III-C.
+    InvalidAdaptation {
+        /// Adaptation name.
+        adaptation: String,
+        /// Which Fig 9 rule is broken.
+        reason: String,
+    },
+    /// Two adaptations touch the same task (they must be disjoint).
+    OverlappingAdaptations(String, String),
+    /// JSON parse / shape error.
+    Json(String),
+    /// The workflow is structurally empty.
+    EmptyWorkflow,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateTask(n) => write!(f, "duplicate task name {n:?}"),
+            CoreError::UnknownTask(n) => write!(f, "unknown task {n:?}"),
+            CoreError::CycleDetected(n) => {
+                write!(f, "dependency cycle detected through task {n:?}")
+            }
+            CoreError::SelfDependency(n) => write!(f, "task {n:?} depends on itself"),
+            CoreError::InvalidAdaptation { adaptation, reason } => {
+                write!(f, "invalid adaptation {adaptation:?}: {reason}")
+            }
+            CoreError::OverlappingAdaptations(a, b) => {
+                write!(f, "adaptations {a:?} and {b:?} overlap (must be disjoint)")
+            }
+            CoreError::Json(msg) => write!(f, "workflow JSON error: {msg}"),
+            CoreError::EmptyWorkflow => write!(f, "workflow has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidAdaptation {
+            adaptation: "fix".into(),
+            reason: "two destinations".into(),
+        };
+        assert!(e.to_string().contains("fix"));
+        assert!(e.to_string().contains("two destinations"));
+    }
+}

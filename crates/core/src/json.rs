@@ -1,0 +1,343 @@
+//! The user-facing JSON workflow format (§IV-D).
+//!
+//! "Clients … use the command line interface … the workflow is given in a
+//! JSON format which will be translated into an HOCL workflow prior to
+//! execution." This module is that translation's first half: JSON ⇄
+//! [`Workflow`]. The second half (workflow → HOCL) lives in
+//! `ginflow-hoclflow`.
+//!
+//! ```json
+//! {
+//!   "name": "fig5",
+//!   "tasks": [
+//!     {"name": "T1", "service": "s1", "inputs": ["input"]},
+//!     {"name": "T2", "service": "s2", "depends_on": ["T1"]},
+//!     {"name": "T3", "service": "s3", "depends_on": ["T1"]},
+//!     {"name": "T4", "service": "s4", "depends_on": ["T2", "T3"]}
+//!   ],
+//!   "adaptations": [
+//!     {
+//!       "name": "replace-T2",
+//!       "region": ["T2"],
+//!       "on_error_of": ["T2"],
+//!       "replacement": [
+//!         {"name": "T2p", "service": "s2p", "depends_on": ["T1"]}
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Input values map JSON ⇄ atoms naturally: strings, integers, floats,
+//! booleans and arrays (as lists). `{"sym": "X"}` denotes a symbol and
+//! `{"sub": [...]}` a subsolution.
+
+use crate::error::CoreError;
+use crate::workflow::{ReplacementTask, Workflow, WorkflowBuilder};
+use crate::Value;
+use serde::{Deserialize, Serialize};
+
+/// JSON document root.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkflowDoc {
+    /// Workflow name.
+    pub name: String,
+    /// Task table.
+    pub tasks: Vec<TaskDoc>,
+    /// Adaptations (optional).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub adaptations: Vec<AdaptationDoc>,
+}
+
+/// One task in the JSON document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskDoc {
+    /// Task name.
+    pub name: String,
+    /// Service name.
+    pub service: String,
+    /// Workflow-initial inputs.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub inputs: Vec<serde_json::Value>,
+    /// Names of tasks this one depends on.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub depends_on: Vec<String>,
+}
+
+/// One adaptation in the JSON document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdaptationDoc {
+    /// Adaptation name.
+    pub name: String,
+    /// The potentially faulty sub-workflow.
+    pub region: Vec<String>,
+    /// Tasks whose failure triggers the adaptation (defaults to the whole
+    /// region).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub on_error_of: Vec<String>,
+    /// Replacement (standby) tasks.
+    pub replacement: Vec<TaskDoc>,
+}
+
+/// Parse a JSON document into a validated [`Workflow`].
+pub fn from_json(json: &str) -> Result<Workflow, CoreError> {
+    let doc: WorkflowDoc =
+        serde_json::from_str(json).map_err(|e| CoreError::Json(e.to_string()))?;
+    doc_to_workflow(&doc)
+}
+
+/// Serialise a [`Workflow`] to its JSON document form (pretty-printed).
+pub fn to_json(wf: &Workflow) -> String {
+    let doc = workflow_to_doc(wf);
+    serde_json::to_string_pretty(&doc).expect("document serialisation cannot fail")
+}
+
+/// Convert a parsed document to a workflow.
+pub fn doc_to_workflow(doc: &WorkflowDoc) -> Result<Workflow, CoreError> {
+    let mut b = WorkflowBuilder::new(doc.name.clone());
+    for t in &doc.tasks {
+        let mut tb = b.task(&t.name, &t.service);
+        for v in &t.inputs {
+            tb = tb.input(value_to_atom(v)?);
+        }
+        tb.after(t.depends_on.iter().cloned());
+    }
+    for a in &doc.adaptations {
+        let replacement: Vec<ReplacementTask> = a
+            .replacement
+            .iter()
+            .map(|t| {
+                let inputs = t
+                    .inputs
+                    .iter()
+                    .map(value_to_atom)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ReplacementTask {
+                    name: t.name.clone(),
+                    service: t.service.clone(),
+                    inputs,
+                    depends_on: t.depends_on.clone(),
+                })
+            })
+            .collect::<Result<_, CoreError>>()?;
+        b.adaptation(&a.name, a.region.clone(), a.on_error_of.clone(), replacement);
+    }
+    b.build()
+}
+
+/// Convert a workflow back to its document form.
+pub fn workflow_to_doc(wf: &Workflow) -> WorkflowDoc {
+    let dag = wf.dag();
+    let mut tasks = Vec::new();
+    for (id, spec) in dag.iter() {
+        if spec.is_standby() {
+            continue;
+        }
+        tasks.push(TaskDoc {
+            name: spec.name.clone(),
+            service: spec.service.clone(),
+            inputs: spec.inputs.iter().map(atom_to_value).collect(),
+            depends_on: dag
+                .predecessors(id)
+                .iter()
+                .map(|&p| dag.name_of(p).to_owned())
+                .collect(),
+        });
+    }
+    let mut adaptations = Vec::new();
+    for a in wf.adaptations() {
+        let replacement = a
+            .replacement
+            .iter()
+            .map(|&t| {
+                let spec = dag.task(t);
+                let mut deps: Vec<String> = a
+                    .entry_edges
+                    .iter()
+                    .filter(|&&(_, to)| to == t)
+                    .map(|&(f, _)| dag.name_of(f).to_owned())
+                    .collect();
+                deps.extend(
+                    a.internal_edges
+                        .iter()
+                        .filter(|&&(_, to)| to == t)
+                        .map(|&(f, _)| dag.name_of(f).to_owned()),
+                );
+                TaskDoc {
+                    name: spec.name.clone(),
+                    service: spec.service.clone(),
+                    inputs: spec.inputs.iter().map(atom_to_value).collect(),
+                    depends_on: deps,
+                }
+            })
+            .collect();
+        adaptations.push(AdaptationDoc {
+            name: a.name.clone(),
+            region: a.region.iter().map(|&t| dag.name_of(t).to_owned()).collect(),
+            on_error_of: a.watched.iter().map(|&t| dag.name_of(t).to_owned()).collect(),
+            replacement,
+        });
+    }
+    WorkflowDoc {
+        name: wf.name().to_owned(),
+        tasks,
+        adaptations,
+    }
+}
+
+/// Map a JSON value to an atom.
+pub fn value_to_atom(v: &serde_json::Value) -> Result<Value, CoreError> {
+    use serde_json::Value as J;
+    Ok(match v {
+        J::String(s) => Value::Str(s.clone()),
+        J::Bool(b) => Value::Bool(*b),
+        J::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Value::Int(i)
+            } else {
+                Value::Float(n.as_f64().ok_or_else(|| {
+                    CoreError::Json(format!("unrepresentable number {n}"))
+                })?)
+            }
+        }
+        J::Array(items) => Value::list(
+            items
+                .iter()
+                .map(value_to_atom)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        J::Object(map) => {
+            if let Some(J::String(s)) = map.get("sym") {
+                Value::sym(s)
+            } else if let Some(J::Array(items)) = map.get("sub") {
+                Value::sub(
+                    items
+                        .iter()
+                        .map(value_to_atom)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            } else {
+                return Err(CoreError::Json(format!(
+                    "objects must be {{\"sym\": …}} or {{\"sub\": […]}}, got {v}"
+                )));
+            }
+        }
+        J::Null => return Err(CoreError::Json("null is not a value".into())),
+    })
+}
+
+/// Map an atom to a JSON value (inverse of [`value_to_atom`] where
+/// representable; tuples and rules have no document form and are rendered
+/// as display strings).
+pub fn atom_to_value(a: &Value) -> serde_json::Value {
+    use serde_json::json;
+    match a {
+        Value::Int(i) => json!(i),
+        Value::Float(f) => json!(f),
+        Value::Str(s) => json!(s),
+        Value::Bool(b) => json!(b),
+        Value::Sym(s) => json!({ "sym": s.as_str() }),
+        Value::List(items) => {
+            serde_json::Value::Array(items.iter().map(atom_to_value).collect())
+        }
+        Value::Sub(ms) => json!({ "sub": ms.iter().map(atom_to_value).collect::<Vec<_>>() }),
+        other => json!(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG5: &str = r#"{
+        "name": "fig5",
+        "tasks": [
+            {"name": "T1", "service": "s1", "inputs": ["input"]},
+            {"name": "T2", "service": "s2", "depends_on": ["T1"]},
+            {"name": "T3", "service": "s3", "depends_on": ["T1"]},
+            {"name": "T4", "service": "s4", "depends_on": ["T2", "T3"]}
+        ],
+        "adaptations": [
+            {
+                "name": "replace-T2",
+                "region": ["T2"],
+                "on_error_of": ["T2"],
+                "replacement": [
+                    {"name": "T2p", "service": "s2p", "depends_on": ["T1"]}
+                ]
+            }
+        ]
+    }"#;
+
+    #[test]
+    fn parse_fig5() {
+        let wf = from_json(FIG5).unwrap();
+        assert_eq!(wf.name(), "fig5");
+        assert_eq!(wf.dag().len(), 5);
+        assert_eq!(wf.adaptations().len(), 1);
+        let t2p = wf.dag().by_name("T2p").unwrap();
+        assert!(wf.dag().task(t2p).is_standby());
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let wf = from_json(FIG5).unwrap();
+        let json = to_json(&wf);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.dag().len(), wf.dag().len());
+        assert_eq!(back.dag().edge_count(), wf.dag().edge_count());
+        assert_eq!(back.adaptations().len(), wf.adaptations().len());
+        assert_eq!(
+            back.adaptations()[0].entry_edges,
+            wf.adaptations()[0].entry_edges
+        );
+        assert_eq!(
+            back.adaptations()[0].exit_edges,
+            wf.adaptations()[0].exit_edges
+        );
+    }
+
+    #[test]
+    fn value_mapping() {
+        use serde_json::json;
+        assert_eq!(value_to_atom(&json!(3)).unwrap(), Value::Int(3));
+        assert_eq!(value_to_atom(&json!(2.5)).unwrap(), Value::Float(2.5));
+        assert_eq!(value_to_atom(&json!("x")).unwrap(), Value::Str("x".into()));
+        assert_eq!(value_to_atom(&json!(true)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            value_to_atom(&json!([1, "a"])).unwrap(),
+            Value::list([Value::Int(1), Value::Str("a".into())])
+        );
+        assert_eq!(
+            value_to_atom(&json!({"sym": "ERROR"})).unwrap(),
+            Value::sym("ERROR")
+        );
+        assert_eq!(
+            value_to_atom(&json!({"sub": [1]})).unwrap(),
+            Value::sub([Value::Int(1)])
+        );
+        assert!(value_to_atom(&json!(null)).is_err());
+        assert!(value_to_atom(&json!({"weird": 1})).is_err());
+        // Inverses.
+        for v in [
+            Value::Int(3),
+            Value::Float(2.5),
+            Value::Str("x".into()),
+            Value::Bool(true),
+            Value::sym("S"),
+            Value::list([Value::Int(1)]),
+            Value::sub([Value::Int(1)]),
+        ] {
+            assert_eq!(value_to_atom(&atom_to_value(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn invalid_json_reports_error() {
+        assert!(matches!(from_json("{"), Err(CoreError::Json(_))));
+        assert!(from_json(r#"{"name": "x", "tasks": []}"#).is_err());
+        // Unknown dependency.
+        let bad = r#"{"name":"x","tasks":[{"name":"A","service":"s","depends_on":["Z"]}]}"#;
+        assert!(matches!(from_json(bad), Err(CoreError::UnknownTask(_))));
+    }
+}

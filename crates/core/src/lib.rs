@@ -1,0 +1,62 @@
+//! # ginflow-core — the GinFlow workflow model
+//!
+//! User-facing representation of workflows: tasks, the dependency DAG,
+//! services, adaptation specifications (the paper's §III-C `on-error →
+//! replace sub-workflow` mechanism) with their validity rules (Fig 9), the
+//! JSON interchange format of §IV-D, and the workload generators used by
+//! the evaluation (diamond meshes of §V-A, the four basic patterns).
+//!
+//! This crate knows nothing about *execution*: `ginflow-hoclflow` compiles
+//! a [`Workflow`] into HOCL chemistry, and the agent/executor crates enact
+//! it.
+//!
+//! ```
+//! use ginflow_core::prelude::*;
+//!
+//! // The paper's Fig 2 workflow: T1 → {T2, T3} → T4.
+//! let mut b = WorkflowBuilder::new("fig2");
+//! b.task("T1", "s1").input(Value::str("input"));
+//! b.task("T2", "s2").after(["T1"]);
+//! b.task("T3", "s3").after(["T1"]);
+//! b.task("T4", "s4").after(["T2", "T3"]);
+//! let wf = b.build().unwrap();
+//! assert_eq!(wf.dag().len(), 4);
+//! assert_eq!(wf.dag().sources().len(), 1);
+//! ```
+
+pub mod adaptation;
+pub mod dag;
+pub mod error;
+pub mod json;
+pub mod patterns;
+pub mod service;
+pub mod task;
+pub mod workflow;
+
+pub use adaptation::{Adaptation, AdaptationId};
+pub use dag::Dag;
+pub use error::CoreError;
+pub use patterns::{diamond, merge, parallel, sequence, split, AdaptiveDiamondSpec, Connectivity};
+pub use service::{
+    ConstService, EchoService, FailNTimesService, FailingService, FlakyService, FnService,
+    Service, ServiceError, ServiceRegistry, ShellService, SleepService, TraceService,
+};
+pub use task::{TaskId, TaskSpec, TaskState};
+pub use workflow::{TaskBuilder, Workflow, WorkflowBuilder};
+
+/// Data values exchanged between services are HOCL atoms.
+pub type Value = ginflow_hocl::Atom;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::adaptation::{Adaptation, AdaptationId};
+    pub use crate::dag::Dag;
+    pub use crate::error::CoreError;
+    pub use crate::patterns::{diamond, parallel, sequence, Connectivity};
+    pub use crate::service::{
+        EchoService, Service, ServiceError, ServiceRegistry, TraceService,
+    };
+    pub use crate::task::{TaskId, TaskSpec, TaskState};
+    pub use crate::workflow::{Workflow, WorkflowBuilder};
+    pub use crate::Value;
+}

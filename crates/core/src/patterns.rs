@@ -1,0 +1,298 @@
+//! Workload generators: the diamond meshes of §V-A/V-B and the four basic
+//! patterns (sequence, parallel, split, merge) the paper cites from the
+//! Tigres work (reference 13 of the paper).
+//!
+//! The diamond (Fig 11) is `in → mesh(h × v) → out` where `h` tasks run in
+//! parallel per layer and `v` layers run in sequence. *Simple* connectivity
+//! chains each row (`t[i][j] → t[i][j+1]`); *full* connectivity connects
+//! every task of a layer to every task of the next.
+
+use crate::error::CoreError;
+use crate::workflow::{ReplacementTask, Workflow, WorkflowBuilder};
+use crate::Value;
+use serde::{Deserialize, Serialize};
+
+/// Mesh connectivity of the diamond workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// Row-wise chains between layers.
+    Simple,
+    /// Complete bipartite wiring between consecutive layers.
+    Full,
+}
+
+impl Connectivity {
+    /// Short label used in reports ("simple" / "full").
+    pub fn label(self) -> &'static str {
+        match self {
+            Connectivity::Simple => "simple",
+            Connectivity::Full => "full",
+        }
+    }
+}
+
+/// Mesh task name (row `i` ∈ 1..=h, layer `j` ∈ 1..=v).
+fn mesh_name(prefix: &str, i: usize, j: usize) -> String {
+    format!("{prefix}{i}_{j}")
+}
+
+/// Append the mesh tasks and wiring to `b` (used for both the main diamond
+/// body and — with a different prefix — replacement bodies).
+fn add_mesh(
+    b: &mut WorkflowBuilder,
+    prefix: &str,
+    service: &str,
+    h: usize,
+    v: usize,
+    conn: Connectivity,
+    source: &str,
+) {
+    for j in 1..=v {
+        for i in 1..=h {
+            let name = mesh_name(prefix, i, j);
+            let deps: Vec<String> = if j == 1 {
+                vec![source.to_owned()]
+            } else {
+                match conn {
+                    Connectivity::Simple => vec![mesh_name(prefix, i, j - 1)],
+                    Connectivity::Full => {
+                        (1..=h).map(|k| mesh_name(prefix, k, j - 1)).collect()
+                    }
+                }
+            };
+            b.task(name, service).after(deps);
+        }
+    }
+}
+
+/// The diamond workload of Fig 11: `in` fans out to `h` rows of `v`
+/// sequential tasks which merge into `out`. Services are all named
+/// `service` (the experiments use constant-time synthetic tasks).
+pub fn diamond(h: usize, v: usize, conn: Connectivity, service: &str) -> Result<Workflow, CoreError> {
+    assert!(h >= 1 && v >= 1, "diamond needs h ≥ 1 and v ≥ 1");
+    let mut b = WorkflowBuilder::new(format!("diamond-{h}x{v}-{}", conn.label()));
+    b.task("in", service).input(Value::str("input"));
+    add_mesh(&mut b, "t", service, h, v, conn, "in");
+    b.task("out", service)
+        .after((1..=h).map(|i| mesh_name("t", i, v)));
+    b.build()
+}
+
+/// Spec for the adaptive-diamond experiment of §V-B: the *whole mesh body*
+/// is the faulty region; the task `t{h}_{v}` (last service of the mesh)
+/// fails; a standby mesh with `replacement` connectivity takes over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveDiamondSpec {
+    /// Rows of both meshes.
+    pub h: usize,
+    /// Layers of both meshes.
+    pub v: usize,
+    /// Connectivity of the original mesh.
+    pub main: Connectivity,
+    /// Connectivity of the replacement mesh.
+    pub replacement: Connectivity,
+}
+
+impl AdaptiveDiamondSpec {
+    /// Name of the mesh task rigged to fail (the last service of the mesh).
+    pub fn failing_task(&self) -> String {
+        mesh_name("t", self.h, self.v)
+    }
+
+    /// Build the workflow. The failing task uses `failing_service`; every
+    /// other task uses `service`.
+    pub fn build(&self, service: &str, failing_service: &str) -> Result<Workflow, CoreError> {
+        let AdaptiveDiamondSpec {
+            h,
+            v,
+            main,
+            replacement,
+        } = *self;
+        assert!(h >= 1 && v >= 1, "diamond needs h ≥ 1 and v ≥ 1");
+        let mut b = WorkflowBuilder::new(format!(
+            "adaptive-diamond-{h}x{v}-{}-to-{}",
+            main.label(),
+            replacement.label()
+        ));
+        b.task("in", service).input(Value::str("input"));
+        add_mesh(&mut b, "t", service, h, v, main, "in");
+        b.task("out", service)
+            .after((1..=h).map(|i| mesh_name("t", i, v)));
+
+        // The whole mesh body is the region; the last mesh service watches.
+        let region: Vec<String> = (1..=v)
+            .flat_map(|j| (1..=h).map(move |i| mesh_name("t", i, j)))
+            .collect();
+        let watched = vec![self.failing_task()];
+        // Replacement mesh r{i}_{j} wired per `replacement` connectivity.
+        let mut repl = Vec::with_capacity(h * v);
+        for j in 1..=v {
+            for i in 1..=h {
+                let deps: Vec<String> = if j == 1 {
+                    vec!["in".to_owned()]
+                } else {
+                    match replacement {
+                        Connectivity::Simple => vec![mesh_name("r", i, j - 1)],
+                        Connectivity::Full => {
+                            (1..=h).map(|k| mesh_name("r", k, j - 1)).collect()
+                        }
+                    }
+                };
+                repl.push(ReplacementTask::new(
+                    mesh_name("r", i, j),
+                    service,
+                    deps,
+                ));
+            }
+        }
+        b.adaptation("replace-body", region, watched, repl);
+        let mut wf = b.build()?;
+        // Rig the failing service.
+        rig_service(&mut wf, &self.failing_task(), failing_service);
+        Ok(wf)
+    }
+}
+
+/// Replace the service of one task (post-construction tweak used to plant
+/// failing services in generated workloads).
+fn rig_service(wf: &mut Workflow, task: &str, service: &str) {
+    // Workflow fields are private; rebuild through serde would be wasteful.
+    // Instead expose the mutation through a dedicated helper on Workflow.
+    wf.set_service(task, service);
+}
+
+/// A linear chain `s1 → s2 → … → sn`.
+pub fn sequence(n: usize, service: &str) -> Result<Workflow, CoreError> {
+    assert!(n >= 1);
+    let mut b = WorkflowBuilder::new(format!("sequence-{n}"));
+    for i in 1..=n {
+        let t = b.task(format!("s{i}"), service);
+        if i == 1 {
+            t.input(Value::str("input"));
+        } else {
+            t.after([format!("s{}", i - 1)]);
+        }
+    }
+    b.build()
+}
+
+/// `n` independent tasks between a fork and a join.
+pub fn parallel(n: usize, service: &str) -> Result<Workflow, CoreError> {
+    assert!(n >= 1);
+    let mut b = WorkflowBuilder::new(format!("parallel-{n}"));
+    b.task("fork", service).input(Value::str("input"));
+    for i in 1..=n {
+        b.task(format!("p{i}"), service).after(["fork"]);
+    }
+    b.task("join", service)
+        .after((1..=n).map(|i| format!("p{i}")));
+    b.build()
+}
+
+/// One producer fanning out to `n` consumers.
+pub fn split(n: usize, service: &str) -> Result<Workflow, CoreError> {
+    assert!(n >= 1);
+    let mut b = WorkflowBuilder::new(format!("split-{n}"));
+    b.task("src", service).input(Value::str("input"));
+    for i in 1..=n {
+        b.task(format!("c{i}"), service).after(["src"]);
+    }
+    b.build()
+}
+
+/// `n` producers merging into one consumer.
+pub fn merge(n: usize, service: &str) -> Result<Workflow, CoreError> {
+    assert!(n >= 1);
+    let mut b = WorkflowBuilder::new(format!("merge-{n}"));
+    for i in 1..=n {
+        b.task(format!("p{i}"), service).input(Value::int(i as i64));
+    }
+    b.task("sink", service)
+        .after((1..=n).map(|i| format!("p{i}")));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_simple_shape() {
+        let wf = diamond(3, 4, Connectivity::Simple, "noop").unwrap();
+        // in + 3×4 mesh + out.
+        assert_eq!(wf.dag().len(), 14);
+        // in→row starts (3) + row chains (3×3) + last layer→out (3).
+        assert_eq!(wf.dag().edge_count(), 3 + 9 + 3);
+        assert_eq!(wf.dag().critical_path_len().unwrap(), 6);
+        assert_eq!(wf.dag().sources().len(), 1);
+        assert_eq!(wf.dag().sinks().len(), 1);
+    }
+
+    #[test]
+    fn diamond_full_shape() {
+        let wf = diamond(3, 4, Connectivity::Full, "noop").unwrap();
+        assert_eq!(wf.dag().len(), 14);
+        // in→layer1 (3) + 3 layer boundaries × 9 + →out (3).
+        assert_eq!(wf.dag().edge_count(), 3 + 27 + 3);
+    }
+
+    #[test]
+    fn diamond_1x1_degenerate() {
+        let wf = diamond(1, 1, Connectivity::Simple, "noop").unwrap();
+        assert_eq!(wf.dag().len(), 3);
+        assert_eq!(wf.dag().edge_count(), 2);
+    }
+
+    #[test]
+    fn adaptive_diamond_valid_and_rigged() {
+        let spec = AdaptiveDiamondSpec {
+            h: 2,
+            v: 2,
+            main: Connectivity::Simple,
+            replacement: Connectivity::Full,
+        };
+        let wf = spec.build("noop", "boom").unwrap();
+        // in + 4 mesh + out + 4 replacement.
+        assert_eq!(wf.dag().len(), 10);
+        assert_eq!(wf.active_task_count(), 6);
+        let failing = wf.dag().by_name(&spec.failing_task()).unwrap();
+        assert_eq!(wf.dag().task(failing).service, "boom");
+        assert_eq!(wf.adaptations().len(), 1);
+        let a = &wf.adaptations()[0];
+        assert_eq!(a.region.len(), 4);
+        assert_eq!(a.replacement.len(), 4);
+        // Entries: in → r1_1, r2_1. Exits: r*_2 → out.
+        assert_eq!(a.entry_edges.len(), 2);
+        assert_eq!(a.exit_edges.len(), 2);
+        // Full replacement wiring: 2×2 boundary = 4 internal edges.
+        assert_eq!(a.internal_edges.len(), 4);
+    }
+
+    #[test]
+    fn basic_patterns() {
+        assert_eq!(sequence(5, "s").unwrap().dag().len(), 5);
+        assert_eq!(
+            sequence(5, "s").unwrap().dag().critical_path_len().unwrap(),
+            5
+        );
+        let p = parallel(4, "s").unwrap();
+        assert_eq!(p.dag().len(), 6);
+        assert_eq!(p.dag().critical_path_len().unwrap(), 3);
+        assert_eq!(split(3, "s").unwrap().dag().sinks().len(), 3);
+        assert_eq!(merge(3, "s").unwrap().dag().sources().len(), 3);
+    }
+
+    #[test]
+    fn task_and_edge_counts_scale() {
+        for (h, v) in [(1, 6), (6, 1), (11, 11)] {
+            let wf = diamond(h, v, Connectivity::Simple, "s").unwrap();
+            assert_eq!(wf.dag().len(), h * v + 2);
+            assert_eq!(wf.dag().edge_count(), h * (v - 1) + 2 * h);
+            let wf = diamond(h, v, Connectivity::Full, "s").unwrap();
+            assert_eq!(
+                wf.dag().edge_count(),
+                h + h * h * (v - 1) + h
+            );
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Services: the functional building blocks tasks invoke.
+//!
+//! A GinFlow service agent "encapsulates the invocation of the service …
+//! any wrapper of an application representing this service, or any
+//! interface to the service enabling its invocation" (§IV-A). We provide a
+//! trait plus the wrappers the test-suite, examples and benchmarks need —
+//! including deliberately failing and flaky services for the adaptiveness
+//! and resilience experiments.
+
+use crate::Value;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Failure of a service invocation. Maps to the `ERROR` atom in `RES`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Build from anything printable.
+    pub fn new(message: impl Into<String>) -> Self {
+        ServiceError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "service error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A service: synchronous, thread-safe, idempotent by contract (§IV-B
+/// assumes services "are idempotent, or at least free from non-desirable
+/// side effects since they can be called several times" during recovery).
+pub trait Service: Send + Sync {
+    /// Invoke with the parameter list assembled by `gw_setup`.
+    fn invoke(&self, params: &[Value]) -> Result<Value, ServiceError>;
+}
+
+/// Name → service lookup used by executors and agents.
+#[derive(Clone, Default)]
+pub struct ServiceRegistry {
+    map: HashMap<String, Arc<dyn Service>>,
+}
+
+impl ServiceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ServiceRegistry::default()
+    }
+
+    /// Register a service under a name (replacing any previous binding).
+    pub fn register(&mut self, name: impl Into<String>, service: Arc<dyn Service>) -> &mut Self {
+        self.map.insert(name.into(), service);
+        self
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Service>> {
+        self.map.get(name).cloned()
+    }
+
+    /// All registered names (sorted, for deterministic diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Registry where every listed name maps to [`TraceService`] — the
+    /// convenient default for coordination-focused experiments where task
+    /// payloads do not matter.
+    pub fn tracing_for(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let mut r = ServiceRegistry::new();
+        for n in names {
+            let n = n.into();
+            r.register(n.clone(), Arc::new(TraceService::new(n)));
+        }
+        r
+    }
+}
+
+impl fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ServiceRegistry({:?})", self.names())
+    }
+}
+
+/// Always returns the same value, ignoring parameters.
+pub struct ConstService(pub Value);
+
+impl Service for ConstService {
+    fn invoke(&self, _params: &[Value]) -> Result<Value, ServiceError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Returns its parameter list as a list value.
+pub struct EchoService;
+
+impl Service for EchoService {
+    fn invoke(&self, params: &[Value]) -> Result<Value, ServiceError> {
+        Ok(Value::list(params.iter().cloned()))
+    }
+}
+
+/// Returns `"label(p1,p2,…)"` — makes data lineage visible in results,
+/// which the adaptation tests use to check *who* actually computed what.
+pub struct TraceService {
+    label: String,
+}
+
+impl TraceService {
+    /// Service producing `label(…)` strings.
+    pub fn new(label: impl Into<String>) -> Self {
+        TraceService {
+            label: label.into(),
+        }
+    }
+}
+
+impl Service for TraceService {
+    fn invoke(&self, params: &[Value]) -> Result<Value, ServiceError> {
+        let mut out = String::with_capacity(self.label.len() + 2 + params.len() * 8);
+        out.push_str(&self.label);
+        out.push('(');
+        for (i, p) in params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match p {
+                Value::Str(s) => out.push_str(s),
+                other => out.push_str(&other.to_string()),
+            }
+        }
+        out.push(')');
+        Ok(Value::Str(out))
+    }
+}
+
+/// Wraps another service, sleeping first — simulates compute time in the
+/// real-threaded runtime (virtual-time experiments use the simulator
+/// instead).
+pub struct SleepService<S> {
+    delay: Duration,
+    inner: S,
+}
+
+impl<S: Service> SleepService<S> {
+    /// Sleep `delay` then delegate to `inner`.
+    pub fn new(delay: Duration, inner: S) -> Self {
+        SleepService { delay, inner }
+    }
+}
+
+impl<S: Service> Service for SleepService<S> {
+    fn invoke(&self, params: &[Value]) -> Result<Value, ServiceError> {
+        std::thread::sleep(self.delay);
+        self.inner.invoke(params)
+    }
+}
+
+/// Always fails — drives the adaptation path deterministically.
+pub struct FailingService;
+
+impl Service for FailingService {
+    fn invoke(&self, _params: &[Value]) -> Result<Value, ServiceError> {
+        Err(ServiceError::new("service permanently unavailable"))
+    }
+}
+
+/// Fails the first `n` invocations, then delegates — exercises retry /
+/// re-invocation paths.
+pub struct FailNTimesService<S> {
+    remaining: AtomicU64,
+    inner: S,
+}
+
+impl<S: Service> FailNTimesService<S> {
+    /// Fail `n` times, then behave as `inner`.
+    pub fn new(n: u64, inner: S) -> Self {
+        FailNTimesService {
+            remaining: AtomicU64::new(n),
+            inner,
+        }
+    }
+}
+
+impl<S: Service> Service for FailNTimesService<S> {
+    fn invoke(&self, params: &[Value]) -> Result<Value, ServiceError> {
+        let prev = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .unwrap_or(0);
+        if prev > 0 {
+            Err(ServiceError::new(format!(
+                "transient failure ({} left)",
+                prev - 1
+            )))
+        } else {
+            self.inner.invoke(params)
+        }
+    }
+}
+
+/// Fails with a given probability (seeded — reproducible).
+pub struct FlakyService<S> {
+    probability: f64,
+    rng: Mutex<SmallRng>,
+    inner: S,
+}
+
+impl<S: Service> FlakyService<S> {
+    /// Fail each invocation with `probability`, seeded for reproducibility.
+    pub fn new(probability: f64, seed: u64, inner: S) -> Self {
+        FlakyService {
+            probability,
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            inner,
+        }
+    }
+}
+
+impl<S: Service> Service for FlakyService<S> {
+    fn invoke(&self, params: &[Value]) -> Result<Value, ServiceError> {
+        let roll: f64 = self.rng.lock().random();
+        if roll < self.probability {
+            Err(ServiceError::new("flaky failure"))
+        } else {
+            self.inner.invoke(params)
+        }
+    }
+}
+
+/// Adapts a closure.
+pub struct FnService<F>(pub F);
+
+impl<F> Service for FnService<F>
+where
+    F: Fn(&[Value]) -> Result<Value, ServiceError> + Send + Sync,
+{
+    fn invoke(&self, params: &[Value]) -> Result<Value, ServiceError> {
+        (self.0)(params)
+    }
+}
+
+/// Runs an external program: parameters become arguments (stringified),
+/// trimmed stdout becomes the result. The "wrapper of an application" case
+/// of §IV-A.
+pub struct ShellService {
+    program: String,
+    fixed_args: Vec<String>,
+}
+
+impl ShellService {
+    /// Wrap `program` with leading fixed arguments.
+    pub fn new(
+        program: impl Into<String>,
+        fixed_args: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        ShellService {
+            program: program.into(),
+            fixed_args: fixed_args.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl Service for ShellService {
+    fn invoke(&self, params: &[Value]) -> Result<Value, ServiceError> {
+        let mut cmd = std::process::Command::new(&self.program);
+        cmd.args(&self.fixed_args);
+        for p in params {
+            match p {
+                Value::Str(s) => cmd.arg(s),
+                other => cmd.arg(other.to_string()),
+            };
+        }
+        let output = cmd
+            .output()
+            .map_err(|e| ServiceError::new(format!("spawn {}: {e}", self.program)))?;
+        if !output.status.success() {
+            return Err(ServiceError::new(format!(
+                "{} exited with {}",
+                self.program, output.status
+            )));
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        Ok(Value::Str(stdout.trim_end().to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_and_echo() {
+        assert_eq!(
+            ConstService(Value::int(7)).invoke(&[]).unwrap(),
+            Value::int(7)
+        );
+        assert_eq!(
+            EchoService.invoke(&[Value::int(1), Value::str("x")]).unwrap(),
+            Value::list([Value::int(1), Value::str("x")])
+        );
+    }
+
+    #[test]
+    fn trace_shows_lineage() {
+        let s2 = TraceService::new("s2");
+        let out = s2
+            .invoke(&[Value::Str("s1(input)".into())])
+            .unwrap();
+        assert_eq!(out, Value::Str("s2(s1(input))".into()));
+    }
+
+    #[test]
+    fn fail_n_times_recovers() {
+        let s = FailNTimesService::new(2, ConstService(Value::int(1)));
+        assert!(s.invoke(&[]).is_err());
+        assert!(s.invoke(&[]).is_err());
+        assert_eq!(s.invoke(&[]).unwrap(), Value::int(1));
+        assert_eq!(s.invoke(&[]).unwrap(), Value::int(1));
+    }
+
+    #[test]
+    fn flaky_is_reproducible() {
+        let a = FlakyService::new(0.5, 42, ConstService(Value::int(1)));
+        let b = FlakyService::new(0.5, 42, ConstService(Value::int(1)));
+        let run = |s: &FlakyService<ConstService>| {
+            (0..20).map(|_| s.invoke(&[]).is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(&a), run(&b));
+        // Not all successes, not all failures at p = 0.5 over 20 draws.
+        let ok = run(&a).iter().filter(|x| **x).count();
+        assert!(ok > 0 && ok < 20);
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let mut r = ServiceRegistry::new();
+        r.register("s1", Arc::new(EchoService));
+        assert!(r.get("s1").is_some());
+        assert!(r.get("nope").is_none());
+        let t = ServiceRegistry::tracing_for(["a", "b"]);
+        assert_eq!(t.names(), vec!["a".to_string(), "b".to_string()]);
+        let out = t.get("a").unwrap().invoke(&[]).unwrap();
+        assert_eq!(out, Value::Str("a()".into()));
+    }
+
+    #[test]
+    fn fn_service_adapts_closures() {
+        let s = FnService(|params: &[Value]| {
+            Ok(Value::int(params.len() as i64))
+        });
+        assert_eq!(s.invoke(&[Value::int(1), Value::int(2)]).unwrap(), Value::int(2));
+    }
+
+    #[test]
+    fn shell_service_runs_commands() {
+        let s = ShellService::new("echo", ["hello"]);
+        let out = s.invoke(&[Value::Str("world".into())]).unwrap();
+        assert_eq!(out, Value::Str("hello world".into()));
+        let bad = ShellService::new("/nonexistent-binary-xyz", Vec::<String>::new());
+        assert!(bad.invoke(&[]).is_err());
+    }
+
+    #[test]
+    fn always_failing() {
+        assert!(FailingService.invoke(&[]).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! The cluster resource model (the Grid'5000 stand-in).
+
+use serde::{Deserialize, Serialize};
+
+/// One machine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Host name.
+    pub name: String,
+    /// Core count.
+    pub cores: u32,
+}
+
+impl Node {
+    /// A node with the paper's testbed geometry: 568 cores over 25 nodes
+    /// ≈ 23 cores each.
+    pub fn grid5000(index: usize) -> Node {
+        Node {
+            name: format!("node-{index}"),
+            cores: 23,
+        }
+    }
+}
+
+/// A set of nodes plus the paper's capacity rule: "the number of SAs per
+/// core was limited to two".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// The machines.
+    pub nodes: Vec<Node>,
+    /// Maximum agents per core.
+    pub sas_per_core: u32,
+}
+
+impl Cluster {
+    /// `n` Grid'5000-like nodes with the paper's 2-SAs-per-core limit.
+    pub fn grid5000(n: usize) -> Cluster {
+        Cluster {
+            nodes: (0..n).map(Node::grid5000).collect(),
+            sas_per_core: 2,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// No nodes?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Agent capacity of one node.
+    pub fn node_capacity(&self, index: usize) -> u32 {
+        self.nodes[index].cores * self.sas_per_core
+    }
+
+    /// Total agent capacity.
+    pub fn capacity(&self) -> u32 {
+        self.nodes
+            .iter()
+            .map(|n| n.cores * self.sas_per_core)
+            .sum()
+    }
+}
+
+/// A computed placement: which agent runs on which node.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// `(agent name, node index)` pairs.
+    pub assignments: Vec<(String, usize)>,
+}
+
+impl Placement {
+    /// Node hosting a given agent.
+    pub fn node_of(&self, agent: &str) -> Option<usize> {
+        self.assignments
+            .iter()
+            .find(|(a, _)| a == agent)
+            .map(|&(_, n)| n)
+    }
+
+    /// Number of agents per node.
+    pub fn load(&self, n_nodes: usize) -> Vec<usize> {
+        let mut load = vec![0usize; n_nodes];
+        for &(_, n) in &self.assignments {
+            load[n] += 1;
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid5000_geometry() {
+        let c = Cluster::grid5000(25);
+        assert_eq!(c.len(), 25);
+        // ≈ the paper's "up to 1 000 services".
+        assert_eq!(c.capacity(), 25 * 23 * 2);
+        assert!(c.capacity() >= 1000);
+        assert_eq!(c.node_capacity(0), 46);
+    }
+
+    #[test]
+    fn placement_queries() {
+        let p = Placement {
+            assignments: vec![("a".into(), 0), ("b".into(), 1), ("c".into(), 0)],
+        };
+        assert_eq!(p.node_of("a"), Some(0));
+        assert_eq!(p.node_of("zz"), None);
+        assert_eq!(p.load(2), vec![2, 1]);
+    }
+}

@@ -1,0 +1,127 @@
+//! The EC2-like executor — the extension §IV-C sketches: "the abstract
+//! nature of the code allows other executors to be implemented (e.g., an
+//! EC2 executor to run GinFlow's distributed engine on EC2-compatible
+//! cloud)".
+//!
+//! Unlike SSH (machines pre-exist) and Mesos (offers over pre-existing
+//! machines), a cloud executor *provisions* the nodes too: instance boot
+//! dominates deployment, API requests are rate-limited, and instances
+//! boot in parallel once requested. The model:
+//!
+//! * `RunInstances` requests are throttled at `api_interval_us` apiece
+//!   (request fan-out is serialised by the provider's rate limiter);
+//! * each instance boots in `instance_boot_us` (parallel across
+//!   instances) and then starts its share of agents sequentially, like a
+//!   fresh SSH node would.
+//!
+//! Deployment time is therefore roughly
+//! `api × n + boot + sa_start × ceil(m/n)`: *decreasing* in `n` while the
+//! boot term dominates, then gently increasing once the API throttle
+//! takes over — a shape between the paper's SSH and Mesos curves.
+
+use crate::cluster::{Cluster, Placement};
+use crate::deploy::{check_capacity, DeploymentReport, Deployer, ExecError, Micros};
+use serde::{Deserialize, Serialize};
+
+/// Cloud-provisioning deployment model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ec2Deployer {
+    /// Cost of one `RunInstances`-style API request (µs); requests are
+    /// rate-limited, i.e. serialised.
+    pub api_interval_us: Micros,
+    /// Instance boot time (µs), parallel across instances.
+    pub instance_boot_us: Micros,
+    /// One SA start on a freshly booted instance (µs) — includes pulling
+    /// the agent bundle onto the cold image, so it is pricier than on the
+    /// warm, pre-provisioned SSH/Mesos nodes.
+    pub sa_start_us: Micros,
+}
+
+impl Default for Ec2Deployer {
+    fn default() -> Self {
+        Ec2Deployer {
+            api_interval_us: 400_000,
+            instance_boot_us: 25_000_000,
+            sa_start_us: 400_000,
+        }
+    }
+}
+
+impl Deployer for Ec2Deployer {
+    fn deploy(
+        &self,
+        cluster: &Cluster,
+        agents: &[String],
+    ) -> Result<DeploymentReport, ExecError> {
+        if cluster.is_empty() {
+            return Err(ExecError::EmptyCluster);
+        }
+        check_capacity(cluster, agents)?;
+        let assignments: Vec<(String, usize)> = agents
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i % cluster.len()))
+            .collect();
+        let placement = Placement { assignments };
+        let n = cluster.len() as u64;
+        let busiest = placement
+            .load(cluster.len())
+            .into_iter()
+            .max()
+            .unwrap_or(0) as u64;
+        let time_us =
+            self.api_interval_us * n + self.instance_boot_us + self.sa_start_us * busiest;
+        Ok(DeploymentReport { placement, time_us })
+    }
+
+    fn label(&self) -> &'static str {
+        "ec2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agents(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    #[test]
+    fn boot_dominates_then_api_throttle_takes_over() {
+        let d = Ec2Deployer::default();
+        let t = |n: usize| d.deploy(&Cluster::grid5000(n), &agents(102)).unwrap().time_us;
+        // Few nodes: the busiest instance starts many agents → slower.
+        assert!(t(3) > t(10));
+        // Many nodes: API throttling grows linearly and wins eventually.
+        assert!(t(200) > t(10));
+        // Boot time is always paid at least once.
+        assert!(t(10) > d.instance_boot_us);
+    }
+
+    #[test]
+    fn cloud_deployment_slower_than_ssh_on_existing_machines() {
+        // Booting VMs costs more than SSH-ing into warm nodes — the reason
+        // the paper's testbed pre-provisions.
+        let cluster = Cluster::grid5000(10);
+        let ec2 = Ec2Deployer::default()
+            .deploy(&cluster, &agents(102))
+            .unwrap()
+            .time_us;
+        let ssh = crate::deploy::SshDeployer::default()
+            .deploy(&cluster, &agents(102))
+            .unwrap()
+            .time_us;
+        assert!(ec2 > ssh);
+    }
+
+    #[test]
+    fn respects_capacity_and_balance() {
+        let d = Ec2Deployer::default();
+        let err = d.deploy(&Cluster::grid5000(1), &agents(47)).unwrap_err();
+        assert!(matches!(err, ExecError::InsufficientCapacity { .. }));
+        let report = d.deploy(&Cluster::grid5000(4), &agents(10)).unwrap();
+        assert_eq!(report.placement.load(4), vec![3, 3, 2, 2]);
+        assert_eq!(d.label(), "ec2");
+    }
+}

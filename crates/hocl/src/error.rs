@@ -1,0 +1,114 @@
+//! Error type for the HOCL engine.
+
+use std::fmt;
+
+/// Everything that can go wrong while matching, evaluating or reducing.
+#[derive(Clone, PartialEq)]
+pub enum HoclError {
+    /// An expression referenced a variable the match did not bind.
+    UnboundVar(String),
+    /// An ω (multi-atom) binding was used where a single atom is required.
+    OmegaInExpr(String),
+    /// An ω binding was spliced into a position that cannot hold several
+    /// atoms (e.g. a tuple element).
+    OmegaInScalarPosition(String),
+    /// An external function was called that the host does not provide.
+    UnknownExtern(String),
+    /// An extern was expected to produce exactly one atom but produced `got`.
+    ExternArity {
+        /// Extern name.
+        name: String,
+        /// Number of atoms actually produced.
+        got: usize,
+    },
+    /// A deferred extern appeared in a guard — guards must be pure.
+    DeferredInGuard(String),
+    /// A deferred extern appeared while reducing a nested subsolution.
+    /// Suspension is only supported at the root of the solution being
+    /// reduced (see `engine` module docs).
+    DeferredInNested(String),
+    /// A second deferred extern appeared within a single rule application.
+    MultipleDeferred(String),
+    /// A guard predicate evaluated to something that is not a boolean.
+    PredicateNotBool(String),
+    /// The host failed executing an extern.
+    ExternFailed {
+        /// Extern name.
+        name: String,
+        /// Host-provided reason.
+        reason: String,
+    },
+    /// `resume` was called with an effect id that is not pending.
+    UnknownEffect(u64),
+    /// Reduction exceeded the configured step budget (runaway program).
+    StepBudgetExhausted {
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for HoclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HoclError::UnboundVar(v) => write!(f, "unbound variable ?{v}"),
+            HoclError::OmegaInExpr(v) => {
+                write!(f, "omega variable *{v} used where one atom is required")
+            }
+            HoclError::OmegaInScalarPosition(v) => {
+                write!(f, "omega variable *{v} spliced into a scalar position")
+            }
+            HoclError::UnknownExtern(n) => write!(f, "unknown external function {n}"),
+            HoclError::ExternArity { name, got } => {
+                write!(f, "extern {name} produced {got} atoms, expected exactly 1")
+            }
+            HoclError::DeferredInGuard(n) => {
+                write!(f, "deferred extern {n} called inside a guard")
+            }
+            HoclError::DeferredInNested(n) => write!(
+                f,
+                "deferred extern {n} fired inside a nested subsolution; suspension is only \
+                 supported at the root solution"
+            ),
+            HoclError::MultipleDeferred(n) => write!(
+                f,
+                "rule application attempted a second deferred extern ({n}); only one deferred \
+                 call per application is supported"
+            ),
+            HoclError::PredicateNotBool(n) => {
+                write!(f, "guard predicate {n} did not evaluate to a boolean")
+            }
+            HoclError::ExternFailed { name, reason } => {
+                write!(f, "external function {name} failed: {reason}")
+            }
+            HoclError::UnknownEffect(id) => write!(f, "no pending effect with id {id}"),
+            HoclError::StepBudgetExhausted { budget } => {
+                write!(f, "reduction exceeded the step budget of {budget}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for HoclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for HoclError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = HoclError::ExternArity {
+            name: "list".into(),
+            got: 3,
+        };
+        assert!(e.to_string().contains("list"));
+        assert!(e.to_string().contains('3'));
+        let e = HoclError::StepBudgetExhausted { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

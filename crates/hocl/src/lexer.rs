@@ -1,0 +1,485 @@
+//! Lexer for the HOCL text syntax.
+//!
+//! The notation follows the paper as closely as ASCII allows:
+//!
+//! ```text
+//! let max = replace ?x, ?y by ?x if ?x >= ?y in
+//! let clean = replace-one <rule(max), *w> by ?w in
+//! <<2, 3, 5, 8, 9, max>, clean>
+//! ```
+//!
+//! `?x` is a one-atom variable, `*w` an ω (rest) variable, `<...>` a
+//! subsolution, `[...]` a list, `a:b:c` a tuple, and bare identifiers are
+//! symbols (or references to `let`-bound rules, resolved by the parser).
+//! Identifiers may contain `'` so the paper's `T2'` reads naturally.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (supports `\"`, `\\`, `\n`, `\t`).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `=`
+    Eq,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `?`
+    Question,
+    /// `*`
+    Star,
+    /// `_`
+    Underscore,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Comma => f.write_str(","),
+            Token::Colon => f.write_str(":"),
+            Token::Lt => f.write_str("<"),
+            Token::Gt => f.write_str(">"),
+            Token::Le => f.write_str("<="),
+            Token::Ge => f.write_str(">="),
+            Token::EqEq => f.write_str("=="),
+            Token::Ne => f.write_str("!="),
+            Token::Eq => f.write_str("="),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::Question => f.write_str("?"),
+            Token::Star => f.write_str("*"),
+            Token::Underscore => f.write_str("_"),
+            Token::AndAnd => f.write_str("&&"),
+            Token::OrOr => f.write_str("||"),
+            Token::Bang => f.write_str("!"),
+        }
+    }
+}
+
+/// A token plus its source offset (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Lexing error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where the problem starts.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise the whole input. `//` starts a comment to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Spanned { token: Token::Colon, offset: i });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Spanned { token: Token::LBracket, offset: i });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Spanned { token: Token::RBracket, offset: i });
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Spanned { token: Token::Question, offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Le, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ge, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::EqEq, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Eq, offset: i });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ne, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Bang, offset: i });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Spanned { token: Token::AndAnd, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected && (single & is not a token)".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Spanned { token: Token::OrOr, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected || (single | is not a token)".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '"' => {
+                let (s, next) = lex_string(src, i)?;
+                tokens.push(Spanned { token: Token::Str(s), offset: i });
+                i = next;
+            }
+            '-' => {
+                if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    let (tok, next) = lex_number(src, i)?;
+                    tokens.push(Spanned { token: tok, offset: i });
+                    i = next;
+                } else {
+                    return Err(LexError {
+                        message: "unexpected '-' (only numeric literals may be negative)".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '_' => {
+                // `_` alone is the wildcard; `_foo` is an identifier.
+                if bytes
+                    .get(i + 1)
+                    .is_some_and(|b| is_ident_continue(*b as char))
+                {
+                    let (tok, next) = lex_ident(src, i);
+                    tokens.push(Spanned { token: tok, offset: i });
+                    i = next;
+                } else {
+                    tokens.push(Spanned { token: Token::Underscore, offset: i });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(src, i)?;
+                tokens.push(Spanned { token: tok, offset: i });
+                i = next;
+            }
+            c if is_ident_start(c) => {
+                let (tok, next) = lex_ident(src, i);
+                tokens.push(Spanned { token: tok, offset: i });
+                i = next;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Identifiers additionally allow interior `-` when followed by a letter,
+/// so the keyword `replace-one` lexes as one identifier while `x-1` is
+/// rejected (no infix minus exists in HOCL).
+fn lex_ident(src: &str, start: usize) -> (Token, usize) {
+    let bytes = src.as_bytes();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if is_ident_continue(c) {
+            i += 1;
+        } else if c == '-'
+            && bytes
+                .get(i + 1)
+                .is_some_and(|b| (*b as char).is_ascii_alphabetic())
+        {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (Token::Ident(src[start..i].to_owned()), i)
+}
+
+fn lex_number(src: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+    {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &src[start..i];
+    if is_float {
+        text.parse::<f64>()
+            .map(|v| (Token::Float(v), i))
+            .map_err(|e| LexError {
+                message: format!("bad float literal {text:?}: {e}"),
+                offset: start,
+            })
+    } else {
+        text.parse::<i64>()
+            .map(|v| (Token::Int(v), i))
+            .map_err(|e| LexError {
+                message: format!("bad integer literal {text:?}: {e}"),
+                offset: start,
+            })
+    }
+}
+
+fn lex_string(src: &str, start: usize) -> Result<(String, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                let esc = bytes.get(i + 1).ok_or(LexError {
+                    message: "unterminated escape".into(),
+                    offset: i,
+                })?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    other => {
+                        return Err(LexError {
+                            message: format!("unknown escape \\{}", *other as char),
+                            offset: i,
+                        })
+                    }
+                });
+                i += 2;
+            }
+            _ => {
+                // Multi-byte UTF-8 passes through untouched.
+                let ch_len = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+                out.push_str(&src[i..i + ch_len]);
+                i += ch_len;
+            }
+        }
+    }
+    Err(LexError {
+        message: "unterminated string literal".into(),
+        offset: start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("<1, -2.5, \"hi\">"),
+            vec![
+                Token::Lt,
+                Token::Int(1),
+                Token::Comma,
+                Token::Float(-2.5),
+                Token::Comma,
+                Token::Str("hi".into()),
+                Token::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn replace_one_is_one_identifier() {
+        assert_eq!(
+            toks("replace-one"),
+            vec![Token::Ident("replace-one".into())]
+        );
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        assert_eq!(toks("T2'"), vec![Token::Ident("T2'".into())]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("?x >= ?y && ?a <= 1 || !(?b == ?c) != _"),
+            vec![
+                Token::Question,
+                Token::Ident("x".into()),
+                Token::Ge,
+                Token::Question,
+                Token::Ident("y".into()),
+                Token::AndAnd,
+                Token::Question,
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Int(1),
+                Token::OrOr,
+                Token::Bang,
+                Token::LParen,
+                Token::Question,
+                Token::Ident("b".into()),
+                Token::EqEq,
+                Token::Question,
+                Token::Ident("c".into()),
+                Token::RParen,
+                Token::Ne,
+                Token::Underscore,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("1 // ignore\n2"), vec![Token::Int(1), Token::Int(2)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""a\"b\n""#),
+            vec![Token::Str("a\"b\n".into())]
+        );
+    }
+
+    #[test]
+    fn wildcard_vs_identifier() {
+        assert_eq!(
+            toks("_ _x"),
+            vec![Token::Underscore, Token::Ident("_x".into())]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offset() {
+        let err = lex("  @").unwrap_err();
+        assert_eq!(err.offset, 2);
+        assert!(lex("\"open").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

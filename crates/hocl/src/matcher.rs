@@ -1,0 +1,464 @@
+//! The pattern matcher: finds molecules a rule can consume.
+//!
+//! Matching a rule against a solution is a backtracking search that assigns
+//! each LHS pattern to a *distinct* atom of the solution while accumulating
+//! variable bindings. Bindings are shared across patterns (cross-molecule
+//! unification), which is what lets `gw_pass` correlate the `Ti` appearing
+//! in one task's `DST` with the head of another task's molecule.
+//!
+//! Inside subsolution patterns, element patterns likewise consume distinct
+//! inner atoms and an optional ω variable captures the remainder.
+
+use crate::atom::Atom;
+use crate::bindings::Bindings;
+use crate::error::HoclError;
+use crate::externs::ExternHost;
+use crate::multiset::Multiset;
+use crate::pattern::{Pattern, SubPattern};
+use crate::rule::Rule;
+
+/// A successful match of a rule against a solution.
+#[derive(Clone, Debug)]
+pub struct Match {
+    /// Indices (into the solution's internal order) of the consumed atoms,
+    /// parallel to the rule's LHS patterns.
+    pub consumed: Vec<usize>,
+    /// The variable bindings established by the match.
+    pub bindings: Bindings,
+}
+
+/// Statistics of a matching attempt, fed to the simulator's cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Number of (pattern, atom) candidate pairings examined.
+    pub attempts: u64,
+}
+
+/// The matcher. Stateless apart from bookkeeping counters; create one per
+/// engine.
+#[derive(Default)]
+pub struct Matcher {
+    stats: MatchStats,
+}
+
+impl Matcher {
+    /// New matcher with zeroed statistics.
+    pub fn new() -> Self {
+        Matcher::default()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    /// Reset statistics (e.g. per simulation event).
+    pub fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
+    }
+
+    /// Find the first match of `rule` in `solution`, excluding the atom at
+    /// `self_index` (a rule must not consume its own atom).
+    ///
+    /// `order` optionally remaps candidate traversal order (the engine's
+    /// nondeterministic mode passes a shuffled index vector); `None` means
+    /// insertion order.
+    pub fn find_match(
+        &mut self,
+        rule: &Rule,
+        solution: &Multiset,
+        self_index: Option<usize>,
+        order: Option<&[usize]>,
+        host: &mut dyn ExternHost,
+    ) -> Result<Option<Match>, HoclError> {
+        let candidates: Vec<usize> = match order {
+            Some(o) => o.to_vec(),
+            None => (0..solution.len()).collect(),
+        };
+        let mut consumed = Vec::with_capacity(rule.lhs().len());
+        let mut bindings = Bindings::new();
+        let found = self.match_patterns(
+            rule.lhs(),
+            0,
+            solution,
+            &candidates,
+            self_index,
+            &mut consumed,
+            &mut bindings,
+            &mut |b, host_inner| rule.guard().eval(b, host_inner),
+            host,
+        )?;
+        Ok(if found {
+            Some(Match { consumed, bindings })
+        } else {
+            None
+        })
+    }
+
+    /// Recursive backtracking over the rule's LHS patterns.
+    #[allow(clippy::too_many_arguments)]
+    fn match_patterns(
+        &mut self,
+        patterns: &[Pattern],
+        at: usize,
+        solution: &Multiset,
+        candidates: &[usize],
+        self_index: Option<usize>,
+        consumed: &mut Vec<usize>,
+        bindings: &mut Bindings,
+        guard: &mut dyn FnMut(&Bindings, &mut dyn ExternHost) -> Result<bool, HoclError>,
+        host: &mut dyn ExternHost,
+    ) -> Result<bool, HoclError> {
+        if at == patterns.len() {
+            return guard(bindings, host);
+        }
+        let pattern = &patterns[at];
+        let hint = pattern.shape_hint();
+        let key_hint = pattern.key_hint();
+        for &idx in candidates {
+            if Some(idx) == self_index || consumed.contains(&idx) {
+                continue;
+            }
+            let atom = match solution.get(idx) {
+                Some(a) => a,
+                None => continue,
+            };
+            // Cheap pre-filters before the structural walk.
+            if let Some(h) = hint {
+                if atom.shape() != h {
+                    continue;
+                }
+            }
+            if let Some(k) = key_hint {
+                match atom.tuple_key() {
+                    Some(s) if s.as_str() == k => {}
+                    _ => continue,
+                }
+            }
+            self.stats.attempts += 1;
+            let snapshot = bindings.clone();
+            if self.match_atom(pattern, atom, bindings) {
+                consumed.push(idx);
+                if self.match_patterns(
+                    patterns,
+                    at + 1,
+                    solution,
+                    candidates,
+                    self_index,
+                    consumed,
+                    bindings,
+                    guard,
+                    host,
+                )? {
+                    return Ok(true);
+                }
+                consumed.pop();
+            }
+            *bindings = snapshot;
+        }
+        Ok(false)
+    }
+
+    /// Structural match of one pattern against one atom, extending
+    /// `bindings`. Returns `false` (without poisoning the caller, which
+    /// restores its snapshot) when the atom does not fit.
+    pub fn match_atom(&mut self, pattern: &Pattern, atom: &Atom, bindings: &mut Bindings) -> bool {
+        self.stats.attempts += 1;
+        match pattern {
+            Pattern::Any => true,
+            Pattern::Var(name) => bindings.bind_one(name, atom.clone()),
+            Pattern::Lit(expected) => expected == atom,
+            Pattern::Typed(name, tag) => tag.admits(atom) && bindings.bind_one(name, atom.clone()),
+            Pattern::Tuple(elems) => match atom {
+                Atom::Tuple(values) if values.len() == elems.len() => elems
+                    .iter()
+                    .zip(values.iter())
+                    .all(|(p, a)| self.match_atom(p, a, bindings)),
+                _ => false,
+            },
+            Pattern::List(elems) => match atom {
+                Atom::List(values) if values.len() == elems.len() => elems
+                    .iter()
+                    .zip(values.iter())
+                    .all(|(p, a)| self.match_atom(p, a, bindings)),
+                _ => false,
+            },
+            Pattern::RuleNamed(name) => {
+                matches!(atom, Atom::Rule(r) if r.name() == name.as_str())
+            }
+            Pattern::Sub(sp) => match atom {
+                Atom::Sub(ms) => self.match_sub(sp, ms, bindings),
+                _ => false,
+            },
+        }
+    }
+
+    /// Match a subsolution pattern: assign each element pattern to a
+    /// distinct inner atom (backtracking), bind the ω rest if present.
+    fn match_sub(&mut self, sp: &SubPattern, ms: &Multiset, bindings: &mut Bindings) -> bool {
+        if sp.rest.is_none() && ms.len() != sp.elems.len() {
+            return false;
+        }
+        if ms.len() < sp.elems.len() {
+            return false;
+        }
+        let mut used = Vec::with_capacity(sp.elems.len());
+        if !self.assign_elems(&sp.elems, 0, ms, &mut used, bindings) {
+            return false;
+        }
+        if let Some(rest) = &sp.rest {
+            let remaining: Vec<Atom> = ms
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !used.contains(i))
+                .map(|(_, a)| a.clone())
+                .collect();
+            if !bindings.bind_many(rest, remaining) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Backtracking assignment of subsolution element patterns.
+    fn assign_elems(
+        &mut self,
+        elems: &[Pattern],
+        at: usize,
+        ms: &Multiset,
+        used: &mut Vec<usize>,
+        bindings: &mut Bindings,
+    ) -> bool {
+        if at == elems.len() {
+            return true;
+        }
+        for i in 0..ms.len() {
+            if used.contains(&i) {
+                continue;
+            }
+            let atom = ms.get(i).expect("index in range");
+            let snapshot = bindings.clone();
+            if self.match_atom(&elems[at], atom, bindings) {
+                used.push(i);
+                if self.assign_elems(elems, at + 1, ms, used, bindings) {
+                    return true;
+                }
+                used.pop();
+            }
+            *bindings = snapshot;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::externs::NoExterns;
+    use crate::guard::{Expr, Guard};
+    use crate::template::Template;
+
+    fn find(rule: &Rule, sol: &Multiset) -> Option<Match> {
+        Matcher::new()
+            .find_match(rule, sol, None, None, &mut NoExterns)
+            .unwrap()
+    }
+
+    #[test]
+    fn simple_two_var_match_with_guard() {
+        let max = Rule::builder("max")
+            .lhs([Pattern::var("x"), Pattern::var("y")])
+            .guard(Guard::ge(Expr::var("x"), Expr::var("y")))
+            .rhs([Template::var("x")])
+            .build();
+        let sol: Multiset = [Atom::int(2), Atom::int(9)].into_iter().collect();
+        let m = find(&max, &sol).expect("should match");
+        // First assignment satisfying the guard: x=9, y=2 requires trying
+        // x=2,y=9 (guard fails) then backtracking.
+        let x = m.bindings.get("x").unwrap().as_one().unwrap().clone();
+        let y = m.bindings.get("y").unwrap().as_one().unwrap().clone();
+        assert_eq!((x, y), (Atom::int(9), Atom::int(2)));
+    }
+
+    #[test]
+    fn no_match_on_singleton() {
+        let max = Rule::builder("max")
+            .lhs([Pattern::var("x"), Pattern::var("y")])
+            .rhs([Template::var("x")])
+            .build();
+        let sol: Multiset = [Atom::int(2)].into_iter().collect();
+        assert!(find(&max, &sol).is_none());
+    }
+
+    #[test]
+    fn distinct_atoms_consumed() {
+        // x and y must be two *different* atoms even if equal in value.
+        let r = Rule::builder("pair")
+            .lhs([Pattern::var("x"), Pattern::var("y")])
+            .guard(Guard::eq(Expr::var("x"), Expr::var("y")))
+            .rhs([Template::var("x")])
+            .build();
+        let one: Multiset = [Atom::int(5)].into_iter().collect();
+        assert!(find(&r, &one).is_none());
+        let two: Multiset = [Atom::int(5), Atom::int(5)].into_iter().collect();
+        let m = find(&r, &two).expect("two equal atoms do match");
+        assert_eq!(m.consumed.len(), 2);
+        assert_ne!(m.consumed[0], m.consumed[1]);
+    }
+
+    #[test]
+    fn keyed_tuple_and_empty_sub() {
+        // gw_setup's LHS: SRC : <> and IN : <ω>.
+        let r = Rule::builder("gw_setup")
+            .one_shot()
+            .lhs([
+                Pattern::keyed("SRC", [Pattern::empty_sub()]),
+                Pattern::keyed("IN", [Pattern::sub_rest("w")]),
+            ])
+            .rhs([Template::keyed("SRC", [Template::empty_sub()])])
+            .build();
+
+        let ready: Multiset = [
+            Atom::keyed("SRC", [Atom::empty_sub()]),
+            Atom::keyed("IN", [Atom::sub([Atom::int(1), Atom::int(2)])]),
+        ]
+        .into_iter()
+        .collect();
+        let m = find(&r, &ready).expect("deps satisfied, must match");
+        assert_eq!(m.bindings.get("w").unwrap().atoms().len(), 2);
+
+        let waiting: Multiset = [
+            Atom::keyed("SRC", [Atom::sub([Atom::sym("T1")])]),
+            Atom::keyed("IN", [Atom::empty_sub()]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(find(&r, &waiting).is_none(), "non-empty SRC must not match");
+    }
+
+    #[test]
+    fn cross_molecule_unification() {
+        // gw_pass core: ?ti bound in the first molecule's head must appear
+        // in the second molecule's SRC subsolution.
+        let r = Rule::builder("pass")
+            .lhs([
+                Pattern::tuple([
+                    Pattern::var("ti"),
+                    Pattern::sub_with_rest(
+                        [Pattern::keyed("DST", [Pattern::sub_with_rest([Pattern::var("tj")], "wd")])],
+                        "wi",
+                    ),
+                ]),
+                Pattern::tuple([
+                    Pattern::var("tj"),
+                    Pattern::sub_with_rest(
+                        [Pattern::keyed("SRC", [Pattern::sub_with_rest([Pattern::var("ti")], "ws")])],
+                        "wj",
+                    ),
+                ]),
+            ])
+            .rhs([])
+            .build();
+
+        let t1 = Atom::tuple([
+            Atom::sym("T1"),
+            Atom::sub([Atom::keyed("DST", [Atom::sub([Atom::sym("T2")])])]),
+        ]);
+        let t2 = Atom::tuple([
+            Atom::sym("T2"),
+            Atom::sub([Atom::keyed("SRC", [Atom::sub([Atom::sym("T1")])])]),
+        ]);
+        let t3 = Atom::tuple([
+            Atom::sym("T3"),
+            Atom::sub([Atom::keyed("SRC", [Atom::sub([Atom::sym("T9")])])]),
+        ]);
+        let sol: Multiset = [t3, t1, t2].into_iter().collect();
+        let m = find(&r, &sol).expect("T1→T2 must unify");
+        assert_eq!(
+            m.bindings.get("ti").unwrap().as_one(),
+            Some(&Atom::sym("T1"))
+        );
+        assert_eq!(
+            m.bindings.get("tj").unwrap().as_one(),
+            Some(&Atom::sym("T2"))
+        );
+    }
+
+    #[test]
+    fn rule_pattern_matches_by_name() {
+        let max = Rule::builder("max")
+            .lhs([Pattern::var("x")])
+            .rhs([])
+            .build();
+        let clean = Rule::builder("clean")
+            .one_shot()
+            .lhs([Pattern::sub_with_rest([Pattern::RuleNamed("max".into())], "w")])
+            .rhs([Template::var("w")])
+            .build();
+        let inner = Atom::sub([Atom::int(9), Atom::rule(max)]);
+        let sol: Multiset = [inner].into_iter().collect();
+        let m = find(&clean, &sol).expect("must grab the sub containing max");
+        assert_eq!(m.bindings.get("w").unwrap().atoms(), &[Atom::int(9)]);
+    }
+
+    #[test]
+    fn exact_sub_pattern_requires_exact_size() {
+        let r = Rule::builder("r")
+            .lhs([Pattern::sub_exact([Pattern::var("x")])])
+            .rhs([])
+            .build();
+        let one: Multiset = [Atom::sub([Atom::int(1)])].into_iter().collect();
+        assert!(find(&r, &one).is_some());
+        let two: Multiset = [Atom::sub([Atom::int(1), Atom::int(2)])]
+            .into_iter()
+            .collect();
+        assert!(find(&r, &two).is_none());
+    }
+
+    #[test]
+    fn self_index_excluded() {
+        let r = Rule::builder("selfish")
+            .lhs([Pattern::RuleNamed("selfish".into())])
+            .rhs([])
+            .build();
+        let sol: Multiset = [Atom::rule(r.clone())].into_iter().collect();
+        // The only candidate is the rule's own atom at index 0 — excluded.
+        let m = Matcher::new()
+            .find_match(&r, &sol, Some(0), None, &mut NoExterns)
+            .unwrap();
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn custom_order_changes_selection() {
+        let r = Rule::builder("grab")
+            .lhs([Pattern::var("x")])
+            .rhs([])
+            .build();
+        let sol: Multiset = [Atom::int(1), Atom::int(2)].into_iter().collect();
+        let order = [1usize, 0];
+        let m = Matcher::new()
+            .find_match(&r, &sol, None, Some(&order), &mut NoExterns)
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.bindings.get("x").unwrap().as_one(), Some(&Atom::int(2)));
+    }
+
+    #[test]
+    fn stats_count_attempts() {
+        let r = Rule::builder("grab")
+            .lhs([Pattern::lit(Atom::int(99))])
+            .rhs([])
+            .build();
+        let sol: Multiset = (0..10).map(Atom::int).collect();
+        let mut m = Matcher::new();
+        assert!(m
+            .find_match(&r, &sol, None, None, &mut NoExterns)
+            .unwrap()
+            .is_none());
+        // Shape prefilter admits all ints; each is attempted.
+        assert!(m.stats().attempts >= 10);
+        m.reset_stats();
+        assert_eq!(m.stats().attempts, 0);
+    }
+}

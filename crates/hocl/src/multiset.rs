@@ -1,0 +1,318 @@
+//! The multiset (chemical solution) data structure.
+//!
+//! A multiset stores atoms with multiplicity and no ordering semantics.
+//! Internally atoms live in a `Vec` (stable insertion order gives the engine
+//! a deterministic default traversal), but *equality is order-insensitive*,
+//! as chemistry demands.
+
+use crate::atom::Atom;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A multiset of [`Atom`]s.
+#[derive(Clone, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Multiset {
+    atoms: Vec<Atom>,
+}
+
+impl Multiset {
+    /// The empty solution `⟨⟩`.
+    pub fn new() -> Self {
+        Multiset { atoms: Vec::new() }
+    }
+
+    /// With pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Multiset {
+            atoms: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of atoms (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Is the solution empty?
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Add one atom.
+    pub fn insert(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+    }
+
+    /// Add many atoms.
+    pub fn extend(&mut self, atoms: impl IntoIterator<Item = Atom>) {
+        self.atoms.extend(atoms);
+    }
+
+    /// Remove the atom at `index` (swap-remove is *not* used: rule semantics
+    /// benefit from stable order for deterministic engines).
+    pub fn remove_at(&mut self, index: usize) -> Atom {
+        self.atoms.remove(index)
+    }
+
+    /// Remove a set of indices (deduplicated, any order). Returns the removed
+    /// atoms in descending index order.
+    pub fn remove_indices(&mut self, indices: &mut Vec<usize>) -> Vec<Atom> {
+        indices.sort_unstable();
+        indices.dedup();
+        let mut removed = Vec::with_capacity(indices.len());
+        for &i in indices.iter().rev() {
+            removed.push(self.atoms.remove(i));
+        }
+        removed
+    }
+
+    /// Remove the first atom equal to `atom`. Returns whether one was found.
+    pub fn remove_value(&mut self, atom: &Atom) -> bool {
+        if let Some(pos) = self.atoms.iter().position(|a| a == atom) {
+            self.atoms.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Multiplicity of `atom`.
+    pub fn count(&self, atom: &Atom) -> usize {
+        self.atoms.iter().filter(|a| *a == atom).count()
+    }
+
+    /// Does the solution contain at least one `atom`?
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.atoms.iter().any(|a| a == atom)
+    }
+
+    /// Borrowing iterator in internal (insertion) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Atom> {
+        self.atoms.iter()
+    }
+
+    /// Mutable iterator in internal order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Atom> {
+        self.atoms.iter_mut()
+    }
+
+    /// Read access by index (internal order).
+    pub fn get(&self, index: usize) -> Option<&Atom> {
+        self.atoms.get(index)
+    }
+
+    /// Mutable access by index (internal order).
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut Atom> {
+        self.atoms.get_mut(index)
+    }
+
+    /// Underlying slice, insertion order.
+    pub fn as_slice(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Drain all atoms out of the solution.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Atom> {
+        self.atoms.drain(..)
+    }
+
+    /// Keep only atoms satisfying the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&Atom) -> bool) {
+        self.atoms.retain(f);
+    }
+
+    /// Index of the first atom satisfying the predicate.
+    pub fn position(&self, f: impl FnMut(&Atom) -> bool) -> Option<usize> {
+        self.atoms.iter().position(f)
+    }
+
+    /// First atom satisfying the predicate.
+    pub fn find(&self, mut f: impl FnMut(&Atom) -> bool) -> Option<&Atom> {
+        self.atoms.iter().find(|a| f(a))
+    }
+
+    /// Multiset union (concatenation).
+    pub fn union(mut self, other: Multiset) -> Multiset {
+        self.atoms.extend(other.atoms);
+        self
+    }
+
+    /// Total structural weight (number of atoms counting nesting). The
+    /// simulator charges matching cost proportional to this.
+    pub fn weight(&self) -> usize {
+        self.atoms.iter().map(Atom::weight).sum()
+    }
+
+    /// Indices of all rule atoms, in internal order.
+    pub fn rule_indices(&self) -> Vec<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_rule())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Convenience: the contents of the tuple `KEY : ⟨…⟩` if present.
+    ///
+    /// Many HOCLflow operations peek at a keyed subsolution (e.g. the `SRC`
+    /// set) without running the matcher; this helper is their fast path.
+    pub fn keyed_sub(&self, key: &str) -> Option<&Multiset> {
+        self.atoms.iter().find_map(|a| match a {
+            Atom::Tuple(v) if v.len() == 2 => match (&v[0], &v[1]) {
+                (Atom::Sym(s), Atom::Sub(ms)) if s.as_str() == key => Some(ms),
+                _ => None,
+            },
+            _ => None,
+        })
+    }
+
+    /// Mutable variant of [`Multiset::keyed_sub`].
+    pub fn keyed_sub_mut(&mut self, key: &str) -> Option<&mut Multiset> {
+        self.atoms.iter_mut().find_map(|a| match a {
+            Atom::Tuple(v) if v.len() == 2 => {
+                let is_key = matches!(&v[0], Atom::Sym(s) if s.as_str() == key);
+                if is_key {
+                    match &mut v[1] {
+                        Atom::Sub(ms) => Some(ms),
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        })
+    }
+}
+
+impl PartialEq for Multiset {
+    /// Order-insensitive, multiplicity-sensitive equality.
+    fn eq(&self, other: &Self) -> bool {
+        if self.atoms.len() != other.atoms.len() {
+            return false;
+        }
+        // O(n²) matching; solutions compared in practice are small. A used
+        // flag per right-hand atom guarantees multiplicities line up.
+        let mut used = vec![false; other.atoms.len()];
+        'outer: for a in &self.atoms {
+            for (j, b) in other.atoms.iter().enumerate() {
+                if !used[j] && a == b {
+                    used[j] = true;
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl FromIterator<Atom> for Multiset {
+    fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Self {
+        Multiset {
+            atoms: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Multiset {
+    type Item = Atom;
+    type IntoIter = std::vec::IntoIter<Atom>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.atoms.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Multiset {
+    type Item = &'a Atom;
+    type IntoIter = std::slice::Iter<'a, Atom>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.atoms.iter()
+    }
+}
+
+impl fmt::Display for Multiset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("<")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(">")
+    }
+}
+
+impl fmt::Debug for Multiset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: impl IntoIterator<Item = i64>) -> Multiset {
+        v.into_iter().map(Atom::int).collect()
+    }
+
+    #[test]
+    fn insert_remove_count() {
+        let mut m = Multiset::new();
+        m.insert(Atom::int(1));
+        m.insert(Atom::int(1));
+        m.insert(Atom::int(2));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.count(&Atom::int(1)), 2);
+        assert!(m.remove_value(&Atom::int(1)));
+        assert_eq!(m.count(&Atom::int(1)), 1);
+        assert!(!m.remove_value(&Atom::int(9)));
+    }
+
+    #[test]
+    fn equality_ignores_order_but_not_multiplicity() {
+        assert_eq!(ms([1, 2, 3]), ms([3, 1, 2]));
+        assert_ne!(ms([1, 1, 2]), ms([1, 2, 2]));
+        assert_ne!(ms([1]), ms([1, 1]));
+    }
+
+    #[test]
+    fn remove_indices_descending() {
+        let mut m = ms([10, 20, 30, 40]);
+        let mut idx = vec![0, 2];
+        let removed = m.remove_indices(&mut idx);
+        assert_eq!(removed, vec![Atom::int(30), Atom::int(10)]);
+        assert_eq!(m, ms([20, 40]));
+    }
+
+    #[test]
+    fn keyed_sub_lookup() {
+        let mut m = Multiset::new();
+        m.insert(Atom::keyed("SRC", [Atom::sub([Atom::sym("T1")])]));
+        m.insert(Atom::keyed("DST", [Atom::empty_sub()]));
+        assert_eq!(m.keyed_sub("SRC").unwrap().len(), 1);
+        assert!(m.keyed_sub("DST").unwrap().is_empty());
+        assert!(m.keyed_sub("RES").is_none());
+        m.keyed_sub_mut("DST").unwrap().insert(Atom::sym("T9"));
+        assert_eq!(m.keyed_sub("DST").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn union_and_weight() {
+        let m = ms([1, 2]).union(ms([3]));
+        assert_eq!(m.len(), 3);
+        let mut nested = Multiset::new();
+        nested.insert(Atom::sub([Atom::int(1), Atom::int(2)]));
+        assert_eq!(nested.weight(), 3);
+    }
+
+    #[test]
+    fn display_notation() {
+        let m = ms([1, 2]);
+        assert_eq!(format!("{m}"), "<1, 2>");
+    }
+}

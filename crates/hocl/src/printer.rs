@@ -1,0 +1,195 @@
+//! Pretty-printer emitting the text syntax the parser accepts.
+//!
+//! `parse_program(pretty(&program))` reproduces the program (round-trip
+//! property tested in `tests/parser_roundtrip.rs`), with one caveat: rule
+//! atoms floating in solutions print as their *name*, so they only reparse
+//! when a `let` definition with that name is in scope — which `pretty`
+//! guarantees by emitting every distinct rule it encounters.
+
+use crate::atom::Atom;
+use crate::multiset::Multiset;
+use crate::parser::Program;
+use crate::rule::Rule;
+use crate::solution::Solution;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Pretty-print a full program: `let` definitions then the solution.
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    let mut emitted: HashSet<String> = HashSet::new();
+    // Rules referenced by solution atoms but missing from `rules` are
+    // collected so the output always reparses.
+    let mut all_rules: Vec<Arc<Rule>> = program.rules.clone();
+    collect_rules_ms(program.solution.atoms(), &mut all_rules);
+    for rule in &all_rules {
+        if emitted.insert(rule.name().to_owned()) {
+            let _ = writeln!(out, "let {} in", rule);
+        }
+    }
+    out.push_str(&pretty_solution(&program.solution));
+    out
+}
+
+/// Pretty-print a solution literal `⟨…⟩`.
+pub fn pretty_solution(solution: &Solution) -> String {
+    let mut out = String::new();
+    write_multiset(&mut out, solution.atoms());
+    out
+}
+
+fn collect_rules_ms(ms: &Multiset, out: &mut Vec<Arc<Rule>>) {
+    for atom in ms.iter() {
+        collect_rules_atom(atom, out);
+    }
+}
+
+fn collect_rules_atom(atom: &Atom, out: &mut Vec<Arc<Rule>>) {
+    match atom {
+        Atom::Rule(r) if !out.iter().any(|x| x.name() == r.name()) => {
+            out.push(r.clone());
+        }
+        Atom::Sub(ms) => collect_rules_ms(ms, out),
+        Atom::Tuple(v) | Atom::List(v) => {
+            for a in v {
+                collect_rules_atom(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn write_multiset(out: &mut String, ms: &Multiset) {
+    out.push('<');
+    for (i, a) in ms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_atom(out, a);
+    }
+    out.push('>');
+}
+
+fn write_atom(out: &mut String, atom: &Atom) {
+    match atom {
+        Atom::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Atom::Float(v) => {
+            // Keep a decimal point so the value reparses as a float.
+            if v.fract() == 0.0 && v.is_finite() {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Atom::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Atom::Str(s) => write_string(out, s),
+        Atom::Sym(s) => out.push_str(s.as_str()),
+        Atom::Tuple(v) => {
+            for (i, a) in v.iter().enumerate() {
+                if i > 0 {
+                    out.push(':');
+                }
+                match a {
+                    Atom::Tuple(_) => {
+                        out.push('(');
+                        write_atom(out, a);
+                        out.push(')');
+                    }
+                    _ => write_atom(out, a),
+                }
+            }
+        }
+        Atom::Sub(ms) => write_multiset(out, ms),
+        Atom::List(v) => {
+            out.push('[');
+            for (i, a) in v.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_atom(out, a);
+            }
+            out.push(']');
+        }
+        Atom::Rule(r) => out.push_str(r.name()),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn program_roundtrip() {
+        let src = "
+            let max = replace ?x, ?y by ?x if ?x >= ?y in
+            let clean = replace-one <rule(max), *w> by ?w in
+            <<2, 3, 5, 8, 9, max>, clean>
+        ";
+        let p1 = parse_program(src).unwrap();
+        let printed = pretty(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1.solution, p2.solution);
+        assert_eq!(p1.rules.len(), p2.rules.len());
+        for (a, b) in p1.rules.iter().zip(p2.rules.iter()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.lhs(), b.lhs());
+            assert_eq!(a.rhs(), b.rhs());
+            assert_eq!(a.is_one_shot(), b.is_one_shot());
+        }
+    }
+
+    #[test]
+    fn floats_keep_their_point() {
+        let sol = Solution::from_atoms([Atom::float(2.0)]);
+        let printed = pretty_solution(&sol);
+        assert_eq!(printed, "<2.0>");
+        let back = crate::parser::parse_solution(&printed).unwrap();
+        assert_eq!(back.atoms().get(0), Some(&Atom::float(2.0)));
+    }
+
+    #[test]
+    fn strings_escape() {
+        let sol = Solution::from_atoms([Atom::str("a\"b\\c\nd")]);
+        let printed = pretty_solution(&sol);
+        let back = crate::parser::parse_solution(&printed).unwrap();
+        assert_eq!(back.atoms().get(0), Some(&Atom::str("a\"b\\c\nd")));
+    }
+
+    #[test]
+    fn unreferenced_rules_in_sub_are_emitted() {
+        // A rule atom buried in a nested subsolution must still get a
+        // `let` definition.
+        let r = Rule::builder("buried")
+            .lhs([crate::pattern::Pattern::var("x")])
+            .rhs([crate::template::Template::var("x")])
+            .build();
+        let sol = Solution::from_atoms([Atom::sub([Atom::rule(r)])]);
+        let program = Program {
+            rules: vec![],
+            solution: sol,
+        };
+        let printed = pretty(&program);
+        assert!(printed.contains("let buried ="));
+        assert!(parse_program(&printed).is_ok());
+    }
+}

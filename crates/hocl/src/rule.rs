@@ -1,0 +1,229 @@
+//! Reaction rules: `replace LHS by RHS if guard` and the one-shot
+//! `replace-one` variant.
+
+use crate::guard::Guard;
+use crate::pattern::Pattern;
+use crate::template::Template;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reaction rule.
+///
+/// Rules are immutable once built and shared via `Arc` when they float in
+/// solutions as atoms. The paper's `with X inject M` sugar is available as
+/// [`Rule::with_inject`]: it expands to `replace-one X by X, M`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    name: String,
+    one_shot: bool,
+    lhs: Vec<Pattern>,
+    guard: Guard,
+    rhs: Vec<Template>,
+}
+
+impl Rule {
+    /// Start building a rule with the given name.
+    pub fn builder(name: impl Into<String>) -> RuleBuilder {
+        RuleBuilder {
+            name: name.into(),
+            one_shot: false,
+            lhs: Vec::new(),
+            guard: Guard::True,
+            rhs: Vec::new(),
+        }
+    }
+
+    /// The paper's HOCLflow sugar `with X inject M` ≡ `replace-one X by X, M`.
+    ///
+    /// `catalysts` are matched *and reproduced*; `injected` are added.
+    pub fn with_inject(
+        name: impl Into<String>,
+        catalysts: impl IntoIterator<Item = (Pattern, Template)>,
+        injected: impl IntoIterator<Item = Template>,
+    ) -> Rule {
+        let mut lhs = Vec::new();
+        let mut rhs = Vec::new();
+        for (p, t) in catalysts {
+            lhs.push(p);
+            rhs.push(t);
+        }
+        rhs.extend(injected);
+        Rule {
+            name: name.into(),
+            one_shot: true,
+            lhs,
+            guard: Guard::True,
+            rhs,
+        }
+    }
+
+    /// Rule name (unique within a program by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Is this a `replace-one` rule (consumed on first application)?
+    pub fn is_one_shot(&self) -> bool {
+        self.one_shot
+    }
+
+    /// The patterns consumed by the rule.
+    pub fn lhs(&self) -> &[Pattern] {
+        &self.lhs
+    }
+
+    /// The guard condition.
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
+
+    /// The templates produced by the rule.
+    pub fn rhs(&self) -> &[Template] {
+        &self.rhs
+    }
+
+    /// Total `Call` nodes in the RHS (deferred-call bookkeeping).
+    pub fn rhs_call_count(&self) -> usize {
+        self.rhs.iter().map(Template::count_calls).sum()
+    }
+}
+
+/// Builder for [`Rule`].
+pub struct RuleBuilder {
+    name: String,
+    one_shot: bool,
+    lhs: Vec<Pattern>,
+    guard: Guard,
+    rhs: Vec<Template>,
+}
+
+impl RuleBuilder {
+    /// Mark the rule one-shot (`replace-one`).
+    pub fn one_shot(mut self) -> Self {
+        self.one_shot = true;
+        self
+    }
+
+    /// Set the LHS patterns.
+    pub fn lhs(mut self, patterns: impl IntoIterator<Item = Pattern>) -> Self {
+        self.lhs = patterns.into_iter().collect();
+        self
+    }
+
+    /// Add one LHS pattern.
+    pub fn consumes(mut self, pattern: Pattern) -> Self {
+        self.lhs.push(pattern);
+        self
+    }
+
+    /// Set the guard.
+    pub fn guard(mut self, guard: Guard) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Set the RHS templates.
+    pub fn rhs(mut self, templates: impl IntoIterator<Item = Template>) -> Self {
+        self.rhs = templates.into_iter().collect();
+        self
+    }
+
+    /// Add one RHS template.
+    pub fn produces(mut self, template: Template) -> Self {
+        self.rhs.push(template);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Rule {
+        assert!(
+            !self.lhs.is_empty(),
+            "a rule must consume at least one atom"
+        );
+        Rule {
+            name: self.name,
+            one_shot: self.one_shot,
+            lhs: self.lhs,
+            guard: self.guard,
+            rhs: self.rhs,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {}",
+            self.name,
+            if self.one_shot { "replace-one" } else { "replace" }
+        )?;
+        for (i, p) in self.lhs.iter().enumerate() {
+            write!(f, "{}{p}", if i == 0 { " " } else { ", " })?;
+        }
+        f.write_str(" by")?;
+        if self.rhs.is_empty() {
+            f.write_str(" nothing")?;
+        }
+        for (i, t) in self.rhs.iter().enumerate() {
+            write!(f, "{}{t}", if i == 0 { " " } else { ", " })?;
+        }
+        if self.guard != Guard::True {
+            write!(f, " if {}", self.guard)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{Expr, Guard};
+
+    #[test]
+    fn builder_roundtrip() {
+        let r = Rule::builder("max")
+            .lhs([Pattern::var("x"), Pattern::var("y")])
+            .guard(Guard::ge(Expr::var("x"), Expr::var("y")))
+            .rhs([Template::var("x")])
+            .build();
+        assert_eq!(r.name(), "max");
+        assert!(!r.is_one_shot());
+        assert_eq!(r.lhs().len(), 2);
+        assert_eq!(r.rhs().len(), 1);
+        assert_eq!(format!("{r}"), "max = replace ?x, ?y by ?x if ?x >= ?y");
+    }
+
+    #[test]
+    fn with_inject_expands_to_one_shot() {
+        let r = Rule::with_inject(
+            "adapt",
+            [(Pattern::sym("GO"), Template::sym("GO"))],
+            [Template::sym("ADAPT")],
+        );
+        assert!(r.is_one_shot());
+        assert_eq!(r.lhs().len(), 1);
+        assert_eq!(r.rhs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one atom")]
+    fn empty_lhs_rejected() {
+        let _ = Rule::builder("bad").build();
+    }
+
+    #[test]
+    fn rhs_call_count() {
+        let r = Rule::builder("call")
+            .lhs([Pattern::var("s")])
+            .rhs([Template::call("invoke", [Template::var("s")])])
+            .build();
+        assert_eq!(r.rhs_call_count(), 1);
+    }
+}

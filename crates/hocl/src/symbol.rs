@@ -1,0 +1,170 @@
+//! Interned-ish symbols: cheap-to-clone identifiers used for task names,
+//! reserved keywords (`SRC`, `DST`, …) and service names.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A symbol is an immutable identifier backed by a reference-counted string.
+///
+/// Cloning is an atomic increment; equality first compares pointers (symbols
+/// cloned from the same origin are equal without looking at the bytes) and
+/// falls back to byte comparison so independently-created symbols with the
+/// same spelling are still equal, as chemical semantics require.
+#[derive(Clone, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Create a symbol from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// The symbol's spelling.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Symbol {}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol(Arc::from(s.as_str()))
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// Reserved HOCLflow keywords (Section III of the paper). Centralised here so
+/// every crate spells them identically.
+pub mod keywords {
+    /// Incoming dependencies of a task.
+    pub const SRC: &str = "SRC";
+    /// Outgoing dependencies of a task.
+    pub const DST: &str = "DST";
+    /// Service implementing the task.
+    pub const SRV: &str = "SRV";
+    /// Input data (provenance-tagged `from : value` tuples).
+    pub const IN: &str = "IN";
+    /// Parameter list built by `gw_setup`.
+    pub const PAR: &str = "PAR";
+    /// Result of the service invocation.
+    pub const RES: &str = "RES";
+    /// Adaptation token: activates a standby alternative task.
+    pub const TRIGGER: &str = "TRIGGER";
+    /// Adaptation directive: add a destination to a source task.
+    pub const ADDDST: &str = "ADDDST";
+    /// Adaptation directive: move a source on a destination task.
+    pub const MVSRC: &str = "MVSRC";
+    /// Token whose presence enables the adaptation rules of a task.
+    pub const ADAPT: &str = "ADAPT";
+    /// Distinguished result of a failed service invocation.
+    pub const ERROR: &str = "ERROR";
+    /// Tag for workflow-initial inputs inside `IN`.
+    pub const INPUT: &str = "INPUT";
+    /// Tag wrapping a result delivered by a peer agent, awaiting `gw_recv`.
+    pub const DELIVER: &str = "DELIVER";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Symbol::new("SRC");
+        let b = Symbol::new("SRC");
+        let c = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(a, Symbol::new("DST"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [Symbol::new("T2"), Symbol::new("T1"), Symbol::new("T10")];
+        v.sort();
+        let names: Vec<&str> = v.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["T1", "T10", "T2"]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::new("ADAPT");
+        assert_eq!(format!("{s}"), "ADAPT");
+        assert_eq!(format!("{s:?}"), "Symbol(ADAPT)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Symbol::new("T42");
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "\"T42\"");
+        let back: Symbol = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn hash_matches_equality() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Symbol::new("X"));
+        assert!(set.contains(&Symbol::new("X")));
+        assert!(set.contains("X"));
+    }
+}

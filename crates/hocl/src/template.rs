@@ -1,0 +1,516 @@
+//! Templates: the right-hand side of reaction rules.
+//!
+//! Applying a rule instantiates its templates under the match bindings and
+//! inserts the produced atoms into the solution. ω bindings splice (expand
+//! to several atoms) wherever a variable number of atoms is legal: the rule
+//! RHS itself, subsolution bodies, list bodies and extern argument lists —
+//! but not tuple elements.
+
+use crate::atom::Atom;
+use crate::bindings::{Binding, Bindings};
+use crate::error::HoclError;
+use crate::externs::{ExternHost, ExternResult};
+use crate::rule::Rule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A template producing one or more atoms.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub enum Template {
+    /// Produce this literal atom.
+    Lit(Atom),
+    /// Produce the binding of a variable. A [`Binding::Many`] (ω) binding
+    /// splices all its atoms; this is only legal in splicing positions.
+    Var(String),
+    /// Produce a tuple from element templates (each must yield one atom).
+    Tuple(Vec<Template>),
+    /// Produce a subsolution; ω splices are legal inside.
+    Sub(Vec<Template>),
+    /// Produce a list; ω splices are legal inside.
+    List(Vec<Template>),
+    /// Call an external function; its result atoms are spliced in place.
+    /// If the host defers the call, the whole rule application suspends.
+    Call(String, Vec<Template>),
+    /// Produce a rule atom (higher-order injection — how `TRIGGER`
+    /// activation plants `gw_setup`/`gw_call` into a standby task).
+    RuleLit(Arc<Rule>),
+}
+
+impl Template {
+    /// Literal template.
+    pub fn lit(atom: impl Into<Atom>) -> Self {
+        Template::Lit(atom.into())
+    }
+
+    /// Literal symbol template.
+    pub fn sym(name: impl AsRef<str>) -> Self {
+        Template::Lit(Atom::sym(name))
+    }
+
+    /// Variable template.
+    pub fn var(name: impl Into<String>) -> Self {
+        Template::Var(name.into())
+    }
+
+    /// Tuple template.
+    pub fn tuple(elems: impl IntoIterator<Item = Template>) -> Self {
+        let v: Vec<Template> = elems.into_iter().collect();
+        assert!(v.len() >= 2, "a tuple template needs at least two elements");
+        Template::Tuple(v)
+    }
+
+    /// Keyed tuple template `KEY : t…`.
+    pub fn keyed(key: impl AsRef<str>, rest: impl IntoIterator<Item = Template>) -> Self {
+        let mut v = vec![Template::sym(key)];
+        v.extend(rest);
+        Template::tuple(v)
+    }
+
+    /// Subsolution template.
+    pub fn sub(elems: impl IntoIterator<Item = Template>) -> Self {
+        Template::Sub(elems.into_iter().collect())
+    }
+
+    /// Empty subsolution template `⟨⟩`.
+    pub fn empty_sub() -> Self {
+        Template::Sub(Vec::new())
+    }
+
+    /// Extern call template.
+    pub fn call(name: impl Into<String>, args: impl IntoIterator<Item = Template>) -> Self {
+        Template::Call(name.into(), args.into_iter().collect())
+    }
+
+    /// Rule atom template.
+    pub fn rule(rule: Rule) -> Self {
+        Template::RuleLit(Arc::new(rule))
+    }
+
+    /// Rule atom template from a shared rule.
+    pub fn rule_arc(rule: Arc<Rule>) -> Self {
+        Template::RuleLit(rule)
+    }
+
+    /// Number of `Call` nodes in this template (used by the engine to locate
+    /// the deferred call when resuming a suspended application).
+    pub fn count_calls(&self) -> usize {
+        match self {
+            Template::Call(_, args) => 1 + args.iter().map(Template::count_calls).sum::<usize>(),
+            Template::Tuple(v) | Template::Sub(v) | Template::List(v) => {
+                v.iter().map(Template::count_calls).sum()
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Instantiation context threading the extern host, the deferred-call
+/// bookkeeping and the running call counter through the template tree.
+pub struct Instantiator<'h> {
+    /// The extern host used for `Call` templates.
+    pub host: &'h mut dyn ExternHost,
+    /// Traversal index of the next `Call` node encountered.
+    call_index: usize,
+    /// If set, the call at this index is *not* executed: `resume_atoms` are
+    /// spliced instead (resume path of a suspended application).
+    substitute_call: Option<usize>,
+    /// Atoms to splice at `substitute_call`.
+    resume_atoms: Vec<Atom>,
+    /// Set when the host deferred a call: its traversal index.
+    deferred_at: Option<usize>,
+    /// Name and evaluated arguments of the deferred call.
+    pending_call: Option<(String, Vec<Atom>)>,
+    /// Count of extern calls already executed (side effects!) before a
+    /// deferral was hit — must be zero for a safe suspension.
+    effects_before_deferral: usize,
+}
+
+/// Result of instantiating a full RHS.
+#[derive(Debug)]
+pub enum Produced {
+    /// All templates instantiated; insert these atoms.
+    Atoms(Vec<Atom>),
+    /// A deferred extern was encountered at this call traversal index.
+    /// Nothing may be inserted; the engine must suspend.
+    Deferred {
+        /// Traversal index of the deferred `Call` node.
+        call_index: usize,
+        /// The evaluated arguments of the deferred call.
+        args: Vec<Atom>,
+        /// Name of the deferred extern.
+        name: String,
+    },
+}
+
+impl<'h> Instantiator<'h> {
+    /// Fresh instantiator for a first (probe) pass.
+    pub fn new(host: &'h mut dyn ExternHost) -> Self {
+        Instantiator {
+            host,
+            call_index: 0,
+            substitute_call: None,
+            resume_atoms: Vec::new(),
+            deferred_at: None,
+            pending_call: None,
+            effects_before_deferral: 0,
+        }
+    }
+
+    /// Instantiator for the resume pass: the call at `call_index` is
+    /// replaced by `atoms` instead of being executed.
+    pub fn resuming(host: &'h mut dyn ExternHost, call_index: usize, atoms: Vec<Atom>) -> Self {
+        Instantiator {
+            host,
+            call_index: 0,
+            substitute_call: Some(call_index),
+            resume_atoms: atoms,
+            deferred_at: None,
+            pending_call: None,
+            effects_before_deferral: 0,
+        }
+    }
+
+    /// Instantiate a full RHS (a sequence of templates) under `bindings`.
+    pub fn produce(
+        &mut self,
+        templates: &[Template],
+        bindings: &Bindings,
+    ) -> Result<Produced, HoclError> {
+        let mut out = Vec::with_capacity(templates.len());
+        for t in templates {
+            self.eval_splice(t, bindings, &mut out)?;
+            if let Some(idx) = self.deferred_at {
+                let (name, args) = self
+                    .pending_call
+                    .take()
+                    .expect("deferred_at implies pending_call");
+                if self.effects_before_deferral > 0 {
+                    return Err(HoclError::MultipleDeferred(name));
+                }
+                return Ok(Produced::Deferred {
+                    call_index: idx,
+                    args,
+                    name,
+                });
+            }
+        }
+        Ok(Produced::Atoms(out))
+    }
+
+    /// Evaluate one template into `out`, splicing ω bindings and extern
+    /// results (several atoms allowed).
+    fn eval_splice(
+        &mut self,
+        t: &Template,
+        bindings: &Bindings,
+        out: &mut Vec<Atom>,
+    ) -> Result<(), HoclError> {
+        match t {
+            Template::Lit(a) => out.push(a.clone()),
+            Template::RuleLit(r) => out.push(Atom::Rule(r.clone())),
+            Template::Var(name) => match bindings.get(name) {
+                Some(Binding::One(a)) => out.push(a.clone()),
+                Some(Binding::Many(v)) => out.extend(v.iter().cloned()),
+                None => return Err(HoclError::UnboundVar(name.clone())),
+            },
+            Template::Tuple(elems) => {
+                let mut tup = Vec::with_capacity(elems.len());
+                for e in elems {
+                    let a = self.eval_one(e, bindings)?;
+                    if self.deferred_at.is_some() {
+                        return Ok(());
+                    }
+                    tup.push(a);
+                }
+                out.push(Atom::Tuple(tup));
+            }
+            Template::Sub(elems) => {
+                let mut inner = Vec::new();
+                for e in elems {
+                    self.eval_splice(e, bindings, &mut inner)?;
+                    if self.deferred_at.is_some() {
+                        return Ok(());
+                    }
+                }
+                out.push(Atom::sub(inner));
+            }
+            Template::List(elems) => {
+                let mut inner = Vec::new();
+                for e in elems {
+                    self.eval_splice(e, bindings, &mut inner)?;
+                    if self.deferred_at.is_some() {
+                        return Ok(());
+                    }
+                }
+                out.push(Atom::List(inner));
+            }
+            Template::Call(name, args) => {
+                let my_index = self.call_index;
+                self.call_index += 1;
+                // Evaluate arguments first (depth-first, so nested calls get
+                // lower indices than their parent... no: parent reserves its
+                // index before recursing, matching `count_calls` traversal).
+                let mut arg_atoms = Vec::with_capacity(args.len());
+                for a in args {
+                    self.eval_splice(a, bindings, &mut arg_atoms)?;
+                    if self.deferred_at.is_some() {
+                        return Ok(());
+                    }
+                }
+                if self.substitute_call == Some(my_index) {
+                    out.extend(std::mem::take(&mut self.resume_atoms));
+                    return Ok(());
+                }
+                match self.host.call(name, &arg_atoms)? {
+                    ExternResult::Atoms(atoms) => {
+                        self.effects_before_deferral += 1;
+                        out.extend(atoms);
+                    }
+                    ExternResult::Deferred => {
+                        self.deferred_at = Some(my_index);
+                        self.pending_call = Some((name.clone(), arg_atoms));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a template that must yield exactly one atom (tuple element).
+    fn eval_one(&mut self, t: &Template, bindings: &Bindings) -> Result<Atom, HoclError> {
+        let mut buf = Vec::with_capacity(1);
+        self.eval_splice(t, bindings, &mut buf)?;
+        if self.deferred_at.is_some() {
+            // Deferral bubbles up; caller checks the flag. Return dummy.
+            return Ok(Atom::Bool(false));
+        }
+        match buf.len() {
+            1 => Ok(buf.pop().expect("len checked")),
+            _ => {
+                let what = match t {
+                    Template::Var(v) => v.clone(),
+                    _ => format!("{t}"),
+                };
+                Err(HoclError::OmegaInScalarPosition(what))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Template::Lit(a) => write!(f, "{a}"),
+            Template::Var(v) => write!(f, "?{v}"),
+            Template::Tuple(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(":")?;
+                    }
+                    match t {
+                        Template::Tuple(_) => write!(f, "({t})")?,
+                        _ => write!(f, "{t}")?,
+                    }
+                }
+                Ok(())
+            }
+            Template::Sub(ts) => {
+                f.write_str("<")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(">")
+            }
+            Template::List(ts) => {
+                f.write_str("[")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str("]")
+            }
+            Template::Call(n, args) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Template::RuleLit(r) => write!(f, "{}", r.name()),
+        }
+    }
+}
+
+impl fmt::Debug for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::externs::{NoExterns, PureExterns};
+
+    fn bindings(pairs: &[(&str, Binding)]) -> Bindings {
+        let mut b = Bindings::new();
+        for (k, v) in pairs {
+            match v {
+                Binding::One(a) => assert!(b.bind_one(k, a.clone())),
+                Binding::Many(v) => assert!(b.bind_many(k, v.clone())),
+            }
+        }
+        b
+    }
+
+    fn produce(ts: &[Template], b: &Bindings) -> Vec<Atom> {
+        let mut host = PureExterns::new();
+        let mut inst = Instantiator::new(&mut host);
+        match inst.produce(ts, b).unwrap() {
+            Produced::Atoms(v) => v,
+            Produced::Deferred { .. } => panic!("unexpected deferral"),
+        }
+    }
+
+    #[test]
+    fn literals_and_vars() {
+        let b = bindings(&[("x", Binding::One(Atom::int(7)))]);
+        let out = produce(&[Template::lit(1i64), Template::var("x")], &b);
+        assert_eq!(out, vec![Atom::int(1), Atom::int(7)]);
+    }
+
+    #[test]
+    fn omega_splices_in_sub() {
+        let b = bindings(&[(
+            "w",
+            Binding::Many(vec![Atom::int(1), Atom::int(2)]),
+        )]);
+        let out = produce(
+            &[Template::keyed("IN", [Template::sub([Template::var("w")])])],
+            &b,
+        );
+        assert_eq!(
+            out,
+            vec![Atom::keyed("IN", [Atom::sub([Atom::int(1), Atom::int(2)])])]
+        );
+    }
+
+    #[test]
+    fn omega_splices_at_top_level() {
+        // The `clean` rule's RHS is just `ω` — contents spill into the outer
+        // solution.
+        let b = bindings(&[(
+            "w",
+            Binding::Many(vec![Atom::int(9), Atom::sym("K")]),
+        )]);
+        let out = produce(&[Template::var("w")], &b);
+        assert_eq!(out, vec![Atom::int(9), Atom::sym("K")]);
+    }
+
+    #[test]
+    fn omega_in_tuple_position_errors() {
+        let b = bindings(&[("w", Binding::Many(vec![Atom::int(1), Atom::int(2)]))]);
+        let mut host = NoExterns;
+        let mut inst = Instantiator::new(&mut host);
+        let err = inst
+            .produce(
+                &[Template::keyed("K", [Template::var("w")])],
+                &b,
+            )
+            .unwrap_err();
+        assert!(matches!(err, HoclError::OmegaInScalarPosition(_)));
+    }
+
+    #[test]
+    fn pure_call_splices_result() {
+        let b = bindings(&[(
+            "w",
+            Binding::Many(vec![
+                Atom::tuple([Atom::sym("T1"), Atom::int(5)]),
+            ]),
+        )]);
+        let out = produce(
+            &[Template::keyed(
+                "PAR",
+                [Template::call("list", [Template::var("w")])],
+            )],
+            &b,
+        );
+        assert_eq!(
+            out,
+            vec![Atom::keyed("PAR", [Atom::list([Atom::int(5)])])]
+        );
+    }
+
+    #[test]
+    fn deferred_call_reports_index_and_args() {
+        struct Deferring;
+        impl ExternHost for Deferring {
+            fn call(&mut self, name: &str, _args: &[Atom]) -> Result<ExternResult, HoclError> {
+                if name == "invoke" {
+                    Ok(ExternResult::Deferred)
+                } else {
+                    Ok(ExternResult::Atoms(vec![]))
+                }
+            }
+        }
+        let b = bindings(&[("s", Binding::One(Atom::sym("s2")))]);
+        let mut host = Deferring;
+        let mut inst = Instantiator::new(&mut host);
+        let rhs = [Template::keyed(
+            "RES",
+            [Template::sub([Template::call(
+                "invoke",
+                [Template::var("s")],
+            )])],
+        )];
+        match inst.produce(&rhs, &b).unwrap() {
+            Produced::Deferred {
+                call_index,
+                args,
+                name,
+            } => {
+                assert_eq!(call_index, 0);
+                assert_eq!(args, vec![Atom::sym("s2")]);
+                assert_eq!(name, "invoke");
+            }
+            Produced::Atoms(_) => panic!("expected deferral"),
+        }
+    }
+
+    #[test]
+    fn resume_substitutes_deferred_call() {
+        let b = Bindings::new();
+        let mut host = NoExterns;
+        let mut inst = Instantiator::resuming(&mut host, 0, vec![Atom::str("result")]);
+        let rhs = [Template::keyed(
+            "RES",
+            [Template::sub([Template::call("invoke", [])])],
+        )];
+        match inst.produce(&rhs, &b).unwrap() {
+            Produced::Atoms(v) => assert_eq!(
+                v,
+                vec![Atom::keyed("RES", [Atom::sub([Atom::str("result")])])]
+            ),
+            Produced::Deferred { .. } => panic!("must not defer on resume"),
+        }
+    }
+
+    #[test]
+    fn count_calls_matches_traversal() {
+        let t = Template::sub([
+            Template::call("a", [Template::call("b", [])]),
+            Template::call("c", []),
+        ]);
+        assert_eq!(t.count_calls(), 3);
+    }
+}

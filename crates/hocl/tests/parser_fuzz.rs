@@ -1,0 +1,75 @@
+//! Parser robustness: arbitrary input must never panic — only return
+//! errors — and structured mutations of valid programs must keep the
+//! lexer/parser total.
+
+use ginflow_hocl::lexer::lex;
+use ginflow_hocl::{parse_program, parse_solution};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII never panics the lexer or parsers.
+    #[test]
+    fn arbitrary_ascii_never_panics(src in "[ -~\\n\\t]{0,200}") {
+        let _ = lex(&src);
+        let _ = parse_program(&src);
+        let _ = parse_solution(&src);
+    }
+
+    /// Arbitrary token soup from the HOCL alphabet never panics.
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "let", "replace", "replace-one", "with", "inject", "by", "if", "in",
+            "nothing", "rule", "<", ">", "[", "]", "(", ")", ",", ":", "?", "*",
+            "_", "==", "!=", "<=", ">=", "&&", "||", "!", "=", "x", "T1", "SRC",
+            "42", "-7", "2.5", "\"s\"", "true", "false",
+        ]),
+        0..60,
+    )) {
+        let src = tokens.join(" ");
+        let _ = parse_program(&src);
+        let _ = parse_solution(&src);
+    }
+
+    /// Truncating a valid program at any byte never panics.
+    #[test]
+    fn truncation_never_panics(cut in 0usize..400) {
+        let src = "let max = replace ?x, ?y by ?x if ?x >= ?y in \
+                   let clean = replace-one <rule(max), *w> by ?w in \
+                   <<2, 3, 5, 8, 9, max>, clean, T1:<SRC:<>, DST:<T2>, IN:<INPUT:\"d\">>>";
+        let cut = cut.min(src.len());
+        // Stay on a char boundary (ASCII source, so always true).
+        let truncated = &src[..cut];
+        let _ = parse_program(truncated);
+    }
+}
+
+#[test]
+fn deeply_nested_input_is_handled() {
+    // 300 nested subsolutions: recursion depth must not blow the stack.
+    let mut src = String::new();
+    for _ in 0..300 {
+        src.push('<');
+    }
+    src.push('1');
+    for _ in 0..300 {
+        src.push('>');
+    }
+    let parsed = parse_solution(&src);
+    assert!(parsed.is_ok());
+}
+
+#[test]
+fn pathological_but_valid_inputs() {
+    // Empty solution, lone atoms, tuples of tuples.
+    assert!(parse_solution("<>").is_ok());
+    assert!(parse_solution("<((1:2):3):4>").is_ok());
+    assert!(parse_solution("<[[[]]]>").is_ok());
+    assert!(parse_solution("<a:b:c:d:e:f:g>").is_ok());
+    // Things that must NOT parse.
+    assert!(parse_solution("<?x>").is_err(), "variables are not atoms");
+    assert!(parse_solution("<*w>").is_err(), "omegas are not atoms");
+    assert!(parse_program("let r = replace ?x by ?x in").is_err(), "missing solution");
+}

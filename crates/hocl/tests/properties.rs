@@ -1,0 +1,125 @@
+//! Property-based tests for the HOCL engine: chemical semantics must hold
+//! for arbitrary inputs and arbitrary (seeded) reduction orders.
+
+use ginflow_hocl::prelude::*;
+use proptest::prelude::*;
+
+fn max_rule() -> Rule {
+    Rule::builder("max")
+        .lhs([Pattern::var("x"), Pattern::var("y")])
+        .guard(Guard::ge(Expr::var("x"), Expr::var("y")))
+        .rhs([Template::var("x")])
+        .build()
+}
+
+proptest! {
+    /// getMax extracts the maximum for any multiset of ints and any
+    /// reduction order — the confluence argument of §III-A.
+    #[test]
+    fn getmax_is_confluent(values in prop::collection::vec(-1000i64..1000, 1..40), seed in 0u64..u64::MAX) {
+        let expected = *values.iter().max().expect("non-empty");
+        let mut sol = Solution::from_atoms(
+            values.iter().copied().map(Atom::int).chain([Atom::rule(max_rule())]),
+        );
+        let mut engine = Engine::with_config(EngineConfig {
+            shuffle_seed: Some(seed),
+            ..EngineConfig::default()
+        });
+        let out = engine.reduce(&mut sol, &mut NoExterns).unwrap();
+        prop_assert!(out.inert);
+        let ints: Vec<i64> = sol.atoms().iter().filter_map(Atom::as_int).collect();
+        prop_assert_eq!(ints, vec![expected]);
+        // Exactly n-1 reactions happen, whatever the order.
+        prop_assert_eq!(out.applications, (values.len() - 1) as u64);
+    }
+
+    /// Multiset equality is insensitive to permutation.
+    #[test]
+    fn multiset_equality_permutation_invariant(values in prop::collection::vec(0i64..20, 0..30), seed in 0u64..u64::MAX) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let ms1: Multiset = values.iter().copied().map(Atom::int).collect();
+        let mut shuffled = values.clone();
+        shuffled.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+        let ms2: Multiset = shuffled.into_iter().map(Atom::int).collect();
+        prop_assert_eq!(ms1, ms2);
+    }
+
+    /// Dropping one occurrence breaks equality (multiplicity sensitivity).
+    #[test]
+    fn multiset_multiplicity_matters(values in prop::collection::vec(0i64..20, 1..30)) {
+        let ms1: Multiset = values.iter().copied().map(Atom::int).collect();
+        let ms2: Multiset = values[1..].iter().copied().map(Atom::int).collect();
+        prop_assert_ne!(ms1, ms2);
+    }
+}
+
+// ---- parser round-trip on random atoms -------------------------------
+
+fn arb_atom(depth: u32) -> impl Strategy<Value = Atom> {
+    let leaf = prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(Atom::int),
+        any::<bool>().prop_map(Atom::bool),
+        // Floats: finite, printed with a decimal point by the printer.
+        (-1.0e6..1.0e6f64).prop_map(Atom::float),
+        "[a-zA-Z][a-zA-Z0-9_]{0,8}'?".prop_map(Atom::sym),
+        "[ -~]{0,12}".prop_map(Atom::str),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Atom::Tuple),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Atom::list),
+            prop::collection::vec(inner, 0..4).prop_map(Atom::sub),
+        ]
+    })
+}
+
+proptest! {
+    /// pretty ∘ parse is the identity on solutions of arbitrary rule-free
+    /// atoms.
+    #[test]
+    fn printer_parser_roundtrip(atoms in prop::collection::vec(arb_atom(3), 0..8)) {
+        let sol = Solution::from_atoms(atoms);
+        let printed = ginflow_hocl::printer::pretty_solution(&sol);
+        let reparsed = ginflow_hocl::parser::parse_solution(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(sol, reparsed);
+    }
+
+    /// Serde JSON round-trip on arbitrary atoms.
+    #[test]
+    fn serde_roundtrip(atom in arb_atom(3)) {
+        let json = serde_json::to_string(&atom).unwrap();
+        let back: Atom = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(atom, back);
+    }
+}
+
+// ---- one-shot semantics ----------------------------------------------
+
+proptest! {
+    /// A `replace-one` rule fires at most once no matter how many tokens
+    /// could react.
+    #[test]
+    fn one_shot_fires_at_most_once(n in 1usize..30, seed in 0u64..u64::MAX) {
+        let once = Rule::builder("once")
+            .one_shot()
+            .lhs([Pattern::sym("TOKEN")])
+            .rhs([Template::sym("FIRED")])
+            .build();
+        let mut sol = Solution::from_atoms(
+            std::iter::repeat_with(|| Atom::sym("TOKEN"))
+                .take(n)
+                .chain([Atom::rule(once)]),
+        );
+        let mut engine = Engine::with_config(EngineConfig {
+            shuffle_seed: Some(seed),
+            ..EngineConfig::default()
+        });
+        let out = engine.reduce(&mut sol, &mut NoExterns).unwrap();
+        prop_assert!(out.inert);
+        prop_assert_eq!(out.applications, 1);
+        prop_assert_eq!(sol.atoms().count(&Atom::sym("FIRED")), 1);
+        prop_assert_eq!(sol.atoms().count(&Atom::sym("TOKEN")), n - 1);
+    }
+}

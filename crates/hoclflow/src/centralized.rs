@@ -1,0 +1,306 @@
+//! The centralized executor: "use a single HOCL interpreter to execute the
+//! workflow" (§IV-C).
+//!
+//! Service invocation is synchronous here — `invoke` runs the service
+//! inline during reduction. The paper did not evaluate this mode ("we
+//! considered only distributed environments"); it exists as the semantic
+//! reference implementation against which the decentralised runtime is
+//! tested for equivalence.
+
+use crate::compile;
+use crate::externs::{names, FlowExterns};
+use ginflow_core::{ServiceRegistry, TaskState, Value, Workflow};
+use ginflow_hocl::symbol::keywords as kw;
+use ginflow_hocl::{
+    Atom, Engine, EngineConfig, ExternHost, ExternResult, HoclError, Solution,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration of a centralized run.
+#[derive(Clone, Debug)]
+pub struct CentralizedConfig {
+    /// Reduction step budget (runaway protection).
+    pub max_steps: u64,
+    /// Optional seed for nondeterministic (chemically faithful) reduction
+    /// order.
+    pub shuffle_seed: Option<u64>,
+}
+
+impl Default for CentralizedConfig {
+    fn default() -> Self {
+        CentralizedConfig {
+            max_steps: 1_000_000,
+            shuffle_seed: None,
+        }
+    }
+}
+
+/// Error of a centralized run.
+#[derive(Debug)]
+pub enum RunError {
+    /// The chemistry itself failed (a bug or budget exhaustion).
+    Hocl(HoclError),
+    /// A task references a service missing from the registry.
+    UnknownService {
+        /// The offending service name.
+        service: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Hocl(e) => write!(f, "reduction failed: {e}"),
+            RunError::UnknownService { service } => {
+                write!(f, "no service registered under {service:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<HoclError> for RunError {
+    fn from(e: HoclError) -> Self {
+        RunError::Hocl(e)
+    }
+}
+
+/// Outcome of a centralized run.
+#[derive(Debug)]
+pub struct CentralizedOutcome {
+    /// Result value per completed task.
+    pub results: HashMap<String, Value>,
+    /// Final state per task.
+    pub states: HashMap<String, TaskState>,
+    /// Rule applications performed.
+    pub applications: u64,
+    /// The final (inert) global solution, for inspection.
+    pub solution: Solution,
+}
+
+impl CentralizedOutcome {
+    /// Did every non-standby task complete?
+    pub fn all_completed(&self, wf: &Workflow) -> bool {
+        wf.dag().iter().filter(|(_, t)| !t.is_standby()).all(|(_, t)| {
+            self.states.get(&t.name) == Some(&TaskState::Completed)
+        })
+    }
+
+    /// Result of a task by name.
+    pub fn result_of(&self, task: &str) -> Option<&Value> {
+        self.results.get(task)
+    }
+}
+
+/// Host wiring `invoke` to a [`ServiceRegistry`], synchronously.
+struct CentralizedHost<'r> {
+    registry: &'r ServiceRegistry,
+    flow: FlowExterns,
+    missing: Option<String>,
+}
+
+impl ExternHost for CentralizedHost<'_> {
+    fn call(&mut self, name: &str, args: &[Atom]) -> Result<ExternResult, HoclError> {
+        if name != names::INVOKE {
+            return self.flow.call(name, args);
+        }
+        let service_name = args
+            .first()
+            .and_then(Atom::as_sym)
+            .map(|s| s.as_str().to_owned())
+            .ok_or_else(|| HoclError::ExternFailed {
+                name: names::INVOKE.into(),
+                reason: "first argument must be the service symbol".into(),
+            })?;
+        let params: Vec<Value> = match args.get(1) {
+            Some(Atom::List(v)) => v.clone(),
+            other => {
+                return Err(HoclError::ExternFailed {
+                    name: names::INVOKE.into(),
+                    reason: format!("second argument must be the parameter list, got {other:?}"),
+                })
+            }
+        };
+        let Some(service) = self.registry.get(&service_name) else {
+            self.missing = Some(service_name);
+            // Surface as an ERROR result; the run is aborted afterwards.
+            return Ok(ExternResult::Atoms(vec![Atom::sym(kw::ERROR)]));
+        };
+        match service.invoke(&params) {
+            Ok(value) => Ok(ExternResult::Atoms(vec![value])),
+            Err(_) => Ok(ExternResult::Atoms(vec![Atom::sym(kw::ERROR)])),
+        }
+    }
+}
+
+/// Run a workflow to inertness on a single interpreter.
+pub fn run(
+    wf: &Workflow,
+    registry: &ServiceRegistry,
+    config: CentralizedConfig,
+) -> Result<CentralizedOutcome, RunError> {
+    let mut solution = compile::centralized(wf);
+    let mut engine = Engine::with_config(EngineConfig {
+        max_steps: config.max_steps,
+        shuffle_seed: config.shuffle_seed,
+    });
+    let mut host = CentralizedHost {
+        registry,
+        flow: FlowExterns::new(),
+        missing: None,
+    };
+    let out = engine.reduce(&mut solution, &mut host)?;
+    if let Some(service) = host.missing {
+        return Err(RunError::UnknownService { service });
+    }
+    let mut results = HashMap::new();
+    let mut states = HashMap::new();
+    for atom in solution.atoms().iter() {
+        let Atom::Tuple(v) = atom else { continue };
+        let (Some(name), Some(body)) = (v[0].as_sym(), v[1].as_sub()) else {
+            continue;
+        };
+        let state = match body.keyed_sub(kw::RES) {
+            Some(res) if res.contains(&Atom::sym(kw::ERROR)) => TaskState::Failed,
+            Some(res) => match res.iter().next() {
+                Some(value) => {
+                    results.insert(name.as_str().to_owned(), value.clone());
+                    TaskState::Completed
+                }
+                // RES emptied: trigger_adapt consumed an ERROR.
+                None => TaskState::Failed,
+            },
+            None => TaskState::Idle,
+        };
+        states.insert(name.as_str().to_owned(), state);
+    }
+    Ok(CentralizedOutcome {
+        results,
+        states,
+        applications: out.applications,
+        solution,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ginflow_core::workflow::{ReplacementTask, WorkflowBuilder};
+    use ginflow_core::{patterns, Connectivity, FailingService, ServiceRegistry};
+    use std::sync::Arc;
+
+    fn fig2_registry() -> ServiceRegistry {
+        ServiceRegistry::tracing_for(["s1", "s2", "s3", "s4", "s2p"])
+    }
+
+    fn fig2() -> Workflow {
+        let mut b = WorkflowBuilder::new("fig2");
+        b.task("T1", "s1").input(Value::str("input"));
+        b.task("T2", "s2").after(["T1"]);
+        b.task("T3", "s3").after(["T1"]);
+        b.task("T4", "s4").after(["T2", "T3"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig2_runs_to_completion() {
+        let out = run(&fig2(), &fig2_registry(), CentralizedConfig::default()).unwrap();
+        assert!(out.all_completed(&fig2()));
+        // Full lineage: T4 saw T2's and T3's outputs, both of which saw T1's.
+        assert_eq!(
+            out.result_of("T4"),
+            Some(&Value::Str("s4(s2(s1(input)),s3(s1(input)))".into()))
+        );
+    }
+
+    #[test]
+    fn fig2_confluent_across_orders() {
+        let wf = fig2();
+        let reference = run(&wf, &fig2_registry(), CentralizedConfig::default())
+            .unwrap()
+            .results;
+        for seed in 0..10u64 {
+            let out = run(
+                &wf,
+                &fig2_registry(),
+                CentralizedConfig {
+                    shuffle_seed: Some(seed),
+                    ..CentralizedConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.results, reference, "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn fig5_adaptation_reroutes_through_t2_prime() {
+        // §III-C's walkthrough: T2 fails, T2' takes over, T4 merges T2' + T3.
+        let mut b = WorkflowBuilder::new("fig5");
+        b.task("T1", "s1").input(Value::str("input"));
+        b.task("T2", "s2").after(["T1"]);
+        b.task("T3", "s3").after(["T1"]);
+        b.task("T4", "s4").after(["T2", "T3"]);
+        b.adaptation(
+            "replace-T2",
+            ["T2"],
+            ["T2"],
+            [ReplacementTask::new("T2'", "s2p", ["T1"])],
+        );
+        let wf = b.build().unwrap();
+        let mut registry = fig2_registry();
+        registry.register("s2", Arc::new(FailingService));
+
+        let out = run(&wf, &registry, CentralizedConfig::default()).unwrap();
+        assert_eq!(out.states["T2"], TaskState::Failed);
+        assert_eq!(out.states["T2'"], TaskState::Completed);
+        assert_eq!(out.states["T4"], TaskState::Completed);
+        // Provenance tags sort T2' before T3.
+        assert_eq!(
+            out.result_of("T4"),
+            Some(&Value::Str("s4(s2p(s1(input)),s3(s1(input)))".into()))
+        );
+    }
+
+    #[test]
+    fn failure_without_adaptation_stalls_downstream() {
+        let wf = fig2();
+        let mut registry = fig2_registry();
+        registry.register("s2", Arc::new(FailingService));
+        let out = run(&wf, &registry, CentralizedConfig::default()).unwrap();
+        assert_eq!(out.states["T2"], TaskState::Failed);
+        // T4 never gathered its inputs.
+        assert_eq!(out.states["T4"], TaskState::Idle);
+        assert_eq!(out.states["T3"], TaskState::Completed);
+        assert!(!out.all_completed(&wf));
+    }
+
+    #[test]
+    fn diamond_runs_at_scale() {
+        let wf = patterns::diamond(4, 3, Connectivity::Full, "noop").unwrap();
+        let registry = ServiceRegistry::tracing_for(["noop"]);
+        let out = run(&wf, &registry, CentralizedConfig::default()).unwrap();
+        assert!(out.all_completed(&wf));
+        // The sink's lineage nests one noop() per path step: fully
+        // connected 4×3 gives 1 + 4 + 16 + 64 + 64 occurrences.
+        let sink = out.result_of("out").unwrap();
+        if let Value::Str(s) = sink {
+            assert!(s.starts_with("noop("));
+            assert_eq!(s.matches("noop(").count(), 1 + 4 + 16 + 64 + 64);
+        } else {
+            panic!("expected string result");
+        }
+    }
+
+    #[test]
+    fn unknown_service_reported() {
+        let wf = fig2();
+        let registry = ServiceRegistry::new();
+        match run(&wf, &registry, CentralizedConfig::default()) {
+            Err(RunError::UnknownService { service }) => assert_eq!(service, "s1"),
+            other => panic!("expected UnknownService, got {other:?}"),
+        }
+    }
+}

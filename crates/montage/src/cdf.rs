@@ -1,0 +1,85 @@
+//! Duration CDF helpers — the right half of Fig 15.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three CDF annotation buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Buckets {
+    /// Tasks with duration < 20 s.
+    pub under_20: usize,
+    /// Tasks with 20 s ≤ duration < 60 s.
+    pub between_20_and_60: usize,
+    /// Tasks with duration ≥ 60 s.
+    pub over_60: usize,
+}
+
+/// The empirical CDF of a duration set: sorted `(t, fraction ≤ t)` points.
+pub fn duration_cdf(durations: &[(String, f64)]) -> Vec<(f64, f64)> {
+    let mut times: Vec<f64> = durations.iter().map(|&(_, d)| d).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let n = times.len() as f64;
+    times
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (t, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Bucket a duration set into the Fig 15 annotation classes.
+pub fn bucket_counts(durations: &[(String, f64)]) -> Buckets {
+    let mut b = Buckets {
+        under_20: 0,
+        between_20_and_60: 0,
+        over_60: 0,
+    };
+    for &(_, d) in durations {
+        if d < 20.0 {
+            b.under_20 += 1;
+        } else if d < 60.0 {
+            b.between_20_and_60 += 1;
+        } else {
+            b.over_60 += 1;
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::durations_secs;
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let cdf = duration_cdf(&durations_secs());
+        assert_eq!(cdf.len(), 118);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn canonical_buckets() {
+        let b = bucket_counts(&durations_secs());
+        assert_eq!(
+            b,
+            Buckets {
+                under_20: 8,
+                between_20_and_60: 2,
+                over_60: 108
+            }
+        );
+        assert_eq!(b.under_20 + b.between_20_and_60 + b.over_60, 118);
+        // The dominant mass is the ≥ 60 s band, as in Fig 15.
+        assert!(b.over_60 as f64 / 118.0 > 0.9);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(duration_cdf(&[]).is_empty());
+        let b = bucket_counts(&[]);
+        assert_eq!(b.under_20 + b.between_20_and_60 + b.over_60, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ginflow-montage — the Montage-shaped evaluation workload
+//!
+//! §V-D evaluates resilience "based on a realistic workflow (namely, the
+//! Montage workflow)": 118 tasks building a 100-megapixel mosaic of the
+//! M45 star cluster from the Montage astronomy toolbox. We do not ship the
+//! toolbox binaries; what the experiment actually exercises is the
+//! workflow's *shape* and *duration mix* (Fig 15):
+//!
+//! * a short preprocessing chain;
+//! * a wide band of **108 parallel** projection/diff tasks whose durations
+//!   are "quite heterogeneous: from 60 s to 310 s";
+//! * a merge chain (concat → background model → background → add → shrink
+//!   → JPEG) ending in a single mosaic;
+//! * a duration CDF where ≈ "95% of the services have a running time …
+//!   greater than 15 s" with buckets `T < 20`, `20 < T < 60`, `60 < T`;
+//! * a fault-free makespan of ≈ **484 s**.
+//!
+//! [`workflow`] reproduces all of the above with synthetic idempotent
+//! services (Montage tools are idempotent, which §IV-B relies on). Band
+//! durations are stratified over [60 s, 310 s] so the canonical workload
+//! is deterministic; per-run jitter is applied by the simulator's
+//! `ServiceModel` layer in `ginflow-sim`.
+
+pub mod cdf;
+pub mod workload;
+
+pub use cdf::{bucket_counts, duration_cdf, Buckets};
+pub use workload::{durations_secs, workflow, MontageSpec, BAND_WIDTH, TOTAL_TASKS};

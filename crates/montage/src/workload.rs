@@ -1,0 +1,214 @@
+//! The 118-task Montage-shaped DAG and its duration model.
+
+use ginflow_core::workflow::WorkflowBuilder;
+use ginflow_core::{CoreError, Value, Workflow};
+use serde::{Deserialize, Serialize};
+
+/// Width of the parallel projection/diff band (Fig 15's "…108…").
+pub const BAND_WIDTH: usize = 108;
+
+/// Total task count of the canonical workload.
+pub const TOTAL_TASKS: usize = 118;
+
+/// Stage durations (seconds) of the canonical workload. Chosen so that
+///
+/// * the raw critical path is 31 + 310 + 128 = **469 s**; the simulated
+///   coordination overhead (≈ 7 s) brings the fault-free makespan to the
+///   paper's ≈ 484 s mean;
+/// * band durations span **[60, 310] s** (stratified — "quite
+///   heterogeneous");
+/// * 114/118 ≈ 96.6% of tasks run longer than 15 s (paper: "95%");
+/// * the CDF buckets `T < 20 / 20 ≤ T < 60 / 60 ≤ T` hold 8, 2 and 108
+///   tasks.
+const PRE_STAGES: [(&str, f64); 4] = [
+    ("mArchiveList", 6.0),
+    ("mImgtbl", 4.0),
+    ("mHdr", 9.0),
+    ("mOverlaps", 12.0),
+];
+
+const POST_STAGES: [(&str, f64); 6] = [
+    ("mConcatFit", 18.0),
+    ("mBgModel", 28.0),
+    ("mBackground", 16.0),
+    ("mAdd", 34.0),
+    ("mShrink", 16.0),
+    ("mJPEG", 16.0),
+];
+
+/// Band duration of task `i` (0-based): stratified over [60, 310].
+fn band_duration(i: usize, width: usize) -> f64 {
+    if width <= 1 {
+        return 310.0;
+    }
+    60.0 + 250.0 * (i as f64) / ((width - 1) as f64)
+}
+
+/// Parameters of the generator (the canonical workload is
+/// `MontageSpec::default()`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MontageSpec {
+    /// Parallel band width.
+    pub band_width: usize,
+}
+
+impl Default for MontageSpec {
+    fn default() -> Self {
+        MontageSpec {
+            band_width: BAND_WIDTH,
+        }
+    }
+}
+
+impl MontageSpec {
+    /// Build the workflow DAG.
+    pub fn build(&self) -> Result<Workflow, CoreError> {
+        let mut b = WorkflowBuilder::new("montage-m45");
+        let mut prev: Option<&str> = None;
+        for (name, _) in PRE_STAGES {
+            let t = b.task(name, name);
+            match prev {
+                None => {
+                    t.input(Value::str("m45-archive"));
+                }
+                Some(p) => {
+                    t.after([p]);
+                }
+            }
+            prev = Some(name);
+        }
+        let fan_root = prev.expect("preprocessing chain is non-empty");
+        for i in 0..self.band_width {
+            b.task(band_name(i), "mProjDiff").after([fan_root]);
+        }
+        let mut prev: Option<String> = None;
+        for (name, _) in POST_STAGES {
+            let t = b.task(name, name);
+            match &prev {
+                None => {
+                    t.after((0..self.band_width).map(band_name));
+                }
+                Some(p) => {
+                    t.after([p.clone()]);
+                }
+            }
+            prev = Some(name.to_owned());
+        }
+        b.build()
+    }
+
+    /// Task durations in seconds, in task order.
+    pub fn durations_secs(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::with_capacity(self.band_width + 10);
+        for (name, d) in PRE_STAGES {
+            out.push((name.to_owned(), d));
+        }
+        for i in 0..self.band_width {
+            out.push((band_name(i), band_duration(i, self.band_width)));
+        }
+        for (name, d) in POST_STAGES {
+            out.push((name.to_owned(), d));
+        }
+        out
+    }
+
+    /// The fault-free critical-path length in seconds (ignoring
+    /// coordination overhead).
+    pub fn critical_path_secs(&self) -> f64 {
+        let pre: f64 = PRE_STAGES.iter().map(|(_, d)| d).sum();
+        let post: f64 = POST_STAGES.iter().map(|(_, d)| d).sum();
+        let band_max = (0..self.band_width)
+            .map(|i| band_duration(i, self.band_width))
+            .fold(0.0, f64::max);
+        pre + band_max + post
+    }
+}
+
+fn band_name(i: usize) -> String {
+    format!("mProjDiff_{:03}", i + 1)
+}
+
+/// The canonical 118-task workload.
+pub fn workflow() -> Workflow {
+    MontageSpec::default()
+        .build()
+        .expect("canonical Montage workload is valid")
+}
+
+/// Durations of the canonical workload (seconds).
+pub fn durations_secs() -> Vec<(String, f64)> {
+    MontageSpec::default().durations_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_counts() {
+        let wf = workflow();
+        assert_eq!(wf.dag().len(), TOTAL_TASKS);
+        assert_eq!(wf.dag().sources().len(), 1);
+        assert_eq!(wf.dag().sinks().len(), 1);
+        assert_eq!(wf.dag().sinks()[0], wf.dag().by_name("mJPEG").unwrap());
+        // pre chain (4) + band (108) + post chain (6): depth 4+1+6.
+        assert_eq!(wf.dag().critical_path_len().unwrap(), 11);
+        // Edges: 3 chain + 108 fan-out + 108 fan-in + 5 chain.
+        assert_eq!(wf.dag().edge_count(), 3 + 108 + 108 + 5);
+    }
+
+    #[test]
+    fn critical_path_matches_the_papers_makespan() {
+        let spec = MontageSpec::default();
+        // 477 s of raw compute; the simulator's coordination overhead
+        // (≈ 7 s) lands the observed makespan on the paper's ≈ 484 s.
+        assert!((spec.critical_path_secs() - 469.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_durations_span_60_to_310() {
+        let durations = durations_secs();
+        let band: Vec<f64> = durations
+            .iter()
+            .filter(|(n, _)| n.starts_with("mProjDiff"))
+            .map(|&(_, d)| d)
+            .collect();
+        assert_eq!(band.len(), BAND_WIDTH);
+        assert_eq!(band.iter().cloned().fold(f64::INFINITY, f64::min), 60.0);
+        assert_eq!(band.iter().cloned().fold(0.0, f64::max), 310.0);
+        // Heterogeneous: many distinct values.
+        let mut uniq: Vec<i64> = band.iter().map(|d| (d * 1000.0) as i64).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() > 100);
+    }
+
+    #[test]
+    fn ninety_five_percent_run_longer_than_15s() {
+        let durations = durations_secs();
+        let over15 = durations.iter().filter(|(_, d)| *d > 15.0).count();
+        let fraction = over15 as f64 / durations.len() as f64;
+        assert!(fraction >= 0.95, "got {fraction}");
+    }
+
+    #[test]
+    fn scaled_down_variant_still_valid() {
+        let spec = MontageSpec { band_width: 10 };
+        let wf = spec.build().unwrap();
+        assert_eq!(wf.dag().len(), 20);
+        assert_eq!(spec.durations_secs().len(), 20);
+        assert_eq!(
+            spec.critical_path_secs(),
+            31.0 + 310.0 + 128.0
+        );
+    }
+
+    #[test]
+    fn tasks_and_durations_align() {
+        let wf = workflow();
+        for (name, d) in durations_secs() {
+            assert!(wf.dag().by_name(&name).is_some(), "missing {name}");
+            assert!(d > 0.0);
+        }
+    }
+}

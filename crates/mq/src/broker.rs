@@ -1,0 +1,95 @@
+//! The [`Broker`] abstraction both middleware profiles implement.
+
+use crate::error::MqError;
+use crate::message::Message;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use std::time::Duration;
+
+/// Where a subscription starts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubscribeMode {
+    /// Only messages published after the subscription (both brokers).
+    Latest,
+    /// All retained messages, then live (persistent broker only).
+    Beginning,
+    /// Retained messages from the given offset (single-partition topics),
+    /// then live (persistent broker only).
+    FromOffset(u64),
+}
+
+/// Acknowledgement of a publish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Receipt {
+    /// Partition the message was routed to.
+    pub partition: u32,
+    /// Offset assigned within that partition.
+    pub offset: u64,
+}
+
+/// The middleware interface: topic-based pub/sub with optional
+/// persistence and replay.
+pub trait Broker: Send + Sync {
+    /// Publish `payload` to `topic`; the optional `key` pins the partition
+    /// on partitioned brokers.
+    fn publish(&self, topic: &str, key: Option<Bytes>, payload: Bytes)
+        -> Result<Receipt, MqError>;
+
+    /// Subscribe to a topic.
+    fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError>;
+
+    /// Read retained messages without subscribing (replay). Only the
+    /// persistent broker supports this.
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        from_offset: u64,
+        max: usize,
+    ) -> Result<Vec<Message>, MqError>;
+
+    /// Does the broker retain messages (enabling replay / recovery)?
+    fn persistent(&self) -> bool;
+
+    /// Number of partitions of `topic` (1 if it does not exist yet).
+    fn partitions(&self, topic: &str) -> u32;
+
+    /// Total retained messages in `topic` across partitions (0 on
+    /// non-persistent brokers) — used by recovery to bound replay.
+    fn retained(&self, topic: &str) -> u64;
+}
+
+/// A live subscription: a stream of [`Message`]s.
+pub struct Subscription {
+    pub(crate) rx: Receiver<Message>,
+}
+
+impl Subscription {
+    /// Block until the next message (or the broker goes away).
+    pub fn recv(&self) -> Result<Message, MqError> {
+        self.rx.recv().map_err(|_| MqError::Disconnected)
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Result<Option<Message>, MqError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(MqError::Disconnected),
+        }
+    }
+
+    /// Wait up to `timeout` for the next message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, MqError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(MqError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(MqError::Disconnected),
+        }
+    }
+
+    /// Number of already-delivered messages waiting in the subscription.
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+}

@@ -1,0 +1,63 @@
+//! Broker errors.
+
+use std::fmt;
+
+/// Everything the brokers can refuse to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MqError {
+    /// The requested subscribe/fetch mode needs persistence the broker
+    /// lacks (e.g. replay on the transient broker).
+    NotPersistent {
+        /// The attempted operation.
+        operation: &'static str,
+    },
+    /// Fetch/publish addressed a partition the topic does not have.
+    UnknownPartition {
+        /// Topic name.
+        topic: String,
+        /// The requested partition.
+        partition: u32,
+    },
+    /// The subscription's channel was disconnected (broker dropped).
+    Disconnected,
+    /// Timed out waiting for a message.
+    Timeout,
+}
+
+impl fmt::Display for MqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MqError::NotPersistent { operation } => {
+                write!(
+                    f,
+                    "operation {operation:?} requires a persistent broker (use the log broker)"
+                )
+            }
+            MqError::UnknownPartition { topic, partition } => {
+                write!(f, "topic {topic:?} has no partition {partition}")
+            }
+            MqError::Disconnected => f.write_str("broker disconnected"),
+            MqError::Timeout => f.write_str("timed out waiting for a message"),
+        }
+    }
+}
+
+impl std::error::Error for MqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MqError::NotPersistent { operation: "fetch" }
+            .to_string()
+            .contains("fetch"));
+        assert!(MqError::UnknownPartition {
+            topic: "t".into(),
+            partition: 3
+        }
+        .to_string()
+        .contains('3'));
+    }
+}

@@ -1,0 +1,73 @@
+//! # ginflow-mq — the message-queue substrate
+//!
+//! GinFlow's inter-agent communications "rely on a message queue middleware
+//! which can be either Apache ActiveMQ or Kafka. The choice for one or the
+//! other depends on the level of resilience needed by the user" (§IV-A).
+//! This crate rebuilds both behavioural profiles in-process:
+//!
+//! * [`TransientBroker`] — the ActiveMQ profile: topic pub/sub, at-most-once,
+//!   nothing persisted. Fast, but a crashed agent's history is gone, so SA
+//!   recovery is impossible (exactly the trade-off Fig 14/16 explore).
+//! * [`LogBroker`] — the Kafka profile: partitioned append-only logs with
+//!   monotonically increasing offsets. Subscribers can attach from the
+//!   beginning or any offset, and [`Broker::fetch`] supports the replay
+//!   that §IV-B's fault-recovery mechanism is built on.
+//!
+//! Both implement the [`Broker`] trait, so the agent runtime and the
+//! simulator are generic over the middleware — switching between the two
+//! is the paper's Fig 14 experiment.
+
+pub mod broker;
+pub mod error;
+pub mod log;
+pub mod message;
+pub mod transient;
+
+pub use broker::{Broker, Receipt, SubscribeMode, Subscription};
+pub use error::MqError;
+pub use log::LogBroker;
+pub use message::Message;
+pub use transient::TransientBroker;
+
+use std::sync::Arc;
+
+/// Middleware profile selector (the Fig 14 experiment axis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BrokerKind {
+    /// ActiveMQ-like transient pub/sub.
+    Transient,
+    /// Kafka-like persistent log.
+    Log,
+}
+
+impl BrokerKind {
+    /// Label used in reports ("activemq" / "kafka"), matching the paper's
+    /// terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            BrokerKind::Transient => "activemq",
+            BrokerKind::Log => "kafka",
+        }
+    }
+
+    /// Instantiate the corresponding broker.
+    pub fn build(self) -> Arc<dyn Broker> {
+        match self {
+            BrokerKind::Transient => Arc::new(TransientBroker::new()),
+            BrokerKind::Log => Arc::new(LogBroker::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_builds_matching_brokers() {
+        assert!(!BrokerKind::Transient.build().persistent());
+        assert!(BrokerKind::Log.build().persistent());
+        assert_eq!(BrokerKind::Transient.label(), "activemq");
+        assert_eq!(BrokerKind::Log.label(), "kafka");
+    }
+}

@@ -1,0 +1,339 @@
+//! The Kafka-like persistent log broker.
+//!
+//! Topics are split into partitions; each partition is an append-only log
+//! with dense offsets. Keys hash to partitions (FNV-1a), keyless messages
+//! round-robin. Subscribers may attach at the head, from the beginning, or
+//! from an offset; [`Broker::fetch`] reads retained messages directly —
+//! "we exploit the ability of Kafka to persist the messages exchanged by
+//! the services and to replay them on demand" (§IV-B).
+
+use crate::broker::{Broker, Receipt, SubscribeMode, Subscription};
+use crate::error::MqError;
+use crate::message::Message;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+struct TopicState {
+    partitions: Vec<Vec<Message>>,
+    subscribers: Vec<Sender<Message>>,
+    round_robin: u32,
+}
+
+impl TopicState {
+    fn new(partitions: u32) -> Self {
+        TopicState {
+            partitions: (0..partitions.max(1)).map(|_| Vec::new()).collect(),
+            subscribers: Vec::new(),
+            round_robin: 0,
+        }
+    }
+}
+
+/// Persistent, partitioned, replayable in-memory broker.
+pub struct LogBroker {
+    topics: Mutex<HashMap<String, TopicState>>,
+    default_partitions: u32,
+}
+
+impl Default for LogBroker {
+    fn default() -> Self {
+        LogBroker::new()
+    }
+}
+
+impl LogBroker {
+    /// Broker creating single-partition topics on demand.
+    pub fn new() -> Self {
+        LogBroker {
+            topics: Mutex::new(HashMap::new()),
+            default_partitions: 1,
+        }
+    }
+
+    /// Broker creating `n`-partition topics on demand.
+    pub fn with_default_partitions(n: u32) -> Self {
+        LogBroker {
+            topics: Mutex::new(HashMap::new()),
+            default_partitions: n.max(1),
+        }
+    }
+
+    /// Explicitly create (or resize-check) a topic with `n` partitions.
+    /// Existing topics keep their partition count.
+    pub fn create_topic(&self, topic: &str, partitions: u32) {
+        self.topics
+            .lock()
+            .entry(topic.to_owned())
+            .or_insert_with(|| TopicState::new(partitions));
+    }
+
+    fn route(state: &mut TopicState, key: Option<&Bytes>) -> u32 {
+        let n = state.partitions.len() as u32;
+        match key {
+            Some(k) => fnv1a(k) % n,
+            None => {
+                let p = state.round_robin % n;
+                state.round_robin = state.round_robin.wrapping_add(1);
+                p
+            }
+        }
+    }
+}
+
+/// FNV-1a — deterministic, dependency-free key hashing.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c9dc5;
+    for &b in bytes {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x01000193);
+    }
+    hash
+}
+
+impl Broker for LogBroker {
+    fn publish(
+        &self,
+        topic: &str,
+        key: Option<Bytes>,
+        payload: Bytes,
+    ) -> Result<Receipt, MqError> {
+        let mut topics = self.topics.lock();
+        let default_partitions = self.default_partitions;
+        let state = topics
+            .entry(topic.to_owned())
+            .or_insert_with(|| TopicState::new(default_partitions));
+        let partition = Self::route(state, key.as_ref());
+        let log = &mut state.partitions[partition as usize];
+        let offset = log.len() as u64;
+        let message = Message {
+            topic: topic.to_owned(),
+            partition,
+            offset,
+            key,
+            payload,
+        };
+        log.push(message.clone());
+        state
+            .subscribers
+            .retain(|tx| tx.send(message.clone()).is_ok());
+        Ok(Receipt { partition, offset })
+    }
+
+    fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError> {
+        let (tx, rx) = unbounded();
+        let mut topics = self.topics.lock();
+        let default_partitions = self.default_partitions;
+        let state = topics
+            .entry(topic.to_owned())
+            .or_insert_with(|| TopicState::new(default_partitions));
+        // Replay happens under the topic lock, so no message published
+        // concurrently can be missed or duplicated.
+        match mode {
+            SubscribeMode::Latest => {}
+            SubscribeMode::Beginning => {
+                for log in &state.partitions {
+                    for m in log {
+                        let _ = tx.send(m.clone());
+                    }
+                }
+            }
+            SubscribeMode::FromOffset(from) => {
+                for log in &state.partitions {
+                    for m in log.iter().skip(from as usize) {
+                        let _ = tx.send(m.clone());
+                    }
+                }
+            }
+        }
+        state.subscribers.push(tx);
+        Ok(Subscription { rx })
+    }
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        from_offset: u64,
+        max: usize,
+    ) -> Result<Vec<Message>, MqError> {
+        let topics = self.topics.lock();
+        let state = match topics.get(topic) {
+            Some(s) => s,
+            None => return Ok(Vec::new()),
+        };
+        let log = state.partitions.get(partition as usize).ok_or_else(|| {
+            MqError::UnknownPartition {
+                topic: topic.to_owned(),
+                partition,
+            }
+        })?;
+        Ok(log
+            .iter()
+            .skip(from_offset as usize)
+            .take(max)
+            .cloned()
+            .collect())
+    }
+
+    fn persistent(&self) -> bool {
+        true
+    }
+
+    fn partitions(&self, topic: &str) -> u32 {
+        self.topics
+            .lock()
+            .get(topic)
+            .map(|s| s.partitions.len() as u32)
+            .unwrap_or(1)
+    }
+
+    fn retained(&self, topic: &str) -> u64 {
+        self.topics
+            .lock()
+            .get(topic)
+            .map(|s| s.partitions.iter().map(|p| p.len() as u64).sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn publish_assigns_dense_offsets() {
+        let b = LogBroker::new();
+        for i in 0..4u64 {
+            let r = b.publish("t", None, payload("x")).unwrap();
+            assert_eq!(r.offset, i);
+            assert_eq!(r.partition, 0);
+        }
+        assert_eq!(b.retained("t"), 4);
+    }
+
+    #[test]
+    fn late_subscriber_replays_history() {
+        let b = LogBroker::new();
+        b.publish("t", None, payload("m0")).unwrap();
+        b.publish("t", None, payload("m1")).unwrap();
+        let sub = b.subscribe("t", SubscribeMode::Beginning).unwrap();
+        b.publish("t", None, payload("m2")).unwrap();
+        let got: Vec<String> = (0..3)
+            .map(|_| {
+                sub.recv_timeout(Duration::from_secs(1))
+                    .unwrap()
+                    .payload_str()
+                    .into_owned()
+            })
+            .collect();
+        assert_eq!(got, vec!["m0", "m1", "m2"]);
+    }
+
+    #[test]
+    fn subscribe_from_offset() {
+        let b = LogBroker::new();
+        for i in 0..5 {
+            b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+        }
+        let sub = b.subscribe("t", SubscribeMode::FromOffset(3)).unwrap();
+        assert_eq!(sub.recv().unwrap().payload_str(), "m3");
+        assert_eq!(sub.recv().unwrap().payload_str(), "m4");
+        assert_eq!(sub.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn fetch_replays_without_subscribing() {
+        let b = LogBroker::new();
+        for i in 0..10 {
+            b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+        }
+        let page1 = b.fetch("t", 0, 0, 4).unwrap();
+        assert_eq!(page1.len(), 4);
+        assert_eq!(page1[0].payload_str(), "m0");
+        let page2 = b.fetch("t", 0, 4, 100).unwrap();
+        assert_eq!(page2.len(), 6);
+        assert_eq!(page2[5].payload_str(), "m9");
+        assert!(b.fetch("missing", 0, 0, 10).unwrap().is_empty());
+        assert!(matches!(
+            b.fetch("t", 9, 0, 10),
+            Err(MqError::UnknownPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn keyed_messages_stick_to_partitions() {
+        let b = LogBroker::with_default_partitions(4);
+        let key = Bytes::from_static(b"sa.T7");
+        let mut partitions = std::collections::HashSet::new();
+        for _ in 0..10 {
+            let r = b.publish("t", Some(key.clone()), payload("x")).unwrap();
+            partitions.insert(r.partition);
+        }
+        assert_eq!(partitions.len(), 1, "same key must route identically");
+    }
+
+    #[test]
+    fn per_partition_order_is_preserved() {
+        let b = LogBroker::with_default_partitions(3);
+        // Round-robin spreads keyless messages.
+        for i in 0..9 {
+            b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+        }
+        for p in 0..3 {
+            let log = b.fetch("t", p, 0, 100).unwrap();
+            assert_eq!(log.len(), 3);
+            let offsets: Vec<u64> = log.iter().map(|m| m.offset).collect();
+            assert_eq!(offsets, vec![0, 1, 2], "dense offsets per partition");
+        }
+    }
+
+    #[test]
+    fn replay_then_live_has_no_gap_or_duplicate() {
+        let b = std::sync::Arc::new(LogBroker::new());
+        for i in 0..100 {
+            b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+        }
+        // Subscribe from the beginning while another thread publishes.
+        let b2 = b.clone();
+        let publisher = std::thread::spawn(move || {
+            for i in 100..200 {
+                b2.publish("t", None, payload(&format!("m{i}"))).unwrap();
+            }
+        });
+        let sub = b.subscribe("t", SubscribeMode::Beginning).unwrap();
+        publisher.join().unwrap();
+        let mut seen = Vec::new();
+        while let Some(m) = sub.try_recv().unwrap() {
+            seen.push(m.payload_str().into_owned());
+        }
+        assert_eq!(seen.len(), 200);
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s, &format!("m{i}"));
+        }
+    }
+
+    #[test]
+    fn create_topic_controls_partitions() {
+        let b = LogBroker::new();
+        b.create_topic("wide", 8);
+        assert_eq!(b.partitions("wide"), 8);
+        // Existing topics keep their count.
+        b.create_topic("wide", 2);
+        assert_eq!(b.partitions("wide"), 8);
+        assert_eq!(b.partitions("unknown"), 1);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0x811c9dc5);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

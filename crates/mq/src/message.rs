@@ -1,0 +1,58 @@
+//! Messages flowing through the brokers.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// One delivered message.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Topic the message was published to.
+    pub topic: String,
+    /// Partition within the topic (always 0 on the transient broker).
+    pub partition: u32,
+    /// Offset within the partition (a per-topic sequence number on the
+    /// transient broker — informational only there, stable on the log).
+    pub offset: u64,
+    /// Optional routing key (hashes to a partition on the log broker).
+    pub key: Option<Bytes>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Payload as UTF-8 (diagnostics).
+    pub fn payload_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.payload)
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Message({}/{}@{} {} bytes)",
+            self.topic,
+            self.partition,
+            self.offset,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_and_str() {
+        let m = Message {
+            topic: "sa.T1".into(),
+            partition: 0,
+            offset: 7,
+            key: None,
+            payload: Bytes::from_static(b"hello"),
+        };
+        assert_eq!(m.payload_str(), "hello");
+        assert_eq!(format!("{m:?}"), "Message(sa.T1/0@7 5 bytes)");
+    }
+}

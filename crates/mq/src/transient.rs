@@ -1,0 +1,184 @@
+//! The ActiveMQ-like transient broker: fast topic pub/sub, at-most-once,
+//! no retention.
+
+use crate::broker::{Broker, Receipt, SubscribeMode, Subscription};
+use crate::error::MqError;
+use crate::message::Message;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+#[derive(Default)]
+struct TopicState {
+    /// Per-topic sequence number (informational offset).
+    seq: u64,
+    /// Live subscriber channels; dead ones are pruned on publish.
+    subscribers: Vec<Sender<Message>>,
+}
+
+/// Transient in-memory broker. Messages published to a topic with no
+/// subscriber are dropped — at-most-once, like a non-persistent JMS topic.
+#[derive(Default)]
+pub struct TransientBroker {
+    topics: Mutex<HashMap<String, TopicState>>,
+}
+
+impl TransientBroker {
+    /// New empty broker.
+    pub fn new() -> Self {
+        TransientBroker::default()
+    }
+}
+
+impl Broker for TransientBroker {
+    fn publish(
+        &self,
+        topic: &str,
+        key: Option<Bytes>,
+        payload: Bytes,
+    ) -> Result<Receipt, MqError> {
+        let mut topics = self.topics.lock();
+        let state = topics.entry(topic.to_owned()).or_default();
+        let offset = state.seq;
+        state.seq += 1;
+        let message = Message {
+            topic: topic.to_owned(),
+            partition: 0,
+            offset,
+            key,
+            payload,
+        };
+        state
+            .subscribers
+            .retain(|tx| tx.send(message.clone()).is_ok());
+        Ok(Receipt {
+            partition: 0,
+            offset,
+        })
+    }
+
+    fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError> {
+        match mode {
+            SubscribeMode::Latest => {}
+            SubscribeMode::Beginning | SubscribeMode::FromOffset(_) => {
+                return Err(MqError::NotPersistent {
+                    operation: "subscribe-from-history",
+                })
+            }
+        }
+        let (tx, rx) = unbounded();
+        self.topics
+            .lock()
+            .entry(topic.to_owned())
+            .or_default()
+            .subscribers
+            .push(tx);
+        Ok(Subscription { rx })
+    }
+
+    fn fetch(
+        &self,
+        _topic: &str,
+        _partition: u32,
+        _from_offset: u64,
+        _max: usize,
+    ) -> Result<Vec<Message>, MqError> {
+        Err(MqError::NotPersistent { operation: "fetch" })
+    }
+
+    fn persistent(&self) -> bool {
+        false
+    }
+
+    fn partitions(&self, _topic: &str) -> u32 {
+        1
+    }
+
+    fn retained(&self, _topic: &str) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn pub_sub_delivers_in_order() {
+        let b = TransientBroker::new();
+        let sub = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        for i in 0..5 {
+            b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+        }
+        for i in 0..5 {
+            let m = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.payload_str(), format!("m{i}"));
+            assert_eq!(m.offset, i);
+        }
+        assert_eq!(sub.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn messages_without_subscribers_are_dropped() {
+        let b = TransientBroker::new();
+        b.publish("t", None, payload("lost")).unwrap();
+        let sub = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        b.publish("t", None, payload("seen")).unwrap();
+        let m = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.payload_str(), "seen");
+        assert_eq!(sub.try_recv().unwrap(), None, "history is gone");
+    }
+
+    #[test]
+    fn fanout_to_multiple_subscribers() {
+        let b = TransientBroker::new();
+        let s1 = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        let s2 = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        b.publish("t", None, payload("x")).unwrap();
+        assert_eq!(s1.recv().unwrap().payload_str(), "x");
+        assert_eq!(s2.recv().unwrap().payload_str(), "x");
+    }
+
+    #[test]
+    fn dead_subscribers_are_pruned() {
+        let b = TransientBroker::new();
+        let s1 = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        drop(s1);
+        // Publishing should not error and should prune the dead channel.
+        b.publish("t", None, payload("x")).unwrap();
+        let s2 = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        b.publish("t", None, payload("y")).unwrap();
+        assert_eq!(s2.recv().unwrap().payload_str(), "y");
+    }
+
+    #[test]
+    fn replay_modes_rejected() {
+        let b = TransientBroker::new();
+        assert!(matches!(
+            b.subscribe("t", SubscribeMode::Beginning),
+            Err(MqError::NotPersistent { .. })
+        ));
+        assert!(matches!(
+            b.fetch("t", 0, 0, 10),
+            Err(MqError::NotPersistent { .. })
+        ));
+        assert!(!b.persistent());
+        assert_eq!(b.retained("t"), 0);
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let b = TransientBroker::new();
+        let sa = b.subscribe("a", SubscribeMode::Latest).unwrap();
+        let sb = b.subscribe("b", SubscribeMode::Latest).unwrap();
+        b.publish("a", None, payload("for-a")).unwrap();
+        assert_eq!(sa.recv().unwrap().payload_str(), "for-a");
+        assert_eq!(sb.try_recv().unwrap(), None);
+    }
+}

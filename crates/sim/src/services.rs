@@ -1,0 +1,147 @@
+//! The workload's service-time model: how long each task's invocation
+//! takes in virtual time, plus scripted service failures (the §V-B
+//! "execution exception raised on the last service of the mesh").
+
+use crate::{SimTime, SECOND};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Per-task durations and scripted failures.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Duration per *task name* (µs). Tasks not listed use `default_us`.
+    pub durations_us: HashMap<String, SimTime>,
+    /// Fallback duration (µs).
+    pub default_us: SimTime,
+    /// Tasks whose **first** invocation returns an error (subsequent
+    /// invocations — e.g. after recovery replay — succeed). Drives the
+    /// adaptiveness experiments.
+    pub fail_first: HashSet<String>,
+    /// Tasks whose every invocation returns an error.
+    pub fail_always: HashSet<String>,
+    /// Multiplicative duration jitter: each invocation's duration is drawn
+    /// uniformly from `[1-jitter, 1+jitter] × base`. 0 disables.
+    pub jitter: f64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel::constant(300_000)
+    }
+}
+
+impl ServiceModel {
+    /// Every task takes `us` microseconds (the §V-A synthetic tasks with
+    /// "a (very low) constant execution time").
+    pub fn constant(us: SimTime) -> Self {
+        ServiceModel {
+            durations_us: HashMap::new(),
+            default_us: us,
+            fail_first: HashSet::new(),
+            fail_always: HashSet::new(),
+            jitter: 0.0,
+        }
+    }
+
+    /// Set one task's duration in seconds.
+    pub fn set_duration_secs(&mut self, task: impl Into<String>, secs: f64) -> &mut Self {
+        self.durations_us
+            .insert(task.into(), (secs * SECOND as f64) as SimTime);
+        self
+    }
+
+    /// Script the first invocation of `task` to fail.
+    pub fn fail_first(mut self, task: impl Into<String>) -> Self {
+        self.fail_first.insert(task.into());
+        self
+    }
+
+    /// Apply relative jitter to all durations.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The duration of the `nth` invocation of `task` in the run seeded
+    /// `run_seed`.
+    ///
+    /// Jitter is *deterministic per (seed, task, invocation)*: two runs
+    /// with the same seed draw identical durations for the work they share
+    /// (common random numbers), so the failure campaign's overheads are
+    /// paired differences rather than noise.
+    pub fn duration_of(&self, task: &str, nth: u64, run_seed: u64) -> SimTime {
+        let base = *self.durations_us.get(task).unwrap_or(&self.default_us);
+        if self.jitter > 0.0 {
+            let mut rng = SmallRng::seed_from_u64(mix(run_seed, task, nth));
+            let factor = 1.0 + rng.random_range(-self.jitter..self.jitter);
+            ((base as f64) * factor).max(1.0) as SimTime
+        } else {
+            base
+        }
+    }
+
+    /// Should the `nth` (0-based) invocation of `task` fail?
+    pub fn should_fail(&self, task: &str, nth: u64) -> bool {
+        self.fail_always.contains(task) || (nth == 0 && self.fail_first.contains(task))
+    }
+}
+
+/// Stable 64-bit mix of (seed, task, invocation) — FNV-1a over the parts.
+fn mix(seed: u64, task: &str, nth: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for b in seed.to_le_bytes() {
+        eat(b);
+    }
+    for b in task.bytes() {
+        eat(b);
+    }
+    for b in nth.to_le_bytes() {
+        eat(b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_overrides() {
+        let mut m = ServiceModel::constant(100);
+        m.set_duration_secs("big", 2.0);
+        assert_eq!(m.duration_of("x", 0, 1), 100);
+        assert_eq!(m.duration_of("big", 0, 1), 2 * SECOND);
+    }
+
+    #[test]
+    fn scripted_failures() {
+        let m = ServiceModel::constant(1).fail_first("t9");
+        assert!(m.should_fail("t9", 0));
+        assert!(!m.should_fail("t9", 1));
+        assert!(!m.should_fail("other", 0));
+        let mut m = ServiceModel::constant(1);
+        m.fail_always.insert("dead".into());
+        assert!(m.should_fail("dead", 5));
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_paired() {
+        let m = ServiceModel::constant(1_000_000).with_jitter(0.1);
+        for nth in 0..50u64 {
+            let d1 = m.duration_of("t", nth, 7);
+            let d2 = m.duration_of("t", nth, 7);
+            assert_eq!(d1, d2, "same (seed, task, nth) — same duration");
+            assert!((900_000..=1_100_000).contains(&d1));
+        }
+        // Different tasks / invocations / seeds draw differently.
+        assert_ne!(m.duration_of("t", 0, 7), m.duration_of("u", 0, 7));
+        assert_ne!(m.duration_of("t", 0, 7), m.duration_of("t", 1, 7));
+        assert_ne!(m.duration_of("t", 0, 7), m.duration_of("t", 0, 8));
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's §III-A HOCL walkthrough: the `getMax` program, then its
+//! higher-order variant where a one-shot `clean` rule extracts the result
+//! and removes the `max` rule from the solution.
+//!
+//! ```sh
+//! cargo run --example chemistry_getmax
+//! ```
+
+use ginflow::hocl::{parse_program, pretty, Engine, NoExterns};
+
+fn main() {
+    // let max = replace x, y by x if x ≥ y in ⟨2, 3, 5, 8, 9, max⟩
+    let src = "
+        let max = replace ?x, ?y by ?x if ?x >= ?y in
+        <2, 3, 5, 8, 9, max>
+    ";
+    let program = parse_program(src).expect("parses");
+    let mut solution = program.solution.clone();
+    println!("initial:  {solution}");
+    let out = Engine::new()
+        .reduce(&mut solution, &mut NoExterns)
+        .expect("reduces");
+    println!("inert:    {solution}   ({} reactions)", out.applications);
+
+    // The higher-order version: clean = replace-one ⟨max, ω⟩ by ω.
+    let src = "
+        let max = replace ?x, ?y by ?x if ?x >= ?y in
+        let clean = replace-one <rule(max), *w> by ?w in
+        <<2, 3, 5, 8, 9, max>, clean>
+    ";
+    let program = parse_program(src).expect("parses");
+    println!("\nhigher-order program:\n{}", pretty(&program));
+    let mut solution = program.solution;
+    let out = Engine::new()
+        .reduce(&mut solution, &mut NoExterns)
+        .expect("reduces");
+    println!(
+        "final solution: {solution}   ({} reactions — max and clean both consumed)",
+        out.applications
+    );
+    assert_eq!(format!("{solution}"), "<9>");
+}

@@ -1,0 +1,57 @@
+//! §IV-B recovery on real threads: run a pipeline over the persistent log
+//! broker, crash an agent mid-workflow, and watch a fresh incarnation
+//! replay its inbox and finish the job.
+//!
+//! ```sh
+//! cargo run --example resilient_run
+//! ```
+
+use ginflow::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // A five-stage pipeline with slow middle stages so the crash lands
+    // mid-execution.
+    let mut b = WorkflowBuilder::new("pipeline");
+    b.task("extract", "svc").input(Value::str("dataset"));
+    b.task("clean", "slow").after(["extract"]);
+    b.task("transform", "slow").after(["clean"]);
+    b.task("aggregate", "svc").after(["transform"]);
+    b.task("publish", "svc").after(["aggregate"]);
+    let wf = b.build().expect("valid pipeline");
+
+    let mut registry = ServiceRegistry::tracing_for(["svc"]);
+    registry.register(
+        "slow",
+        Arc::new(ginflow::core::SleepService::new(
+            Duration::from_millis(150),
+            TraceService::new("slow"),
+        )),
+    );
+
+    // The log broker retains every message — recovery depends on it.
+    let broker: Arc<dyn Broker> = Arc::new(LogBroker::new());
+    let runtime = ThreadedRuntime::new(broker, Arc::new(registry));
+    let run = runtime.launch(&wf);
+
+    // Crash `transform` before it can do its work.
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(run.kill("transform"));
+    std::thread::sleep(Duration::from_millis(60));
+    println!("crashed agent `transform` (alive: {})", run.alive("transform"));
+
+    // Start a replacement: it replays its whole inbox from the log.
+    assert!(run.respawn("transform"));
+    println!("respawned `transform` (incarnation {})", run.incarnation("transform"));
+
+    let results = run
+        .wait(Duration::from_secs(15))
+        .expect("the recovered workflow completes");
+    println!("publish result: {}", results["publish"]);
+    println!("final states:");
+    for (task, state) in run.statuses() {
+        println!("  {task:<10} {state}");
+    }
+    run.shutdown();
+}

@@ -1,0 +1,100 @@
+//! Workspace-level property tests: random workflows must execute
+//! consistently across the centralized reference and the simulator.
+
+use ginflow::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random layered DAG: `layers` layers of 1..=width tasks; every task
+/// depends on ≥ 1 task of the previous layer.
+fn random_workflow(seed: u64, layers: usize, width: usize) -> Workflow {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = WorkflowBuilder::new(format!("random-{seed}"));
+    let mut previous: Vec<String> = Vec::new();
+    for layer in 0..layers {
+        let n = rng.random_range(1..=width);
+        let mut current = Vec::with_capacity(n);
+        for i in 0..n {
+            let name = format!("t{layer}_{i}");
+            let tb = b.task(&name, "noop");
+            if previous.is_empty() {
+                tb.input(Value::int(layer as i64));
+            } else {
+                // 1..=3 dependencies from the previous layer.
+                let k = rng.random_range(1..=previous.len().min(3));
+                let mut deps = previous.clone();
+                for j in (1..deps.len()).rev() {
+                    let swap = rng.random_range(0..=j);
+                    deps.swap(j, swap);
+                }
+                deps.truncate(k);
+                tb.after(deps);
+            }
+            current.push(name);
+        }
+        previous = current;
+    }
+    b.build().expect("layered graphs are acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every random workflow completes in the centralized interpreter and
+    /// in the simulator, with identical per-task completion states.
+    #[test]
+    fn random_workflows_complete_everywhere(seed in 0u64..10_000, layers in 2usize..5, width in 1usize..5) {
+        let wf = random_workflow(seed, layers, width);
+        let registry = ServiceRegistry::tracing_for(["noop"]);
+        let centralized = run_centralized(&wf, &registry, CentralizedConfig::default()).unwrap();
+        prop_assert!(centralized.all_completed(&wf));
+
+        let report = simulate(&wf, &SimConfig {
+            services: ServiceModel::constant(10_000),
+            ..SimConfig::default()
+        });
+        prop_assert!(report.completed);
+        for (_, spec) in wf.dag().iter() {
+            prop_assert_eq!(
+                report.states.get(&spec.name).copied(),
+                Some(TaskState::Completed),
+                "task {} in {}", spec.name, wf.name()
+            );
+        }
+    }
+
+    /// The simulator is deterministic: same seed ⇒ identical report.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..10_000) {
+        let wf = random_workflow(seed, 3, 4);
+        let config = SimConfig {
+            services: ServiceModel::constant(10_000).with_jitter(0.1),
+            seed,
+            ..SimConfig::default()
+        };
+        let a = simulate(&wf, &config);
+        let b = simulate(&wf, &config);
+        prop_assert_eq!(a.makespan_us, b.makespan_us);
+        prop_assert_eq!(a.messages, b.messages);
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// Centralized reduction is confluent: shuffled reduction orders give
+    /// the same results on random workflows.
+    #[test]
+    fn centralized_confluence(seed in 0u64..3_000) {
+        let wf = random_workflow(seed, 3, 3);
+        let registry = ServiceRegistry::tracing_for(["noop"]);
+        let reference = run_centralized(&wf, &registry, CentralizedConfig::default())
+            .unwrap()
+            .results;
+        let shuffled = run_centralized(&wf, &registry, CentralizedConfig {
+            shuffle_seed: Some(seed ^ 0xdead),
+            ..CentralizedConfig::default()
+        })
+        .unwrap()
+        .results;
+        prop_assert_eq!(reference, shuffled);
+    }
+}
