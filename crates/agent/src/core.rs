@@ -83,9 +83,11 @@ impl ExternHost for AgentHost<'_> {
             names::INVOKE => Ok(ExternResult::Deferred),
             names::SEND_RESULT => {
                 let (to, from, value) = match args {
-                    [Atom::Sym(to), Atom::Sym(from), value] => {
-                        (to.as_str().to_owned(), from.as_str().to_owned(), value.clone())
-                    }
+                    [Atom::Sym(to), Atom::Sym(from), value] => (
+                        to.as_str().to_owned(),
+                        from.as_str().to_owned(),
+                        value.clone(),
+                    ),
                     _ => {
                         return Err(HoclError::ExternFailed {
                             name: names::SEND_RESULT.into(),
@@ -100,13 +102,13 @@ impl ExternHost for AgentHost<'_> {
                 Ok(ExternResult::Atoms(vec![]))
             }
             names::ADAPT_NOTIFY => {
-                let k = args
-                    .first()
-                    .and_then(Atom::as_int)
-                    .ok_or_else(|| HoclError::ExternFailed {
-                        name: names::ADAPT_NOTIFY.into(),
-                        reason: "expected the adaptation id".into(),
-                    })? as u32;
+                let k =
+                    args.first()
+                        .and_then(Atom::as_int)
+                        .ok_or_else(|| HoclError::ExternFailed {
+                            name: names::ADAPT_NOTIFY.into(),
+                            reason: "expected the adaptation id".into(),
+                        })? as u32;
                 match self.plans.iter().find(|p| p.adaptation.0 == k) {
                     Some(plan) => {
                         for t in &plan.adapt_targets {
@@ -196,19 +198,15 @@ impl SaCore {
             Event::Start => {}
             Event::Deliver(message) => {
                 let atom = match message {
-                    SaMessage::Result { from, value } => Atom::tuple([
-                        Atom::sym(kw::DELIVER),
-                        Atom::sym(from),
-                        value,
-                    ]),
-                    SaMessage::Adapt { adaptation } => Atom::tuple([
-                        Atom::sym(kw::ADAPT),
-                        Atom::int(adaptation as i64),
-                    ]),
-                    SaMessage::Trigger { adaptation } => Atom::tuple([
-                        Atom::sym(kw::TRIGGER),
-                        Atom::int(adaptation as i64),
-                    ]),
+                    SaMessage::Result { from, value } => {
+                        Atom::tuple([Atom::sym(kw::DELIVER), Atom::sym(from), value])
+                    }
+                    SaMessage::Adapt { adaptation } => {
+                        Atom::tuple([Atom::sym(kw::ADAPT), Atom::int(adaptation as i64)])
+                    }
+                    SaMessage::Trigger { adaptation } => {
+                        Atom::tuple([Atom::sym(kw::TRIGGER), Atom::int(adaptation as i64)])
+                    }
                 };
                 self.solution.insert(atom);
             }
@@ -219,7 +217,10 @@ impl SaCore {
                 };
                 // A recovered agent may receive completions for effects of
                 // its previous incarnation — those are unknown and ignored.
-                match self.engine.resume(&mut self.solution, effect, atoms, &mut host) {
+                match self
+                    .engine
+                    .resume(&mut self.solution, effect, atoms, &mut host)
+                {
                     Ok(()) => {}
                     Err(HoclError::UnknownEffect(_)) => return Ok(vec![]),
                     Err(e) => return Err(e),
@@ -351,9 +352,13 @@ mod tests {
         assert_eq!(service, "s1");
         assert_eq!(params, vec![Value::str("input")]);
         assert_eq!(t1.state(), TaskState::Running);
-        assert!(commands
-            .iter()
-            .any(|c| matches!(c, Command::Publish { state: TaskState::Running, .. })));
+        assert!(commands.iter().any(|c| matches!(
+            c,
+            Command::Publish {
+                state: TaskState::Running,
+                ..
+            }
+        )));
     }
 
     #[test]

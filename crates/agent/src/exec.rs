@@ -1,0 +1,171 @@
+//! Machinery shared by both runtimes (the event-driven
+//! [`crate::scheduler::Scheduler`] and the legacy thread-per-agent
+//! backend): command execution, the status board, and the status
+//! collector loop.
+
+use crate::core::{Command, Event, SaCore};
+use crate::message::{topics, StatusUpdate};
+use crate::runtime::WaitError;
+use ginflow_core::{ServiceRegistry, TaskState, Value};
+use ginflow_mq::{Broker, Subscription};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything needed to run one agent's events: the broker for sends and
+/// status publishes, the registry for service invocations, and the
+/// agent's identity.
+pub(crate) struct AgentCtx<'a> {
+    pub broker: &'a dyn Broker,
+    pub registry: &'a ServiceRegistry,
+    pub name: &'a str,
+    pub incarnation: u32,
+}
+
+impl AgentCtx<'_> {
+    /// Run one event through the core and execute every resulting
+    /// command, feeding service completions back in until quiescence.
+    pub fn dispatch(&self, core: &mut SaCore, event: Event) -> Result<(), ()> {
+        let mut queue: VecDeque<Event> = VecDeque::from([event]);
+        while let Some(event) = queue.pop_front() {
+            let commands = core.handle(event).map_err(|_| ())?;
+            for command in commands {
+                match command {
+                    Command::Invoke {
+                        effect,
+                        service,
+                        params,
+                    } => {
+                        let result = match self.registry.get(&service) {
+                            Some(s) => s.invoke(&params).map_err(|e| e.message),
+                            None => Err(format!("unknown service {service:?}")),
+                        };
+                        queue.push_back(Event::ServiceCompleted { effect, result });
+                    }
+                    Command::Send { to, message } => {
+                        let _ = self.broker.publish(
+                            &topics::inbox(&to),
+                            Some(bytes::Bytes::from(to.clone().into_bytes())),
+                            message.encode(),
+                        );
+                    }
+                    Command::Publish { state, result } => {
+                        let update = StatusUpdate {
+                            task: self.name.to_owned(),
+                            state,
+                            result,
+                            incarnation: self.incarnation,
+                        };
+                        let _ = self.broker.publish(topics::STATUS, None, update.encode());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The observed workflow state: latest status update per task, with a
+/// condvar so waiters block instead of polling.
+#[derive(Default)]
+pub(crate) struct StatusBoard {
+    statuses: Mutex<HashMap<String, StatusUpdate>>,
+    changed: Condvar,
+}
+
+impl StatusBoard {
+    /// Record an update and wake waiters.
+    pub fn record(&self, update: StatusUpdate) {
+        self.statuses.lock().insert(update.task.clone(), update);
+        self.changed.notify_all();
+    }
+
+    /// Latest observed state of a task.
+    pub fn state_of(&self, task: &str) -> Option<TaskState> {
+        self.statuses.lock().get(task).map(|s| s.state)
+    }
+
+    /// Latest observed result of a task.
+    pub fn result_of(&self, task: &str) -> Option<Value> {
+        self.statuses
+            .lock()
+            .get(task)
+            .and_then(|s| s.result.clone())
+    }
+
+    /// Snapshot of all observed task states, sorted by task name.
+    pub fn snapshot(&self) -> Vec<(String, TaskState)> {
+        let mut v: Vec<(String, TaskState)> = self
+            .statuses
+            .lock()
+            .iter()
+            .map(|(k, s)| (k.clone(), s.state))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Block (no polling — woken by [`StatusBoard::record`]) until every
+    /// sink completed, returning their results.
+    pub fn wait_for_sinks(
+        &self,
+        sinks: &[String],
+        timeout: Duration,
+    ) -> Result<HashMap<String, Value>, WaitError> {
+        let deadline = Instant::now() + timeout;
+        let mut statuses = self.statuses.lock();
+        loop {
+            let done = sinks
+                .iter()
+                .all(|s| statuses.get(s).map(|u| u.state) == Some(TaskState::Completed));
+            if done {
+                return Ok(sinks
+                    .iter()
+                    .filter_map(|s| {
+                        statuses
+                            .get(s)
+                            .and_then(|u| u.result.clone())
+                            .map(|r| (s.clone(), r))
+                    })
+                    .collect());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let mut snapshot: Vec<(String, TaskState)> =
+                    statuses.iter().map(|(k, s)| (k.clone(), s.state)).collect();
+                snapshot.sort_by(|a, b| a.0.cmp(&b.0));
+                return Err(WaitError::Timeout { statuses: snapshot });
+            }
+            self.changed.wait_for(&mut statuses, deadline - now);
+        }
+    }
+}
+
+/// The status collector: drains the shared status topic into the board.
+/// Fully blocking — woken by deliveries, and by the empty-payload
+/// sentinel [`publish_shutdown_sentinel`] emits at shutdown.
+pub(crate) fn status_loop(board: Arc<StatusBoard>, sub: Subscription, shutdown: Arc<AtomicBool>) {
+    loop {
+        match sub.recv() {
+            Ok(msg) => match StatusUpdate::decode(&msg.payload) {
+                Some(update) => board.record(update),
+                // Undecodable payloads are the shutdown sentinel (or
+                // foreign noise on a shared broker; either way, check).
+                None => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+            },
+            Err(_) => return,
+        }
+    }
+}
+
+/// Wake every status collector on the broker so it can observe its
+/// shutdown flag. Runs sharing a broker ignore each other's sentinels.
+pub(crate) fn publish_shutdown_sentinel(broker: &dyn Broker) {
+    let _ = broker.publish(topics::STATUS, None, bytes::Bytes::new());
+}

@@ -4,7 +4,7 @@
 //! invoke, "a storage place for a local copy of the multiset" and "an HOCL
 //! interpreter that reads and updates the local copy … each time it tries
 //! to apply one of the rules in the subsolution" (§IV-A). This crate
-//! implements the SA twice over the same logic:
+//! implements the SA logic once and executes it three ways:
 //!
 //! * [`SaCore`] — a **sans-IO state machine**: events in
 //!   ([`Event::Deliver`], [`Event::ServiceCompleted`]), commands out
@@ -13,18 +13,34 @@
 //!   *same* coordination logic is driven by real threads here and by the
 //!   virtual-time simulator in `ginflow-sim` — what the benchmarks measure
 //!   is what the tests execute.
-//! * [`runtime::ThreadedRuntime`] — one thread per SA over a
-//!   [`ginflow_mq::Broker`], with the recovery mechanism of §IV-B: a
-//!   crashed SA is replaced by a fresh one that *replays its inbox topic*
-//!   from the beginning of the persistent log, rebuilding the lost local
-//!   state ("being able to log all incoming molecules of a SA and replay
-//!   them in the same order on a newly created SA will lead the second SA
-//!   in the same state as the first").
+//! * [`scheduler::Scheduler`] — the **event-driven, sharded worker-pool
+//!   runtime**: a fixed pool of workers drives every agent, each parked
+//!   until its inbox topic wakes it through the broker's publish path
+//!   ([`ginflow_mq::Subscription::set_waker`]). Scales to thousands of
+//!   agents per process with zero idle CPU.
+//! * the legacy **thread-per-agent** backend
+//!   ([`RunOptions::legacy_threads`]) — one polling OS thread per SA,
+//!   kept as the A/B baseline.
+//!
+//! Both runtimes implement the recovery mechanism of §IV-B: a crashed SA
+//! is replaced by a fresh one that *replays its inbox topic* from the
+//! beginning of the persistent log, rebuilding the lost local state
+//! ("being able to log all incoming molecules of a SA and replay them in
+//! the same order on a newly created SA will lead the second SA in the
+//! same state as the first").
 
 pub mod core;
+mod exec;
 pub mod message;
 pub mod runtime;
+pub mod scheduler;
 
 pub use crate::core::{Command, Event, SaCore};
 pub use message::{topics, SaMessage, StatusUpdate};
-pub use runtime::{RunOptions, ThreadedRuntime, WaitError, WorkflowRun};
+pub use runtime::{RunOptions, WaitError};
+pub use scheduler::{Scheduler, WorkflowRun};
+
+/// The historical name of the launcher, kept so existing call sites keep
+/// compiling; it now dispatches to the event-driven scheduler by default
+/// (pass [`RunOptions::legacy()`] for the original behaviour).
+pub type ThreadedRuntime = Scheduler;

@@ -1,52 +1,92 @@
-//! The threaded runtime: one OS thread per service agent over a
-//! [`Broker`], plus the §IV-B recovery machinery.
+//! Runtime configuration plus the **legacy** thread-per-agent backend.
+//!
+//! The seed reproduction ran one OS thread per service agent, each
+//! polling its inbox every 5 ms. That backend survives here — selected
+//! with [`RunOptions::legacy_threads`] — as the A/B baseline for the
+//! event-driven [`crate::scheduler::Scheduler`], which parks agents on
+//! broker wakeups instead and drives them from a bounded worker pool.
 //!
 //! Agents communicate point-to-point through per-task inbox topics and
-//! publish state transitions to the shared status topic (the runtime view
-//! of the shared multiset). A *crash* is simulated by a kill flag the
-//! agent observes between events — the thread exits, losing all local
-//! state, exactly like the paper's killed JVM. *Recovery* starts a fresh
-//! agent for the task; on a persistent broker it subscribes to its inbox
-//! **from the beginning**, replaying every molecule the dead incarnation
-//! ever received ("replay them in the same order on a newly created SA").
-//! Replayed invocations re-run the (idempotent) service and duplicate
-//! results are structurally ignored by the receivers' `gw_recv` rule.
-//!
-//! With the transient broker the same recovery *starts* but has no history
-//! to replay, so the workflow hangs — the reason the paper pairs recovery
-//! with Kafka (§IV-B) and accepts ActiveMQ's speed only when resilience is
-//! not needed (Fig 14 vs Fig 16).
+//! publish state transitions to the shared status topic (the runtime
+//! view of the shared multiset). A *crash* is simulated by a kill flag
+//! the agent observes between events — losing all local state, exactly
+//! like the paper's killed JVM. *Recovery* starts a fresh agent for the
+//! task; on a persistent broker it subscribes to its inbox **from the
+//! beginning**, replaying every molecule the dead incarnation ever
+//! received ("replay them in the same order on a newly created SA").
+//! With the transient broker the same recovery *starts* but has no
+//! history to replay, so the workflow hangs — the reason the paper pairs
+//! recovery with Kafka (§IV-B).
 
-use crate::core::{Command, Event, SaCore};
-use crate::message::{topics, SaMessage, StatusUpdate};
-use ginflow_core::{ServiceRegistry, TaskState, Value, Workflow};
-use ginflow_hoclflow::{agent_programs, AdaptPlan, AgentProgram};
+use crate::core::{Event, SaCore};
+use crate::exec::{publish_shutdown_sentinel, status_loop, AgentCtx, StatusBoard};
+use crate::message::{topics, SaMessage};
+use ginflow_core::{ServiceRegistry, TaskState, Value};
+use ginflow_hoclflow::{AdaptPlan, AgentProgram};
 use ginflow_mq::{Broker, SubscribeMode, Subscription};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Runtime tuning.
+/// Runtime tuning, shared by both backends.
 #[derive(Clone, Debug)]
 pub struct RunOptions {
-    /// Inbox poll interval (also the crash-flag observation granularity).
-    pub poll_interval: Duration,
-    /// Automatically respawn agents whose thread died (the recovery
-    /// manager of §IV-B). Requires a persistent broker to be useful.
+    /// Worker threads of the event-driven scheduler. `0` (the default)
+    /// resolves to the machine's available parallelism. Ignored by the
+    /// legacy backend, which spawns one thread per agent regardless.
+    ///
+    /// Service invocations run inline on the workers, so long-blocking
+    /// services serialize per shard: until service offloading lands
+    /// (see ROADMAP), raise this — or use [`RunOptions::legacy`] — for
+    /// workloads dominated by slow external services.
+    pub workers: usize,
+    /// Run the seed's thread-per-agent polling backend instead of the
+    /// worker-pool scheduler — the A/B escape hatch.
+    pub legacy_threads: bool,
+    /// Automatically respawn dead agents (the recovery manager of
+    /// §IV-B). Requires a persistent broker to be useful.
     pub auto_recover: bool,
-    /// How often the recovery manager scans for dead agents.
+    /// Legacy backend only: inbox poll interval (also the crash-flag
+    /// observation granularity).
+    pub poll_interval: Duration,
+    /// Legacy backend only: how often the recovery manager scans for
+    /// dead agent threads. (The event-driven scheduler needs no scan —
+    /// dying agents notify their recovery manager directly.)
     pub monitor_interval: Duration,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
-            poll_interval: Duration::from_millis(5),
+            workers: 0,
+            legacy_threads: false,
             auto_recover: false,
+            poll_interval: Duration::from_millis(5),
             monitor_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RunOptions {
+    /// The seed's thread-per-agent backend, defaults otherwise.
+    pub fn legacy() -> Self {
+        RunOptions {
+            legacy_threads: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// The worker count to use: explicit, or the machine's parallelism.
+    pub(crate) fn resolve_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         }
     }
 }
@@ -77,99 +117,9 @@ impl std::fmt::Display for WaitError {
 
 impl std::error::Error for WaitError {}
 
-/// The launcher. Deployment strategies (`ginflow-executor`) decide *where*
-/// agents go; this runtime is the *how*.
-pub struct ThreadedRuntime {
-    broker: Arc<dyn Broker>,
-    registry: Arc<ServiceRegistry>,
-    options: RunOptions,
-}
-
-impl ThreadedRuntime {
-    /// Runtime over a broker and service registry.
-    pub fn new(broker: Arc<dyn Broker>, registry: Arc<ServiceRegistry>) -> Self {
-        ThreadedRuntime {
-            broker,
-            registry,
-            options: RunOptions::default(),
-        }
-    }
-
-    /// Override the default options.
-    pub fn with_options(mut self, options: RunOptions) -> Self {
-        self.options = options;
-        self
-    }
-
-    /// Compile `workflow` and launch one agent per task.
-    pub fn launch(&self, workflow: &Workflow) -> WorkflowRun {
-        let (agents, plans) = agent_programs(workflow);
-        self.launch_programs(agents, plans)
-    }
-
-    /// Launch pre-compiled agent programs.
-    pub fn launch_programs(
-        &self,
-        agents: Vec<AgentProgram>,
-        plans: Vec<AdaptPlan>,
-    ) -> WorkflowRun {
-        let sinks: Vec<String> = agents
-            .iter()
-            .filter(|a| a.is_sink())
-            .map(|a| a.name.clone())
-            .collect();
-        let inner = Arc::new(RunInner {
-            broker: self.broker.clone(),
-            registry: self.registry.clone(),
-            programs: agents
-                .iter()
-                .map(|a| (a.name.clone(), a.clone()))
-                .collect(),
-            plans: Arc::new(plans),
-            agents: Mutex::new(HashMap::new()),
-            statuses: Mutex::new(HashMap::new()),
-            incarnations: Mutex::new(HashMap::new()),
-            shutdown: AtomicBool::new(false),
-            options: self.options.clone(),
-            sinks,
-        });
-
-        // Status collector first: no update may be missed.
-        let status_sub = inner
-            .broker
-            .subscribe(topics::STATUS, SubscribeMode::Latest)
-            .expect("status subscription");
-        let status_inner = inner.clone();
-        let status_thread = std::thread::spawn(move || status_loop(status_inner, status_sub));
-
-        // All inbox subscriptions are created before any agent starts, so
-        // no agent can publish to a not-yet-subscribed inbox.
-        let mut pending: Vec<(AgentProgram, Subscription)> = Vec::with_capacity(agents.len());
-        for program in agents {
-            let sub = inner
-                .broker
-                .subscribe(&topics::inbox(&program.name), SubscribeMode::Latest)
-                .expect("inbox subscription");
-            pending.push((program, sub));
-        }
-        for (program, sub) in pending {
-            spawn_agent(&inner, program, sub, 0);
-        }
-
-        let monitor_thread = if self.options.auto_recover {
-            let mon_inner = inner.clone();
-            Some(std::thread::spawn(move || monitor_loop(mon_inner)))
-        } else {
-            None
-        };
-
-        WorkflowRun {
-            inner,
-            status_thread: Some(status_thread),
-            monitor_thread,
-        }
-    }
-}
+// ---------------------------------------------------------------------
+// The legacy thread-per-agent backend
+// ---------------------------------------------------------------------
 
 struct AgentHandle {
     kill: Arc<AtomicBool>,
@@ -177,89 +127,99 @@ struct AgentHandle {
     incarnation: u32,
 }
 
-struct RunInner {
+struct LegacyInner {
     broker: Arc<dyn Broker>,
     registry: Arc<ServiceRegistry>,
     programs: HashMap<String, AgentProgram>,
     plans: Arc<Vec<AdaptPlan>>,
     agents: Mutex<HashMap<String, AgentHandle>>,
-    statuses: Mutex<HashMap<String, StatusUpdate>>,
     incarnations: Mutex<HashMap<String, u32>>,
-    shutdown: AtomicBool,
+    board: Arc<StatusBoard>,
+    shutdown: Arc<AtomicBool>,
     options: RunOptions,
     sinks: Vec<String>,
 }
 
-/// A launched workflow: status observation, fault injection, recovery.
-pub struct WorkflowRun {
-    inner: Arc<RunInner>,
+/// A workflow running on one thread per agent (the seed runtime).
+pub(crate) struct LegacyRun {
+    inner: Arc<LegacyInner>,
     status_thread: Option<JoinHandle<()>>,
     monitor_thread: Option<JoinHandle<()>>,
 }
 
-impl WorkflowRun {
-    /// Latest observed state of a task.
-    pub fn state_of(&self, task: &str) -> Option<TaskState> {
-        self.inner.statuses.lock().get(task).map(|s| s.state)
+pub(crate) fn launch_legacy(
+    broker: Arc<dyn Broker>,
+    registry: Arc<ServiceRegistry>,
+    agents: Vec<AgentProgram>,
+    plans: Vec<AdaptPlan>,
+    options: RunOptions,
+) -> LegacyRun {
+    let sinks: Vec<String> = agents
+        .iter()
+        .filter(|a| a.is_sink())
+        .map(|a| a.name.clone())
+        .collect();
+    let inner = Arc::new(LegacyInner {
+        broker,
+        registry,
+        programs: agents.iter().map(|a| (a.name.clone(), a.clone())).collect(),
+        plans: Arc::new(plans),
+        agents: Mutex::new(HashMap::new()),
+        incarnations: Mutex::new(HashMap::new()),
+        board: Arc::new(StatusBoard::default()),
+        shutdown: Arc::new(AtomicBool::new(false)),
+        options,
+        sinks,
+    });
+
+    // Status collector first: no update may be missed.
+    let status_sub = inner
+        .broker
+        .subscribe(topics::STATUS, SubscribeMode::Latest)
+        .expect("status subscription");
+    let status_thread = {
+        let board = inner.board.clone();
+        let shutdown = inner.shutdown.clone();
+        std::thread::spawn(move || status_loop(board, status_sub, shutdown))
+    };
+
+    // All inbox subscriptions are created before any agent starts, so
+    // no agent can publish to a not-yet-subscribed inbox.
+    let mut pending: Vec<(AgentProgram, Subscription)> = Vec::with_capacity(agents.len());
+    for program in agents {
+        let sub = inner
+            .broker
+            .subscribe(&topics::inbox(&program.name), SubscribeMode::Latest)
+            .expect("inbox subscription");
+        pending.push((program, sub));
+    }
+    for (program, sub) in pending {
+        spawn_agent(&inner, program, sub, 0);
     }
 
-    /// Latest observed result of a task.
-    pub fn result_of(&self, task: &str) -> Option<Value> {
-        self.inner
-            .statuses
-            .lock()
-            .get(task)
-            .and_then(|s| s.result.clone())
+    let monitor_thread = if inner.options.auto_recover {
+        let mon_inner = inner.clone();
+        Some(std::thread::spawn(move || monitor_loop(mon_inner)))
+    } else {
+        None
+    };
+
+    LegacyRun {
+        inner,
+        status_thread: Some(status_thread),
+        monitor_thread,
+    }
+}
+
+impl LegacyRun {
+    pub fn board(&self) -> &StatusBoard {
+        &self.inner.board
     }
 
-    /// Snapshot of all observed task states.
-    pub fn statuses(&self) -> Vec<(String, TaskState)> {
-        let mut v: Vec<(String, TaskState)> = self
-            .inner
-            .statuses
-            .lock()
-            .iter()
-            .map(|(k, s)| (k.clone(), s.state))
-            .collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
-        v
-    }
-
-    /// Block until every sink task completes; returns their results.
     pub fn wait(&self, timeout: Duration) -> Result<HashMap<String, Value>, WaitError> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            {
-                let statuses = self.inner.statuses.lock();
-                let done = self.inner.sinks.iter().all(|s| {
-                    statuses.get(s).map(|u| u.state) == Some(TaskState::Completed)
-                });
-                if done {
-                    return Ok(self
-                        .inner
-                        .sinks
-                        .iter()
-                        .filter_map(|s| {
-                            statuses
-                                .get(s)
-                                .and_then(|u| u.result.clone())
-                                .map(|r| (s.clone(), r))
-                        })
-                        .collect());
-                }
-            }
-            if Instant::now() >= deadline {
-                return Err(WaitError::Timeout {
-                    statuses: self.statuses(),
-                });
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        self.inner.board.wait_for_sinks(&self.inner.sinks, timeout)
     }
 
-    /// Crash a task's agent (it stops consuming and its thread exits; all
-    /// local state is lost). Returns whether the agent existed and was
-    /// alive.
     pub fn kill(&self, task: &str) -> bool {
         let agents = self.inner.agents.lock();
         match agents.get(task) {
@@ -271,7 +231,6 @@ impl WorkflowRun {
         }
     }
 
-    /// Is the task's agent thread alive?
     pub fn alive(&self, task: &str) -> bool {
         self.inner
             .agents
@@ -281,13 +240,10 @@ impl WorkflowRun {
             .unwrap_or(false)
     }
 
-    /// Manually start a replacement agent for `task` (§IV-B recovery). On
-    /// a persistent broker the newcomer replays the full inbox history.
     pub fn respawn(&self, task: &str) -> bool {
         respawn(&self.inner, task)
     }
 
-    /// Current incarnation number of a task's agent.
     pub fn incarnation(&self, task: &str) -> u32 {
         self.inner
             .agents
@@ -297,12 +253,7 @@ impl WorkflowRun {
             .unwrap_or(0)
     }
 
-    /// Stop everything and join all threads.
-    pub fn shutdown(mut self) {
-        self.stop();
-    }
-
-    fn stop(&mut self) {
+    pub fn stop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         let handles: Vec<AgentHandle> = {
             let mut agents = self.inner.agents.lock();
@@ -311,6 +262,7 @@ impl WorkflowRun {
         for h in handles {
             let _ = h.thread.join();
         }
+        publish_shutdown_sentinel(&*self.inner.broker);
         if let Some(t) = self.status_thread.take() {
             let _ = t.join();
         }
@@ -320,14 +272,8 @@ impl WorkflowRun {
     }
 }
 
-impl Drop for WorkflowRun {
-    fn drop(&mut self) {
-        self.stop();
-    }
-}
-
 fn spawn_agent(
-    inner: &Arc<RunInner>,
+    inner: &Arc<LegacyInner>,
     program: AgentProgram,
     sub: Subscription,
     incarnation: u32,
@@ -351,7 +297,7 @@ fn spawn_agent(
     );
 }
 
-fn respawn(inner: &Arc<RunInner>, task: &str) -> bool {
+fn respawn(inner: &Arc<LegacyInner>, task: &str) -> bool {
     let Some(program) = inner.programs.get(task).cloned() else {
         return false;
     };
@@ -378,14 +324,20 @@ fn respawn(inner: &Arc<RunInner>, task: &str) -> bool {
 }
 
 fn agent_loop(
-    inner: Arc<RunInner>,
+    inner: Arc<LegacyInner>,
     mut core: SaCore,
     sub: Subscription,
     kill: Arc<AtomicBool>,
     incarnation: u32,
 ) {
     let name = core.name().to_owned();
-    if dispatch(&inner, &mut core, &name, incarnation, Event::Start).is_err() {
+    let ctx = AgentCtx {
+        broker: &*inner.broker,
+        registry: &inner.registry,
+        name: &name,
+        incarnation,
+    };
+    if ctx.dispatch(&mut core, Event::Start).is_err() {
         return;
     }
     loop {
@@ -397,14 +349,13 @@ fn agent_loop(
                 let Some(message) = SaMessage::decode(&msg.payload) else {
                     continue;
                 };
-                // A crash between reception and processing loses the event
-                // locally — the log broker still has it for replay.
+                // A crash between reception and processing loses the
+                // event locally — the log broker still has it for
+                // replay.
                 if kill.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if dispatch(&inner, &mut core, &name, incarnation, Event::Deliver(message))
-                    .is_err()
-                {
+                if ctx.dispatch(&mut core, Event::Deliver(message)).is_err() {
                     return;
                 }
             }
@@ -414,79 +365,9 @@ fn agent_loop(
     }
 }
 
-/// Run one event through the core and execute every resulting command,
-/// feeding service completions back in until quiescence.
-fn dispatch(
-    inner: &Arc<RunInner>,
-    core: &mut SaCore,
-    name: &str,
-    incarnation: u32,
-    event: Event,
-) -> Result<(), ()> {
-    let mut queue: VecDeque<Event> = VecDeque::from([event]);
-    while let Some(event) = queue.pop_front() {
-        let commands = core.handle(event).map_err(|_| ())?;
-        for command in commands {
-            match command {
-                Command::Invoke {
-                    effect,
-                    service,
-                    params,
-                } => {
-                    let result = match inner.registry.get(&service) {
-                        Some(s) => s.invoke(&params).map_err(|e| e.message),
-                        None => Err(format!("unknown service {service:?}")),
-                    };
-                    queue.push_back(Event::ServiceCompleted { effect, result });
-                }
-                Command::Send { to, message } => {
-                    let _ = inner.broker.publish(
-                        &topics::inbox(&to),
-                        Some(bytes::Bytes::from(to.clone().into_bytes())),
-                        message.encode(),
-                    );
-                }
-                Command::Publish { state, result } => {
-                    let update = StatusUpdate {
-                        task: name.to_owned(),
-                        state,
-                        result,
-                        incarnation,
-                    };
-                    let _ = inner
-                        .broker
-                        .publish(topics::STATUS, None, update.encode());
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
-fn status_loop(inner: Arc<RunInner>, sub: Subscription) {
-    loop {
-        if inner.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match sub.recv_timeout(inner.options.poll_interval) {
-            Ok(msg) => {
-                if let Some(update) = StatusUpdate::decode(&msg.payload) {
-                    inner
-                        .statuses
-                        .lock()
-                        .insert(update.task.clone(), update);
-                }
-            }
-            Err(ginflow_mq::MqError::Timeout) => continue,
-            Err(_) => return,
-        }
-    }
-}
-
-/// The recovery manager: respawn agents whose thread died while the
-/// workflow is still running (the in-process analogue of the paper's
-/// failure detector).
-fn monitor_loop(inner: Arc<RunInner>) {
+/// The legacy recovery manager: respawn agents whose thread died while
+/// the workflow is still running, discovered by periodic scanning.
+fn monitor_loop(inner: Arc<LegacyInner>) {
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;

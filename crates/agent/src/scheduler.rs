@@ -1,0 +1,625 @@
+//! The event-driven, sharded worker-pool scheduler.
+//!
+//! The seed runtime gave every service agent its own OS thread polling
+//! its inbox every 5 ms — fine for the paper's 118-task Montage run,
+//! hopeless for thousands of agents (a 1000-agent workflow burns 200k
+//! wakeups/second just to discover nothing happened). This module keeps
+//! the *agents* (the sans-IO [`SaCore`] state machines are untouched)
+//! and replaces the *execution vehicle*:
+//!
+//! * a fixed pool of N worker threads (N ≪ agents, default = CPU count)
+//!   drives every agent in the workflow;
+//! * each agent is an [`AgentSlot`] parked until its inbox topic wakes
+//!   it — `ginflow-mq` brokers now notify subscriptions on publish (see
+//!   [`ginflow_mq::Subscription::set_waker`]), so an idle workflow
+//!   consumes zero CPU;
+//! * slots are *sharded*: an agent's name hashes to one worker, and only
+//!   that worker ever runs it. One agent's events therefore execute
+//!   strictly in order with no core-level contention, while distinct
+//!   agents run in parallel across shards;
+//! * the §IV-B recovery manager re-enqueues a fresh agent incarnation
+//!   through the same ready-queues, replaying the persistent inbox with
+//!   [`SubscribeMode::Beginning`] — recovery is just another wakeup.
+//!
+//! The wakeup protocol is the classic "schedule bit" of task executors:
+//! a waker sets [`AgentSlot::scheduled`] and enqueues the slot only on a
+//! false→true transition; the worker clears the bit after draining and
+//! re-checks the backlog, so a publish racing the drain can never be
+//! lost.
+//!
+//! The thread-per-agent backend survives behind
+//! [`RunOptions::legacy_threads`] for A/B benchmarking (see
+//! `crates/bench`, `scheduler_scale`).
+
+use crate::core::{Event, SaCore};
+use crate::exec::{publish_shutdown_sentinel, status_loop, AgentCtx, StatusBoard};
+use crate::message::{topics, SaMessage};
+use crate::runtime::{launch_legacy, LegacyRun, RunOptions, WaitError};
+use ginflow_core::{ServiceRegistry, TaskState, Value, Workflow};
+use ginflow_hoclflow::{agent_programs, AdaptPlan, AgentProgram};
+use ginflow_mq::{Broker, SubscribeMode, Subscription};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Max events one slot processes per scheduling turn before yielding the
+/// worker — keeps one chatty agent from starving its shard.
+const BATCH: usize = 64;
+
+/// The launcher: compiles workflows and runs every agent on the worker
+/// pool (or, with [`RunOptions::legacy_threads`], on the seed's
+/// thread-per-agent backend). Deployment strategies (`ginflow-executor`)
+/// decide *where* agents go; this scheduler is the *how*.
+pub struct Scheduler {
+    broker: Arc<dyn Broker>,
+    registry: Arc<ServiceRegistry>,
+    options: RunOptions,
+}
+
+impl Scheduler {
+    /// Scheduler over a broker and service registry.
+    pub fn new(broker: Arc<dyn Broker>, registry: Arc<ServiceRegistry>) -> Self {
+        Scheduler {
+            broker,
+            registry,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Override the default options.
+    pub fn with_options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Compile `workflow` and launch one agent per task.
+    pub fn launch(&self, workflow: &Workflow) -> WorkflowRun {
+        let (agents, plans) = agent_programs(workflow);
+        self.launch_programs(agents, plans)
+    }
+
+    /// Launch pre-compiled agent programs.
+    pub fn launch_programs(&self, agents: Vec<AgentProgram>, plans: Vec<AdaptPlan>) -> WorkflowRun {
+        if self.options.legacy_threads {
+            WorkflowRun {
+                backend: Backend::Legacy(launch_legacy(
+                    self.broker.clone(),
+                    self.registry.clone(),
+                    agents,
+                    plans,
+                    self.options.clone(),
+                )),
+            }
+        } else {
+            WorkflowRun {
+                backend: Backend::Pool(launch_pool(
+                    self.broker.clone(),
+                    self.registry.clone(),
+                    agents,
+                    plans,
+                    self.options.clone(),
+                )),
+            }
+        }
+    }
+}
+
+/// A launched workflow: status observation, fault injection, recovery.
+/// Facade over whichever backend executed the launch.
+pub struct WorkflowRun {
+    backend: Backend,
+}
+
+enum Backend {
+    Pool(PoolRun),
+    Legacy(LegacyRun),
+}
+
+impl WorkflowRun {
+    /// Latest observed state of a task.
+    pub fn state_of(&self, task: &str) -> Option<TaskState> {
+        self.board().state_of(task)
+    }
+
+    /// Latest observed result of a task.
+    pub fn result_of(&self, task: &str) -> Option<Value> {
+        self.board().result_of(task)
+    }
+
+    /// Snapshot of all observed task states.
+    pub fn statuses(&self) -> Vec<(String, TaskState)> {
+        self.board().snapshot()
+    }
+
+    /// Block until every sink task completes; returns their results.
+    pub fn wait(&self, timeout: Duration) -> Result<HashMap<String, Value>, WaitError> {
+        match &self.backend {
+            Backend::Pool(run) => run.inner.board.wait_for_sinks(&run.inner.sinks, timeout),
+            Backend::Legacy(run) => run.wait(timeout),
+        }
+    }
+
+    /// Crash a task's agent (it stops consuming; all local state is
+    /// lost). Returns whether the agent existed and was alive.
+    pub fn kill(&self, task: &str) -> bool {
+        match &self.backend {
+            Backend::Pool(run) => run.inner.kill(task),
+            Backend::Legacy(run) => run.kill(task),
+        }
+    }
+
+    /// Is the task's agent still alive (scheduled or parked, not dead)?
+    pub fn alive(&self, task: &str) -> bool {
+        match &self.backend {
+            Backend::Pool(run) => run.inner.alive(task),
+            Backend::Legacy(run) => run.alive(task),
+        }
+    }
+
+    /// Manually start a replacement agent for `task` (§IV-B recovery).
+    /// On a persistent broker the newcomer replays the full inbox
+    /// history.
+    pub fn respawn(&self, task: &str) -> bool {
+        match &self.backend {
+            Backend::Pool(run) => run.inner.respawn(task),
+            Backend::Legacy(run) => run.respawn(task),
+        }
+    }
+
+    /// Current incarnation number of a task's agent.
+    pub fn incarnation(&self, task: &str) -> u32 {
+        match &self.backend {
+            Backend::Pool(run) => run.inner.incarnation(task),
+            Backend::Legacy(run) => run.incarnation(task),
+        }
+    }
+
+    /// Stop everything and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn board(&self) -> &StatusBoard {
+        match &self.backend {
+            Backend::Pool(run) => &run.inner.board,
+            Backend::Legacy(run) => run.board(),
+        }
+    }
+
+    fn stop(&mut self) {
+        match &mut self.backend {
+            Backend::Pool(run) => run.stop(),
+            Backend::Legacy(run) => run.stop(),
+        }
+    }
+}
+
+impl Drop for WorkflowRun {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------
+
+/// One unit on a shard's ready-queue.
+enum WorkItem {
+    /// Run this agent (its schedule bit is set).
+    Run(Arc<AgentSlot>),
+    /// Worker exit (sent once per shard at shutdown).
+    Shutdown,
+}
+
+/// Messages to the recovery manager.
+enum ReaperMsg {
+    /// An agent died (crash-flag observed, or its core errored).
+    Dead(String),
+    /// Manager exit.
+    Shutdown,
+}
+
+/// One agent parked in the scheduler: the sans-IO core plus the wakeup
+/// state. The core mutex is uncontended in steady state — sharding
+/// guarantees a single worker ever locks it — and exists to make the
+/// slot `Sync` for control-plane access (kill/respawn).
+struct AgentSlot {
+    name: String,
+    incarnation: u32,
+    shard: usize,
+    core: Mutex<SaCore>,
+    sub: Subscription,
+    /// Crash flag (the paper's killed JVM): observed between events.
+    kill: AtomicBool,
+    /// Set once the agent will never run again.
+    dead: AtomicBool,
+    /// Has `Event::Start` been dispatched?
+    started: AtomicBool,
+    /// The schedule bit: true while queued or running.
+    scheduled: AtomicBool,
+}
+
+struct PoolInner {
+    broker: Arc<dyn Broker>,
+    registry: Arc<ServiceRegistry>,
+    programs: HashMap<String, AgentProgram>,
+    plans: Arc<Vec<AdaptPlan>>,
+    slots: Mutex<HashMap<String, Arc<AgentSlot>>>,
+    shards: Vec<crossbeam::channel::Sender<WorkItem>>,
+    reaper: crossbeam::channel::Sender<ReaperMsg>,
+    board: Arc<StatusBoard>,
+    shutdown: Arc<AtomicBool>,
+    sinks: Vec<String>,
+    auto_recover: bool,
+}
+
+pub(crate) struct PoolRun {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+    status_thread: Option<JoinHandle<()>>,
+    recovery_thread: Option<JoinHandle<()>>,
+}
+
+/// FNV-1a over the agent name: the shard assignment.
+fn shard_of(name: &str, shards: usize) -> usize {
+    let mut hash: u32 = 0x811c9dc5;
+    for &b in name.as_bytes() {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x01000193);
+    }
+    hash as usize % shards
+}
+
+fn launch_pool(
+    broker: Arc<dyn Broker>,
+    registry: Arc<ServiceRegistry>,
+    agents: Vec<AgentProgram>,
+    plans: Vec<AdaptPlan>,
+    options: RunOptions,
+) -> PoolRun {
+    let workers = options.resolve_workers();
+    let sinks: Vec<String> = agents
+        .iter()
+        .filter(|a| a.is_sink())
+        .map(|a| a.name.clone())
+        .collect();
+    let board = Arc::new(StatusBoard::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    // Status collector first: no update may be missed.
+    let status_sub = broker
+        .subscribe(topics::STATUS, SubscribeMode::Latest)
+        .expect("status subscription");
+    let status_thread = {
+        let board = board.clone();
+        let shutdown = shutdown.clone();
+        std::thread::Builder::new()
+            .name("sa-status".into())
+            .spawn(move || status_loop(board, status_sub, shutdown))
+            .expect("spawn status thread")
+    };
+
+    let mut shard_txs = Vec::with_capacity(workers);
+    let mut shard_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        shard_txs.push(tx);
+        shard_rxs.push(rx);
+    }
+    let (reaper_tx, reaper_rx) = crossbeam::channel::unbounded();
+
+    let inner = Arc::new(PoolInner {
+        broker,
+        registry,
+        programs: agents.iter().map(|a| (a.name.clone(), a.clone())).collect(),
+        plans: Arc::new(plans),
+        slots: Mutex::new(HashMap::new()),
+        shards: shard_txs,
+        reaper: reaper_tx,
+        board,
+        shutdown,
+        sinks,
+        auto_recover: options.auto_recover,
+    });
+
+    // All inbox subscriptions are created before any agent is scheduled,
+    // so no agent can publish to a not-yet-subscribed inbox.
+    let mut fresh = Vec::with_capacity(agents.len());
+    {
+        let mut slots = inner.slots.lock();
+        for program in agents {
+            let sub = inner
+                .broker
+                .subscribe(&topics::inbox(&program.name), SubscribeMode::Latest)
+                .expect("inbox subscription");
+            let slot = inner.make_slot(program, sub, 0);
+            slots.insert(slot.name.clone(), slot.clone());
+            fresh.push(slot);
+        }
+    }
+
+    let workers_threads: Vec<JoinHandle<()>> = shard_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(i, rx)| {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name(format!("sa-worker-{i}"))
+                .spawn(move || worker_loop(inner, rx))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let recovery_thread = {
+        let inner = inner.clone();
+        Some(
+            std::thread::Builder::new()
+                .name("sa-recovery".into())
+                .spawn(move || recovery_loop(inner, reaper_rx))
+                .expect("spawn recovery thread"),
+        )
+    };
+
+    // Arm the wakeups, then hand every agent its Start turn.
+    for slot in &fresh {
+        inner.register_waker(slot);
+    }
+    for slot in &fresh {
+        inner.schedule(slot);
+    }
+
+    PoolRun {
+        inner,
+        workers: workers_threads,
+        status_thread: Some(status_thread),
+        recovery_thread,
+    }
+}
+
+impl PoolInner {
+    fn make_slot(
+        self: &Arc<Self>,
+        program: AgentProgram,
+        sub: Subscription,
+        incarnation: u32,
+    ) -> Arc<AgentSlot> {
+        let name = program.name.clone();
+        let core = SaCore::new(program, self.plans.clone());
+        Arc::new(AgentSlot {
+            shard: shard_of(&name, self.shards.len()),
+            name,
+            incarnation,
+            core: Mutex::new(core),
+            sub,
+            kill: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            started: AtomicBool::new(false),
+            scheduled: AtomicBool::new(false),
+        })
+    }
+
+    /// Arm the inbox wakeup: deliveries set the schedule bit and enqueue
+    /// the slot on its shard. Holds only a weak reference, so a replaced
+    /// incarnation's waker quietly dies with its slot.
+    fn register_waker(self: &Arc<Self>, slot: &Arc<AgentSlot>) {
+        let weak: Weak<AgentSlot> = Arc::downgrade(slot);
+        let shard = self.shards[slot.shard].clone();
+        slot.sub.set_waker(move || {
+            if let Some(slot) = weak.upgrade() {
+                if !slot.dead.load(Ordering::SeqCst) && !slot.scheduled.swap(true, Ordering::SeqCst)
+                {
+                    let _ = shard.send(WorkItem::Run(slot));
+                }
+            }
+        });
+    }
+
+    /// Enqueue the slot if it is not already queued/running.
+    fn schedule(&self, slot: &Arc<AgentSlot>) {
+        if !slot.dead.load(Ordering::SeqCst) && !slot.scheduled.swap(true, Ordering::SeqCst) {
+            let _ = self.shards[slot.shard].send(WorkItem::Run(slot.clone()));
+        }
+    }
+
+    fn slot(&self, task: &str) -> Option<Arc<AgentSlot>> {
+        self.slots.lock().get(task).cloned()
+    }
+
+    fn kill(&self, task: &str) -> bool {
+        match self.slot(task) {
+            Some(slot) if !slot.dead.load(Ordering::SeqCst) => {
+                slot.kill.store(true, Ordering::SeqCst);
+                // Wake it so the crash is observed promptly even when
+                // the agent is parked with an empty inbox.
+                self.schedule(&slot);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn alive(&self, task: &str) -> bool {
+        self.slot(task)
+            .map(|s| !s.dead.load(Ordering::SeqCst))
+            .unwrap_or(false)
+    }
+
+    fn incarnation(&self, task: &str) -> u32 {
+        self.slot(task).map(|s| s.incarnation).unwrap_or(0)
+    }
+
+    /// §IV-B recovery: a fresh incarnation re-enters through the same
+    /// ready-queue; on a persistent broker its subscription replays the
+    /// dead agent's entire inbox first.
+    fn respawn(self: &Arc<Self>, task: &str) -> bool {
+        self.respawn_impl(task, false)
+    }
+
+    /// Auto-recovery entry: respawn only while the current incarnation
+    /// is dead (a racing manual respawn may already have replaced it).
+    fn respawn_if_dead(self: &Arc<Self>, task: &str) -> bool {
+        self.respawn_impl(task, true)
+    }
+
+    /// The check → subscribe → replace sequence runs under the slots
+    /// lock: two concurrent respawns (manual vs recovery manager) would
+    /// otherwise both insert a replacement and leave the loser as an
+    /// unreachable ghost agent still bound to the broker.
+    fn respawn_impl(self: &Arc<Self>, task: &str, only_if_dead: bool) -> bool {
+        let Some(program) = self.programs.get(task).cloned() else {
+            return false;
+        };
+        let mut slots = self.slots.lock();
+        let old = slots.get(task).cloned();
+        if only_if_dead && !old.as_ref().is_some_and(|o| o.dead.load(Ordering::SeqCst)) {
+            return false;
+        }
+        if let Some(old) = &old {
+            // Make sure any previous incarnation is (being) stopped. It
+            // shares the new slot's shard, so it dies before the
+            // replacement runs.
+            old.kill.store(true, Ordering::SeqCst);
+            self.schedule(old);
+        }
+        let incarnation = old.map(|o| o.incarnation + 1).unwrap_or(0);
+        let mode = if self.broker.persistent() {
+            SubscribeMode::Beginning
+        } else {
+            SubscribeMode::Latest
+        };
+        let Ok(sub) = self.broker.subscribe(&topics::inbox(task), mode) else {
+            return false;
+        };
+        let slot = self.make_slot(program, sub, incarnation);
+        slots.insert(task.to_owned(), slot.clone());
+        drop(slots);
+        self.register_waker(&slot);
+        self.schedule(&slot);
+        true
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>, rx: crossbeam::channel::Receiver<WorkItem>) {
+    while let Ok(item) = rx.recv() {
+        match item {
+            WorkItem::Shutdown => return,
+            WorkItem::Run(slot) => process(&inner, &slot),
+        }
+    }
+}
+
+/// One scheduling turn of one agent.
+fn process(inner: &Arc<PoolInner>, slot: &Arc<AgentSlot>) {
+    if slot.dead.load(Ordering::SeqCst) {
+        return;
+    }
+    {
+        let mut core = slot.core.lock();
+        let ctx = AgentCtx {
+            broker: &*inner.broker,
+            registry: &inner.registry,
+            name: &slot.name,
+            incarnation: slot.incarnation,
+        };
+        if !slot.started.swap(true, Ordering::SeqCst) {
+            if slot.kill.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+                drop(core);
+                die(inner, slot);
+                return;
+            }
+            if ctx.dispatch(&mut core, Event::Start).is_err() {
+                drop(core);
+                die(inner, slot);
+                return;
+            }
+        }
+        for _ in 0..BATCH {
+            // A crash between reception and processing loses the event
+            // locally — the log broker still has it for replay.
+            if slot.kill.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+                drop(core);
+                die(inner, slot);
+                return;
+            }
+            match slot.sub.try_recv() {
+                Ok(Some(msg)) => {
+                    let Some(message) = SaMessage::decode(&msg.payload) else {
+                        continue;
+                    };
+                    if ctx.dispatch(&mut core, Event::Deliver(message)).is_err() {
+                        drop(core);
+                        die(inner, slot);
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    drop(core);
+                    die(inner, slot);
+                    return;
+                }
+            }
+        }
+    }
+    // Park again. Clear the schedule bit *before* re-checking the
+    // backlog: a publish that raced the drain either landed before the
+    // clear (caught by the re-check) or after it (its waker sees the
+    // cleared bit and enqueues) — either way no wakeup is lost.
+    slot.scheduled.store(false, Ordering::SeqCst);
+    if slot.sub.backlog() > 0 || slot.kill.load(Ordering::SeqCst) {
+        inner.schedule(slot);
+    }
+}
+
+/// Retire a slot for good and notify the recovery manager.
+fn die(inner: &Arc<PoolInner>, slot: &Arc<AgentSlot>) {
+    slot.dead.store(true, Ordering::SeqCst);
+    slot.sub.clear_waker();
+    slot.scheduled.store(false, Ordering::SeqCst);
+    let _ = inner.reaper.send(ReaperMsg::Dead(slot.name.clone()));
+}
+
+/// The recovery manager: parked on the reaper channel (no scanning), it
+/// respawns dead agents while the workflow is running — the in-process
+/// analogue of the paper's failure detector.
+fn recovery_loop(inner: Arc<PoolInner>, rx: crossbeam::channel::Receiver<ReaperMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ReaperMsg::Shutdown => return,
+            ReaperMsg::Dead(task) => {
+                if inner.shutdown.load(Ordering::SeqCst) || !inner.auto_recover {
+                    continue;
+                }
+                // Only respawns if the dead incarnation is still current
+                // (a manual respawn may have raced us) — checked under
+                // the slots lock inside.
+                inner.respawn_if_dead(&task);
+            }
+        }
+    }
+}
+
+impl PoolRun {
+    fn stop(&mut self) {
+        if !self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            for shard in &self.inner.shards {
+                let _ = shard.send(WorkItem::Shutdown);
+            }
+            let _ = self.inner.reaper.send(ReaperMsg::Shutdown);
+            publish_shutdown_sentinel(&*self.inner.broker);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(t) = self.recovery_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.status_thread.take() {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The point of being event-driven: a parked workflow consumes (close
+//! to) zero CPU, where hundreds of legacy polling agents would burn it
+//! forever.
+//!
+//! This lives in its own test binary on purpose: the assertion measures
+//! *process-wide* CPU, so sharing a process with the other scheduler
+//! tests (which legitimately burn CPU on parallel test threads) would
+//! make it flaky.
+
+use ginflow_agent::{RunOptions, Scheduler};
+use ginflow_bench::scheduler_scale::{fan_out_fan_in, process_cpu};
+use ginflow_core::ServiceRegistry;
+use ginflow_mq::BrokerKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn idle_pool_burns_no_cpu() {
+    let registry = Arc::new(ServiceRegistry::tracing_for(["s"]));
+    let scheduler =
+        Scheduler::new(BrokerKind::Transient.build(), registry).with_options(RunOptions {
+            workers: 2,
+            ..RunOptions::default()
+        });
+    let run = scheduler.launch(&fan_out_fan_in(200));
+    run.wait(Duration::from_secs(30)).expect("fan completes");
+
+    let before = process_cpu();
+    std::thread::sleep(Duration::from_millis(1000));
+    let after = process_cpu();
+    run.shutdown();
+    let burned = after.saturating_sub(before);
+    // One idle second must cost well under 20 ms of CPU — a single
+    // poll-driven legacy agent alone would cost more.
+    assert!(
+        burned < Duration::from_millis(20),
+        "idle pool burned {burned:?} of CPU in 1s"
+    );
+}

@@ -157,16 +157,38 @@ fn duplicate_results_after_recovery_do_not_cascade() {
     run.shutdown();
 }
 
+/// A tracing service that takes a while — lets tests land a kill while
+/// the producer is still computing, deterministically.
+struct SlowTrace(ginflow_core::TraceService, Duration);
+
+impl ginflow_core::Service for SlowTrace {
+    fn invoke(&self, params: &[Value]) -> Result<Value, ginflow_core::ServiceError> {
+        std::thread::sleep(self.1);
+        self.0.invoke(params)
+    }
+}
+
 #[test]
 fn recovery_without_persistence_cannot_replay() {
     // On the transient broker a respawned agent has no history: T2 never
-    // learns about T1's result, so the workflow hangs.
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), tracing_registry());
+    // learns about T1's result, so the workflow hangs. s1 is slowed so
+    // the kill always lands before T1's result is even sent (the
+    // event-driven scheduler is otherwise fast enough to deliver it
+    // before the kill).
+    let mut registry = ServiceRegistry::tracing_for(["s2", "s3", "s4"]);
+    registry.register(
+        "s1",
+        Arc::new(SlowTrace(
+            ginflow_core::TraceService::new("s1"),
+            Duration::from_millis(300),
+        )),
+    );
+    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), Arc::new(registry));
     let run = runtime.launch(&fig2());
-    // Kill T2 immediately; T1's result message will be consumed by the old
-    // (dead) subscription or dropped.
+    // Kill T2 while T1 still computes; T1's result message will be
+    // consumed by the old (dead) subscription or dropped.
     run.kill("T2");
-    std::thread::sleep(Duration::from_millis(100));
+    std::thread::sleep(Duration::from_millis(500));
     run.respawn("T2");
     let err = run.wait(Duration::from_secs(1));
     assert!(err.is_err(), "transient broker cannot support recovery");

@@ -1,0 +1,196 @@
+//! Integration tests of the event-driven worker-pool scheduler: the
+//! complete decentralised protocol on a bounded pool — normal runs at
+//! scale, adaptation, crash/recovery with inbox replay, and equivalence
+//! with the legacy thread-per-agent backend (mirrors
+//! `tests/runtime.rs` for the new path).
+
+use ginflow_agent::{RunOptions, Scheduler};
+use ginflow_bench::scheduler_scale::fan_out_fan_in;
+use ginflow_core::workflow::{ReplacementTask, WorkflowBuilder};
+use ginflow_core::{FailingService, ServiceRegistry, TaskState, Value, Workflow};
+use ginflow_mq::{Broker, BrokerKind, LogBroker};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(30);
+
+/// A small bounded pool: every test runs with workers ≪ agents.
+fn pool_options() -> RunOptions {
+    RunOptions {
+        workers: 2,
+        ..RunOptions::default()
+    }
+}
+
+fn fig2() -> Workflow {
+    let mut b = WorkflowBuilder::new("fig2");
+    b.task("T1", "s1").input(Value::str("input"));
+    b.task("T2", "s2").after(["T1"]);
+    b.task("T3", "s3").after(["T1"]);
+    b.task("T4", "s4").after(["T2", "T3"]);
+    b.build().unwrap()
+}
+
+fn fig5() -> Workflow {
+    let mut b = WorkflowBuilder::new("fig5");
+    b.task("T1", "s1").input(Value::str("input"));
+    b.task("T2", "s2").after(["T1"]);
+    b.task("T3", "s3").after(["T1"]);
+    b.task("T4", "s4").after(["T2", "T3"]);
+    b.adaptation(
+        "replace-T2",
+        ["T2"],
+        ["T2"],
+        [ReplacementTask::new("T2'", "s2p", ["T1"])],
+    );
+    b.build().unwrap()
+}
+
+fn tracing_registry() -> Arc<ServiceRegistry> {
+    Arc::new(ServiceRegistry::tracing_for([
+        "s1", "s2", "s3", "s4", "s2p", "s",
+    ]))
+}
+
+#[test]
+fn thousand_task_fan_completes_on_a_bounded_pool() {
+    // The scaling acceptance bar: 1000+ agents, 2 workers, no polling.
+    let scheduler = Scheduler::new(BrokerKind::Transient.build(), tracing_registry())
+        .with_options(pool_options());
+    let run = scheduler.launch(&fan_out_fan_in(1000));
+    let results = run
+        .wait(Duration::from_secs(120))
+        .expect("1000-task fan completes");
+    assert!(results.contains_key("sink"));
+    assert_eq!(run.state_of("t999"), Some(TaskState::Completed));
+    run.shutdown();
+}
+
+#[test]
+fn pool_and_legacy_agree_on_fig2() {
+    let run_with = |options: RunOptions| {
+        let scheduler =
+            Scheduler::new(BrokerKind::Transient.build(), tracing_registry()).with_options(options);
+        let run = scheduler.launch(&fig2());
+        let results = run.wait(WAIT).expect("fig2 completes");
+        run.shutdown();
+        results["T4"].clone()
+    };
+    assert_eq!(run_with(pool_options()), run_with(RunOptions::legacy()));
+}
+
+#[test]
+fn adaptation_reroutes_on_the_pool() {
+    // §III-C end-to-end on the worker pool: T2's service always fails;
+    // T2' takes over transparently.
+    let mut registry = ServiceRegistry::tracing_for(["s1", "s3", "s4", "s2p"]);
+    registry.register("s2", Arc::new(FailingService));
+    let scheduler = Scheduler::new(BrokerKind::Transient.build(), Arc::new(registry))
+        .with_options(pool_options());
+    let run = scheduler.launch(&fig5());
+    let results = run.wait(WAIT).expect("adaptation must complete the run");
+    assert_eq!(
+        results["T4"],
+        Value::Str("s4(s2p(s1(input)),s3(s1(input)))".into())
+    );
+    assert_eq!(run.state_of("T2"), Some(TaskState::Failed));
+    assert_eq!(run.state_of("T2'"), Some(TaskState::Completed));
+    run.shutdown();
+}
+
+#[test]
+fn killed_agent_mid_workflow_replays_and_completes() {
+    // §IV-B on the pool: crash T2 before it can run; the respawned
+    // incarnation re-enters through the ready-queue and replays its
+    // persistent inbox from the beginning.
+    let broker: Arc<dyn Broker> = Arc::new(LogBroker::new());
+    let scheduler = Scheduler::new(broker, tracing_registry()).with_options(pool_options());
+    let run = scheduler.launch(&fig2());
+
+    assert!(run.kill("T2"));
+    // The kill wakes the slot; the crash lands within a scheduling turn.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(!run.alive("T2"));
+
+    assert!(run.respawn("T2"));
+    assert_eq!(run.incarnation("T2"), 1);
+    let results = run.wait(WAIT).expect("recovered workflow completes");
+    assert_eq!(
+        results["T4"],
+        Value::Str("s4(s2(s1(input)),s3(s1(input)))".into())
+    );
+    run.shutdown();
+}
+
+#[test]
+fn auto_recovery_on_the_pool_restarts_dead_agents() {
+    let broker: Arc<dyn Broker> = Arc::new(LogBroker::new());
+    let scheduler = Scheduler::new(broker, tracing_registry()).with_options(RunOptions {
+        auto_recover: true,
+        ..pool_options()
+    });
+    let run = scheduler.launch(&fig2());
+    run.kill("T3");
+    let results = run.wait(WAIT).expect("auto recovery completes the run");
+    assert_eq!(
+        results["T4"],
+        Value::Str("s4(s2(s1(input)),s3(s1(input)))".into())
+    );
+    assert!(run.incarnation("T3") >= 1, "T3 was respawned");
+    run.shutdown();
+}
+
+/// A tracing service that takes a while — lets tests land a kill while
+/// the producer is still computing, deterministically.
+struct SlowTrace(ginflow_core::TraceService, Duration);
+
+impl ginflow_core::Service for SlowTrace {
+    fn invoke(&self, params: &[Value]) -> Result<Value, ginflow_core::ServiceError> {
+        std::thread::sleep(self.1);
+        self.0.invoke(params)
+    }
+}
+
+#[test]
+fn pool_recovery_without_persistence_cannot_replay() {
+    // On the transient broker a respawned agent has no history: T2 never
+    // learns about T1's result, so the workflow hangs. s1 is slowed so
+    // the kill always lands before T1's result is even sent.
+    let mut registry = ServiceRegistry::tracing_for(["s2", "s3", "s4"]);
+    registry.register(
+        "s1",
+        Arc::new(SlowTrace(
+            ginflow_core::TraceService::new("s1"),
+            Duration::from_millis(300),
+        )),
+    );
+    let scheduler = Scheduler::new(BrokerKind::Transient.build(), Arc::new(registry))
+        .with_options(pool_options());
+    let run = scheduler.launch(&fig2());
+    run.kill("T2");
+    std::thread::sleep(Duration::from_millis(500));
+    run.respawn("T2");
+    let err = run.wait(Duration::from_secs(1));
+    assert!(err.is_err(), "transient broker cannot support recovery");
+    run.shutdown();
+}
+
+#[test]
+fn repeated_crashes_on_the_pool_eventually_complete() {
+    // "a restarted agent can fail again" — crash T2 a few times in a row.
+    let broker: Arc<dyn Broker> = Arc::new(LogBroker::new());
+    let scheduler = Scheduler::new(broker, tracing_registry()).with_options(pool_options());
+    let run = scheduler.launch(&fig2());
+    for _ in 0..3 {
+        run.kill("T2");
+        std::thread::sleep(Duration::from_millis(30));
+        run.respawn("T2");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let results = run.wait(WAIT).expect("completes after repeated crashes");
+    assert_eq!(
+        results["T4"],
+        Value::Str("s4(s2(s1(input)),s3(s1(input)))".into())
+    );
+    run.shutdown();
+}

@@ -68,7 +68,14 @@ fn ablation_adaptation_vs_restart() {
     println!(
         "{}",
         table::render(
-            &["mesh", "regular", "adaptive", "restart", "adapt ratio", "restart ratio"],
+            &[
+                "mesh",
+                "regular",
+                "adaptive",
+                "restart",
+                "adapt ratio",
+                "restart ratio"
+            ],
             &rows
         )
     );

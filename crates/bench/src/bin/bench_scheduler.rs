@@ -1,0 +1,40 @@
+//! The scheduler scaling A/B: event-driven worker pool vs the legacy
+//! thread-per-agent backend on a 1000-task fan-out/fan-in workflow
+//! (200 tasks with `--quick`). Writes `results/BENCH_scheduler.csv`.
+
+use ginflow_bench::{csv, quick_from_args, scheduler_scale};
+
+fn main() {
+    let quick = quick_from_args(
+        "bench_scheduler",
+        "event-driven scheduler vs legacy threads on a wide fan-out/fan-in",
+    );
+    let samples = scheduler_scale::run(quick);
+    println!(
+        "{:<16} {:>6} {:>8} {:>10} {:>9} {:>10}",
+        "mode", "tasks", "workers", "wall (s)", "cpu (s)", "completed"
+    );
+    for s in &samples {
+        println!(
+            "{:<16} {:>6} {:>8} {:>10.3} {:>9.3} {:>10}",
+            s.mode, s.tasks, s.workers, s.wall_secs, s.cpu_secs, s.completed
+        );
+    }
+    if let [pool, legacy] = &samples[..] {
+        if pool.completed && legacy.completed {
+            println!(
+                "\npool speedup: {:.2}x wall, {:.2}x cpu",
+                legacy.wall_secs / pool.wall_secs.max(1e-9),
+                legacy.cpu_secs / pool.cpu_secs.max(1e-9),
+            );
+        }
+    }
+    let rows = scheduler_scale::csv_rows(&samples);
+    csv::write_csv(
+        "results/BENCH_scheduler.csv",
+        &scheduler_scale::CSV_HEADER,
+        &rows,
+    )
+    .expect("write results/BENCH_scheduler.csv");
+    println!("\nwrote results/BENCH_scheduler.csv");
+}

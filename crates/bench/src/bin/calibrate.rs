@@ -30,7 +30,10 @@ fn main() {
     };
     let amq = exec(BrokerKind::Transient);
     let kafka = exec(BrokerKind::Log);
-    println!("10x10: activemq {amq:.1}s kafka {kafka:.1}s ratio {:.2} (anchor ~4)", kafka / amq);
+    println!(
+        "10x10: activemq {amq:.1}s kafka {kafka:.1}s ratio {:.2} (anchor ~4)",
+        kafka / amq
+    );
     // Fig 16 anchor: fault-free Montage makespan.
     let montage = ginflow_montage::workflow();
     let mut services = ServiceModel::constant(1_000_000);

@@ -3,7 +3,10 @@
 use ginflow_bench::{fig13, quick_from_args};
 
 fn main() {
-    let quick = quick_from_args("fig13", "adaptiveness ratio for three replacement scenarios");
+    let quick = quick_from_args(
+        "fig13",
+        "adaptiveness ratio for three replacement scenarios",
+    );
     let series = fig13::run(quick);
     println!("{}", fig13::render(&series));
     println!("paper: scenario 1 never exceeds 2; scenario 2 stays in 2–3 beyond 1x1; scenario 3 constant or decreasing");

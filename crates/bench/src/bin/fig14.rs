@@ -8,5 +8,8 @@ fn main() {
     println!("{}", fig14::render(&bars));
     let amq = fig14::bar(&bars, "mesos/activemq", 10).exec_secs;
     let kafka = fig14::bar(&bars, "mesos/kafka", 10).exec_secs;
-    println!("execution ratio kafka/activemq at 10 nodes: {:.2} (paper ≈ 4)", kafka / amq);
+    println!(
+        "execution ratio kafka/activemq at 10 nodes: {:.2} (paper ≈ 4)",
+        kafka / amq
+    );
 }

@@ -5,7 +5,10 @@ use ginflow_bench::{csv, fig12, fig13, fig14, fig15, fig16, quick_from_args};
 
 fn main() {
     let quick = quick_from_args("run_all", "the full evaluation campaign (figs 12–16)");
-    println!("=== GinFlow evaluation campaign ({}) ===\n", if quick { "quick" } else { "full" });
+    println!(
+        "=== GinFlow evaluation campaign ({}) ===\n",
+        if quick { "quick" } else { "full" }
+    );
     let out_dir = std::path::Path::new("results");
 
     let surfaces = fig12::run(quick);
@@ -26,9 +29,10 @@ fn main() {
     let fig13_rows: Vec<Vec<String>> = fig13_series
         .iter()
         .flat_map(|s| {
-            s.sizes.iter().zip(&s.ratios).map(|(n, r)| {
-                vec![s.scenario.to_owned(), n.to_string(), format!("{r:.4}")]
-            })
+            s.sizes
+                .iter()
+                .zip(&s.ratios)
+                .map(|(n, r)| vec![s.scenario.to_owned(), n.to_string(), format!("{r:.4}")])
         })
         .collect();
     let _ = csv::write_csv(
@@ -65,7 +69,11 @@ fn main() {
         .iter()
         .map(|&(t, f)| vec![format!("{t:.3}"), format!("{f:.5}")])
         .collect();
-    let _ = csv::write_csv(out_dir.join("fig15_cdf.csv"), &["seconds", "fraction"], &cdf_rows);
+    let _ = csv::write_csv(
+        out_dir.join("fig15_cdf.csv"),
+        &["seconds", "fraction"],
+        &cdf_rows,
+    );
 
     let fig16_data = fig16::run(quick);
     println!("{}", fig16::render(&fig16_data));
@@ -85,7 +93,14 @@ fn main() {
         .collect();
     let _ = csv::write_csv(
         out_dir.join("fig16.csv"),
-        &["t_secs", "p", "mean_secs", "std_secs", "failures", "expected_failures"],
+        &[
+            "t_secs",
+            "p",
+            "mean_secs",
+            "std_secs",
+            "failures",
+            "expected_failures",
+        ],
         &fig16_rows,
     );
     println!("\nCSV series written under {}/", out_dir.display());

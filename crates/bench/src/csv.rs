@@ -25,12 +25,7 @@ pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
     );
     out.push('\n');
     for row in rows {
-        out.push_str(
-            &row.iter()
-                .map(|c| quote(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
     out

@@ -14,7 +14,11 @@ use ginflow_sim::{simulate, ServiceModel, SimConfig};
 
 /// The §V-B scenarios.
 pub const SCENARIOS: [(&str, Connectivity, Connectivity); 3] = [
-    ("simple-to-simple", Connectivity::Simple, Connectivity::Simple),
+    (
+        "simple-to-simple",
+        Connectivity::Simple,
+        Connectivity::Simple,
+    ),
     ("simple-to-full", Connectivity::Simple, Connectivity::Full),
     ("full-to-simple", Connectivity::Full, Connectivity::Simple),
 ];
@@ -134,8 +138,16 @@ mod tests {
         assert_eq!(series.len(), 3);
         for s in &series {
             for (&n, &r) in s.sizes.iter().zip(&s.ratios) {
-                assert!(r > 1.0, "{} at {n}: adaptation is not free ({r})", s.scenario);
-                assert!(r < 3.2, "{} at {n}: ratio {r} out of the paper's band", s.scenario);
+                assert!(
+                    r > 1.0,
+                    "{} at {n}: adaptation is not free ({r})",
+                    s.scenario
+                );
+                assert!(
+                    r < 3.2,
+                    "{} at {n}: ratio {r} out of the paper's band",
+                    s.scenario
+                );
             }
         }
         // Scenario 1 stays under 2 beyond the degenerate 1×1.

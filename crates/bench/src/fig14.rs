@@ -124,8 +124,7 @@ mod tests {
         assert_eq!(bars.len(), 12);
         // SSH deployment grows with nodes; Mesos deployment shrinks.
         assert!(
-            bar(&bars, "ssh/activemq", 15).deploy_secs
-                > bar(&bars, "ssh/activemq", 5).deploy_secs
+            bar(&bars, "ssh/activemq", 15).deploy_secs > bar(&bars, "ssh/activemq", 5).deploy_secs
         );
         assert!(
             bar(&bars, "mesos/activemq", 15).deploy_secs

@@ -104,10 +104,7 @@ pub fn run(quick: bool) -> Fig16 {
                     }),
                     s,
                 );
-                assert!(
-                    r.completed,
-                    "p={p} T={t}: recovery must complete the run"
-                );
+                assert!(r.completed, "p={p} T={t}: recovery must complete the run");
                 times.push(r.makespan_secs());
                 fails.push(r.failures as f64);
             }
@@ -150,7 +147,15 @@ pub fn render(f: &Fig16) -> String {
         })
         .collect();
     out.push_str(&crate::table::render(
-        &["T(s)", "p", "exec", "σ", "overhead", "failures", "p/(1-p)·N_T"],
+        &[
+            "T(s)",
+            "p",
+            "exec",
+            "σ",
+            "overhead",
+            "failures",
+            "p/(1-p)·N_T",
+        ],
         &rows,
     ));
     out
@@ -183,13 +188,7 @@ mod tests {
     #[test]
     fn single_cell_behaves() {
         // One quick cell rather than the full campaign (CI time).
-        let r = one_run(
-            Some(FailureSpec {
-                p: 0.5,
-                t_us: 0,
-            }),
-            99,
-        );
+        let r = one_run(Some(FailureSpec { p: 0.5, t_us: 0 }), 99);
         assert!(r.completed);
         assert!(r.failures > 30, "p=0.5, T=0 over 118 tasks: {}", r.failures);
         assert_eq!(r.failures, r.respawns);

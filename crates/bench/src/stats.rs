@@ -20,7 +20,10 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Minimum (0 for empty).
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().cloned().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+    xs.iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .min(f64::INFINITY)
 }
 
 /// Maximum (0 for empty).

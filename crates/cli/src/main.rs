@@ -3,8 +3,9 @@
 //! ```text
 //! ginflow validate <workflow.json>
 //! ginflow translate <workflow.json>
-//! ginflow run <workflow.json> [--broker activemq|kafka] [--executor centralized|threaded]
-//!                             [--shell] [--timeout SECS]
+//! ginflow run <workflow.json> [--broker activemq|kafka]
+//!                             [--executor centralized|scheduler|legacy-threads]
+//!                             [--workers N] [--shell] [--timeout SECS]
 //! ginflow simulate <workflow.json> [--broker activemq|kafka] [--seed N]
 //!                                  [--service-secs X] [--fail-p P --fail-t T]
 //! ginflow montage [--simulate]
@@ -15,7 +16,7 @@
 //! `--shell` each service name is executed as a program whose stdout is
 //! the task result.
 
-use ginflow_agent::ThreadedRuntime;
+use ginflow_agent::{RunOptions, Scheduler};
 use ginflow_core::{json, ServiceRegistry, ShellService, TraceService, Workflow};
 use ginflow_hoclflow::{compile_centralized, run as run_centralized, CentralizedConfig};
 use ginflow_mq::BrokerKind;
@@ -62,7 +63,8 @@ fn print_usage() {
          \x20 ginflow validate  <workflow.json>\n\
          \x20 ginflow translate <workflow.json>\n\
          \x20 ginflow run       <workflow.json> [--broker activemq|kafka]\n\
-         \x20                   [--executor centralized|threaded] [--shell] [--timeout SECS]\n\
+         \x20                   [--executor centralized|scheduler|legacy-threads]\n\
+         \x20                   [--workers N] [--shell] [--timeout SECS]\n\
          \x20 ginflow simulate  <workflow.json> [--broker activemq|kafka] [--seed N]\n\
          \x20                   [--service-secs X] [--fail-p P --fail-t T]\n\
          \x20 ginflow montage   [--simulate]"
@@ -78,6 +80,7 @@ struct Flags<'a> {
 const VALUE_FLAGS: &[&str] = &[
     "--broker",
     "--executor",
+    "--workers",
     "--timeout",
     "--seed",
     "--service-secs",
@@ -174,7 +177,10 @@ fn service_registry(wf: &Workflow, shell: bool) -> ServiceRegistry {
             if shell {
                 registry.register(
                     spec.service.clone(),
-                    Arc::new(ShellService::new(spec.service.clone(), Vec::<String>::new())),
+                    Arc::new(ShellService::new(
+                        spec.service.clone(),
+                        Vec::<String>::new(),
+                    )),
                 );
             } else {
                 registry.register(
@@ -196,7 +202,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .unwrap_or("600")
         .parse()
         .map_err(|e| format!("--timeout: {e}"))?;
-    match flags.value("--executor").unwrap_or("threaded") {
+    let workers: usize = flags
+        .value("--workers")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("--workers: {e}"))?;
+    match flags.value("--executor").unwrap_or("scheduler") {
         "centralized" => {
             let outcome = run_centralized(&wf, &registry, CentralizedConfig::default())
                 .map_err(|e| e.to_string())?;
@@ -211,9 +222,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        "threaded" => {
+        // "threaded" stays accepted as an alias of the (now default)
+        // event-driven scheduler; "legacy-threads" forces the seed's
+        // thread-per-agent backend for A/B comparisons. Note that the
+        // scheduler runs services inline on its workers — for workloads
+        // of long-blocking services (e.g. --shell with slow programs),
+        // raise --workers or pick legacy-threads until service
+        // offloading lands.
+        executor @ ("scheduler" | "threaded" | "legacy-threads") => {
             let broker = flags.broker()?.build();
-            let runtime = ThreadedRuntime::new(broker, Arc::new(registry));
+            let options = RunOptions {
+                workers,
+                legacy_threads: executor == "legacy-threads",
+                ..RunOptions::default()
+            };
+            let runtime = Scheduler::new(broker, Arc::new(registry)).with_options(options);
             let run = runtime.launch(&wf);
             let result = run.wait(Duration::from_secs(timeout));
             for (task, state) in run.statuses() {
@@ -226,7 +249,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             run.shutdown();
             outcome
         }
-        other => Err(format!("unknown executor {other:?} (centralized|threaded)")),
+        other => Err(format!(
+            "unknown executor {other:?} (centralized|scheduler|legacy-threads)"
+        )),
     }
 }
 
@@ -247,7 +272,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let failures = match (flags.value("--fail-p"), flags.value("--fail-t")) {
         (None, None) => None,
         (p, t) => Some(FailureSpec {
-            p: p.unwrap_or("0.5").parse().map_err(|e| format!("--fail-p: {e}"))?,
+            p: p.unwrap_or("0.5")
+                .parse()
+                .map_err(|e| format!("--fail-p: {e}"))?,
             t_us: (t
                 .unwrap_or("0")
                 .parse::<f64>()

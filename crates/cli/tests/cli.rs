@@ -59,7 +59,13 @@ fn translate_emits_chemistry() {
     let out = ginflow().arg("translate").arg(&path).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for needle in ["SRC:<", "DST:<", "gw_pass", "trigger_adapt_0_T2", "activate_0_T2p"] {
+    for needle in [
+        "SRC:<",
+        "DST:<",
+        "gw_pass",
+        "trigger_adapt_0_T2",
+        "activate_0_T2p",
+    ] {
         assert!(stdout.contains(needle), "missing {needle} in: {stdout}");
     }
 }
@@ -85,7 +91,11 @@ fn run_threaded_with_kafka_completes() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("completed"));
 }
@@ -108,7 +118,9 @@ fn simulate_reports_virtual_makespan() {
 fn simulate_with_failures_recovers_on_kafka() {
     let path = write_workflow(&tmpdir(), "f.json", FIG5);
     let out = ginflow()
-        .args(["simulate", "--broker", "kafka", "--fail-p", "0.5", "--fail-t", "0"])
+        .args([
+            "simulate", "--broker", "kafka", "--fail-p", "0.5", "--fail-t", "0",
+        ])
         .arg(&path)
         .output()
         .unwrap();

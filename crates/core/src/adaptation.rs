@@ -209,11 +209,15 @@ impl Adaptation {
         }
         let dest = dest.ok_or_else(|| fail("region has no outgoing destination".into()))?;
         if region.contains(&dest) || replacement.contains(&dest) {
-            return Err(fail("destination must be outside region and replacement".into()));
+            return Err(fail(
+                "destination must be outside region and replacement".into(),
+            ));
         }
         // Rule 5: replacement exits only reach the same destination (Fig 9 (d)).
         if self.exit_edges.is_empty() {
-            return Err(fail("replacement has no exit edge to the destination".into()));
+            return Err(fail(
+                "replacement has no exit edge to the destination".into(),
+            ));
         }
         for &(from, to) in &self.exit_edges {
             if !replacement.contains(&from) {
@@ -299,12 +303,7 @@ impl Adaptation {
 pub fn validate_disjoint(adaptations: &[Adaptation]) -> Result<(), CoreError> {
     for (i, a) in adaptations.iter().enumerate() {
         for b in adaptations.iter().skip(i + 1) {
-            let sa: HashSet<TaskId> = a
-                .region
-                .iter()
-                .chain(&a.replacement)
-                .copied()
-                .collect();
+            let sa: HashSet<TaskId> = a.region.iter().chain(&a.replacement).copied().collect();
             if b.region
                 .iter()
                 .chain(&b.replacement)

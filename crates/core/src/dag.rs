@@ -138,9 +138,10 @@ impl Dag {
 
     /// All edges as `(from, to)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
-        self.succ.iter().enumerate().flat_map(|(i, outs)| {
-            outs.iter().map(move |&to| (TaskId(i as u32), to))
-        })
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(i, outs)| outs.iter().map(move |&to| (TaskId(i as u32), to)))
     }
 
     /// Topological order; errors with the offending task on a cycle.
@@ -294,8 +295,7 @@ mod tests {
     fn topo_order_respects_edges() {
         let d = fig2();
         let order = d.topo_order().unwrap();
-        let pos: HashMap<TaskId, usize> =
-            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let pos: HashMap<TaskId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for (from, to) in d.edges() {
             assert!(pos[&from] < pos[&to]);
         }
@@ -340,6 +340,9 @@ mod tests {
 
     #[test]
     fn empty_graph_invalid() {
-        assert!(matches!(Dag::new().validate(), Err(CoreError::EmptyWorkflow)));
+        assert!(matches!(
+            Dag::new().validate(),
+            Err(CoreError::EmptyWorkflow)
+        ));
     }
 }

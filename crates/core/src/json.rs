@@ -120,7 +120,12 @@ pub fn doc_to_workflow(doc: &WorkflowDoc) -> Result<Workflow, CoreError> {
                 })
             })
             .collect::<Result<_, CoreError>>()?;
-        b.adaptation(&a.name, a.region.clone(), a.on_error_of.clone(), replacement);
+        b.adaptation(
+            &a.name,
+            a.region.clone(),
+            a.on_error_of.clone(),
+            replacement,
+        );
     }
     b.build()
 }
@@ -173,8 +178,16 @@ pub fn workflow_to_doc(wf: &Workflow) -> WorkflowDoc {
             .collect();
         adaptations.push(AdaptationDoc {
             name: a.name.clone(),
-            region: a.region.iter().map(|&t| dag.name_of(t).to_owned()).collect(),
-            on_error_of: a.watched.iter().map(|&t| dag.name_of(t).to_owned()).collect(),
+            region: a
+                .region
+                .iter()
+                .map(|&t| dag.name_of(t).to_owned())
+                .collect(),
+            on_error_of: a
+                .watched
+                .iter()
+                .map(|&t| dag.name_of(t).to_owned())
+                .collect(),
             replacement,
         });
     }
@@ -195,9 +208,10 @@ pub fn value_to_atom(v: &serde_json::Value) -> Result<Value, CoreError> {
             if let Some(i) = n.as_i64() {
                 Value::Int(i)
             } else {
-                Value::Float(n.as_f64().ok_or_else(|| {
-                    CoreError::Json(format!("unrepresentable number {n}"))
-                })?)
+                Value::Float(
+                    n.as_f64()
+                        .ok_or_else(|| CoreError::Json(format!("unrepresentable number {n}")))?,
+                )
             }
         }
         J::Array(items) => Value::list(
@@ -237,9 +251,7 @@ pub fn atom_to_value(a: &Value) -> serde_json::Value {
         Value::Str(s) => json!(s),
         Value::Bool(b) => json!(b),
         Value::Sym(s) => json!({ "sym": s.as_str() }),
-        Value::List(items) => {
-            serde_json::Value::Array(items.iter().map(atom_to_value).collect())
-        }
+        Value::List(items) => serde_json::Value::Array(items.iter().map(atom_to_value).collect()),
         Value::Sub(ms) => json!({ "sub": ms.iter().map(atom_to_value).collect::<Vec<_>>() }),
         other => json!(other.to_string()),
     }

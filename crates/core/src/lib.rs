@@ -38,8 +38,8 @@ pub use dag::Dag;
 pub use error::CoreError;
 pub use patterns::{diamond, merge, parallel, sequence, split, AdaptiveDiamondSpec, Connectivity};
 pub use service::{
-    ConstService, EchoService, FailNTimesService, FailingService, FlakyService, FnService,
-    Service, ServiceError, ServiceRegistry, ShellService, SleepService, TraceService,
+    ConstService, EchoService, FailNTimesService, FailingService, FlakyService, FnService, Service,
+    ServiceError, ServiceRegistry, ShellService, SleepService, TraceService,
 };
 pub use task::{TaskId, TaskSpec, TaskState};
 pub use workflow::{TaskBuilder, Workflow, WorkflowBuilder};
@@ -53,9 +53,7 @@ pub mod prelude {
     pub use crate::dag::Dag;
     pub use crate::error::CoreError;
     pub use crate::patterns::{diamond, parallel, sequence, Connectivity};
-    pub use crate::service::{
-        EchoService, Service, ServiceError, ServiceRegistry, TraceService,
-    };
+    pub use crate::service::{EchoService, Service, ServiceError, ServiceRegistry, TraceService};
     pub use crate::task::{TaskId, TaskSpec, TaskState};
     pub use crate::workflow::{Workflow, WorkflowBuilder};
     pub use crate::Value;

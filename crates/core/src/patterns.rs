@@ -55,9 +55,7 @@ fn add_mesh(
             } else {
                 match conn {
                     Connectivity::Simple => vec![mesh_name(prefix, i, j - 1)],
-                    Connectivity::Full => {
-                        (1..=h).map(|k| mesh_name(prefix, k, j - 1)).collect()
-                    }
+                    Connectivity::Full => (1..=h).map(|k| mesh_name(prefix, k, j - 1)).collect(),
                 }
             };
             b.task(name, service).after(deps);
@@ -68,7 +66,12 @@ fn add_mesh(
 /// The diamond workload of Fig 11: `in` fans out to `h` rows of `v`
 /// sequential tasks which merge into `out`. Services are all named
 /// `service` (the experiments use constant-time synthetic tasks).
-pub fn diamond(h: usize, v: usize, conn: Connectivity, service: &str) -> Result<Workflow, CoreError> {
+pub fn diamond(
+    h: usize,
+    v: usize,
+    conn: Connectivity,
+    service: &str,
+) -> Result<Workflow, CoreError> {
     assert!(h >= 1 && v >= 1, "diamond needs h ≥ 1 and v ≥ 1");
     let mut b = WorkflowBuilder::new(format!("diamond-{h}x{v}-{}", conn.label()));
     b.task("in", service).input(Value::str("input"));
@@ -133,16 +136,10 @@ impl AdaptiveDiamondSpec {
                 } else {
                     match replacement {
                         Connectivity::Simple => vec![mesh_name("r", i, j - 1)],
-                        Connectivity::Full => {
-                            (1..=h).map(|k| mesh_name("r", k, j - 1)).collect()
-                        }
+                        Connectivity::Full => (1..=h).map(|k| mesh_name("r", k, j - 1)).collect(),
                     }
                 };
-                repl.push(ReplacementTask::new(
-                    mesh_name("r", i, j),
-                    service,
-                    deps,
-                ));
+                repl.push(ReplacementTask::new(mesh_name("r", i, j), service, deps));
             }
         }
         b.adaptation("replace-body", region, watched, repl);
@@ -289,10 +286,7 @@ mod tests {
             assert_eq!(wf.dag().len(), h * v + 2);
             assert_eq!(wf.dag().edge_count(), h * (v - 1) + 2 * h);
             let wf = diamond(h, v, Connectivity::Full, "s").unwrap();
-            assert_eq!(
-                wf.dag().edge_count(),
-                h + h * h * (v - 1) + h
-            );
+            assert_eq!(wf.dag().edge_count(), h + h * h * (v - 1) + h);
         }
     }
 }

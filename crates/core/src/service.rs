@@ -312,7 +312,9 @@ mod tests {
             Value::int(7)
         );
         assert_eq!(
-            EchoService.invoke(&[Value::int(1), Value::str("x")]).unwrap(),
+            EchoService
+                .invoke(&[Value::int(1), Value::str("x")])
+                .unwrap(),
             Value::list([Value::int(1), Value::str("x")])
         );
     }
@@ -320,9 +322,7 @@ mod tests {
     #[test]
     fn trace_shows_lineage() {
         let s2 = TraceService::new("s2");
-        let out = s2
-            .invoke(&[Value::Str("s1(input)".into())])
-            .unwrap();
+        let out = s2.invoke(&[Value::Str("s1(input)".into())]).unwrap();
         assert_eq!(out, Value::Str("s2(s1(input))".into()));
     }
 
@@ -362,10 +362,11 @@ mod tests {
 
     #[test]
     fn fn_service_adapts_closures() {
-        let s = FnService(|params: &[Value]| {
-            Ok(Value::int(params.len() as i64))
-        });
-        assert_eq!(s.invoke(&[Value::int(1), Value::int(2)]).unwrap(), Value::int(2));
+        let s = FnService(|params: &[Value]| Ok(Value::int(params.len() as i64)));
+        assert_eq!(
+            s.invoke(&[Value::int(1), Value::int(2)]).unwrap(),
+            Value::int(2)
+        );
     }
 
     #[test]

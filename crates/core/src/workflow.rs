@@ -193,9 +193,7 @@ impl WorkflowBuilder {
         }
         // Active edges.
         for t in &self.tasks {
-            let to = dag
-                .by_name(&t.spec.name)
-                .expect("just inserted");
+            let to = dag.by_name(&t.spec.name).expect("just inserted");
             for dep in &t.after {
                 let from = dag
                     .by_name(dep)
@@ -207,14 +205,21 @@ impl WorkflowBuilder {
         let mut adaptations = Vec::new();
         for (aid, pa) in adaptation_specs {
             let lookup = |n: &str| -> Result<TaskId, CoreError> {
-                dag.by_name(n).ok_or_else(|| CoreError::UnknownTask(n.to_owned()))
+                dag.by_name(n)
+                    .ok_or_else(|| CoreError::UnknownTask(n.to_owned()))
             };
-            let region: Vec<TaskId> =
-                pa.region.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
+            let region: Vec<TaskId> = pa
+                .region
+                .iter()
+                .map(|n| lookup(n))
+                .collect::<Result<_, _>>()?;
             let watched: Vec<TaskId> = if pa.watched.is_empty() {
                 region.clone()
             } else {
-                pa.watched.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?
+                pa.watched
+                    .iter()
+                    .map(|n| lookup(n))
+                    .collect::<Result<_, _>>()?
             };
             let replacement: Vec<TaskId> = pa
                 .replacement
@@ -248,12 +253,12 @@ impl WorkflowBuilder {
                 entry_edges: entry_edges.clone(),
                 exit_edges: Vec::new(),
             };
-            let dest = proto.destination(&dag).ok_or_else(|| {
-                CoreError::InvalidAdaptation {
+            let dest = proto
+                .destination(&dag)
+                .ok_or_else(|| CoreError::InvalidAdaptation {
                     adaptation: pa.name.clone(),
                     reason: "region has no single destination".into(),
-                }
-            })?;
+                })?;
             let exit_edges: Vec<(TaskId, TaskId)> = replacement
                 .iter()
                 .filter(|&&t| !internal_edges.iter().any(|&(f, _)| f == t))

@@ -61,11 +61,7 @@ pub fn deploy_and_simulate(
     seed: u64,
 ) -> Result<CombinedReport, ExecError> {
     let cluster = Cluster::grid5000(spec.nodes);
-    let agent_names: Vec<String> = workflow
-        .dag()
-        .iter()
-        .map(|(_, t)| t.name.clone())
-        .collect();
+    let agent_names: Vec<String> = workflow.dag().iter().map(|(_, t)| t.name.clone()).collect();
     let deployment = spec.executor.deployer().deploy(&cluster, &agent_names)?;
     let execution = simulate(
         workflow,
@@ -83,6 +79,76 @@ pub fn deploy_and_simulate(
         nodes: spec.nodes,
         deployment,
         execution,
+    })
+}
+
+/// Outcome of a *live* (non-simulated) deployment + execution: the
+/// modelled placement plus real wall-clock results from the event-driven
+/// scheduler.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// The spec that produced this report.
+    pub executor: ExecutorKind,
+    /// Broker used.
+    pub broker: BrokerKind,
+    /// Nodes used (placement model only — execution is in-process).
+    pub nodes: usize,
+    /// Deployment report (placement + modelled time).
+    pub deployment: DeploymentReport,
+    /// Results of every sink task.
+    pub results: std::collections::HashMap<String, ginflow_core::Value>,
+    /// Wall-clock execution time.
+    pub wall: std::time::Duration,
+}
+
+impl LiveReport {
+    /// Modelled deployment time in seconds.
+    pub fn deployment_secs(&self) -> f64 {
+        self.deployment.time_us as f64 / 1e6
+    }
+
+    /// Real execution time in seconds.
+    pub fn execution_secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+}
+
+/// Deploy `workflow`'s agents on the modelled cluster, then execute them
+/// for real on the event-driven [`Scheduler`](ginflow_agent::Scheduler)
+/// — the live counterpart of [`deploy_and_simulate`]. The cluster model
+/// still gates capacity (a deployment that would not fit the testbed
+/// errors out), while execution runs in-process over the chosen broker
+/// profile with one worker per placed node's share of the pool.
+pub fn deploy_and_execute(
+    workflow: &Workflow,
+    spec: ExecutionSpec,
+    registry: std::sync::Arc<ginflow_core::ServiceRegistry>,
+    timeout: std::time::Duration,
+) -> Result<LiveReport, ExecError> {
+    let cluster = Cluster::grid5000(spec.nodes);
+    let agent_names: Vec<String> = workflow.dag().iter().map(|(_, t)| t.name.clone()).collect();
+    let deployment = spec.executor.deployer().deploy(&cluster, &agent_names)?;
+
+    let options = ginflow_agent::RunOptions {
+        // One scheduler worker per modelled node, bounded by the local
+        // machine: the placement decides the parallelism budget.
+        workers: spec.nodes.clamp(1, 64),
+        ..ginflow_agent::RunOptions::default()
+    };
+    let scheduler =
+        ginflow_agent::Scheduler::new(spec.broker.build(), registry).with_options(options);
+    let started = std::time::Instant::now();
+    let run = scheduler.launch(workflow);
+    let results = run.wait(timeout).map_err(|_| ExecError::ExecutionTimeout)?;
+    let wall = started.elapsed();
+    run.shutdown();
+    Ok(LiveReport {
+        executor: spec.executor,
+        broker: spec.broker,
+        nodes: spec.nodes,
+        deployment,
+        results,
+        wall,
     })
 }
 
@@ -164,6 +230,25 @@ mod tests {
         };
         assert!(run(ExecutorKind::Ssh, 15) > run(ExecutorKind::Ssh, 5));
         assert!(run(ExecutorKind::Mesos, 15) < run(ExecutorKind::Mesos, 5));
+    }
+
+    #[test]
+    fn live_execution_completes_on_the_scheduler() {
+        let wf = patterns::diamond(4, 4, Connectivity::Simple, "s").unwrap();
+        let registry = std::sync::Arc::new(ginflow_core::ServiceRegistry::tracing_for(["s"]));
+        let report = deploy_and_execute(
+            &wf,
+            ExecutionSpec {
+                executor: ExecutorKind::Mesos,
+                broker: BrokerKind::Log,
+                nodes: 10,
+            },
+            registry,
+            std::time::Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(report.results.contains_key("out"));
+        assert!(report.deployment_secs() > 0.0);
     }
 
     #[test]

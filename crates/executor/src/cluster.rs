@@ -58,10 +58,7 @@ impl Cluster {
 
     /// Total agent capacity.
     pub fn capacity(&self) -> u32 {
-        self.nodes
-            .iter()
-            .map(|n| n.cores * self.sas_per_core)
-            .sum()
+        self.nodes.iter().map(|n| n.cores * self.sas_per_core).sum()
     }
 }
 

@@ -19,6 +19,8 @@ pub enum ExecError {
     },
     /// No nodes configured.
     EmptyCluster,
+    /// A live execution did not finish within its deadline.
+    ExecutionTimeout,
 }
 
 impl fmt::Display for ExecError {
@@ -29,6 +31,9 @@ impl fmt::Display for ExecError {
                 "cannot place {agents} agents on a cluster with capacity {capacity}"
             ),
             ExecError::EmptyCluster => f.write_str("cluster has no nodes"),
+            ExecError::ExecutionTimeout => {
+                f.write_str("live execution did not finish before its deadline")
+            }
         }
     }
 }
@@ -47,8 +52,7 @@ pub struct DeploymentReport {
 /// A deployment strategy.
 pub trait Deployer {
     /// Place `agents` on `cluster`, reporting the modelled deployment time.
-    fn deploy(&self, cluster: &Cluster, agents: &[String])
-        -> Result<DeploymentReport, ExecError>;
+    fn deploy(&self, cluster: &Cluster, agents: &[String]) -> Result<DeploymentReport, ExecError>;
 
     /// Strategy label for reports.
     fn label(&self) -> &'static str;
@@ -110,18 +114,10 @@ impl Default for SshDeployer {
 }
 
 impl Deployer for SshDeployer {
-    fn deploy(
-        &self,
-        cluster: &Cluster,
-        agents: &[String],
-    ) -> Result<DeploymentReport, ExecError> {
+    fn deploy(&self, cluster: &Cluster, agents: &[String]) -> Result<DeploymentReport, ExecError> {
         let placement = round_robin(cluster, agents)?;
         let n = cluster.len() as u64;
-        let busiest = placement
-            .load(cluster.len())
-            .into_iter()
-            .max()
-            .unwrap_or(0) as u64;
+        let busiest = placement.load(cluster.len()).into_iter().max().unwrap_or(0) as u64;
         let time_us = self.setup_us + self.per_node_us * n + self.sa_start_us * busiest;
         Ok(DeploymentReport { placement, time_us })
     }
@@ -156,11 +152,7 @@ impl Default for MesosDeployer {
 }
 
 impl Deployer for MesosDeployer {
-    fn deploy(
-        &self,
-        cluster: &Cluster,
-        agents: &[String],
-    ) -> Result<DeploymentReport, ExecError> {
+    fn deploy(&self, cluster: &Cluster, agents: &[String]) -> Result<DeploymentReport, ExecError> {
         if cluster.is_empty() {
             return Err(ExecError::EmptyCluster);
         }
@@ -230,9 +222,18 @@ mod tests {
     fn ssh_deploy_time_increases_slightly_with_nodes() {
         // Fixed 102 agents (the paper's 10×10 diamond), growing node count.
         let d = SshDeployer::default();
-        let t5 = d.deploy(&Cluster::grid5000(5), &agents(102)).unwrap().time_us;
-        let t10 = d.deploy(&Cluster::grid5000(10), &agents(102)).unwrap().time_us;
-        let t15 = d.deploy(&Cluster::grid5000(15), &agents(102)).unwrap().time_us;
+        let t5 = d
+            .deploy(&Cluster::grid5000(5), &agents(102))
+            .unwrap()
+            .time_us;
+        let t10 = d
+            .deploy(&Cluster::grid5000(10), &agents(102))
+            .unwrap()
+            .time_us;
+        let t15 = d
+            .deploy(&Cluster::grid5000(15), &agents(102))
+            .unwrap()
+            .time_us;
         assert!(t10 > t5);
         assert!(t15 > t10);
         // "Slightly": under 2× from 5 to 15 nodes.
@@ -242,9 +243,18 @@ mod tests {
     #[test]
     fn mesos_deploy_time_decreases_with_nodes() {
         let d = MesosDeployer::default();
-        let t5 = d.deploy(&Cluster::grid5000(5), &agents(102)).unwrap().time_us;
-        let t10 = d.deploy(&Cluster::grid5000(10), &agents(102)).unwrap().time_us;
-        let t15 = d.deploy(&Cluster::grid5000(15), &agents(102)).unwrap().time_us;
+        let t5 = d
+            .deploy(&Cluster::grid5000(5), &agents(102))
+            .unwrap()
+            .time_us;
+        let t10 = d
+            .deploy(&Cluster::grid5000(10), &agents(102))
+            .unwrap()
+            .time_us;
+        let t15 = d
+            .deploy(&Cluster::grid5000(15), &agents(102))
+            .unwrap()
+            .time_us;
         assert!(t5 > t10);
         assert!(t10 > t15);
         // Rounds: 21 / 11 / 7 — the linear decrease of Fig 14.
@@ -271,7 +281,10 @@ mod tests {
         let err = SshDeployer::default()
             .deploy(&cluster, &agents(47))
             .unwrap_err();
-        assert!(matches!(err, ExecError::InsufficientCapacity { capacity: 46, .. }));
+        assert!(matches!(
+            err,
+            ExecError::InsufficientCapacity { capacity: 46, .. }
+        ));
         assert!(MesosDeployer::default()
             .deploy(&cluster, &agents(46))
             .is_ok());

@@ -20,7 +20,7 @@
 //! takes over — a shape between the paper's SSH and Mesos curves.
 
 use crate::cluster::{Cluster, Placement};
-use crate::deploy::{check_capacity, DeploymentReport, Deployer, ExecError, Micros};
+use crate::deploy::{check_capacity, Deployer, DeploymentReport, ExecError, Micros};
 use serde::{Deserialize, Serialize};
 
 /// Cloud-provisioning deployment model.
@@ -48,11 +48,7 @@ impl Default for Ec2Deployer {
 }
 
 impl Deployer for Ec2Deployer {
-    fn deploy(
-        &self,
-        cluster: &Cluster,
-        agents: &[String],
-    ) -> Result<DeploymentReport, ExecError> {
+    fn deploy(&self, cluster: &Cluster, agents: &[String]) -> Result<DeploymentReport, ExecError> {
         if cluster.is_empty() {
             return Err(ExecError::EmptyCluster);
         }
@@ -64,13 +60,8 @@ impl Deployer for Ec2Deployer {
             .collect();
         let placement = Placement { assignments };
         let n = cluster.len() as u64;
-        let busiest = placement
-            .load(cluster.len())
-            .into_iter()
-            .max()
-            .unwrap_or(0) as u64;
-        let time_us =
-            self.api_interval_us * n + self.instance_boot_us + self.sa_start_us * busiest;
+        let busiest = placement.load(cluster.len()).into_iter().max().unwrap_or(0) as u64;
+        let time_us = self.api_interval_us * n + self.instance_boot_us + self.sa_start_us * busiest;
         Ok(DeploymentReport { placement, time_us })
     }
 
@@ -90,7 +81,11 @@ mod tests {
     #[test]
     fn boot_dominates_then_api_throttle_takes_over() {
         let d = Ec2Deployer::default();
-        let t = |n: usize| d.deploy(&Cluster::grid5000(n), &agents(102)).unwrap().time_us;
+        let t = |n: usize| {
+            d.deploy(&Cluster::grid5000(n), &agents(102))
+                .unwrap()
+                .time_us
+        };
         // Few nodes: the busiest instance starts many agents → slower.
         assert!(t(3) > t(10));
         // Many nodes: API throttling grows linearly and wins eventually.

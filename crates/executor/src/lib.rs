@@ -22,7 +22,9 @@ pub mod cluster;
 pub mod deploy;
 pub mod ec2;
 
-pub use campaign::{deploy_and_simulate, CombinedReport, ExecutionSpec};
+pub use campaign::{
+    deploy_and_execute, deploy_and_simulate, CombinedReport, ExecutionSpec, LiveReport,
+};
 pub use cluster::{Cluster, Node, Placement};
 pub use deploy::{Deployer, DeploymentReport, ExecError, ExecutorKind, MesosDeployer, SshDeployer};
 pub use ec2::Ec2Deployer;

@@ -356,10 +356,7 @@ mod tests {
     #[test]
     fn shape_prefilter() {
         assert_eq!(Atom::int(1).shape(), Shape::Int);
-        assert_eq!(
-            Atom::keyed("K", [Atom::int(1)]).shape(),
-            Shape::Tuple(2)
-        );
+        assert_eq!(Atom::keyed("K", [Atom::int(1)]).shape(), Shape::Tuple(2));
         assert_ne!(Atom::int(1).shape(), Atom::float(1.0).shape());
     }
 
@@ -388,10 +385,7 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let a = Atom::keyed(
-            "RES",
-            [Atom::sub([Atom::str("out"), Atom::float(2.5)])],
-        );
+        let a = Atom::keyed("RES", [Atom::sub([Atom::str("out"), Atom::float(2.5)])]);
         let json = serde_json::to_string(&a).unwrap();
         let back: Atom = serde_json::from_str(&json).unwrap();
         assert_eq!(a, back);

@@ -376,9 +376,9 @@ impl Engine {
                 _ => continue,
             };
             let order = self.candidate_order(ms);
-            let found = self
-                .matcher
-                .find_match(&rule, ms, Some(rule_idx), order.as_deref(), host)?;
+            let found =
+                self.matcher
+                    .find_match(&rule, ms, Some(rule_idx), order.as_deref(), host)?;
             let m = match found {
                 Some(m) => m,
                 None => continue,
@@ -553,10 +553,7 @@ mod tests {
         assert_eq!(out.suspended.len(), 1);
         let eff = &out.suspended[0];
         assert_eq!(eff.name, "invoke");
-        assert_eq!(
-            eff.args,
-            vec![Atom::sym("s2"), Atom::list([Atom::int(1)])]
-        );
+        assert_eq!(eff.args, vec![Atom::sym("s2"), Atom::list([Atom::int(1)])]);
         // LHS consumed, rule gone (one-shot), nothing produced yet.
         assert_eq!(sol.atoms().len(), 0);
         assert!(sol.has_pending());
@@ -595,8 +592,7 @@ mod tests {
             .lhs([Pattern::lit(Atom::int(1))])
             .rhs([Template::call("invoke", [])])
             .build();
-        let mut sol =
-            Solution::from_atoms([Atom::sub([Atom::int(1), Atom::rule(inner_rule)])]);
+        let mut sol = Solution::from_atoms([Atom::sub([Atom::int(1), Atom::rule(inner_rule)])]);
         let mut engine = Engine::new();
         let err = engine.reduce(&mut sol, &mut DeferInvoke).unwrap_err();
         assert!(matches!(err, HoclError::DeferredInNested(_)));
@@ -638,11 +634,7 @@ mod tests {
 
     #[test]
     fn stats_accumulate_and_reset() {
-        let mut sol = Solution::from_atoms([
-            Atom::int(1),
-            Atom::int(2),
-            Atom::rule(max_rule()),
-        ]);
+        let mut sol = Solution::from_atoms([Atom::int(1), Atom::int(2), Atom::rule(max_rule())]);
         let mut engine = Engine::new();
         engine.reduce(&mut sol, &mut NoExterns).unwrap();
         let s = engine.take_stats();

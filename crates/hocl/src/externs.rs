@@ -126,13 +126,18 @@ fn builtin_list(args: &[Atom]) -> Result<Vec<Atom>, HoclError> {
     for a in args {
         match a {
             Atom::Tuple(v) if v.len() == 2 && v[0].as_sym().is_some() => {
-                tagged.push((v[0].as_sym().expect("checked").as_str().to_owned(), v[1].clone()));
+                tagged.push((
+                    v[0].as_sym().expect("checked").as_str().to_owned(),
+                    v[1].clone(),
+                ));
             }
             other => tagged.push((String::new(), other.clone())),
         }
     }
     tagged.sort_by(|a, b| a.0.cmp(&b.0));
-    Ok(vec![Atom::List(tagged.into_iter().map(|(_, v)| v).collect())])
+    Ok(vec![Atom::List(
+        tagged.into_iter().map(|(_, v)| v).collect(),
+    )])
 }
 
 fn builtin_concat(args: &[Atom]) -> Result<Vec<Atom>, HoclError> {
@@ -214,7 +219,9 @@ fn builtin_first(args: &[Atom]) -> Result<Vec<Atom>, HoclError> {
 fn builtin_is_error(args: &[Atom]) -> Result<Vec<Atom>, HoclError> {
     match args {
         [a] => Ok(vec![Atom::Bool(
-            a.as_sym().map(|s| s.as_str() == crate::symbol::keywords::ERROR) == Some(true),
+            a.as_sym()
+                .map(|s| s.as_str() == crate::symbol::keywords::ERROR)
+                == Some(true),
         )]),
         _ => Err(HoclError::ExternFailed {
             name: "is_error".into(),

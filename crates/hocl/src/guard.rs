@@ -139,11 +139,7 @@ impl Guard {
     }
 
     /// Evaluate the guard under the given bindings.
-    pub fn eval(
-        &self,
-        bindings: &Bindings,
-        host: &mut dyn ExternHost,
-    ) -> Result<bool, HoclError> {
+    pub fn eval(&self, bindings: &Bindings, host: &mut dyn ExternHost) -> Result<bool, HoclError> {
         match self {
             Guard::True => Ok(true),
             Guard::Cmp(op, a, b) => {

@@ -139,76 +139,127 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(Spanned { token: Token::Colon, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Colon,
+                    offset: i,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, offset: i });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: i });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Spanned { token: Token::LBracket, offset: i });
+                tokens.push(Spanned {
+                    token: Token::LBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Spanned { token: Token::RBracket, offset: i });
+                tokens.push(Spanned {
+                    token: Token::RBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             '?' => {
-                tokens.push(Spanned { token: Token::Question, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Question,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Spanned { token: Token::Star, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Le, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Le,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Lt, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ge, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Ge,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Gt, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::EqEq, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::EqEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Eq, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Eq,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ne, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Bang, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Bang,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Spanned { token: Token::AndAnd, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::AndAnd,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -219,7 +270,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Spanned { token: Token::OrOr, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::OrOr,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -230,13 +284,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '"' => {
                 let (s, next) = lex_string(src, i)?;
-                tokens.push(Spanned { token: Token::Str(s), offset: i });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    offset: i,
+                });
                 i = next;
             }
             '-' => {
                 if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
                     let (tok, next) = lex_number(src, i)?;
-                    tokens.push(Spanned { token: tok, offset: i });
+                    tokens.push(Spanned {
+                        token: tok,
+                        offset: i,
+                    });
                     i = next;
                 } else {
                     return Err(LexError {
@@ -252,21 +312,33 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     .is_some_and(|b| is_ident_continue(*b as char))
                 {
                     let (tok, next) = lex_ident(src, i);
-                    tokens.push(Spanned { token: tok, offset: i });
+                    tokens.push(Spanned {
+                        token: tok,
+                        offset: i,
+                    });
                     i = next;
                 } else {
-                    tokens.push(Spanned { token: Token::Underscore, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Underscore,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             c if c.is_ascii_digit() => {
                 let (tok, next) = lex_number(src, i)?;
-                tokens.push(Spanned { token: tok, offset: i });
+                tokens.push(Spanned {
+                    token: tok,
+                    offset: i,
+                });
                 i = next;
             }
             c if is_ident_start(c) => {
                 let (tok, next) = lex_ident(src, i);
-                tokens.push(Spanned { token: tok, offset: i });
+                tokens.push(Spanned {
+                    token: tok,
+                    offset: i,
+                });
                 i = next;
             }
             other => {
@@ -321,8 +393,7 @@ fn lex_number(src: &str, start: usize) -> Result<(Token, usize), LexError> {
         i += 1;
     }
     let mut is_float = false;
-    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
-    {
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
         is_float = true;
         i += 1;
         while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -461,10 +532,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            toks(r#""a\"b\n""#),
-            vec![Token::Str("a\"b\n".into())]
-        );
+        assert_eq!(toks(r#""a\"b\n""#), vec![Token::Str("a\"b\n".into())]);
     }
 
     #[test]

@@ -345,14 +345,20 @@ mod tests {
                 Pattern::tuple([
                     Pattern::var("ti"),
                     Pattern::sub_with_rest(
-                        [Pattern::keyed("DST", [Pattern::sub_with_rest([Pattern::var("tj")], "wd")])],
+                        [Pattern::keyed(
+                            "DST",
+                            [Pattern::sub_with_rest([Pattern::var("tj")], "wd")],
+                        )],
                         "wi",
                     ),
                 ]),
                 Pattern::tuple([
                     Pattern::var("tj"),
                     Pattern::sub_with_rest(
-                        [Pattern::keyed("SRC", [Pattern::sub_with_rest([Pattern::var("ti")], "ws")])],
+                        [Pattern::keyed(
+                            "SRC",
+                            [Pattern::sub_with_rest([Pattern::var("ti")], "ws")],
+                        )],
                         "wj",
                     ),
                 ]),
@@ -392,7 +398,10 @@ mod tests {
             .build();
         let clean = Rule::builder("clean")
             .one_shot()
-            .lhs([Pattern::sub_with_rest([Pattern::RuleNamed("max".into())], "w")])
+            .lhs([Pattern::sub_with_rest(
+                [Pattern::RuleNamed("max".into())],
+                "w",
+            )])
             .rhs([Template::var("w")])
             .build();
         let inner = Atom::sub([Atom::int(9), Atom::rule(max)]);

@@ -274,10 +274,7 @@ mod tests {
 
     #[test]
     fn collect_vars_walks_structure() {
-        let p = Pattern::keyed(
-            "DST",
-            [Pattern::sub_with_rest([Pattern::var("t")], "rest")],
-        );
+        let p = Pattern::keyed("DST", [Pattern::sub_with_rest([Pattern::var("t")], "rest")]);
         let mut vars = vec![];
         p.collect_vars(&mut vars);
         assert_eq!(vars, vec!["t".to_string(), "rest".to_string()]);
@@ -292,10 +289,7 @@ mod tests {
 
     #[test]
     fn display_notation() {
-        let p = Pattern::keyed(
-            "SRC",
-            [Pattern::sub_with_rest([Pattern::var("t")], "w")],
-        );
+        let p = Pattern::keyed("SRC", [Pattern::sub_with_rest([Pattern::var("t")], "w")]);
         assert_eq!(format!("{p}"), "SRC:<?t, *w>");
         assert_eq!(format!("{}", Pattern::empty_sub()), "<>");
     }

@@ -156,7 +156,11 @@ impl fmt::Display for Rule {
             f,
             "{} = {}",
             self.name,
-            if self.one_shot { "replace-one" } else { "replace" }
+            if self.one_shot {
+                "replace-one"
+            } else {
+                "replace"
+            }
         )?;
         for (i, p) in self.lhs.iter().enumerate() {
             write!(f, "{}{p}", if i == 0 { " " } else { ", " })?;

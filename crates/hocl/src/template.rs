@@ -390,10 +390,7 @@ mod tests {
 
     #[test]
     fn omega_splices_in_sub() {
-        let b = bindings(&[(
-            "w",
-            Binding::Many(vec![Atom::int(1), Atom::int(2)]),
-        )]);
+        let b = bindings(&[("w", Binding::Many(vec![Atom::int(1), Atom::int(2)]))]);
         let out = produce(
             &[Template::keyed("IN", [Template::sub([Template::var("w")])])],
             &b,
@@ -408,10 +405,7 @@ mod tests {
     fn omega_splices_at_top_level() {
         // The `clean` rule's RHS is just `ω` — contents spill into the outer
         // solution.
-        let b = bindings(&[(
-            "w",
-            Binding::Many(vec![Atom::int(9), Atom::sym("K")]),
-        )]);
+        let b = bindings(&[("w", Binding::Many(vec![Atom::int(9), Atom::sym("K")]))]);
         let out = produce(&[Template::var("w")], &b);
         assert_eq!(out, vec![Atom::int(9), Atom::sym("K")]);
     }
@@ -422,10 +416,7 @@ mod tests {
         let mut host = NoExterns;
         let mut inst = Instantiator::new(&mut host);
         let err = inst
-            .produce(
-                &[Template::keyed("K", [Template::var("w")])],
-                &b,
-            )
+            .produce(&[Template::keyed("K", [Template::var("w")])], &b)
             .unwrap_err();
         assert!(matches!(err, HoclError::OmegaInScalarPosition(_)));
     }
@@ -434,9 +425,7 @@ mod tests {
     fn pure_call_splices_result() {
         let b = bindings(&[(
             "w",
-            Binding::Many(vec![
-                Atom::tuple([Atom::sym("T1"), Atom::int(5)]),
-            ]),
+            Binding::Many(vec![Atom::tuple([Atom::sym("T1"), Atom::int(5)])]),
         )]);
         let out = produce(
             &[Template::keyed(
@@ -445,10 +434,7 @@ mod tests {
             )],
             &b,
         );
-        assert_eq!(
-            out,
-            vec![Atom::keyed("PAR", [Atom::list([Atom::int(5)])])]
-        );
+        assert_eq!(out, vec![Atom::keyed("PAR", [Atom::list([Atom::int(5)])])]);
     }
 
     #[test]

@@ -52,14 +52,15 @@ fn multiple_concurrent_suspensions_resume_in_any_order() {
     assert_eq!(sol.pending_ids().len(), 3);
 
     // Resume c, a, b.
-    let by_arg = |out: &ginflow_hocl::engine::EffectInfo| {
-        out.args[0].as_sym().unwrap().as_str().to_owned()
-    };
+    let by_arg =
+        |out: &ginflow_hocl::engine::EffectInfo| out.args[0].as_sym().unwrap().as_str().to_owned();
     let mut effects = out.suspended.clone();
     effects.sort_by_key(|e| std::cmp::Reverse(by_arg(e)));
     for eff in &effects {
         let value = Atom::str(format!("result-{}", by_arg(eff)));
-        engine.resume(&mut sol, eff.id, vec![value], &mut DeferAll).unwrap();
+        engine
+            .resume(&mut sol, eff.id, vec![value], &mut DeferAll)
+            .unwrap();
     }
     let out = engine.reduce(&mut sol, &mut DeferAll).unwrap();
     assert!(out.inert);
@@ -109,7 +110,13 @@ fn deep_nesting_reduces_bottom_up() {
     let lift = |n: &str| {
         Rule::builder(n)
             .one_shot()
-            .lhs([Pattern::sub_with_rest([Pattern::Typed("v".into(), ginflow_hocl::pattern::TypeTag::Int)], "w")])
+            .lhs([Pattern::sub_with_rest(
+                [Pattern::Typed(
+                    "v".into(),
+                    ginflow_hocl::pattern::TypeTag::Int,
+                )],
+                "w",
+            )])
             .rhs([Template::var("v")])
             .build()
     };
@@ -155,9 +162,7 @@ fn large_flat_multiset_terminates() {
         .guard(Guard::ge(Expr::var("x"), Expr::var("y")))
         .rhs([Template::var("x")])
         .build();
-    let mut sol = Solution::from_atoms(
-        (0..2000i64).map(Atom::int).chain([Atom::rule(max)]),
-    );
+    let mut sol = Solution::from_atoms((0..2000i64).map(Atom::int).chain([Atom::rule(max)]));
     let mut engine = Engine::with_config(EngineConfig {
         max_steps: 10_000,
         shuffle_seed: None,
@@ -205,7 +210,9 @@ fn double_resume_rejected() {
     let mut engine = Engine::new();
     let out = engine.reduce(&mut sol, &mut DeferAll).unwrap();
     let id = out.suspended[0].id;
-    engine.resume(&mut sol, id, vec![Atom::int(1)], &mut DeferAll).unwrap();
+    engine
+        .resume(&mut sol, id, vec![Atom::int(1)], &mut DeferAll)
+        .unwrap();
     let err = engine
         .resume(&mut sol, id, vec![Atom::int(2)], &mut DeferAll)
         .unwrap_err();
@@ -219,7 +226,10 @@ fn omega_can_capture_rules() {
     let wrap = Rule::builder("wrap")
         .one_shot()
         .lhs([Pattern::sub_rest("w")])
-        .rhs([Template::keyed("BOXED", [Template::sub([Template::var("w")])])])
+        .rhs([Template::keyed(
+            "BOXED",
+            [Template::sub([Template::var("w")])],
+        )])
         .build();
     let max = Rule::builder("max")
         .lhs([Pattern::var("x"), Pattern::var("y")])

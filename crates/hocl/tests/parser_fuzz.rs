@@ -71,5 +71,8 @@ fn pathological_but_valid_inputs() {
     // Things that must NOT parse.
     assert!(parse_solution("<?x>").is_err(), "variables are not atoms");
     assert!(parse_solution("<*w>").is_err(), "omegas are not atoms");
-    assert!(parse_program("let r = replace ?x by ?x in").is_err(), "missing solution");
+    assert!(
+        parse_program("let r = replace ?x by ?x in").is_err(),
+        "missing solution"
+    );
 }

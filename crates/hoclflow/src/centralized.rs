@@ -11,9 +11,7 @@ use crate::compile;
 use crate::externs::{names, FlowExterns};
 use ginflow_core::{ServiceRegistry, TaskState, Value, Workflow};
 use ginflow_hocl::symbol::keywords as kw;
-use ginflow_hocl::{
-    Atom, Engine, EngineConfig, ExternHost, ExternResult, HoclError, Solution,
-};
+use ginflow_hocl::{Atom, Engine, EngineConfig, ExternHost, ExternResult, HoclError, Solution};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -83,9 +81,10 @@ pub struct CentralizedOutcome {
 impl CentralizedOutcome {
     /// Did every non-standby task complete?
     pub fn all_completed(&self, wf: &Workflow) -> bool {
-        wf.dag().iter().filter(|(_, t)| !t.is_standby()).all(|(_, t)| {
-            self.states.get(&t.name) == Some(&TaskState::Completed)
-        })
+        wf.dag()
+            .iter()
+            .filter(|(_, t)| !t.is_standby())
+            .all(|(_, t)| self.states.get(&t.name) == Some(&TaskState::Completed))
     }
 
     /// Result of a task by name.

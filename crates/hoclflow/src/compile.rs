@@ -103,9 +103,11 @@ fn task_atoms(wf: &Workflow, id: TaskId) -> Vec<Atom> {
         Atom::keyed(kw::SRV, [Atom::sym(&spec.service)]),
         Atom::keyed(
             kw::IN,
-            [Atom::sub(spec.inputs.iter().map(|v| {
-                Atom::tuple([Atom::sym(kw::INPUT), v.clone()])
-            }))],
+            [Atom::sub(
+                spec.inputs
+                    .iter()
+                    .map(|v| Atom::tuple([Atom::sym(kw::INPUT), v.clone()])),
+            )],
         ),
     ]
 }
@@ -375,15 +377,11 @@ mod tests {
             sol.atoms()
                 .iter()
                 .find_map(|a| match a {
-                    Atom::Tuple(v)
-                        if v[0] == Atom::sym(name) =>
-                    {
-                        v[1].as_sub().map(|ms| {
-                            ms.iter()
-                                .filter_map(|x| x.as_rule().map(|r| r.name().to_owned()))
-                                .collect()
-                        })
-                    }
+                    Atom::Tuple(v) if v[0] == Atom::sym(name) => v[1].as_sub().map(|ms| {
+                        ms.iter()
+                            .filter_map(|x| x.as_rule().map(|r| r.name().to_owned()))
+                            .collect()
+                    }),
                     _ => None,
                 })
                 .unwrap()
@@ -451,21 +449,13 @@ mod tests {
         let t1 = agents.iter().find(|a| a.name == "T1").unwrap();
         let input = t1.initial.atoms().keyed_sub(kw::IN).unwrap();
         assert_eq!(input.len(), 1);
-        assert!(input.contains(&Atom::tuple([
-            Atom::sym(kw::INPUT),
-            Atom::str("input")
-        ])));
+        assert!(input.contains(&Atom::tuple([Atom::sym(kw::INPUT), Atom::str("input")])));
     }
 
     #[test]
     fn plain_workflow_has_no_adaptation_rules() {
-        let wf = ginflow_core::patterns::diamond(
-            2,
-            2,
-            ginflow_core::Connectivity::Simple,
-            "noop",
-        )
-        .unwrap();
+        let wf = ginflow_core::patterns::diamond(2, 2, ginflow_core::Connectivity::Simple, "noop")
+            .unwrap();
         let (agents, plans) = agent_programs(&wf);
         assert!(plans.is_empty());
         for a in &agents {

@@ -140,11 +140,7 @@ mod tests {
         // Addition already present: not duplicated.
         let out = call_pure(
             names::SWAP_SRC,
-            &[
-                Atom::list([]),
-                Atom::list([Atom::sym("X")]),
-                Atom::sym("X"),
-            ],
+            &[Atom::list([]), Atom::list([Atom::sym("X")]), Atom::sym("X")],
         );
         assert_eq!(out, vec![Atom::sym("X")]);
     }

@@ -282,10 +282,7 @@ pub fn trigger_adapt_global(
         rhs.push(Template::tuple([
             Template::sym(*name),
             Template::sub([
-                Template::tuple([
-                    Template::sym(kw::ADAPT),
-                    Template::lit(Atom::int(k as i64)),
-                ]),
+                Template::tuple([Template::sym(kw::ADAPT), Template::lit(Atom::int(k as i64))]),
                 Template::var(wv),
             ]),
         ]));
@@ -313,18 +310,12 @@ pub fn trigger_adapt_global(
 /// replace-one ADAPT:k, DST:<*wd> by DST:<alt1, …, altN, *wd>
 /// ```
 pub fn add_dst(k: u32, new_destinations: &[&str]) -> Rule {
-    let mut dst_elems: Vec<Template> = new_destinations
-        .iter()
-        .map(|d| Template::sym(*d))
-        .collect();
+    let mut dst_elems: Vec<Template> = new_destinations.iter().map(|d| Template::sym(*d)).collect();
     dst_elems.push(Template::var("wd"));
     Rule::builder(format!("add_dst_{k}"))
         .one_shot()
         .lhs([
-            Pattern::tuple([
-                Pattern::sym(kw::ADAPT),
-                Pattern::lit(Atom::int(k as i64)),
-            ]),
+            Pattern::tuple([Pattern::sym(kw::ADAPT), Pattern::lit(Atom::int(k as i64))]),
             Pattern::keyed(kw::DST, [Pattern::sub_rest("wd")]),
         ])
         .rhs([Template::keyed(kw::DST, [Template::Sub(dst_elems)])])
@@ -351,10 +342,7 @@ pub fn mv_src(k: u32, old_sources: &[&str], new_sources: &[&str], region: &[&str
     Rule::builder(format!("mv_src_{k}"))
         .one_shot()
         .lhs([
-            Pattern::tuple([
-                Pattern::sym(kw::ADAPT),
-                Pattern::lit(Atom::int(k as i64)),
-            ]),
+            Pattern::tuple([Pattern::sym(kw::ADAPT), Pattern::lit(Atom::int(k as i64))]),
             Pattern::keyed(kw::SRC, [Pattern::sub_rest("ws")]),
             Pattern::keyed(kw::IN, [Pattern::sub_rest("win")]),
         ])

@@ -107,7 +107,9 @@ fn our_mv_src_completes_the_same_trace() {
         .atoms()
         .find(|a| a.tuple_key().map(|s| s.as_str()) == Some(kw::PAR))
         .expect("gw_setup fired");
-    let Atom::Tuple(v) = par_atom else { unreachable!() };
+    let Atom::Tuple(v) = par_atom else {
+        unreachable!()
+    };
     assert_eq!(
         v[1],
         Atom::list([Atom::str("r2p"), Atom::str("r3")]),

@@ -197,10 +197,7 @@ mod tests {
         let wf = spec.build().unwrap();
         assert_eq!(wf.dag().len(), 20);
         assert_eq!(spec.durations_secs().len(), 20);
-        assert_eq!(
-            spec.critical_path_secs(),
-            31.0 + 310.0 + 128.0
-        );
+        assert_eq!(spec.critical_path_secs(), 31.0 + 310.0 + 128.0);
     }
 
     #[test]

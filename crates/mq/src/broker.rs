@@ -3,7 +3,9 @@
 use crate::error::MqError;
 use crate::message::Message;
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Where a subscription starts.
@@ -32,8 +34,7 @@ pub struct Receipt {
 pub trait Broker: Send + Sync {
     /// Publish `payload` to `topic`; the optional `key` pins the partition
     /// on partitioned brokers.
-    fn publish(&self, topic: &str, key: Option<Bytes>, payload: Bytes)
-        -> Result<Receipt, MqError>;
+    fn publish(&self, topic: &str, key: Option<Bytes>, payload: Bytes) -> Result<Receipt, MqError>;
 
     /// Subscribe to a topic.
     fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError>;
@@ -59,12 +60,118 @@ pub trait Broker: Send + Sync {
     fn retained(&self, topic: &str) -> u64;
 }
 
+/// Callback invoked (after the broker's topic lock is released)
+/// whenever a message lands in a subscription's queue.
+pub(crate) type WakeFn = Arc<dyn Fn() + Send + Sync>;
+
+/// The registered waker of one subscription, shared between the
+/// subscriber-facing [`Subscription`] and the broker-side
+/// [`SubscriberHandle`].
+///
+/// `armed` shadows `Some`-ness of the slot so the publish hot path can
+/// skip waker collection entirely for the (common) subscribers that
+/// never registered one — blocking consumers like the status collector,
+/// and every subscription of the legacy backend.
+#[derive(Default)]
+pub(crate) struct WakerSlot {
+    armed: std::sync::atomic::AtomicBool,
+    slot: Mutex<Option<WakeFn>>,
+}
+
+impl WakerSlot {
+    fn armed(&self) -> bool {
+        self.armed.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn wake(&self) {
+        // Clone out of the lock so a waker may call back into the
+        // subscription (e.g. schedule work that drains it) freely.
+        let waker = self.slot.lock().clone();
+        if let Some(wake) = waker {
+            wake();
+        }
+    }
+}
+
+/// Broker-side endpoint of a subscription: the delivery channel plus the
+/// wakeup hook. Brokers hold one per subscriber, call
+/// [`SubscriberHandle::deliver`] on publish while holding their topic
+/// lock (ordering), then fire the collected wakers *after* releasing it
+/// (so a waker may itself publish without deadlocking) — making delivery
+/// push-based end to end: no consumer ever needs to poll.
+pub(crate) struct SubscriberHandle {
+    tx: Sender<Message>,
+    waker: Arc<WakerSlot>,
+}
+
+impl SubscriberHandle {
+    /// Enqueue a message. Returns false when the subscriber is gone (the
+    /// broker prunes the handle). Does not wake — the broker wakes via
+    /// [`SubscriberHandle::waker`] once its topic lock is released.
+    pub(crate) fn deliver(&self, message: Message) -> bool {
+        self.tx.send(message).is_ok()
+    }
+
+    /// The subscriber's waker, for post-delivery wakeups — `None` while
+    /// no waker is registered, so publishes skip the whole wake pass for
+    /// blocking consumers.
+    pub(crate) fn waker(&self) -> Option<Arc<WakerSlot>> {
+        self.waker.armed().then(|| self.waker.clone())
+    }
+}
+
+/// Fire a batch of wakers collected during a locked delivery pass.
+pub(crate) fn wake_all(wakers: Vec<Arc<WakerSlot>>) {
+    for waker in wakers {
+        waker.wake();
+    }
+}
+
+/// Create a connected broker-side / subscriber-side endpoint pair.
+pub(crate) fn subscription_pair() -> (SubscriberHandle, Subscription) {
+    let (tx, rx) = unbounded();
+    let waker = Arc::new(WakerSlot::default());
+    (
+        SubscriberHandle {
+            tx,
+            waker: waker.clone(),
+        },
+        Subscription { rx, waker },
+    )
+}
+
 /// A live subscription: a stream of [`Message`]s.
 pub struct Subscription {
     pub(crate) rx: Receiver<Message>,
+    pub(crate) waker: Arc<WakerSlot>,
 }
 
 impl Subscription {
+    /// Register a wakeup callback fired on every delivery. If messages
+    /// are already queued (e.g. a replayed history) the callback fires
+    /// immediately, so no edge is ever lost between subscribing and
+    /// registering.
+    ///
+    /// This is what makes event-driven consumers possible: instead of
+    /// polling [`Subscription::try_recv`] on a timer, a scheduler parks
+    /// the consumer and lets the broker's publish path reschedule it.
+    pub fn set_waker(&self, wake: impl Fn() + Send + Sync + 'static) {
+        *self.waker.slot.lock() = Some(Arc::new(wake));
+        self.waker
+            .armed
+            .store(true, std::sync::atomic::Ordering::Release);
+        if !self.rx.is_empty() {
+            self.waker.wake();
+        }
+    }
+
+    /// Remove the registered waker (e.g. when the consumer dies).
+    pub fn clear_waker(&self) {
+        self.waker
+            .armed
+            .store(false, std::sync::atomic::Ordering::Release);
+        *self.waker.slot.lock() = None;
+    }
     /// Block until the next message (or the broker goes away).
     pub fn recv(&self) -> Result<Message, MqError> {
         self.rx.recv().map_err(|_| MqError::Disconnected)
@@ -91,5 +198,106 @@ impl Subscription {
     /// Number of already-delivered messages waiting in the subscription.
     pub fn backlog(&self) -> usize {
         self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Broker, LogBroker, SubscribeMode, TransientBroker};
+    use bytes::Bytes;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn payload() -> Bytes {
+        Bytes::from_static(b"m")
+    }
+
+    fn brokers() -> Vec<Arc<dyn Broker>> {
+        vec![Arc::new(TransientBroker::new()), Arc::new(LogBroker::new())]
+    }
+
+    #[test]
+    fn waker_fires_on_every_publish() {
+        for broker in brokers() {
+            let sub = broker.subscribe("t", SubscribeMode::Latest).unwrap();
+            let fired = Arc::new(AtomicUsize::new(0));
+            let counter = fired.clone();
+            sub.set_waker(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(fired.load(Ordering::SeqCst), 0, "no backlog, no wake");
+            for _ in 0..3 {
+                broker.publish("t", None, payload()).unwrap();
+            }
+            assert_eq!(fired.load(Ordering::SeqCst), 3);
+            assert_eq!(sub.backlog(), 3);
+        }
+    }
+
+    #[test]
+    fn waker_fires_immediately_on_existing_backlog() {
+        // The recovery path: a replayed subscription has history queued
+        // before any waker exists; registration must not lose the edge.
+        let broker = LogBroker::new();
+        broker.publish("t", None, payload()).unwrap();
+        broker.publish("t", None, payload()).unwrap();
+        let sub = broker.subscribe("t", SubscribeMode::Beginning).unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = fired.clone();
+        sub.set_waker(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "backlog wakes at once");
+    }
+
+    #[test]
+    fn cleared_waker_stays_silent() {
+        for broker in brokers() {
+            let sub = broker.subscribe("t", SubscribeMode::Latest).unwrap();
+            let fired = Arc::new(AtomicUsize::new(0));
+            let counter = fired.clone();
+            sub.set_waker(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            sub.clear_waker();
+            broker.publish("t", None, payload()).unwrap();
+            assert_eq!(fired.load(Ordering::SeqCst), 0);
+            assert_eq!(sub.backlog(), 1, "delivery itself is unaffected");
+        }
+    }
+
+    #[test]
+    fn waker_may_publish_without_deadlocking() {
+        // Wakers run after the topic lock is released, so a waker that
+        // itself publishes (agents answering messages inline) must work.
+        for broker in brokers() {
+            let sub = broker.subscribe("in", SubscribeMode::Latest).unwrap();
+            let out = broker.subscribe("out", SubscribeMode::Latest).unwrap();
+            let b = broker.clone();
+            sub.set_waker(move || {
+                b.publish("out", None, payload()).unwrap();
+            });
+            broker.publish("in", None, payload()).unwrap();
+            assert_eq!(out.backlog(), 1);
+        }
+    }
+
+    #[test]
+    fn waker_of_a_dropped_subscription_is_pruned() {
+        for broker in brokers() {
+            let sub = broker.subscribe("t", SubscribeMode::Latest).unwrap();
+            let fired = Arc::new(AtomicUsize::new(0));
+            let counter = fired.clone();
+            sub.set_waker(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            drop(sub);
+            broker.publish("t", None, payload()).unwrap();
+            broker.publish("t", None, payload()).unwrap();
+            assert!(
+                fired.load(Ordering::SeqCst) <= 1,
+                "at most the pruning publish may observe the stale handle"
+            );
+        }
     }
 }

@@ -7,17 +7,18 @@
 //! "we exploit the ability of Kafka to persist the messages exchanged by
 //! the services and to replay them on demand" (§IV-B).
 
-use crate::broker::{Broker, Receipt, SubscribeMode, Subscription};
+use crate::broker::{
+    subscription_pair, wake_all, Broker, Receipt, SubscribeMode, SubscriberHandle, Subscription,
+};
 use crate::error::MqError;
 use crate::message::Message;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
 struct TopicState {
     partitions: Vec<Vec<Message>>,
-    subscribers: Vec<Sender<Message>>,
+    subscribers: Vec<SubscriberHandle>,
     round_robin: u32,
 }
 
@@ -93,62 +94,63 @@ fn fnv1a(bytes: &[u8]) -> u32 {
 }
 
 impl Broker for LogBroker {
-    fn publish(
-        &self,
-        topic: &str,
-        key: Option<Bytes>,
-        payload: Bytes,
-    ) -> Result<Receipt, MqError> {
-        let mut topics = self.topics.lock();
-        let default_partitions = self.default_partitions;
-        let state = topics
-            .entry(topic.to_owned())
-            .or_insert_with(|| TopicState::new(default_partitions));
-        let partition = Self::route(state, key.as_ref());
-        let log = &mut state.partitions[partition as usize];
-        let offset = log.len() as u64;
-        let message = Message {
-            topic: topic.to_owned(),
-            partition,
-            offset,
-            key,
-            payload,
+    fn publish(&self, topic: &str, key: Option<Bytes>, payload: Bytes) -> Result<Receipt, MqError> {
+        let (wakers, receipt) = {
+            let mut topics = self.topics.lock();
+            let default_partitions = self.default_partitions;
+            let state = topics
+                .entry(topic.to_owned())
+                .or_insert_with(|| TopicState::new(default_partitions));
+            let partition = Self::route(state, key.as_ref());
+            let log = &mut state.partitions[partition as usize];
+            let offset = log.len() as u64;
+            let message = Message {
+                topic: topic.to_owned(),
+                partition,
+                offset,
+                key,
+                payload,
+            };
+            log.push(message.clone());
+            state.subscribers.retain(|sub| sub.deliver(message.clone()));
+            let wakers = state.subscribers.iter().filter_map(|s| s.waker()).collect();
+            (wakers, Receipt { partition, offset })
         };
-        log.push(message.clone());
-        state
-            .subscribers
-            .retain(|tx| tx.send(message.clone()).is_ok());
-        Ok(Receipt { partition, offset })
+        // Wake outside the topic lock: wakers may publish in turn.
+        wake_all(wakers);
+        Ok(receipt)
     }
 
     fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError> {
-        let (tx, rx) = unbounded();
+        let (handle, subscription) = subscription_pair();
         let mut topics = self.topics.lock();
         let default_partitions = self.default_partitions;
         let state = topics
             .entry(topic.to_owned())
             .or_insert_with(|| TopicState::new(default_partitions));
         // Replay happens under the topic lock, so no message published
-        // concurrently can be missed or duplicated.
+        // concurrently can be missed or duplicated. No waker can be
+        // registered yet — `Subscription::set_waker` fires immediately
+        // when it finds this backlog.
         match mode {
             SubscribeMode::Latest => {}
             SubscribeMode::Beginning => {
                 for log in &state.partitions {
                     for m in log {
-                        let _ = tx.send(m.clone());
+                        let _ = handle.deliver(m.clone());
                     }
                 }
             }
             SubscribeMode::FromOffset(from) => {
                 for log in &state.partitions {
                     for m in log.iter().skip(from as usize) {
-                        let _ = tx.send(m.clone());
+                        let _ = handle.deliver(m.clone());
                     }
                 }
             }
         }
-        state.subscribers.push(tx);
-        Ok(Subscription { rx })
+        state.subscribers.push(handle);
+        Ok(subscription)
     }
 
     fn fetch(
@@ -163,12 +165,14 @@ impl Broker for LogBroker {
             Some(s) => s,
             None => return Ok(Vec::new()),
         };
-        let log = state.partitions.get(partition as usize).ok_or_else(|| {
-            MqError::UnknownPartition {
-                topic: topic.to_owned(),
-                partition,
-            }
-        })?;
+        let log =
+            state
+                .partitions
+                .get(partition as usize)
+                .ok_or_else(|| MqError::UnknownPartition {
+                    topic: topic.to_owned(),
+                    partition,
+                })?;
         Ok(log
             .iter()
             .skip(from_offset as usize)

@@ -1,11 +1,12 @@
 //! The ActiveMQ-like transient broker: fast topic pub/sub, at-most-once,
 //! no retention.
 
-use crate::broker::{Broker, Receipt, SubscribeMode, Subscription};
+use crate::broker::{
+    subscription_pair, wake_all, Broker, Receipt, SubscribeMode, SubscriberHandle, Subscription,
+};
 use crate::error::MqError;
 use crate::message::Message;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -13,8 +14,8 @@ use std::collections::HashMap;
 struct TopicState {
     /// Per-topic sequence number (informational offset).
     seq: u64,
-    /// Live subscriber channels; dead ones are pruned on publish.
-    subscribers: Vec<Sender<Message>>,
+    /// Live subscriber endpoints; dead ones are pruned on publish.
+    subscribers: Vec<SubscriberHandle>,
 }
 
 /// Transient in-memory broker. Messages published to a topic with no
@@ -32,26 +33,25 @@ impl TransientBroker {
 }
 
 impl Broker for TransientBroker {
-    fn publish(
-        &self,
-        topic: &str,
-        key: Option<Bytes>,
-        payload: Bytes,
-    ) -> Result<Receipt, MqError> {
-        let mut topics = self.topics.lock();
-        let state = topics.entry(topic.to_owned()).or_default();
-        let offset = state.seq;
-        state.seq += 1;
-        let message = Message {
-            topic: topic.to_owned(),
-            partition: 0,
-            offset,
-            key,
-            payload,
+    fn publish(&self, topic: &str, key: Option<Bytes>, payload: Bytes) -> Result<Receipt, MqError> {
+        let (wakers, offset) = {
+            let mut topics = self.topics.lock();
+            let state = topics.entry(topic.to_owned()).or_default();
+            let offset = state.seq;
+            state.seq += 1;
+            let message = Message {
+                topic: topic.to_owned(),
+                partition: 0,
+                offset,
+                key,
+                payload,
+            };
+            state.subscribers.retain(|sub| sub.deliver(message.clone()));
+            let wakers = state.subscribers.iter().filter_map(|s| s.waker()).collect();
+            (wakers, offset)
         };
-        state
-            .subscribers
-            .retain(|tx| tx.send(message.clone()).is_ok());
+        // Wake outside the topic lock: wakers may publish in turn.
+        wake_all(wakers);
         Ok(Receipt {
             partition: 0,
             offset,
@@ -67,14 +67,14 @@ impl Broker for TransientBroker {
                 })
             }
         }
-        let (tx, rx) = unbounded();
+        let (handle, subscription) = subscription_pair();
         self.topics
             .lock()
             .entry(topic.to_owned())
             .or_default()
             .subscribers
-            .push(tx);
-        Ok(Subscription { rx })
+            .push(handle);
+        Ok(subscription)
     }
 
     fn fetch(

@@ -316,8 +316,7 @@ pub fn simulate(workflow: &Workflow, config: &SimConfig) -> SimReport {
                 slot.running = None;
                 slot.incarnation += 1;
                 if config.persistent_broker {
-                    let replay_cost =
-                        slot.inbox_log.len() as SimTime * config.cost.replay_msg_us;
+                    let replay_cost = slot.inbox_log.len() as SimTime * config.cost.replay_msg_us;
                     // Wait for an offer (serialised across concurrent
                     // recoveries), then start the SA and replay.
                     scheduler_free = scheduler_free.max(t) + config.cost.respawn_offer_us;
@@ -440,14 +439,19 @@ fn dispatch(
             }
             Command::Send { to, message } => {
                 report.messages += 1;
-                let Some(&dest) = index.get(&to) else { continue };
+                let Some(&dest) = index.get(&to) else {
+                    continue;
+                };
                 *broker_free = (*broker_free).max(at) + config.cost.broker_service_us;
                 let deliver_at =
                     *broker_free + config.cost.net_latency_us + config.cost.broker_ack_us;
-                queue.schedule(deliver_at, Ev::Deliver {
-                    agent: dest,
-                    message,
-                });
+                queue.schedule(
+                    deliver_at,
+                    Ev::Deliver {
+                        agent: dest,
+                        message,
+                    },
+                );
             }
             Command::Publish { state, .. } => {
                 report.status_updates += 1;
@@ -455,8 +459,7 @@ fn dispatch(
                 // server applies it (cost grows with workflow size).
                 *broker_free = (*broker_free).max(at) + config.cost.broker_service_us;
                 let arrive = *broker_free + config.cost.net_latency_us;
-                *status_free =
-                    (*status_free).max(arrive) + config.cost.status_update_us();
+                *status_free = (*status_free).max(arrive) + config.cost.status_update_us();
                 let visible = *status_free;
                 if state == TaskState::Completed {
                     if let Some(done) = sink_done.get_mut(&agent) {

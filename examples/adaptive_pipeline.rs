@@ -21,15 +21,18 @@ fn main() {
     b.task("T4", "s4").after(["T2", "T3"]);
     b.adaptation(
         "replace-T2",
-        ["T2"],         // the potentially faulty region
-        ["T2"],         // whose failure triggers the adaptation
+        ["T2"], // the potentially faulty region
+        ["T2"], // whose failure triggers the adaptation
         [ReplacementTask::new("T2'", "s2p", ["T1"])],
     );
     let wf = b.build().expect("valid adaptive workflow");
 
     // Print the compiled chemistry — the concrete adaptive workflow of Fig 8.
     let compiled = compile_centralized(&wf);
-    println!("compiled HOCL program:\n{}\n", ginflow::hocl::printer::pretty_solution(&compiled));
+    println!(
+        "compiled HOCL program:\n{}\n",
+        ginflow::hocl::printer::pretty_solution(&compiled)
+    );
 
     // s2 always fails; everything else traces its lineage.
     let mut registry = ServiceRegistry::tracing_for(["s1", "s3", "s4", "s2p"]);
@@ -41,7 +44,10 @@ fn main() {
         .wait(Duration::from_secs(10))
         .expect("the adaptation completes the workflow");
 
-    println!("T2  state: {:?} (its service is broken)", run.state_of("T2").unwrap());
+    println!(
+        "T2  state: {:?} (its service is broken)",
+        run.state_of("T2").unwrap()
+    );
     println!("T2' state: {:?} (took over)", run.state_of("T2'").unwrap());
     println!("T4 result: {}", results["T4"]);
     assert_eq!(

@@ -12,12 +12,11 @@ use ginflow::prelude::*;
 
 fn main() {
     let wf = patterns::diamond(10, 10, Connectivity::Simple, "synthetic").unwrap();
+    println!("workload: {} ({} tasks)\n", wf.name(), wf.dag().len());
     println!(
-        "workload: {} ({} tasks)\n",
-        wf.name(),
-        wf.dag().len()
+        "{:<16} {:>6} {:>10} {:>10} {:>10}",
+        "combo", "nodes", "deploy(s)", "exec(s)", "total(s)"
     );
-    println!("{:<16} {:>6} {:>10} {:>10} {:>10}", "combo", "nodes", "deploy(s)", "exec(s)", "total(s)");
     for executor in [ExecutorKind::Ssh, ExecutorKind::Mesos] {
         for broker in [BrokerKind::Transient, BrokerKind::Log] {
             for nodes in [5usize, 10, 15] {

@@ -21,7 +21,12 @@ fn fig2() -> Workflow {
 
 fn main() {
     let wf = fig2();
-    println!("workflow: {} ({} tasks, {} edges)", wf.name(), wf.dag().len(), wf.dag().edge_count());
+    println!(
+        "workflow: {} ({} tasks, {} edges)",
+        wf.name(),
+        wf.dag().len(),
+        wf.dag().edge_count()
+    );
 
     // The services: TraceService makes data lineage visible in results.
     let registry = ServiceRegistry::tracing_for(["s1", "s2", "s3", "s4"]);

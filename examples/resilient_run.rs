@@ -39,11 +39,17 @@ fn main() {
     std::thread::sleep(Duration::from_millis(30));
     assert!(run.kill("transform"));
     std::thread::sleep(Duration::from_millis(60));
-    println!("crashed agent `transform` (alive: {})", run.alive("transform"));
+    println!(
+        "crashed agent `transform` (alive: {})",
+        run.alive("transform")
+    );
 
     // Start a replacement: it replays its whole inbox from the log.
     assert!(run.respawn("transform"));
-    println!("respawned `transform` (incarnation {})", run.incarnation("transform"));
+    println!(
+        "respawned `transform` (incarnation {})",
+        run.incarnation("transform")
+    );
 
     let results = run
         .wait(Duration::from_secs(15))

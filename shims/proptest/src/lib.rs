@@ -1,0 +1,167 @@
+//! Offline shim of `proptest`: random-input property testing with the
+//! API subset this workspace uses — the `proptest!` macro, range / regex
+//! / collection / sample strategies, `prop_map`, `prop_recursive`,
+//! `prop_oneof!` and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case is
+//! reported as-is) and deterministic seeding (cases are reproducible
+//! run-to-run without a persistence file).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    //! The `prop::` namespace mirror.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+pub mod prelude {
+    //! Everything a proptest-based test file usually imports.
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run one property with explicit input strategies; the proptest! macro
+/// expands to calls of this.
+#[doc(hidden)]
+pub fn run_property<F>(name: &str, config: &test_runner::ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng, u64) -> Result<(), test_runner::TestCaseError>,
+{
+    // Deterministic but name-dependent seeding: different properties see
+    // different streams, reruns see the same one.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case_index in 0..config.cases {
+        let mut rng = test_runner::TestRng::from_seed(
+            hash ^ (case_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        if let Err(e) = case(&mut rng, case_index as u64) {
+            panic!("property {name} failed at case {case_index}: {e}");
+        }
+    }
+}
+
+/// The proptest entry macro: wraps property functions into `#[test]`s.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( cfg = ($cfg:expr); ) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_property(stringify!($name), &__config, |__rng, _case| {
+                $( let $arg = $crate::strategy::Strategy::sample(&$strat, __rng); )+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Fallible assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} (left: {:?}, right: {:?})",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fallible inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} (both {:?})",
+            format!($($fmt)+),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -1,0 +1,465 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore};
+use std::rc::Rc;
+
+/// A recipe producing random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive structures: `self` generates leaves, `recurse`
+    /// wraps a strategy into one that may nest it, up to `depth` levels.
+    /// (`_desired_size` / `_expected_branch` are accepted for proptest
+    /// API compatibility and ignored.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // Mixing the leaf back in at every level keeps expected
+            // sizes finite (50% stop chance per level).
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply-cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`]'s strategy.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly among `options`.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+// ---------------------------------------------------------------------
+// Primitive `any`
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for primitives.
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_primitives {
+    ($($t:ty => |$rng:ident| $sample:expr;)*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn sample(&self, $rng: &mut TestRng) -> $t {
+                $sample
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_primitives! {
+    bool => |rng| rng.random::<bool>();
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    f64 => |rng| rng.random::<f64>();
+}
+
+/// The canonical strategy of a type (`any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------
+// Collections & sampling
+// ---------------------------------------------------------------------
+
+/// `prop::collection::vec` — vectors with a size drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+/// Vector of `size.start..size.end` elements.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.random_range(self.size.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::sample::select` — uniform pick from a fixed list.
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Uniformly select one of `options`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------
+
+/// `&str` is a strategy: the string is treated as a simplified regex
+/// (literals, `[...]` classes with ranges and escapes, and the `{m,n}`
+/// `{n}` `?` `*` `+` quantifiers) and sampling draws a matching string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+enum RegexElement {
+    Class {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    },
+}
+
+fn parse_escape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\ \] \- \. \' …
+    }
+}
+
+fn parse_regex(pattern: &str) -> Vec<RegexElement> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a single (possibly escaped) char.
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        parse_escape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // Range `a-z` (a trailing '-' is a literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = if chars[i + 2] == '\\' {
+                            i += 1;
+                            parse_escape(chars[i + 2])
+                        } else {
+                            chars[i + 2]
+                        };
+                        for c in (lo as u32)..=(hi as u32) {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(lo);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = parse_escape(chars[i]);
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed {} quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("quantifier min"),
+                        n.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        elements.push(RegexElement::Class {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    elements
+}
+
+fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for element in parse_regex(pattern) {
+        let RegexElement::Class { chars, min, max } = element;
+        let count = rng.random_range(min..=max);
+        for _ in 0..count {
+            let i = rng.random_range(0..chars.len());
+            out.push(chars[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = (1i64..5).sample(&mut r);
+            assert!((1..5).contains(&v));
+            let doubled = (1i64..5).prop_map(|x| x * 2).sample(&mut r);
+            assert!(doubled % 2 == 0 && (2..10).contains(&doubled));
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_expectations() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let sym = "[a-zA-Z][a-zA-Z0-9_]{0,8}'?".sample(&mut r);
+            assert!(!sym.is_empty() && sym.len() <= 10);
+            assert!(sym.chars().next().unwrap().is_ascii_alphabetic());
+
+            let ascii = "[ -~]{0,12}".sample(&mut r);
+            assert!(ascii.len() <= 12);
+            assert!(ascii.chars().all(|c| (' '..='~').contains(&c)));
+
+            let with_escapes = "[ -~\\n\\t]{0,20}".sample(&mut r);
+            assert!(with_escapes
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn vec_select_union() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = vec(0i64..3, 2..5).sample(&mut r);
+            assert!((2..5).contains(&v.len()));
+            let s = select(std::vec!["a", "b"]).sample(&mut r);
+            assert!(s == "a" || s == "b");
+            let u = Union::new(std::vec![(0i64..1).boxed(), (10i64..11).boxed()]).sample(&mut r);
+            assert!(u == 0 || u == 10);
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug)]
+        #[allow(dead_code)] // the payloads exist to give the tree realistic shape
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 24, 3, |inner| vec(inner, 0..3).prop_map(Tree::Node));
+        let mut r = rng();
+        for _ in 0..50 {
+            let _tree = strat.sample(&mut r); // must not hang or overflow
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! The JSON-shaped value tree shared by the `serde` and `serde_json`
+//! shims. Variant names and the `Number`/`Map` helper types mirror
+//! `serde_json::Value` so downstream pattern matches compile unchanged.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (integer or float — see [`Number`]).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The object, if this is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The float value of any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field access (`None` on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// A JSON number that remembers whether it was written as an integer —
+/// `1` and `1.0` stay distinct through a roundtrip, like serde_json.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+}
+
+impl Number {
+    /// Integer number.
+    pub fn from_i64(i: i64) -> Self {
+        Number::Int(i)
+    }
+
+    /// Float number.
+    pub fn from_f64(f: f64) -> Self {
+        Number::Float(f)
+    }
+
+    /// The value as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::Int(i) => Some(*i),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always available for finite floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Number::Int(i) => Some(*i as f64),
+            Number::Float(f) if f.is_finite() => Some(*f),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Is this an integral number?
+    pub fn is_i64(&self) -> bool {
+        matches!(self, Number::Int(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    // Shortest roundtrip form; force a ".0" on integral
+                    // floats so the integer/float distinction survives
+                    // printing, as serde_json does.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no NaN/Inf; serde_json writes null.
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON object: insertion-ordered key → value entries.
+///
+/// Backed by a `Vec` — objects in this workspace are tiny (single-key
+/// enum tags, workflow documents), so linear lookup beats tree overhead,
+/// and insertion order keeps pretty-printed documents stable.
+#[derive(Clone, Debug, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Insert or replace a key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Does the key exist?
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the object empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON rendering (used by the serde_json shim and `Display`)
+// ---------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    /// Compact JSON rendering.
+    pub fn to_json_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Pretty-printed (2-space indented) JSON rendering.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(0, &mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, val)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    val.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    item.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, val)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    val.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            f.write_str(&self.to_json_pretty())
+        } else {
+            f.write_str(&self.to_json_compact())
+        }
+    }
+}
+
+impl PartialEq for Map {
+    fn eq(&self, other: &Self) -> bool {
+        // Key-set equality, order-insensitive — matches serde_json's
+        // BTreeMap-backed semantics.
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_keep_their_flavour() {
+        assert_eq!(Number::from_i64(1).as_i64(), Some(1));
+        assert_eq!(Number::from_f64(1.0).as_i64(), None);
+        assert_eq!(Number::from_f64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Number::from_i64(2).as_f64(), Some(2.0));
+        assert_ne!(
+            Number::from_i64(1),
+            Number::from_f64(1.0),
+            "1 != 1.0, as in serde_json"
+        );
+        assert_eq!(Number::from_f64(1.0).to_string(), "1.0");
+        assert_eq!(Number::from_i64(1).to_string(), "1");
+    }
+
+    #[test]
+    fn map_semantics() {
+        let mut a = Map::new();
+        a.insert("x".into(), Value::Bool(true));
+        a.insert("y".into(), Value::Null);
+        let mut b = Map::new();
+        b.insert("y".into(), Value::Null);
+        b.insert("x".into(), Value::Bool(true));
+        assert_eq!(a, b, "object equality ignores order");
+        assert_eq!(
+            a.keys().collect::<Vec<_>>(),
+            ["x", "y"],
+            "iteration keeps it"
+        );
+        assert_eq!(a.insert("x".into(), Value::Null), Some(Value::Bool(true)));
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,601 @@
+//! Offline shim of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on
+//! `proc_macro::TokenStream` — no `syn`/`quote`, since the build
+//! container has no crates.io access.
+//!
+//! The generated impls target the value-tree traits of the companion
+//! `serde` shim (`Serialize::to_value` / `Deserialize::from_value`) and
+//! follow serde's default data format:
+//!
+//! * named structs → JSON objects (honouring `#[serde(skip)]`,
+//!   `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]`),
+//! * newtype / `#[serde(transparent)]` structs → the inner value,
+//! * tuple structs → arrays,
+//! * enums → externally tagged (`"Variant"`, `{"Variant": …}`).
+//!
+//! Generics are not supported (nothing in this workspace derives on a
+//! generic type); an unsupported shape panics with a clear message at
+//! compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with the given arity.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, context: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected identifier ({context}), got {other:?}"),
+        }
+    }
+
+    /// Consume a leading run of `#[...]` attributes, folding any
+    /// `#[serde(...)]` contents into the returned attrs.
+    fn take_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while self.is_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde shim derive: malformed attribute, got {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue; // doc comments and other attributes
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                other => panic!("serde shim derive: malformed #[serde] attribute: {other:?}"),
+            };
+            parse_serde_args(args, &mut attrs);
+        }
+        attrs
+    }
+
+    /// Skip an optional `pub` / `pub(crate)` visibility.
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip a type (or other token soup) until a top-level comma,
+    /// tracking `<`/`>` nesting. Leaves the cursor ON the comma (or at
+    /// the end).
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_args(args: TokenStream, attrs: &mut FieldAttrs) {
+    let mut cur = Cursor::new(args);
+    while !cur.at_end() {
+        let word = cur.expect_ident("serde attribute item");
+        match word.as_str() {
+            "transparent" => {
+                // Transparent and newtype structs serialize identically
+                // in this value model; nothing to record.
+            }
+            "skip" => attrs.skip = true,
+            "default" => attrs.default = true,
+            "skip_serializing_if" => match (cur.next(), cur.next()) {
+                (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                    if eq.as_char() == '=' =>
+                {
+                    let raw = lit.to_string();
+                    attrs.skip_serializing_if = Some(raw.trim_matches('"').to_string());
+                }
+                other => panic!(
+                    "serde shim derive: skip_serializing_if expects = \"path\", got {other:?}"
+                ),
+            },
+            other => panic!("serde shim derive: unsupported serde attribute {other:?}"),
+        }
+        if cur.is_punct(',') {
+            cur.next();
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = cur.take_attrs();
+        cur.skip_visibility();
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field {name}, got {other:?}"),
+        }
+        cur.skip_until_top_level_comma();
+        if cur.is_punct(',') {
+            cur.next();
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut arity = 0;
+    while !cur.at_end() {
+        let _ = cur.take_attrs();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        arity += 1;
+        cur.skip_until_top_level_comma();
+        if cur.is_punct(',') {
+            cur.next();
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        let _ = cur.take_attrs();
+        let name = cur.expect_ident("variant name");
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if cur.is_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut cur = Cursor::new(input);
+    let _ = cur.take_attrs();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident("struct/enum keyword");
+    let name = cur.expect_ident("type name");
+    if cur.is_punct('<') {
+        panic!("serde shim derive: generic type {name} is not supported");
+    }
+    let data = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde shim derive: malformed struct {name}: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for {other} {name}"),
+    };
+    Container { name, data }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_named_struct_ser(fields: &[Field], access_prefix: &str, out: &mut String) {
+    out.push_str("{ let mut __map = ::serde::Map::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let access = format!("{}{}", access_prefix, f.name);
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !({pred}(&{access})) {{\n"));
+        }
+        out.push_str(&format!(
+            "__map.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&{access}));\n",
+            n = f.name
+        ));
+        if f.attrs.skip_serializing_if.is_some() {
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("::serde::Value::Object(__map) }");
+}
+
+fn gen_named_struct_de(fields: &[Field], type_name: &str, out: &mut String) {
+    for f in fields {
+        if f.attrs.skip || f.attrs.default {
+            out.push_str(&format!(
+                "{n}: match __obj.get(\"{n}\") {{ \
+                   Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                   None => ::std::default::Default::default() }},\n",
+                n = f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: match __obj.get(\"{n}\") {{ \
+                   Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                   None => return ::std::result::Result::Err(\
+                     ::serde::DeError::missing_field(\"{n}\", \"{ty}\")) }},\n",
+                n = f.name,
+                ty = type_name
+            ));
+        }
+    }
+}
+
+fn binders(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("__f{i}")).collect()
+}
+
+fn generate_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let mut body = String::new();
+    match &c.data {
+        Data::UnitStruct => body.push_str("::serde::Value::Null"),
+        Data::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::to_value(&self.0)");
+        }
+        Data::TupleStruct(arity) => {
+            body.push_str("::serde::Value::Array(vec![");
+            for i in 0..*arity {
+                body.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+            }
+            body.push_str("])");
+        }
+        Data::NamedStruct(fields) => {
+            gen_named_struct_ser(fields, "self.", &mut body);
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let bs = binders(*arity);
+                        let payload = if *arity == 1 {
+                            format!("::serde::Serialize::to_value({})", bs[0])
+                        } else {
+                            let elems: Vec<String> = bs
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(","))
+                        };
+                        body.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ \
+                               let mut __map = ::serde::Map::new(); \
+                               __map.insert(\"{vn}\".to_string(), {payload}); \
+                               ::serde::Value::Object(__map) }},\n",
+                            binds = bs.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let field_names: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::new();
+                        gen_named_struct_ser(fields, "*", &mut inner);
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ \
+                               let __inner = {inner}; \
+                               let mut __map = ::serde::Map::new(); \
+                               __map.insert(\"{vn}\".to_string(), __inner); \
+                               ::serde::Value::Object(__map) }},\n",
+                            binds = field_names.join(",")
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn generate_deserialize(c: &Container, transparent: bool) -> String {
+    let name = &c.name;
+    let mut body = String::new();
+    match &c.data {
+        Data::UnitStruct => body.push_str(&format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err(::serde::DeError::expected(\"null\", \"{name}\")) }}"
+        )),
+        Data::TupleStruct(1) => body.push_str(&format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        )),
+        Data::TupleStruct(arity) => {
+            body.push_str(&format!(
+                "{{ let __arr = __v.as_array().ok_or_else(|| \
+                   ::serde::DeError::expected(\"array\", \"{name}\"))?; \
+                 if __arr.len() != {arity} {{ return ::std::result::Result::Err(\
+                   ::serde::DeError::expected(\"{arity}-element array\", \"{name}\")); }} \
+                 ::std::result::Result::Ok({name}("
+            ));
+            for i in 0..*arity {
+                body.push_str(&format!("::serde::Deserialize::from_value(&__arr[{i}])?,"));
+            }
+            body.push_str(")) }");
+        }
+        Data::NamedStruct(fields) => {
+            if transparent && fields.len() == 1 {
+                body.push_str(&format!(
+                    "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(__v)? }})",
+                    f = fields[0].name
+                ));
+            } else {
+                body.push_str(&format!(
+                    "{{ let __obj = __v.as_object().ok_or_else(|| \
+                       ::serde::DeError::expected(\"map\", \"{name}\"))?; \
+                     ::std::result::Result::Ok({name} {{\n"
+                ));
+                gen_named_struct_de(fields, name, &mut body);
+                body.push_str("}) }");
+            }
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                           ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __arr = __payload.as_array().ok_or_else(|| \
+                               ::serde::DeError::expected(\"array\", \"{name}::{vn}\"))?; \
+                             if __arr.len() != {arity} {{ return ::std::result::Result::Err(\
+                               ::serde::DeError::expected(\"{arity}-element array\", \"{name}::{vn}\")); }} \
+                             ::std::result::Result::Ok({name}::{vn}("
+                        ));
+                        for i in 0..*arity {
+                            tagged_arms.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__arr[{i}])?,"
+                            ));
+                        }
+                        tagged_arms.push_str(")) },\n");
+                    }
+                    VariantKind::Struct(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __obj = __payload.as_object().ok_or_else(|| \
+                               ::serde::DeError::expected(\"map\", \"{name}::{vn}\"))?; \
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        gen_named_struct_de(fields, &format!("{name}::{vn}"), &mut tagged_arms);
+                        tagged_arms.push_str("}) },\n");
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "match __v {{\n\
+                   ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                       format!(\"unknown unit variant {{__other:?}} of {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                     let (__tag, __payload) = __m.iter().next().expect(\"len checked\");\n\
+                     match __tag.as_str() {{\n\
+                       {tagged_arms}\
+                       __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"unknown variant {{__other:?}} of {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                     \"string or single-key map\", \"{name}\")),\n\
+                 }}"
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Was the container tagged `#[serde(transparent)]`?
+fn container_is_transparent(input: &TokenStream) -> bool {
+    let mut cur = Cursor::new(input.clone());
+    while cur.is_punct('#') {
+        cur.next();
+        if let Some(TokenTree::Group(g)) = cur.next() {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let has = args.stream().into_iter().any(
+                        |t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"),
+                    );
+                    if has {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let transparent = container_is_transparent(&input);
+    let container = parse_container(input);
+    let code = if transparent {
+        // Transparent containers delegate wholly to their single field.
+        match &container.data {
+            Data::NamedStruct(fields) if fields.len() == 1 => format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     ::serde::Serialize::to_value(&self.{f}) }}\n\
+                 }}\n",
+                name = container.name,
+                f = fields[0].name
+            ),
+            Data::TupleStruct(1) => format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     ::serde::Serialize::to_value(&self.0) }}\n\
+                 }}\n",
+                name = container.name
+            ),
+            _ => panic!(
+                "serde shim derive: #[serde(transparent)] needs exactly one field ({})",
+                container.name
+            ),
+        }
+    } else {
+        generate_serialize(&container)
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let transparent = container_is_transparent(&input);
+    let container = parse_container(input);
+    let mut code = generate_deserialize(&container, transparent);
+    // Also route Arc<Self> deserialization through the helper trait (see
+    // serde::ArcFromValue) so `Arc<DerivedType>` fields work.
+    code.push_str(&format!(
+        "impl ::serde::ArcFromValue for {name} {{\n\
+           fn arc_from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<::std::sync::Arc<Self>, ::serde::DeError> {{\n\
+             <{name} as ::serde::Deserialize>::from_value(__v).map(::std::sync::Arc::new)\n\
+           }}\n\
+         }}\n",
+        name = container.name
+    ));
+    code.parse().expect("generated Deserialize impl parses")
+}

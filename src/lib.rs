@@ -15,10 +15,10 @@
 //! | [`hocl`] | the Higher-Order Chemical Language engine |
 //! | [`core`] | workflows, DAGs, services, adaptations, JSON format |
 //! | [`hoclflow`] | workflow → chemistry compilation, generic/adaptation rules |
-//! | [`mq`] | ActiveMQ-like and Kafka-like broker substrates |
-//! | [`agent`] | service agents (sans-IO core + threaded runtime + recovery) |
+//! | [`mq`] | ActiveMQ-like and Kafka-like broker substrates with push wakeups |
+//! | [`agent`] | service agents: sans-IO core + event-driven sharded worker-pool scheduler (legacy thread-per-agent backend behind `RunOptions::legacy_threads`) + §IV-B recovery |
 //! | [`sim`] | virtual-time execution with calibrated cost models |
-//! | [`executor`] | cluster model, SSH/Mesos deployment strategies |
+//! | [`executor`] | cluster model, SSH/Mesos deployment strategies, live scheduler execution |
 //! | [`montage`] | the 118-task Montage-shaped evaluation workload |
 //!
 //! ## Quickstart
@@ -58,7 +58,7 @@ pub use ginflow_sim as sim;
 
 /// The commonly-needed types in one import.
 pub mod prelude {
-    pub use ginflow_agent::{RunOptions, SaMessage, ThreadedRuntime, WorkflowRun};
+    pub use ginflow_agent::{RunOptions, SaMessage, Scheduler, ThreadedRuntime, WorkflowRun};
     pub use ginflow_core::workflow::ReplacementTask;
     pub use ginflow_core::{
         patterns, Connectivity, EchoService, FailingService, Service, ServiceError,

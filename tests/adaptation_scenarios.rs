@@ -179,7 +179,11 @@ fn only_failing_adaptation_triggers() {
     let outcome = run_centralized(&wf, &registry, CentralizedConfig::default()).unwrap();
     assert_eq!(outcome.states["X'"], TaskState::Completed);
     assert_eq!(outcome.states["Y"], TaskState::Completed);
-    assert_eq!(outcome.states["Y'"], TaskState::Idle, "standby never triggered");
+    assert_eq!(
+        outcome.states["Y'"],
+        TaskState::Idle,
+        "standby never triggered"
+    );
     assert_eq!(
         outcome.result_of("D"),
         Some(&Value::Str("s4(s3(s5(sXp(s1(in)))))".into()))

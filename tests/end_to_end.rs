@@ -96,18 +96,16 @@ fn adaptation_consistent_across_paths() {
 
 #[test]
 fn generated_workloads_run_everywhere() {
-    for (h, v, conn) in [
-        (3, 2, Connectivity::Simple),
-        (2, 3, Connectivity::Full),
-    ] {
+    for (h, v, conn) in [(3, 2, Connectivity::Simple), (2, 3, Connectivity::Full)] {
         let wf = patterns::diamond(h, v, conn, "noop").unwrap();
 
-        let centralized =
-            run_centralized(&wf, &registry(), CentralizedConfig::default()).unwrap();
-        assert!(centralized.all_completed(&wf), "{h}x{v} {conn:?} centralized");
+        let centralized = run_centralized(&wf, &registry(), CentralizedConfig::default()).unwrap();
+        assert!(
+            centralized.all_completed(&wf),
+            "{h}x{v} {conn:?} centralized"
+        );
 
-        let runtime =
-            ThreadedRuntime::new(BrokerKind::Log.build(), Arc::new(registry()));
+        let runtime = ThreadedRuntime::new(BrokerKind::Log.build(), Arc::new(registry()));
         let run = runtime.launch(&wf);
         run.wait(Duration::from_secs(20))
             .unwrap_or_else(|e| panic!("{h}x{v} {conn:?} threaded: {e}"));
