@@ -30,17 +30,26 @@
 //! same state as the first").
 
 pub mod core;
+pub mod engine;
 mod exec;
 pub mod message;
 pub mod runtime;
 pub mod scheduler;
 
 pub use crate::core::{Command, Event, SaCore};
+pub use engine::{
+    EventWait, ExecutionBackend, RunControl, RunEvent, RunEvents, RunFailure, RunHandle, RunMeta,
+    RunOutcome, RunReport, RunTracker, TaskReport,
+};
 pub use message::{topics, SaMessage, StatusUpdate};
 pub use runtime::{RunOptions, WaitError};
 pub use scheduler::{Scheduler, WorkflowRun};
 
 /// The historical name of the launcher, kept so existing call sites keep
-/// compiling; it now dispatches to the event-driven scheduler by default
+/// compiling; it dispatches to the event-driven scheduler by default
 /// (pass [`RunOptions::legacy()`] for the original behaviour).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Engine::builder()` from `ginflow-engine` (or `Scheduler` directly)"
+)]
 pub type ThreadedRuntime = Scheduler;

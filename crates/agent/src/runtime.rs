@@ -19,6 +19,7 @@
 //! recovery with Kafka (§IV-B).
 
 use crate::core::{Event, SaCore};
+use crate::engine::RunTracker;
 use crate::exec::{publish_shutdown_sentinel, status_loop, AgentCtx, StatusBoard};
 use crate::message::{topics, SaMessage};
 use ginflow_core::{ServiceRegistry, TaskState, Value};
@@ -94,22 +95,49 @@ impl RunOptions {
 /// Waiting for a workflow failed.
 #[derive(Debug)]
 pub enum WaitError {
-    /// The deadline passed; the snapshot shows where execution stood.
+    /// The wait's timeout passed; the snapshot shows where execution
+    /// stood.
     Timeout {
+        /// Task states at the timeout.
+        statuses: Vec<(String, TaskState)>,
+    },
+    /// The *run's* deadline expired while waiting; the run has been
+    /// cancelled and torn down.
+    Deadline {
         /// Task states at the deadline.
         statuses: Vec<(String, TaskState)>,
+    },
+    /// The run was cancelled (or torn down) while waiting.
+    Cancelled,
+    /// A sink reached `Completed` without publishing a result — a
+    /// protocol violation that used to be silently dropped from the
+    /// result map.
+    MissingResult {
+        /// The sink with no result.
+        task: String,
     },
 }
 
 impl std::fmt::Display for WaitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dump = |f: &mut std::fmt::Formatter<'_>, statuses: &[(String, TaskState)]| {
+            for (t, s) in statuses {
+                write!(f, "{t}={s} ")?;
+            }
+            Ok(())
+        };
         match self {
             WaitError::Timeout { statuses } => {
                 write!(f, "workflow did not complete in time; states: ")?;
-                for (t, s) in statuses {
-                    write!(f, "{t}={s} ")?;
-                }
-                Ok(())
+                dump(f, statuses)
+            }
+            WaitError::Deadline { statuses } => {
+                write!(f, "run deadline expired (run cancelled); states: ")?;
+                dump(f, statuses)
+            }
+            WaitError::Cancelled => f.write_str("run was cancelled"),
+            WaitError::MissingResult { task } => {
+                write!(f, "sink {task:?} completed without publishing a result")
             }
         }
     }
@@ -135,6 +163,7 @@ struct LegacyInner {
     agents: Mutex<HashMap<String, AgentHandle>>,
     incarnations: Mutex<HashMap<String, u32>>,
     board: Arc<StatusBoard>,
+    tracker: Arc<RunTracker>,
     shutdown: Arc<AtomicBool>,
     options: RunOptions,
     sinks: Vec<String>,
@@ -143,8 +172,8 @@ struct LegacyInner {
 /// A workflow running on one thread per agent (the seed runtime).
 pub(crate) struct LegacyRun {
     inner: Arc<LegacyInner>,
-    status_thread: Option<JoinHandle<()>>,
-    monitor_thread: Option<JoinHandle<()>>,
+    status_thread: Mutex<Option<JoinHandle<()>>>,
+    monitor_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 pub(crate) fn launch_legacy(
@@ -152,6 +181,7 @@ pub(crate) fn launch_legacy(
     registry: Arc<ServiceRegistry>,
     agents: Vec<AgentProgram>,
     plans: Vec<AdaptPlan>,
+    tracker: Arc<RunTracker>,
     options: RunOptions,
 ) -> LegacyRun {
     let sinks: Vec<String> = agents
@@ -166,7 +196,8 @@ pub(crate) fn launch_legacy(
         plans: Arc::new(plans),
         agents: Mutex::new(HashMap::new()),
         incarnations: Mutex::new(HashMap::new()),
-        board: Arc::new(StatusBoard::default()),
+        board: Arc::new(StatusBoard::new()),
+        tracker,
         shutdown: Arc::new(AtomicBool::new(false)),
         options,
         sinks,
@@ -179,8 +210,9 @@ pub(crate) fn launch_legacy(
         .expect("status subscription");
     let status_thread = {
         let board = inner.board.clone();
+        let tracker = inner.tracker.clone();
         let shutdown = inner.shutdown.clone();
-        std::thread::spawn(move || status_loop(board, status_sub, shutdown))
+        std::thread::spawn(move || status_loop(board, tracker, status_sub, shutdown))
     };
 
     // All inbox subscriptions are created before any agent starts, so
@@ -206,14 +238,18 @@ pub(crate) fn launch_legacy(
 
     LegacyRun {
         inner,
-        status_thread: Some(status_thread),
-        monitor_thread,
+        status_thread: Mutex::new(Some(status_thread)),
+        monitor_thread: Mutex::new(monitor_thread),
     }
 }
 
 impl LegacyRun {
     pub fn board(&self) -> &StatusBoard {
         &self.inner.board
+    }
+
+    pub fn tracker(&self) -> &Arc<RunTracker> {
+        &self.inner.tracker
     }
 
     pub fn wait(&self, timeout: Duration) -> Result<HashMap<String, Value>, WaitError> {
@@ -253,8 +289,11 @@ impl LegacyRun {
             .unwrap_or(0)
     }
 
-    pub fn stop(&mut self) {
+    /// Tear down: stop all agents and join every thread. Idempotent and
+    /// callable from any thread holding the run.
+    pub fn stop(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.board.close();
         let handles: Vec<AgentHandle> = {
             let mut agents = self.inner.agents.lock();
             agents.drain().map(|(_, h)| h).collect()
@@ -263,12 +302,13 @@ impl LegacyRun {
             let _ = h.thread.join();
         }
         publish_shutdown_sentinel(&*self.inner.broker);
-        if let Some(t) = self.status_thread.take() {
+        if let Some(t) = self.status_thread.lock().take() {
             let _ = t.join();
         }
-        if let Some(t) = self.monitor_thread.take() {
+        if let Some(t) = self.monitor_thread.lock().take() {
             let _ = t.join();
         }
+        self.inner.tracker.close();
     }
 }
 

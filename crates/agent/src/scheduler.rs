@@ -32,6 +32,10 @@
 //! `crates/bench`, `scheduler_scale`).
 
 use crate::core::{Event, SaCore};
+use crate::engine::{
+    ExecutionBackend, RunControl, RunEvents, RunFailure, RunHandle, RunMeta, RunOutcome, RunReport,
+    RunTracker,
+};
 use crate::exec::{publish_shutdown_sentinel, status_loop, AgentCtx, StatusBoard};
 use crate::message::{topics, SaMessage};
 use crate::runtime::{launch_legacy, LegacyRun, RunOptions, WaitError};
@@ -83,6 +87,7 @@ impl Scheduler {
 
     /// Launch pre-compiled agent programs.
     pub fn launch_programs(&self, agents: Vec<AgentProgram>, plans: Vec<AdaptPlan>) -> WorkflowRun {
+        let tracker = Arc::new(RunTracker::new(RunMeta::from_programs(&agents, &plans)));
         if self.options.legacy_threads {
             WorkflowRun {
                 backend: Backend::Legacy(launch_legacy(
@@ -90,6 +95,7 @@ impl Scheduler {
                     self.registry.clone(),
                     agents,
                     plans,
+                    tracker,
                     self.options.clone(),
                 )),
             }
@@ -100,10 +106,25 @@ impl Scheduler {
                     self.registry.clone(),
                     agents,
                     plans,
+                    tracker,
                     self.options.clone(),
                 )),
             }
         }
+    }
+}
+
+impl ExecutionBackend for Scheduler {
+    fn name(&self) -> &'static str {
+        if self.options.legacy_threads {
+            "legacy-threads"
+        } else {
+            "scheduler"
+        }
+    }
+
+    fn launch_run(&self, workflow: &Workflow) -> RunHandle {
+        RunHandle::new(Arc::new(Scheduler::launch(self, workflow)))
     }
 }
 
@@ -177,9 +198,59 @@ impl WorkflowRun {
         }
     }
 
+    /// Subscribe to the typed run event stream (full history replayed
+    /// first, then live) — see [`crate::engine::RunEvent`].
+    pub fn events(&self) -> RunEvents {
+        self.tracker().subscribe()
+    }
+
+    /// Cancel the run: emits `RunFailed(Cancelled)`, tears every agent
+    /// down through the broker and joins all threads before returning.
+    pub fn cancel(&self) {
+        self.cancel_with_failure(RunFailure::Cancelled);
+    }
+
+    /// Structured snapshot of the run (partial while still executing).
+    pub fn report(&self) -> RunReport {
+        let board = self.board();
+        let tracker = self.tracker();
+        let tasks = board.task_reports(&tracker.meta().tasks);
+        let outcome = tracker.outcome();
+        let (adaptations_fired, respawns) = tracker.counts();
+        // After a terminal event the observed makespan is the last task
+        // transition, not "now"; mid-flight the clock is still running.
+        let wall = if outcome.is_some() {
+            tasks
+                .values()
+                .filter_map(|t| t.finished_at)
+                .max()
+                .unwrap_or_else(|| board.elapsed())
+        } else {
+            board.elapsed()
+        };
+        RunReport {
+            backend: self.backend_label(),
+            completed: outcome == Some(RunOutcome::Completed),
+            cancelled: outcome == Some(RunOutcome::Failed(RunFailure::Cancelled)),
+            deadline_expired: outcome == Some(RunOutcome::Failed(RunFailure::DeadlineExpired)),
+            wall,
+            adaptations_fired,
+            respawns,
+            tasks,
+        }
+    }
+
     /// Stop everything and join all threads.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
         self.stop();
+    }
+
+    /// Backend label ("scheduler" / "legacy-threads").
+    pub fn backend_label(&self) -> &'static str {
+        match &self.backend {
+            Backend::Pool(_) => "scheduler",
+            Backend::Legacy(_) => "legacy-threads",
+        }
     }
 
     fn board(&self) -> &StatusBoard {
@@ -189,8 +260,20 @@ impl WorkflowRun {
         }
     }
 
-    fn stop(&mut self) {
-        match &mut self.backend {
+    fn tracker(&self) -> &Arc<RunTracker> {
+        match &self.backend {
+            Backend::Pool(run) => &run.inner.tracker,
+            Backend::Legacy(run) => run.tracker(),
+        }
+    }
+
+    fn cancel_with_failure(&self, failure: RunFailure) {
+        self.tracker().fail(failure);
+        self.stop();
+    }
+
+    fn stop(&self) {
+        match &self.backend {
             Backend::Pool(run) => run.stop(),
             Backend::Legacy(run) => run.stop(),
         }
@@ -200,6 +283,62 @@ impl WorkflowRun {
 impl Drop for WorkflowRun {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// `WorkflowRun` *is* the scheduler's run-control implementation: the
+/// unified [`RunHandle`] wraps it directly.
+impl RunControl for WorkflowRun {
+    fn backend(&self) -> &'static str {
+        self.backend_label()
+    }
+
+    fn state_of(&self, task: &str) -> Option<TaskState> {
+        WorkflowRun::state_of(self, task)
+    }
+
+    fn result_of(&self, task: &str) -> Option<Value> {
+        WorkflowRun::result_of(self, task)
+    }
+
+    fn statuses(&self) -> Vec<(String, TaskState)> {
+        WorkflowRun::statuses(self)
+    }
+
+    fn kill(&self, task: &str) -> bool {
+        WorkflowRun::kill(self, task)
+    }
+
+    fn respawn(&self, task: &str) -> bool {
+        WorkflowRun::respawn(self, task)
+    }
+
+    fn alive(&self, task: &str) -> bool {
+        WorkflowRun::alive(self, task)
+    }
+
+    fn incarnation(&self, task: &str) -> u32 {
+        WorkflowRun::incarnation(self, task)
+    }
+
+    fn subscribe(&self) -> RunEvents {
+        self.events()
+    }
+
+    fn wait_sinks(&self, timeout: Duration) -> Result<HashMap<String, Value>, WaitError> {
+        self.wait(timeout)
+    }
+
+    fn cancel_with(&self, failure: RunFailure) {
+        self.cancel_with_failure(failure);
+    }
+
+    fn stop(&self) {
+        WorkflowRun::stop(self);
+    }
+
+    fn report(&self) -> RunReport {
+        WorkflowRun::report(self)
     }
 }
 
@@ -252,6 +391,7 @@ struct PoolInner {
     shards: Vec<crossbeam::channel::Sender<WorkItem>>,
     reaper: crossbeam::channel::Sender<ReaperMsg>,
     board: Arc<StatusBoard>,
+    tracker: Arc<RunTracker>,
     shutdown: Arc<AtomicBool>,
     sinks: Vec<String>,
     auto_recover: bool,
@@ -259,9 +399,9 @@ struct PoolInner {
 
 pub(crate) struct PoolRun {
     inner: Arc<PoolInner>,
-    workers: Vec<JoinHandle<()>>,
-    status_thread: Option<JoinHandle<()>>,
-    recovery_thread: Option<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    status_thread: Mutex<Option<JoinHandle<()>>>,
+    recovery_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// FNV-1a over the agent name: the shard assignment.
@@ -279,6 +419,7 @@ fn launch_pool(
     registry: Arc<ServiceRegistry>,
     agents: Vec<AgentProgram>,
     plans: Vec<AdaptPlan>,
+    tracker: Arc<RunTracker>,
     options: RunOptions,
 ) -> PoolRun {
     let workers = options.resolve_workers();
@@ -287,7 +428,7 @@ fn launch_pool(
         .filter(|a| a.is_sink())
         .map(|a| a.name.clone())
         .collect();
-    let board = Arc::new(StatusBoard::default());
+    let board = Arc::new(StatusBoard::new());
     let shutdown = Arc::new(AtomicBool::new(false));
 
     // Status collector first: no update may be missed.
@@ -296,10 +437,11 @@ fn launch_pool(
         .expect("status subscription");
     let status_thread = {
         let board = board.clone();
+        let tracker = tracker.clone();
         let shutdown = shutdown.clone();
         std::thread::Builder::new()
             .name("sa-status".into())
-            .spawn(move || status_loop(board, status_sub, shutdown))
+            .spawn(move || status_loop(board, tracker, status_sub, shutdown))
             .expect("spawn status thread")
     };
 
@@ -321,6 +463,7 @@ fn launch_pool(
         shards: shard_txs,
         reaper: reaper_tx,
         board,
+        tracker,
         shutdown,
         sinks,
         auto_recover: options.auto_recover,
@@ -374,9 +517,9 @@ fn launch_pool(
 
     PoolRun {
         inner,
-        workers: workers_threads,
-        status_thread: Some(status_thread),
-        recovery_thread,
+        workers: Mutex::new(workers_threads),
+        status_thread: Mutex::new(Some(status_thread)),
+        recovery_thread: Mutex::new(recovery_thread),
     }
 }
 
@@ -604,7 +747,11 @@ fn recovery_loop(inner: Arc<PoolInner>, rx: crossbeam::channel::Receiver<ReaperM
 }
 
 impl PoolRun {
-    fn stop(&mut self) {
+    /// Tear down: every queued agent turn observes the shutdown flag and
+    /// dies, the workers drain their shards and exit, and all threads
+    /// are joined before this returns. Idempotent and callable from any
+    /// thread holding the run.
+    fn stop(&self) {
         if !self.inner.shutdown.swap(true, Ordering::SeqCst) {
             for shard in &self.inner.shards {
                 let _ = shard.send(WorkItem::Shutdown);
@@ -612,14 +759,17 @@ impl PoolRun {
             let _ = self.inner.reaper.send(ReaperMsg::Shutdown);
             publish_shutdown_sentinel(&*self.inner.broker);
         }
-        for worker in self.workers.drain(..) {
+        self.inner.board.close();
+        let workers: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        for worker in workers {
             let _ = worker.join();
         }
-        if let Some(t) = self.recovery_thread.take() {
+        if let Some(t) = self.recovery_thread.lock().take() {
             let _ = t.join();
         }
-        if let Some(t) = self.status_thread.take() {
+        if let Some(t) = self.status_thread.lock().take() {
             let _ = t.join();
         }
+        self.inner.tracker.close();
     }
 }

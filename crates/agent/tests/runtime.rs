@@ -2,7 +2,7 @@
 //! the complete decentralised protocol — normal runs, adaptation and
 //! crash/recovery.
 
-use ginflow_agent::{RunOptions, ThreadedRuntime};
+use ginflow_agent::{RunOptions, Scheduler};
 use ginflow_core::workflow::{ReplacementTask, WorkflowBuilder};
 use ginflow_core::{
     patterns, Connectivity, FailingService, ServiceRegistry, TaskState, Value, Workflow,
@@ -45,7 +45,7 @@ fn tracing_registry() -> Arc<ServiceRegistry> {
 
 #[test]
 fn fig2_completes_on_transient_broker() {
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), tracing_registry());
+    let runtime = Scheduler::new(BrokerKind::Transient.build(), tracing_registry());
     let run = runtime.launch(&fig2());
     let results = run.wait(WAIT).expect("workflow completes");
     assert_eq!(
@@ -58,7 +58,7 @@ fn fig2_completes_on_transient_broker() {
 
 #[test]
 fn fig2_completes_on_log_broker() {
-    let runtime = ThreadedRuntime::new(BrokerKind::Log.build(), tracing_registry());
+    let runtime = Scheduler::new(BrokerKind::Log.build(), tracing_registry());
     let run = runtime.launch(&fig2());
     let results = run.wait(WAIT).expect("workflow completes");
     assert_eq!(
@@ -79,7 +79,7 @@ fn decentralised_matches_centralized_reference() {
         ginflow_hoclflow::CentralizedConfig::default(),
     )
     .unwrap();
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), registry.clone());
+    let runtime = Scheduler::new(BrokerKind::Transient.build(), registry.clone());
     let run = runtime.launch(&wf);
     let results = run.wait(WAIT).expect("workflow completes");
     assert_eq!(Some(&results["T4"]), centralized.result_of("T4"));
@@ -92,7 +92,7 @@ fn adaptation_reroutes_around_failing_service() {
     // over transparently.
     let mut registry = ServiceRegistry::tracing_for(["s1", "s3", "s4", "s2p"]);
     registry.register("s2", Arc::new(FailingService));
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), Arc::new(registry));
+    let runtime = Scheduler::new(BrokerKind::Transient.build(), Arc::new(registry));
     let run = runtime.launch(&fig5());
     let results = run.wait(WAIT).expect("adaptation must complete the run");
     assert_eq!(
@@ -107,7 +107,7 @@ fn adaptation_reroutes_around_failing_service() {
 #[test]
 fn diamond_completes_decentralised() {
     let wf = patterns::diamond(4, 4, Connectivity::Full, "noop").unwrap();
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), tracing_registry());
+    let runtime = Scheduler::new(BrokerKind::Transient.build(), tracing_registry());
     let run = runtime.launch(&wf);
     let results = run.wait(WAIT).expect("diamond completes");
     assert!(results.contains_key("out"));
@@ -119,7 +119,7 @@ fn killed_agent_recovers_via_log_replay() {
     // §IV-B: crash T2 before it can run, then respawn it; the replayed
     // inbox rebuilds its state and the workflow completes.
     let broker: Arc<dyn Broker> = Arc::new(LogBroker::new());
-    let runtime = ThreadedRuntime::new(broker, tracing_registry());
+    let runtime = Scheduler::new(broker, tracing_registry());
     let run = runtime.launch(&fig2());
 
     assert!(run.kill("T2"));
@@ -143,7 +143,7 @@ fn duplicate_results_after_recovery_do_not_cascade() {
     // re-sends its result; successors must ignore the duplicates (the
     // paper's one-shot-rule argument).
     let broker: Arc<dyn Broker> = Arc::new(LogBroker::new());
-    let runtime = ThreadedRuntime::new(broker, tracing_registry());
+    let runtime = Scheduler::new(broker, tracing_registry());
     let run = runtime.launch(&fig2());
     let results = run.wait(WAIT).expect("first run completes");
 
@@ -183,7 +183,7 @@ fn recovery_without_persistence_cannot_replay() {
             Duration::from_millis(300),
         )),
     );
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), Arc::new(registry));
+    let runtime = Scheduler::new(BrokerKind::Transient.build(), Arc::new(registry));
     let run = runtime.launch(&fig2());
     // Kill T2 while T1 still computes; T1's result message will be
     // consumed by the old (dead) subscription or dropped.
@@ -198,7 +198,7 @@ fn recovery_without_persistence_cannot_replay() {
 #[test]
 fn auto_recovery_restarts_dead_agents() {
     let broker: Arc<dyn Broker> = Arc::new(LogBroker::new());
-    let runtime = ThreadedRuntime::new(broker, tracing_registry()).with_options(RunOptions {
+    let runtime = Scheduler::new(broker, tracing_registry()).with_options(RunOptions {
         auto_recover: true,
         ..RunOptions::default()
     });
@@ -220,7 +220,7 @@ fn auto_recovery_restarts_dead_agents() {
 fn repeated_crashes_eventually_complete() {
     // "a restarted agent can fail again" — crash T2 a few times in a row.
     let broker: Arc<dyn Broker> = Arc::new(LogBroker::new());
-    let runtime = ThreadedRuntime::new(broker, tracing_registry());
+    let runtime = Scheduler::new(broker, tracing_registry());
     let run = runtime.launch(&fig2());
     for _ in 0..3 {
         run.kill("T2");
@@ -233,5 +233,17 @@ fn repeated_crashes_eventually_complete() {
         results["T4"],
         Value::Str("s4(s2(s1(input)),s3(s1(input)))".into())
     );
+    run.shutdown();
+}
+
+#[test]
+fn deprecated_threaded_runtime_alias_still_compiles() {
+    // The historical entry point stays usable for one release.
+    #[allow(deprecated)]
+    let runtime =
+        ginflow_agent::ThreadedRuntime::new(BrokerKind::Transient.build(), tracing_registry());
+    let run = runtime.launch(&fig2());
+    let results = run.wait(WAIT).expect("alias still executes workflows");
+    assert!(results.contains_key("T4"));
     run.shutdown();
 }

@@ -11,11 +11,11 @@
 //! Emits `results/BENCH_scheduler.csv` with wall-clock and process CPU
 //! time per backend.
 
-use ginflow_agent::{RunOptions, Scheduler};
 use ginflow_core::{ServiceRegistry, Value, Workflow, WorkflowBuilder};
+use ginflow_engine::{Backend, Engine};
 use ginflow_mq::BrokerKind;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One measured execution.
 #[derive(Clone, Debug)]
@@ -26,7 +26,8 @@ pub struct Sample {
     pub tasks: usize,
     /// Worker threads driving the agents (= agents for legacy).
     pub workers: usize,
-    /// Wall-clock completion time (s).
+    /// Observed makespan (launch → last status transition, s) from the
+    /// run's [`ginflow_engine::RunReport`].
     pub wall_secs: f64,
     /// Process CPU time consumed during the run (s).
     pub cpu_secs: f64,
@@ -70,26 +71,27 @@ pub fn process_cpu() -> Duration {
     Duration::from_millis((utime + stime) * 10)
 }
 
-/// Run one backend once.
+/// Run one backend once through the unified engine; timings come from
+/// the structured [`ginflow_engine::RunReport`].
 pub fn run_once(mode: &str, width: usize, workers: usize, timeout: Duration) -> Sample {
     let wf = fan_out_fan_in(width);
     let registry = Arc::new(ServiceRegistry::tracing_for(["s"]));
-    let options = if mode == "legacy_threads" {
-        RunOptions::legacy()
+    let backend = if mode == "legacy_threads" {
+        Backend::LegacyThreads
     } else {
-        RunOptions {
-            workers,
-            ..RunOptions::default()
-        }
+        Backend::Scheduler
     };
-    let scheduler = Scheduler::new(BrokerKind::Transient.build(), registry).with_options(options);
+    let engine = Engine::builder()
+        .broker(BrokerKind::Transient.build())
+        .registry(registry)
+        .workers(workers)
+        .backend(backend)
+        .deadline(timeout)
+        .build();
 
     let cpu_before = process_cpu();
-    let started = Instant::now();
-    let run = scheduler.launch(&wf);
-    let outcome = run.wait(timeout);
-    let wall = started.elapsed();
-    run.shutdown();
+    let run = engine.launch(&wf);
+    let report = run.join();
     let cpu = process_cpu().saturating_sub(cpu_before);
 
     Sample {
@@ -100,9 +102,9 @@ pub fn run_once(mode: &str, width: usize, workers: usize, timeout: Duration) -> 
         } else {
             workers
         },
-        wall_secs: wall.as_secs_f64(),
+        wall_secs: report.wall.as_secs_f64(),
         cpu_secs: cpu.as_secs_f64(),
-        completed: outcome.is_ok(),
+        completed: report.completed,
     }
 }
 

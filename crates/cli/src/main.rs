@@ -4,8 +4,8 @@
 //! ginflow validate <workflow.json>
 //! ginflow translate <workflow.json>
 //! ginflow run <workflow.json> [--broker activemq|kafka]
-//!                             [--executor centralized|scheduler|legacy-threads]
-//!                             [--workers N] [--shell] [--timeout SECS]
+//!                             [--executor centralized|scheduler|legacy-threads|sim]
+//!                             [--workers N] [--shell] [--timeout SECS] [--follow]
 //! ginflow simulate <workflow.json> [--broker activemq|kafka] [--seed N]
 //!                                  [--service-secs X] [--fail-p P --fail-t T]
 //! ginflow montage [--simulate]
@@ -14,10 +14,13 @@
 //! Workflows are given in the JSON format (see `ginflow-core::json`). For
 //! `run`, services resolve to lineage-tracing stubs by default; with
 //! `--shell` each service name is executed as a program whose stdout is
-//! the task result.
+//! the task result. Every non-centralized executor launches through the
+//! unified `Engine`; `--follow` streams the typed run events as JSON
+//! lines while the workflow executes, and `--timeout` is enforced as the
+//! run's deadline (expiry cancels the run and tears its agents down).
 
-use ginflow_agent::{RunOptions, Scheduler};
 use ginflow_core::{json, ServiceRegistry, ShellService, TraceService, Workflow};
+use ginflow_engine::{Backend, Engine};
 use ginflow_hoclflow::{compile_centralized, run as run_centralized, CentralizedConfig};
 use ginflow_mq::BrokerKind;
 use ginflow_sim::{simulate, CostModel, FailureSpec, ServiceModel, SimConfig, SECOND};
@@ -63,8 +66,8 @@ fn print_usage() {
          \x20 ginflow validate  <workflow.json>\n\
          \x20 ginflow translate <workflow.json>\n\
          \x20 ginflow run       <workflow.json> [--broker activemq|kafka]\n\
-         \x20                   [--executor centralized|scheduler|legacy-threads]\n\
-         \x20                   [--workers N] [--shell] [--timeout SECS]\n\
+         \x20                   [--executor centralized|scheduler|legacy-threads|sim]\n\
+         \x20                   [--workers N] [--shell] [--timeout SECS] [--follow]\n\
          \x20 ginflow simulate  <workflow.json> [--broker activemq|kafka] [--seed N]\n\
          \x20                   [--service-secs X] [--fail-p P --fail-t T]\n\
          \x20 ginflow montage   [--simulate]"
@@ -224,33 +227,81 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         // "threaded" stays accepted as an alias of the (now default)
         // event-driven scheduler; "legacy-threads" forces the seed's
-        // thread-per-agent backend for A/B comparisons. Note that the
-        // scheduler runs services inline on its workers — for workloads
-        // of long-blocking services (e.g. --shell with slow programs),
+        // thread-per-agent backend for A/B comparisons; "sim" runs the
+        // same workflow in virtual time. Note that the scheduler runs
+        // services inline on its workers — for workloads of
+        // long-blocking services (e.g. --shell with slow programs),
         // raise --workers or pick legacy-threads until service
         // offloading lands.
-        executor @ ("scheduler" | "threaded" | "legacy-threads") => {
-            let broker = flags.broker()?.build();
-            let options = RunOptions {
-                workers,
-                legacy_threads: executor == "legacy-threads",
-                ..RunOptions::default()
+        executor @ ("scheduler" | "threaded" | "legacy-threads" | "sim") => {
+            let backend = match executor {
+                "legacy-threads" => Backend::LegacyThreads,
+                "sim" => Backend::Sim,
+                _ => Backend::Scheduler,
             };
-            let runtime = Scheduler::new(broker, Arc::new(registry)).with_options(options);
-            let run = runtime.launch(&wf);
-            let result = run.wait(Duration::from_secs(timeout));
-            for (task, state) in run.statuses() {
-                match run.result_of(&task) {
+            // The simulator runs scripted service models in virtual
+            // time; real shell programs cannot execute there.
+            if backend == Backend::Sim && flags.has("--shell") {
+                return Err(
+                    "--shell is not supported with --executor sim (services are simulated; \
+                     use `ginflow simulate` options instead)"
+                        .to_owned(),
+                );
+            }
+            let engine = Engine::builder()
+                .broker_kind(flags.broker()?)
+                .registry(Arc::new(registry))
+                .workers(workers)
+                .backend(backend)
+                .deadline(Duration::from_secs(timeout))
+                .build();
+            let run = engine.launch(&wf);
+
+            // --follow: stream the typed run events as JSON lines while
+            // the workflow executes. The printer thread drains until the
+            // stream's terminal event (or teardown) closes it.
+            let printer = flags.has("--follow").then(|| {
+                let events = run.events();
+                std::thread::spawn(move || {
+                    for event in events {
+                        match serde_json::to_string(&event) {
+                            Ok(line) => println!("{line}"),
+                            Err(e) => eprintln!("ginflow: event encoding failed: {e}"),
+                        }
+                    }
+                })
+            });
+
+            let report = run.join();
+            if let Some(printer) = printer {
+                let _ = printer.join();
+            }
+
+            for (task, t) in &report.tasks {
+                let state = t.state;
+                match &t.result {
                     Some(v) => println!("{task:<24} {state:<10} {v}"),
                     None => println!("{task:<24} {state:<10}"),
                 }
             }
-            let outcome = result.map(|_| ()).map_err(|e| e.to_string());
-            run.shutdown();
-            outcome
+            println!(
+                "backend={} completed={} wall={:.3}s adaptations={} respawns={}",
+                report.backend,
+                report.completed,
+                report.wall.as_secs_f64(),
+                report.adaptations_fired,
+                report.respawns
+            );
+            if report.completed {
+                Ok(())
+            } else if report.deadline_expired {
+                Err(format!("run cancelled after --timeout {timeout}s deadline"))
+            } else {
+                Err("run ended without completing".to_owned())
+            }
         }
         other => Err(format!(
-            "unknown executor {other:?} (centralized|scheduler|legacy-threads)"
+            "unknown executor {other:?} (centralized|scheduler|legacy-threads|sim)"
         )),
     }
 }

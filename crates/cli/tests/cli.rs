@@ -101,6 +101,50 @@ fn run_threaded_with_kafka_completes() {
 }
 
 #[test]
+fn run_follow_streams_json_events_then_summary() {
+    let path = write_workflow(&tmpdir(), "follow.json", FIG5);
+    let out = ginflow()
+        .args(["run", "--follow", "--timeout", "30"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Typed events as JSON lines…
+    assert!(stdout.contains("TaskStateChanged"), "{stdout}");
+    assert!(stdout.contains("TaskResult"), "{stdout}");
+    assert!(stdout.contains("RunCompleted"), "{stdout}");
+    let json_lines = stdout.lines().filter(|l| l.starts_with('{')).count();
+    assert!(json_lines >= 8, "fig5 emits >= 2 events per task: {stdout}");
+    // …followed by the structured report summary.
+    assert!(stdout.contains("backend=scheduler"), "{stdout}");
+    assert!(stdout.contains("completed=true"), "{stdout}");
+}
+
+#[test]
+fn run_sim_executor_shares_the_engine_surface() {
+    let path = write_workflow(&tmpdir(), "sim-run.json", FIG5);
+    let out = ginflow()
+        .args(["run", "--executor", "sim", "--follow"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RunCompleted"), "{stdout}");
+    assert!(stdout.contains("backend=sim"), "{stdout}");
+    assert!(stdout.contains("completed=true"), "{stdout}");
+}
+
+#[test]
 fn simulate_reports_virtual_makespan() {
     let path = write_workflow(&tmpdir(), "s.json", FIG5);
     let out = ginflow()

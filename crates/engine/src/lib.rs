@@ -1,0 +1,234 @@
+//! # ginflow-engine — one entry point for every execution vehicle
+//!
+//! GinFlow grew three incompatible ways to run a workflow: the
+//! event-driven scheduler, the seed's thread-per-agent backend and the
+//! virtual-time simulator, each with its own launch call and its own
+//! notion of "done". This crate folds them behind a single façade:
+//!
+//! ```
+//! use ginflow_engine::{Backend, Engine};
+//! use ginflow_core::{patterns, Connectivity, ServiceRegistry};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let wf = patterns::diamond(2, 2, Connectivity::Simple, "s").unwrap();
+//! let engine = Engine::builder()
+//!     .registry(Arc::new(ServiceRegistry::tracing_for(["s"])))
+//!     .workers(2)
+//!     .backend(Backend::Scheduler)
+//!     .build();
+//! let run = engine.launch(&wf);
+//! let results = run.wait(Duration::from_secs(10)).unwrap();
+//! assert!(results.contains_key("out"));
+//! run.shutdown();
+//! ```
+//!
+//! Whatever the backend, [`Engine::launch`] returns the same
+//! [`RunHandle`]: a typed, ordered [`RunEvent`] stream fed from the
+//! shared status topic, first-class cancellation and deadlines, and a
+//! structured [`RunReport`]. The seam between the engine and its
+//! vehicles is [`ExecutionBackend`] (defined in `ginflow-agent::engine`)
+//! — async brokers, multi-process shards and remote executors plug in
+//! there without touching any caller.
+
+pub use ginflow_agent::engine::{
+    EventWait, ExecutionBackend, RunControl, RunEvent, RunEvents, RunFailure, RunHandle, RunMeta,
+    RunOutcome, RunReport, RunTracker, TaskReport,
+};
+pub use ginflow_agent::{RunOptions, WaitError};
+pub use ginflow_sim::SimBackend;
+
+use ginflow_agent::Scheduler;
+use ginflow_core::{ServiceRegistry, Workflow};
+use ginflow_mq::{Broker, BrokerKind};
+use ginflow_sim::SimConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which execution vehicle an [`Engine`] drives.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The event-driven, sharded worker-pool scheduler (the default).
+    #[default]
+    Scheduler,
+    /// The seed's thread-per-agent polling backend — the A/B baseline.
+    LegacyThreads,
+    /// The virtual-time discrete-event simulator.
+    Sim,
+}
+
+/// Builder for [`Engine`]. Every knob has a sensible default: transient
+/// in-process broker, empty service registry, scheduler backend, worker
+/// count = available parallelism, no deadline.
+#[derive(Default)]
+pub struct EngineBuilder {
+    broker: Option<Arc<dyn Broker>>,
+    registry: Option<Arc<ServiceRegistry>>,
+    options: RunOptions,
+    backend: Backend,
+    sim: SimConfig,
+    deadline: Option<Duration>,
+}
+
+impl EngineBuilder {
+    /// Use this broker instance (shared with other runs if you like).
+    pub fn broker(mut self, broker: Arc<dyn Broker>) -> Self {
+        self.broker = Some(broker);
+        self
+    }
+
+    /// Build a fresh broker of the given kind at [`EngineBuilder::build`]
+    /// time. For [`Backend::Sim`] this also selects the matching cost
+    /// profile and persistence.
+    pub fn broker_kind(mut self, kind: BrokerKind) -> Self {
+        self.sim.cost = ginflow_sim::CostModel::for_broker(kind);
+        self.sim.persistent_broker = kind == BrokerKind::Log;
+        self.broker = Some(kind.build());
+        self
+    }
+
+    /// The service registry live backends invoke tasks against.
+    pub fn registry(mut self, registry: Arc<ServiceRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Worker threads of the scheduler backend (0 = available
+    /// parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.options.workers = workers;
+        self
+    }
+
+    /// Automatically respawn dead agents (§IV-B recovery manager).
+    pub fn auto_recover(mut self, on: bool) -> Self {
+        self.options.auto_recover = on;
+        self
+    }
+
+    /// Full runtime options (overrides [`EngineBuilder::workers`] /
+    /// [`EngineBuilder::auto_recover`]). `legacy_threads` is still
+    /// decided by the chosen [`Backend`].
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Which execution vehicle to use.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Simulation parameters for [`Backend::Sim`] (ignored by the live
+    /// backends).
+    pub fn sim_config(mut self, config: SimConfig) -> Self {
+        self.sim = config;
+        self
+    }
+
+    /// Deadline applied to every launched run: [`RunHandle::wait`] and
+    /// [`RunHandle::join`] cancel the run (tearing agents down through
+    /// the broker) once it passes, yielding a partial [`RunReport`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Assemble the engine.
+    pub fn build(self) -> Engine {
+        let backend: Arc<dyn ExecutionBackend> = match self.backend {
+            Backend::Sim => Arc::new(SimBackend::new(self.sim)),
+            live => {
+                let broker = self.broker.unwrap_or_else(|| BrokerKind::Transient.build());
+                let registry = self
+                    .registry
+                    .unwrap_or_else(|| Arc::new(ServiceRegistry::new()));
+                let mut options = self.options;
+                options.legacy_threads = live == Backend::LegacyThreads;
+                Arc::new(Scheduler::new(broker, registry).with_options(options))
+            }
+        };
+        Engine {
+            backend,
+            deadline: self.deadline,
+        }
+    }
+}
+
+/// The unified launcher: pick a backend once, then [`Engine::launch`]
+/// any number of workflows through the shared [`ExecutionBackend`] seam.
+pub struct Engine {
+    backend: Arc<dyn ExecutionBackend>,
+    deadline: Option<Duration>,
+}
+
+impl Engine {
+    /// Start configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine over a custom [`ExecutionBackend`] implementation —
+    /// the extension point future backends (async brokers, remote
+    /// shards) use without touching this crate.
+    pub fn from_backend(backend: Arc<dyn ExecutionBackend>) -> Engine {
+        Engine {
+            backend,
+            deadline: None,
+        }
+    }
+
+    /// The backend's label ("scheduler", "legacy-threads", "sim", …).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Compile `workflow` and start executing it, returning the unified
+    /// [`RunHandle`] (with this engine's deadline attached, if any).
+    pub fn launch(&self, workflow: &Workflow) -> RunHandle {
+        self.backend
+            .launch_run(workflow)
+            .with_deadline(self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ginflow_core::{patterns, Connectivity, TaskState};
+
+    fn engine(backend: Backend) -> Engine {
+        Engine::builder()
+            .registry(Arc::new(ServiceRegistry::tracing_for(["s"])))
+            .workers(2)
+            .backend(backend)
+            .build()
+    }
+
+    #[test]
+    fn builder_names_backends() {
+        assert_eq!(engine(Backend::Scheduler).backend_name(), "scheduler");
+        assert_eq!(
+            engine(Backend::LegacyThreads).backend_name(),
+            "legacy-threads"
+        );
+        assert_eq!(engine(Backend::Sim).backend_name(), "sim");
+    }
+
+    #[test]
+    fn default_backend_is_the_scheduler() {
+        assert_eq!(Engine::builder().build().backend_name(), "scheduler");
+    }
+
+    #[test]
+    fn launch_and_join_produces_a_report() {
+        let wf = patterns::diamond(2, 2, Connectivity::Simple, "s").unwrap();
+        let run = engine(Backend::Scheduler).launch(&wf);
+        let report = run.join();
+        assert!(report.completed);
+        assert_eq!(report.backend, "scheduler");
+        assert_eq!(report.state_of("out"), TaskState::Completed);
+        assert_eq!(report.completed_tasks(), wf.dag().len());
+    }
+}

@@ -1,0 +1,120 @@
+//! The acceptance bar for first-class cancellation: a 1000-task fan-out
+//! cancelled mid-flight terminates within 1 s with zero leaked worker
+//! threads. Kept alone in this integration binary so the `/proc`
+//! thread-count baseline is not disturbed by sibling tests.
+
+use ginflow_core::{
+    ServiceRegistry, SleepService, TaskState, TraceService, Value, WorkflowBuilder,
+};
+use ginflow_engine::{Engine, RunEvent, RunFailure, WaitError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Live threads of this process (Linux); falls back to 0 elsewhere,
+/// which skips the leak assertion but keeps the timing one.
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+fn fan_out(width: usize) -> ginflow_core::Workflow {
+    let mut b = WorkflowBuilder::new(format!("fan-{width}"));
+    b.task("src", "fast").input(Value::str("input"));
+    let mids: Vec<String> = (0..width).map(|i| format!("t{i}")).collect();
+    for mid in &mids {
+        b.task(mid, "slow").after(["src"]);
+    }
+    b.task("sink", "fast")
+        .after(mids.iter().map(String::as_str));
+    b.build().expect("fan-out/fan-in is a valid DAG")
+}
+
+#[test]
+fn cancel_tears_down_thousand_task_fanout_within_a_second() {
+    // 1002 agents; every middle task sleeps 20 ms, so on 4 workers the
+    // full run would take ~5 s — cancellation lands squarely mid-flight.
+    let wf = fan_out(1000);
+    let mut registry = ServiceRegistry::tracing_for(["fast"]);
+    registry.register(
+        "slow",
+        Arc::new(SleepService::new(
+            Duration::from_millis(20),
+            TraceService::new("slow"),
+        )),
+    );
+    let engine = Engine::builder()
+        .registry(Arc::new(registry))
+        .workers(4)
+        .build();
+
+    let baseline = thread_count();
+    let run = engine.launch(&wf);
+    let events = run.events();
+
+    // Let it get properly going: the source must have completed and
+    // some of the fan-out must be running.
+    let launch = Instant::now();
+    while run.state_of("src") != Some(TaskState::Completed) {
+        assert!(launch.elapsed() < Duration::from_secs(10), "src never ran");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let done_before = run
+        .statuses()
+        .iter()
+        .filter(|(_, s)| *s == TaskState::Completed)
+        .count();
+    assert!(done_before > 1, "cancellation must land mid-flight");
+    assert!(
+        done_before < 1000,
+        "workload finished before we could cancel"
+    );
+
+    // The acceptance clock: cancel() joins every worker before returning.
+    let started = Instant::now();
+    run.cancel();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "cancel took {elapsed:?}, expected < 1s"
+    );
+
+    // Zero leaked threads: the process is back to its pre-launch count.
+    if baseline > 0 {
+        let mut now = thread_count();
+        let reap = Instant::now();
+        while now > baseline && reap.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(10));
+            now = thread_count();
+        }
+        assert!(
+            now <= baseline,
+            "leaked threads: {now} alive vs baseline {baseline}"
+        );
+    }
+
+    // Agents observed the teardown; waiting reports cancellation.
+    assert!(!run.alive("sink"));
+    assert!(matches!(
+        run.wait(Duration::from_millis(10)),
+        Err(WaitError::Cancelled)
+    ));
+
+    // The event stream carries the terminal cancellation event.
+    let trace: Vec<RunEvent> = events.collect();
+    assert_eq!(
+        trace.last(),
+        Some(&RunEvent::RunFailed {
+            reason: RunFailure::Cancelled
+        })
+    );
+
+    // And the report is an honest partial snapshot.
+    let report = run.report();
+    assert!(report.cancelled);
+    assert!(!report.completed);
+    let done = report.completed_tasks();
+    assert!(done >= done_before, "completed work is not forgotten");
+    assert!(done < 1002, "the run must not have finished");
+}

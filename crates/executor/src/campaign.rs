@@ -114,11 +114,14 @@ impl LiveReport {
 }
 
 /// Deploy `workflow`'s agents on the modelled cluster, then execute them
-/// for real on the event-driven [`Scheduler`](ginflow_agent::Scheduler)
-/// — the live counterpart of [`deploy_and_simulate`]. The cluster model
-/// still gates capacity (a deployment that would not fit the testbed
-/// errors out), while execution runs in-process over the chosen broker
-/// profile with one worker per placed node's share of the pool.
+/// for real through the unified [`Engine`](ginflow_engine::Engine) on
+/// the event-driven scheduler backend — the live counterpart of
+/// [`deploy_and_simulate`]. The cluster model still gates capacity (a
+/// deployment that would not fit the testbed errors out), while
+/// execution runs in-process over the chosen broker profile with one
+/// worker per placed node's share of the pool. The `timeout` doubles as
+/// the run's deadline: expiry cancels the run and tears the agents down
+/// through the broker.
 pub fn deploy_and_execute(
     workflow: &Workflow,
     spec: ExecutionSpec,
@@ -129,17 +132,25 @@ pub fn deploy_and_execute(
     let agent_names: Vec<String> = workflow.dag().iter().map(|(_, t)| t.name.clone()).collect();
     let deployment = spec.executor.deployer().deploy(&cluster, &agent_names)?;
 
-    let options = ginflow_agent::RunOptions {
+    let engine = ginflow_engine::Engine::builder()
+        .broker(spec.broker.build())
+        .registry(registry)
         // One scheduler worker per modelled node, bounded by the local
         // machine: the placement decides the parallelism budget.
-        workers: spec.nodes.clamp(1, 64),
-        ..ginflow_agent::RunOptions::default()
-    };
-    let scheduler =
-        ginflow_agent::Scheduler::new(spec.broker.build(), registry).with_options(options);
+        .workers(spec.nodes.clamp(1, 64))
+        .backend(ginflow_engine::Backend::Scheduler)
+        .deadline(timeout)
+        .build();
     let started = std::time::Instant::now();
-    let run = scheduler.launch(workflow);
-    let results = run.wait(timeout).map_err(|_| ExecError::ExecutionTimeout)?;
+    let run = engine.launch(workflow);
+    let results = run.wait(timeout).map_err(|e| match e {
+        ginflow_agent::WaitError::Timeout { .. } | ginflow_agent::WaitError::Deadline { .. } => {
+            ExecError::ExecutionTimeout
+        }
+        other => ExecError::ExecutionFailed {
+            reason: other.to_string(),
+        },
+    })?;
     let wall = started.elapsed();
     run.shutdown();
     Ok(LiveReport {

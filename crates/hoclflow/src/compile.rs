@@ -12,6 +12,11 @@ use std::collections::HashMap;
 pub struct AdaptPlan {
     /// The adaptation.
     pub adaptation: AdaptationId,
+    /// Human-readable adaptation name (for run events and reports).
+    pub name: String,
+    /// Task names whose `ERROR` result fires the adaptation — runtimes
+    /// use this to recognise an adaptation firing on the status stream.
+    pub watched: Vec<String>,
     /// Task names that must receive the `ADAPT : k` token (region sources
     /// and the destination).
     pub adapt_targets: Vec<String>,
@@ -228,6 +233,12 @@ pub fn adapt_plans(wf: &Workflow) -> Vec<AdaptPlan> {
             }
             AdaptPlan {
                 adaptation: a.id,
+                name: a.name.clone(),
+                watched: a
+                    .watched
+                    .iter()
+                    .map(|&t| dag.name_of(t).to_owned())
+                    .collect(),
                 adapt_targets,
                 trigger_targets: a
                     .replacement

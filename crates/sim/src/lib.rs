@@ -31,11 +31,13 @@
 //! hard-coded; only the four cost knobs above are fitted to the paper's
 //! published anchor points (see `costmodel` docs and EXPERIMENTS.md).
 
+pub mod backend;
 pub mod costmodel;
 pub mod kernel;
 pub mod run;
 pub mod services;
 
+pub use backend::SimBackend;
 pub use costmodel::CostModel;
 pub use run::{simulate, FailureSpec, SimConfig, SimReport};
 pub use services::ServiceModel;

@@ -5,7 +5,7 @@ use crate::costmodel::CostModel;
 use crate::kernel::EventQueue;
 use crate::services::ServiceModel;
 use crate::{SimTime, SECOND};
-use ginflow_agent::{Command, Event, SaCore, SaMessage};
+use ginflow_agent::{Command, Event, SaCore, SaMessage, StatusUpdate};
 use ginflow_core::{TaskState, Value, Workflow};
 use ginflow_hocl::EffectId;
 use ginflow_hoclflow::agent_programs;
@@ -78,6 +78,11 @@ pub struct SimReport {
     pub events: u64,
     /// Final task states.
     pub states: HashMap<String, TaskState>,
+    /// Every status update in visibility order on the shared status
+    /// path, with its virtual timestamp (µs) — the same stream the live
+    /// runtimes observe on the status topic, so the unified execution
+    /// API can derive identical run events from a simulated run.
+    pub status_log: Vec<(SimTime, StatusUpdate)>,
 }
 
 impl SimReport {
@@ -172,6 +177,7 @@ pub fn simulate(workflow: &Workflow, config: &SimConfig) -> SimReport {
         invocations: 0,
         events: 0,
         states: HashMap::new(),
+        status_log: Vec::new(),
     };
     let mut sink_done: HashMap<usize, bool> = agents
         .iter()
@@ -453,7 +459,7 @@ fn dispatch(
                     },
                 );
             }
-            Command::Publish { state, .. } => {
+            Command::Publish { state, result } => {
                 report.status_updates += 1;
                 // The update transits the broker, then the shared-multiset
                 // server applies it (cost grows with workflow size).
@@ -461,6 +467,18 @@ fn dispatch(
                 let arrive = *broker_free + config.cost.net_latency_us;
                 *status_free = (*status_free).max(arrive) + config.cost.status_update_us();
                 let visible = *status_free;
+                // `status_free` only grows, so append order is
+                // visibility order — the trace reads like the topic.
+                let slot = &agents[agent];
+                report.status_log.push((
+                    visible,
+                    StatusUpdate {
+                        task: slot.name.clone(),
+                        state,
+                        result,
+                        incarnation: slot.incarnation,
+                    },
+                ));
                 if state == TaskState::Completed {
                     if let Some(done) = sink_done.get_mut(&agent) {
                         *done = true;

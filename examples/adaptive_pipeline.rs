@@ -38,8 +38,12 @@ fn main() {
     let mut registry = ServiceRegistry::tracing_for(["s1", "s3", "s4", "s2p"]);
     registry.register("s2", Arc::new(FailingService));
 
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), Arc::new(registry));
-    let run = runtime.launch(&wf);
+    let engine = Engine::builder()
+        .broker(BrokerKind::Transient.build())
+        .registry(Arc::new(registry))
+        .build();
+    let run = engine.launch(&wf);
+    let events = run.events();
     let results = run
         .wait(Duration::from_secs(10))
         .expect("the adaptation completes the workflow");
@@ -54,6 +58,17 @@ fn main() {
         results["T4"],
         Value::Str("s4(s2p(s1(input)),s3(s1(input)))".into())
     );
-    run.shutdown();
+    let report = run.join();
+    assert_eq!(report.adaptations_fired, 1);
+
+    // The adaptation firing is a first-class event on the run stream.
+    let fired: Vec<String> = events
+        .filter_map(|e| match e {
+            RunEvent::AdaptationFired { adaptation, .. } => Some(adaptation),
+            _ => None,
+        })
+        .collect();
+    println!("adaptations fired: {fired:?}");
+    assert_eq!(fired, vec!["replace-T2".to_owned()]);
     println!("\nthe workflow completed through the alternative branch — no restart needed");
 }

@@ -1,6 +1,7 @@
 //! Quickstart: build the paper's Fig 2 workflow programmatically and run
-//! it three ways — centralized HOCL interpreter, decentralised service
-//! agents on real threads, and the virtual-time simulator.
+//! it through the unified `Engine` on every backend — the event-driven
+//! scheduler, the legacy thread-per-agent baseline, and the virtual-time
+//! simulator — plus the centralized HOCL interpreter for reference.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -8,7 +9,6 @@
 
 use ginflow::prelude::*;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn fig2() -> Workflow {
     let mut b = WorkflowBuilder::new("fig2");
@@ -31,31 +31,49 @@ fn main() {
     // The services: TraceService makes data lineage visible in results.
     let registry = ServiceRegistry::tracing_for(["s1", "s2", "s3", "s4"]);
 
-    // 1. Centralized: one HOCL interpreter reduces the global solution.
+    // Reference: one centralized HOCL interpreter reduces the global
+    // solution (no agents, no broker).
     let outcome = run_centralized(&wf, &registry, CentralizedConfig::default())
         .expect("centralized run succeeds");
-    println!("\n[centralized]  T4 = {}", outcome.result_of("T4").unwrap());
-    println!("[centralized]  rule applications: {}", outcome.applications);
-
-    // 2. Decentralised: one agent per task over an in-process broker.
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), Arc::new(registry));
-    let run = runtime.launch(&wf);
-    let results = run.wait(Duration::from_secs(10)).expect("threads complete");
-    println!("[decentralised] T4 = {}", results["T4"]);
-    run.shutdown();
-
-    // 3. Simulated: same agent logic, virtual time, calibrated costs.
-    let report = simulate(
-        &wf,
-        &SimConfig {
-            services: ServiceModel::constant(300_000),
-            ..SimConfig::default()
-        },
-    );
     println!(
-        "[simulated]    completed={} makespan={:.2}s messages={}",
-        report.completed,
-        report.makespan_secs(),
-        report.messages
+        "\n[centralized   ] T4 = {}",
+        outcome.result_of("T4").unwrap()
     );
+
+    // One Engine per backend — same builder, same launch, same handle.
+    let registry = Arc::new(registry);
+    for backend in [Backend::Scheduler, Backend::LegacyThreads, Backend::Sim] {
+        let engine = Engine::builder()
+            .broker(BrokerKind::Transient.build())
+            .registry(registry.clone())
+            .backend(backend)
+            .build();
+        let run = engine.launch(&wf);
+
+        // The typed event stream: every task transition, every result,
+        // then a terminal RunCompleted/RunFailed.
+        let events = run.events();
+
+        // join() drives the run to its end and returns the structured
+        // report (per-task states, timings, incarnations).
+        let report = run.join();
+        let transitions = events
+            .filter(|e| matches!(e, RunEvent::TaskStateChanged { .. }))
+            .count();
+        println!(
+            "[{:<15}] completed={} T4={} ({} state transitions, wall {:.3}s)",
+            report.backend,
+            report.completed,
+            report
+                .result_of("T4")
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
+            transitions,
+            report.wall.as_secs_f64()
+        );
+        assert!(report.completed);
+        assert_eq!(report.state_of("T4"), TaskState::Completed);
+    }
+
+    println!("\nsame workflow, three execution vehicles, one API");
 }

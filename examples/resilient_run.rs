@@ -32,8 +32,12 @@ fn main() {
 
     // The log broker retains every message — recovery depends on it.
     let broker: Arc<dyn Broker> = Arc::new(LogBroker::new());
-    let runtime = ThreadedRuntime::new(broker, Arc::new(registry));
-    let run = runtime.launch(&wf);
+    let engine = Engine::builder()
+        .broker(broker)
+        .registry(Arc::new(registry))
+        .build();
+    let run = engine.launch(&wf);
+    let mut events = run.events();
 
     // Crash `transform` before it can do its work.
     std::thread::sleep(Duration::from_millis(30));
@@ -59,5 +63,16 @@ fn main() {
     for (task, state) in run.statuses() {
         println!("  {task:<10} {state}");
     }
-    run.shutdown();
+    let report = run.join();
+    assert!(report.completed);
+    assert!(report.respawns >= 1, "the replacement incarnation counts");
+
+    // The recovery is visible on the typed event stream too.
+    assert!(
+        events.any(|e| matches!(
+            e,
+            RunEvent::AgentRespawned { ref task, incarnation } if task == "transform" && incarnation >= 1
+        )),
+        "expected an AgentRespawned event for `transform`"
+    );
 }

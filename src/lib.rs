@@ -16,12 +16,20 @@
 //! | [`core`] | workflows, DAGs, services, adaptations, JSON format |
 //! | [`hoclflow`] | workflow → chemistry compilation, generic/adaptation rules |
 //! | [`mq`] | ActiveMQ-like and Kafka-like broker substrates with push wakeups |
-//! | [`agent`] | service agents: sans-IO core + event-driven sharded worker-pool scheduler (legacy thread-per-agent backend behind `RunOptions::legacy_threads`) + §IV-B recovery |
-//! | [`sim`] | virtual-time execution with calibrated cost models |
-//! | [`executor`] | cluster model, SSH/Mesos deployment strategies, live scheduler execution |
+//! | [`agent`] | service agents: sans-IO core + event-driven sharded worker-pool scheduler + §IV-B recovery + the unified execution API types ([`agent::engine`]) |
+//! | [`engine`] | `Engine::builder()` — the single launch entry point over every backend |
+//! | [`sim`] | virtual-time execution with calibrated cost models (an [`ExecutionBackend`](prelude::ExecutionBackend) too) |
+//! | [`executor`] | cluster model, SSH/Mesos deployment strategies, live execution through the engine |
 //! | [`montage`] | the 118-task Montage-shaped evaluation workload |
 //!
 //! ## Quickstart
+//!
+//! One `Engine` launches a workflow on any backend — the event-driven
+//! scheduler, the legacy thread-per-agent baseline, or the virtual-time
+//! simulator — and every launch returns the same
+//! [`RunHandle`](prelude::RunHandle): a typed
+//! [`RunEvent`](prelude::RunEvent) stream, cancellation/deadlines, and a
+//! structured [`RunReport`](prelude::RunReport).
 //!
 //! ```
 //! use ginflow::prelude::*;
@@ -36,19 +44,37 @@
 //! let wf = b.build().unwrap();
 //!
 //! // Execute decentralised: one agent per task over an in-process broker.
-//! let registry = Arc::new(ServiceRegistry::tracing_for(["s1", "s2", "s3", "s4"]));
-//! let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), registry);
-//! let run = runtime.launch(&wf);
-//! let results = run.wait(std::time::Duration::from_secs(10)).unwrap();
+//! let engine = Engine::builder()
+//!     .broker(BrokerKind::Transient.build())
+//!     .registry(Arc::new(ServiceRegistry::tracing_for(["s1", "s2", "s3", "s4"])))
+//!     .backend(Backend::Scheduler)
+//!     .build();
+//! let run = engine.launch(&wf);
+//!
+//! // Watch the run unfold through the typed event stream…
+//! let events = run.events();
+//!
+//! // …and drive it to the end: join() returns the structured report.
+//! let report = run.join();
+//! assert!(report.completed);
 //! assert_eq!(
-//!     results["T4"],
-//!     Value::Str("s4(s2(s1(input)),s3(s1(input)))".into())
+//!     report.result_of("T4").unwrap(),
+//!     &Value::Str("s4(s2(s1(input)),s3(s1(input)))".into())
 //! );
-//! run.shutdown();
+//!
+//! // Every stream ends with a terminal event.
+//! let trace: Vec<RunEvent> = events.collect();
+//! assert_eq!(trace.last(), Some(&RunEvent::RunCompleted));
 //! ```
+//!
+//! Swapping `.backend(Backend::Sim)` (or `Backend::LegacyThreads`) into
+//! the builder re-runs the same workflow on another vehicle with the
+//! same observable surface; `.deadline(..)` bounds the run,
+//! `run.cancel()` tears it down mid-flight without leaking threads.
 
 pub use ginflow_agent as agent;
 pub use ginflow_core as core;
+pub use ginflow_engine as engine;
 pub use ginflow_executor as executor;
 pub use ginflow_hocl as hocl;
 pub use ginflow_hoclflow as hoclflow;
@@ -58,19 +84,30 @@ pub use ginflow_sim as sim;
 
 /// The commonly-needed types in one import.
 pub mod prelude {
-    pub use ginflow_agent::{RunOptions, SaMessage, Scheduler, ThreadedRuntime, WorkflowRun};
+    pub use ginflow_agent::{RunOptions, SaMessage, Scheduler, WorkflowRun};
+    // Deprecated alias, re-exported (without triggering the lint) so
+    // downstream code migrating to `Engine` keeps compiling for one
+    // release.
+    #[allow(deprecated)]
+    pub use ginflow_agent::ThreadedRuntime;
     pub use ginflow_core::workflow::ReplacementTask;
     pub use ginflow_core::{
         patterns, Connectivity, EchoService, FailingService, Service, ServiceError,
         ServiceRegistry, TaskState, TraceService, Value, Workflow, WorkflowBuilder,
     };
-    pub use ginflow_executor::{deploy_and_simulate, ExecutionSpec, ExecutorKind};
+    pub use ginflow_engine::{
+        Backend, Engine, EventWait, ExecutionBackend, RunEvent, RunEvents, RunFailure, RunHandle,
+        RunReport, TaskReport, WaitError,
+    };
+    pub use ginflow_executor::{
+        deploy_and_execute, deploy_and_simulate, ExecutionSpec, ExecutorKind,
+    };
     pub use ginflow_hocl::prelude::*;
     pub use ginflow_hoclflow::{
         agent_programs, compile_centralized, run as run_centralized, CentralizedConfig,
     };
     pub use ginflow_mq::{Broker, BrokerKind, LogBroker, TransientBroker};
-    pub use ginflow_sim::{simulate, CostModel, FailureSpec, ServiceModel, SimConfig};
+    pub use ginflow_sim::{simulate, CostModel, FailureSpec, ServiceModel, SimBackend, SimConfig};
 }
 
 #[cfg(test)]
@@ -80,5 +117,7 @@ mod tests {
         use crate::prelude::*;
         let wf = patterns::diamond(2, 2, Connectivity::Simple, "s").unwrap();
         assert_eq!(wf.dag().len(), 6);
+        let engine = Engine::builder().backend(Backend::Sim).build();
+        assert_eq!(engine.backend_name(), "sim");
     }
 }

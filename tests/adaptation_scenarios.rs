@@ -52,8 +52,11 @@ fn fig9b_region_collapse_centralized_and_threaded() {
     );
     assert_eq!(outcome.states["X"], TaskState::Failed);
 
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), registry);
-    let run = runtime.launch(&wf);
+    let engine = Engine::builder()
+        .broker(BrokerKind::Transient.build())
+        .registry(registry)
+        .build();
+    let run = engine.launch(&wf);
     let results = run.wait(WAIT).unwrap();
     assert_eq!(results["D"], Value::Str("s4(sXp(s1(in)))".into()));
     run.shutdown();
@@ -106,8 +109,11 @@ fn chained_replacement_when_tail_fails() {
     assert_eq!(outcome.states["C"], TaskState::Failed);
 
     // Same on threads.
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), registry);
-    let run = runtime.launch(&chained());
+    let engine = Engine::builder()
+        .broker(BrokerKind::Transient.build())
+        .registry(registry)
+        .build();
+    let run = engine.launch(&chained());
     let results = run.wait(WAIT).unwrap();
     assert_eq!(results["D"], Value::Str("s4(sCp(sBp(s1(in))))".into()));
     run.shutdown();
@@ -151,8 +157,11 @@ fn two_disjoint_adaptations_both_trigger() {
     assert_eq!(outcome.states["X'"], TaskState::Completed);
     assert_eq!(outcome.states["Y'"], TaskState::Completed);
 
-    let runtime = ThreadedRuntime::new(BrokerKind::Log.build(), registry);
-    let run = runtime.launch(&wf);
+    let engine = Engine::builder()
+        .broker(BrokerKind::Log.build())
+        .registry(registry)
+        .build();
+    let run = engine.launch(&wf);
     let results = run.wait(WAIT).unwrap();
     assert_eq!(results["D"], expected);
     run.shutdown();

@@ -40,8 +40,11 @@ fn json_to_all_three_execution_paths() {
     assert_eq!(centralized.result_of("T4"), Some(&expected));
 
     // Decentralised threads.
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), Arc::new(registry()));
-    let run = runtime.launch(&wf);
+    let engine = Engine::builder()
+        .broker(BrokerKind::Transient.build())
+        .registry(Arc::new(registry()))
+        .build();
+    let run = engine.launch(&wf);
     let results = run.wait(Duration::from_secs(20)).unwrap();
     assert_eq!(results["T4"], expected);
     run.shutdown();
@@ -76,8 +79,11 @@ fn adaptation_consistent_across_paths() {
     assert_eq!(centralized.result_of("T4"), Some(&expected));
     assert_eq!(centralized.states["T2"], TaskState::Failed);
 
-    let runtime = ThreadedRuntime::new(BrokerKind::Transient.build(), Arc::new(broken()));
-    let run = runtime.launch(&wf);
+    let engine = Engine::builder()
+        .broker(BrokerKind::Transient.build())
+        .registry(Arc::new(broken()))
+        .build();
+    let run = engine.launch(&wf);
     let results = run.wait(Duration::from_secs(20)).unwrap();
     assert_eq!(results["T4"], expected);
     run.shutdown();
@@ -105,8 +111,11 @@ fn generated_workloads_run_everywhere() {
             "{h}x{v} {conn:?} centralized"
         );
 
-        let runtime = ThreadedRuntime::new(BrokerKind::Log.build(), Arc::new(registry()));
-        let run = runtime.launch(&wf);
+        let engine = Engine::builder()
+            .broker(BrokerKind::Log.build())
+            .registry(Arc::new(registry()))
+            .build();
+        let run = engine.launch(&wf);
         run.wait(Duration::from_secs(20))
             .unwrap_or_else(|e| panic!("{h}x{v} {conn:?} threaded: {e}"));
         run.shutdown();
@@ -140,8 +149,11 @@ fn montage_runs_threaded_scaled_down() {
             )),
         );
     }
-    let runtime = ThreadedRuntime::new(BrokerKind::Log.build(), Arc::new(registry));
-    let run = runtime.launch(&wf);
+    let engine = Engine::builder()
+        .broker(BrokerKind::Log.build())
+        .registry(Arc::new(registry))
+        .build();
+    let run = engine.launch(&wf);
     let results = run.wait(Duration::from_secs(60)).expect("mosaic completes");
     assert!(results.contains_key("mJPEG"));
     run.shutdown();
