@@ -50,6 +50,20 @@ pub struct RunOptions {
     /// Automatically respawn dead agents (the recovery manager of
     /// §IV-B). Requires a persistent broker to be useful.
     pub auto_recover: bool,
+    /// Multi-process sharding: `Some((index, count))` makes this
+    /// process run only the agents whose FNV name-hash lands in shard
+    /// `index` of `count`. All shards must share one **persistent**
+    /// broker (in practice a `ginflow-net` remote broker on the log
+    /// profile): a sharded process subscribes with full replay, which
+    /// is both how a process that starts after its peers catches up on
+    /// their progress and how a killed-and-respawned shard rebuilds its
+    /// agents' state. The shared status topic is the cross-shard
+    /// membrane, so waits and reports still cover the whole workflow.
+    /// `ginflow-engine` enforces the persistence requirement at
+    /// `Engine::build`; driving the `Scheduler` directly with a
+    /// transient broker and a shard set loses cross-shard messages
+    /// published before this process subscribed.
+    pub shard: Option<(u32, u32)>,
     /// Legacy backend only: inbox poll interval (also the crash-flag
     /// observation granularity).
     pub poll_interval: Duration,
@@ -65,6 +79,7 @@ impl Default for RunOptions {
             workers: 0,
             legacy_threads: false,
             auto_recover: false,
+            shard: None,
             poll_interval: Duration::from_millis(5),
             monitor_interval: Duration::from_millis(10),
         }

@@ -116,7 +116,9 @@ impl Scheduler {
 
 impl ExecutionBackend for Scheduler {
     fn name(&self) -> &'static str {
-        if self.options.legacy_threads {
+        if self.options.shard.is_some() {
+            "sharded"
+        } else if self.options.legacy_threads {
             "legacy-threads"
         } else {
             "scheduler"
@@ -245,10 +247,10 @@ impl WorkflowRun {
         self.stop();
     }
 
-    /// Backend label ("scheduler" / "legacy-threads").
+    /// Backend label ("scheduler" / "sharded" / "legacy-threads").
     pub fn backend_label(&self) -> &'static str {
         match &self.backend {
-            Backend::Pool(_) => "scheduler",
+            Backend::Pool(run) => run.inner.label,
             Backend::Legacy(_) => "legacy-threads",
         }
     }
@@ -385,6 +387,8 @@ struct AgentSlot {
 struct PoolInner {
     broker: Arc<dyn Broker>,
     registry: Arc<ServiceRegistry>,
+    /// Agent programs this process executes — in sharded mode, only the
+    /// agents whose [`process_shard`] matches this process's shard.
     programs: HashMap<String, AgentProgram>,
     plans: Arc<Vec<AdaptPlan>>,
     slots: Mutex<HashMap<String, Arc<AgentSlot>>>,
@@ -393,8 +397,14 @@ struct PoolInner {
     board: Arc<StatusBoard>,
     tracker: Arc<RunTracker>,
     shutdown: Arc<AtomicBool>,
+    /// Every sink of the workflow, local or not: completion is observed
+    /// through the shared status topic, the cross-shard membrane.
     sinks: Vec<String>,
     auto_recover: bool,
+    /// Inbox subscription mode for (re)spawned agents: full replay in
+    /// sharded-persistent mode, head-attach otherwise.
+    inbox_mode: SubscribeMode,
+    label: &'static str,
 }
 
 pub(crate) struct PoolRun {
@@ -414,6 +424,14 @@ fn shard_of(name: &str, shards: usize) -> usize {
     hash as usize % shards
 }
 
+/// The **process**-level shard an agent lands in when a workflow runs
+/// as `count` OS processes ([`RunOptions::shard`]): the same FNV-1a
+/// name-hash the worker pool uses inside one process, so placement is
+/// deterministic across hosts with no coordination.
+pub fn process_shard(name: &str, count: u32) -> u32 {
+    shard_of(name, count.max(1) as usize) as u32
+}
+
 fn launch_pool(
     broker: Arc<dyn Broker>,
     registry: Arc<ServiceRegistry>,
@@ -431,9 +449,28 @@ fn launch_pool(
     let board = Arc::new(StatusBoard::new());
     let shutdown = Arc::new(AtomicBool::new(false));
 
+    // Sharded mode: this process hosts only its slice of the agents,
+    // and — on a persistent broker — subscribes everything with full
+    // replay: a process that starts (or restarts) after its peers have
+    // already made progress catches up from the log instead of missing
+    // it. §IV-B's recovery, applied to a whole process.
+    let sharded = options.shard.is_some();
+    let replay = sharded && broker.persistent();
+    let is_local = |name: &str| match options.shard {
+        Some((index, count)) => process_shard(name, count) == index,
+        None => true,
+    };
+    let status_mode = if replay {
+        SubscribeMode::Beginning
+    } else {
+        SubscribeMode::Latest
+    };
+    let inbox_mode = status_mode;
+    let label = if sharded { "sharded" } else { "scheduler" };
+
     // Status collector first: no update may be missed.
     let status_sub = broker
-        .subscribe(topics::STATUS, SubscribeMode::Latest)
+        .subscribe(topics::STATUS, status_mode)
         .expect("status subscription");
     let status_thread = {
         let board = board.clone();
@@ -454,10 +491,15 @@ fn launch_pool(
     }
     let (reaper_tx, reaper_rx) = crossbeam::channel::unbounded();
 
+    let local_agents: Vec<AgentProgram> =
+        agents.into_iter().filter(|a| is_local(&a.name)).collect();
     let inner = Arc::new(PoolInner {
         broker,
         registry,
-        programs: agents.iter().map(|a| (a.name.clone(), a.clone())).collect(),
+        programs: local_agents
+            .iter()
+            .map(|a| (a.name.clone(), a.clone()))
+            .collect(),
         plans: Arc::new(plans),
         slots: Mutex::new(HashMap::new()),
         shards: shard_txs,
@@ -467,17 +509,23 @@ fn launch_pool(
         shutdown,
         sinks,
         auto_recover: options.auto_recover,
+        inbox_mode,
+        label,
     });
 
     // All inbox subscriptions are created before any agent is scheduled,
-    // so no agent can publish to a not-yet-subscribed inbox.
-    let mut fresh = Vec::with_capacity(agents.len());
+    // so no agent can publish to a not-yet-subscribed inbox. (Across
+    // shard processes the same guarantee comes from `inbox_mode`
+    // replay: whatever a peer published early is in the log — which is
+    // why sharded mode requires a persistent broker; see
+    // `RunOptions::shard`.)
+    let mut fresh = Vec::with_capacity(local_agents.len());
     {
         let mut slots = inner.slots.lock();
-        for program in agents {
+        for program in local_agents {
             let sub = inner
                 .broker
-                .subscribe(&topics::inbox(&program.name), SubscribeMode::Latest)
+                .subscribe(&topics::inbox(&program.name), inner.inbox_mode)
                 .expect("inbox subscription");
             let slot = inner.make_slot(program, sub, 0);
             slots.insert(slot.name.clone(), slot.clone());

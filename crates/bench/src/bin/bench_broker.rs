@@ -1,0 +1,41 @@
+//! Broker transport A/B: 1000-task fan-out/fan-in over the in-process
+//! `LogBroker` vs the same log behind the `ginflow-net` TCP daemon on
+//! loopback (one engine, then two sharded engines). Writes
+//! `results/BENCH_net.csv`.
+
+use ginflow_bench::scheduler_scale::csv_rows;
+use ginflow_bench::{broker_net, csv, quick_from_args};
+
+fn main() {
+    let quick = quick_from_args(
+        "bench_broker",
+        "in-process log broker vs TCP remote broker (1 and 2 shards) on a wide fan-out/fan-in",
+    );
+    let samples = broker_net::run(quick);
+    println!(
+        "{:<16} {:>6} {:>8} {:>10} {:>9} {:>10}",
+        "mode", "tasks", "workers", "wall (s)", "cpu (s)", "completed"
+    );
+    for s in &samples {
+        println!(
+            "{:<16} {:>6} {:>8} {:>10.3} {:>9.3} {:>10}",
+            s.mode, s.tasks, s.workers, s.wall_secs, s.cpu_secs, s.completed
+        );
+    }
+    if let [local, remote, sharded] = &samples[..] {
+        if local.completed && remote.completed {
+            println!(
+                "\nnetwork membrane cost: {:.2}x wall vs in-process; 2-shard split: {:.2}x vs 1-shard remote",
+                remote.wall_secs / local.wall_secs.max(1e-9),
+                sharded.wall_secs / remote.wall_secs.max(1e-9),
+            );
+        }
+    }
+    csv::write_csv(
+        "results/BENCH_net.csv",
+        &broker_net::CSV_HEADER,
+        &csv_rows(&samples),
+    )
+    .expect("write results/BENCH_net.csv");
+    println!("\nwrote results/BENCH_net.csv");
+}

@@ -1,0 +1,168 @@
+//! Broker-transport A/B: the same fan-out/fan-in coordination workload
+//! over (a) the in-process persistent log, (b) the same log behind the
+//! `ginflow-net` TCP daemon on loopback, one process-equivalent engine,
+//! and (c) two sharded engines splitting the agents over that daemon.
+//!
+//! Every task is a zero-work tracing stub, so the numbers isolate what
+//! the network membrane costs (publish round trips, EVENT push latency)
+//! and what sharding buys back once agents are split across engines.
+//! Emits `results/BENCH_net.csv`.
+
+use crate::scheduler_scale::{fan_out_fan_in, process_cpu, Sample};
+use ginflow_core::ServiceRegistry;
+use ginflow_engine::{Backend, Engine};
+use ginflow_mq::{Broker, LogBroker};
+use ginflow_net::{BrokerServer, RemoteBroker};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// CSV header of `results/BENCH_net.csv`.
+pub const CSV_HEADER: [&str; 6] = [
+    "mode",
+    "tasks",
+    "workers",
+    "wall_secs",
+    "cpu_secs",
+    "completed",
+];
+
+fn registry() -> Arc<ServiceRegistry> {
+    Arc::new(ServiceRegistry::tracing_for(["s"]))
+}
+
+fn sample(
+    mode: &str,
+    width: usize,
+    workers: usize,
+    wall: Duration,
+    cpu: Duration,
+    ok: bool,
+) -> Sample {
+    Sample {
+        mode: mode.to_owned(),
+        tasks: width + 2,
+        workers,
+        wall_secs: wall.as_secs_f64(),
+        cpu_secs: cpu.as_secs_f64(),
+        completed: ok,
+    }
+}
+
+/// (a) the baseline: one engine over the in-process log broker.
+pub fn run_local(width: usize, workers: usize, timeout: Duration) -> Sample {
+    let wf = fan_out_fan_in(width);
+    let engine = Engine::builder()
+        .broker(Arc::new(LogBroker::new()) as Arc<dyn Broker>)
+        .registry(registry())
+        .workers(workers)
+        .deadline(timeout)
+        .build();
+    let cpu0 = process_cpu();
+    let report = engine.launch(&wf).join();
+    sample(
+        "local_log",
+        width,
+        workers,
+        report.wall,
+        process_cpu().saturating_sub(cpu0),
+        report.completed,
+    )
+}
+
+/// (b) the same log behind the TCP daemon, one engine (1 "shard").
+pub fn run_remote(width: usize, workers: usize, timeout: Duration) -> Sample {
+    let wf = fan_out_fan_in(width);
+    let server = BrokerServer::bind("127.0.0.1:0", Arc::new(LogBroker::new()))
+        .expect("bind loopback broker");
+    let remote = RemoteBroker::connect(&server.local_addr().to_string()).expect("connect");
+    let engine = Engine::builder()
+        .broker(Arc::new(remote))
+        .registry(registry())
+        .workers(workers)
+        .deadline(timeout)
+        .build();
+    let cpu0 = process_cpu();
+    let report = engine.launch(&wf).join();
+    let out = sample(
+        "remote_1shard",
+        width,
+        workers,
+        report.wall,
+        process_cpu().saturating_sub(cpu0),
+        report.completed,
+    );
+    server.stop();
+    out
+}
+
+/// (c) two sharded engines splitting the agents, one TCP daemon between
+/// them. Wall time is launch → both engines observing completion.
+pub fn run_remote_sharded(width: usize, workers: usize, timeout: Duration) -> Sample {
+    let wf = fan_out_fan_in(width);
+    let server = BrokerServer::bind("127.0.0.1:0", Arc::new(LogBroker::new()))
+        .expect("bind loopback broker");
+    let engine = |shard: u32| {
+        let remote =
+            RemoteBroker::connect(&server.local_addr().to_string()).expect("connect shard");
+        Engine::builder()
+            .broker(Arc::new(remote))
+            .registry(registry())
+            .workers(workers)
+            .backend(Backend::Sharded { shard, of: 2 })
+            .deadline(timeout)
+            .build()
+    };
+    let cpu0 = process_cpu();
+    let started = Instant::now();
+    let run0 = engine(0).launch(&wf);
+    let run1 = engine(1).launch(&wf);
+    let report0 = run0.join();
+    let report1 = run1.join();
+    let wall = started.elapsed();
+    let out = sample(
+        "remote_2shard",
+        width,
+        workers,
+        wall,
+        process_cpu().saturating_sub(cpu0),
+        report0.completed && report1.completed,
+    );
+    server.stop();
+    out
+}
+
+/// The whole campaign at one scale.
+pub fn run(quick: bool) -> Vec<Sample> {
+    let width = if quick { 200 } else { 1000 };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let timeout = Duration::from_secs(600);
+    vec![
+        run_local(width, workers, timeout),
+        run_remote(width, workers, timeout),
+        run_remote_sharded(width, workers, timeout),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_transports_complete_a_small_fanout() {
+        for s in run_small() {
+            assert!(s.completed, "{} did not complete", s.mode);
+            assert_eq!(s.tasks, 18);
+        }
+    }
+
+    fn run_small() -> Vec<Sample> {
+        let timeout = Duration::from_secs(60);
+        vec![
+            run_local(16, 2, timeout),
+            run_remote(16, 2, timeout),
+            run_remote_sharded(16, 2, timeout),
+        ]
+    }
+}

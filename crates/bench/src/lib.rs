@@ -15,6 +15,7 @@
 //! | `run_all` | EXPERIMENTS.md | everything above, emitting markdown |
 //! | `bench_scheduler` | BENCH_scheduler.csv | event-driven pool vs legacy threads at 1000 tasks |
 
+pub mod broker_net;
 pub mod csv;
 pub mod fig12;
 pub mod fig13;

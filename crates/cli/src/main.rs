@@ -3,9 +3,11 @@
 //! ```text
 //! ginflow validate <workflow.json>
 //! ginflow translate <workflow.json>
-//! ginflow run <workflow.json> [--broker activemq|kafka]
+//! ginflow run <workflow.json> [--broker activemq|kafka|tcp://HOST:PORT]
 //!                             [--executor centralized|scheduler|legacy-threads|sim]
-//!                             [--workers N] [--shell] [--timeout SECS] [--follow]
+//!                             [--shard I/N] [--workers N] [--shell]
+//!                             [--service-sleep MS] [--timeout SECS] [--follow]
+//! ginflow broker serve [--addr HOST:PORT] [--profile kafka|activemq]
 //! ginflow simulate <workflow.json> [--broker activemq|kafka] [--seed N]
 //!                                  [--service-secs X] [--fail-p P --fail-t T]
 //! ginflow montage [--simulate]
@@ -18,6 +20,35 @@
 //! unified `Engine`; `--follow` streams the typed run events as JSON
 //! lines while the workflow executes, and `--timeout` is enforced as the
 //! run's deadline (expiry cancels the run and tears its agents down).
+//!
+//! ## Distributed mode
+//!
+//! `ginflow broker serve` starts the standalone broker daemon
+//! (`ginflow-net`), fronting a persistent log (or, with
+//! `--profile activemq`, a transient topic space) over TCP. Pointing
+//! `ginflow run --broker tcp://HOST:PORT` at it executes the workflow
+//! against that daemon; adding `--shard I/N` runs only the agents whose
+//! name-hash lands in shard `I` of `N`, so launching the same command
+//! once per shard — on any mix of hosts — executes one workflow across
+//! `N` OS processes that share nothing but the broker:
+//!
+//! ```text
+//! ginflow broker serve --addr 0.0.0.0:7433 &
+//! ginflow run wf.json --broker tcp://HOST:7433 --shard 0/2 &
+//! ginflow run wf.json --broker tcp://HOST:7433 --shard 1/2
+//! ```
+//!
+//! Every shard waits on the *whole* workflow (the shared status topic is
+//! the cross-shard membrane) and exits 0 once all sinks complete. A
+//! killed shard process can simply be relaunched: against the kafka
+//! profile it replays its agents' inboxes from the persistent log and
+//! catches back up (§IV-B, applied to a whole process).
+//!
+//! Topics are named by task and the daemon's log lives in memory, so
+//! run one daemon per workflow run (or restart it between runs):
+//! pointing a *second* logical run at a daemon that already holds a
+//! finished run's history would replay that history. Run-scoped topic
+//! namespaces and file-backed logs are on the ROADMAP.
 
 use ginflow_core::{json, ServiceRegistry, ShellService, TraceService, Workflow};
 use ginflow_engine::{Backend, Engine};
@@ -48,6 +79,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "validate" => cmd_validate(&args[1..]),
         "translate" => cmd_translate(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "broker" => cmd_broker(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "montage" => cmd_montage(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -65,12 +97,23 @@ fn print_usage() {
          usage:\n\
          \x20 ginflow validate  <workflow.json>\n\
          \x20 ginflow translate <workflow.json>\n\
-         \x20 ginflow run       <workflow.json> [--broker activemq|kafka]\n\
+         \x20 ginflow run       <workflow.json> [--broker activemq|kafka|tcp://HOST:PORT]\n\
          \x20                   [--executor centralized|scheduler|legacy-threads|sim]\n\
-         \x20                   [--workers N] [--shell] [--timeout SECS] [--follow]\n\
+         \x20                   [--shard I/N] [--workers N] [--shell]\n\
+         \x20                   [--service-sleep MS] [--timeout SECS] [--follow]\n\
+         \x20 ginflow broker    serve [--addr HOST:PORT] [--profile kafka|activemq]\n\
          \x20 ginflow simulate  <workflow.json> [--broker activemq|kafka] [--seed N]\n\
          \x20                   [--service-secs X] [--fail-p P --fail-t T]\n\
-         \x20 ginflow montage   [--simulate]"
+         \x20 ginflow montage   [--simulate]\n\
+         \n\
+         distributed mode: start the broker daemon, then launch one `run`\n\
+         per shard against it — the same workflow executes across N OS\n\
+         processes sharing nothing but the broker:\n\
+         \x20 ginflow broker serve --addr 0.0.0.0:7433 &\n\
+         \x20 ginflow run wf.json --broker tcp://HOST:7433 --shard 0/2 &\n\
+         \x20 ginflow run wf.json --broker tcp://HOST:7433 --shard 1/2\n\
+         every shard exits 0 once all sinks complete; a killed shard can\n\
+         be relaunched and replays its state from the persistent log."
     );
 }
 
@@ -89,6 +132,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--service-secs",
     "--fail-p",
     "--fail-t",
+    "--shard",
+    "--service-sleep",
+    "--addr",
+    "--profile",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
@@ -131,13 +178,61 @@ impl Flags<'_> {
         self.pairs.iter().any(|(k, _)| *k == key)
     }
 
+    /// In-process broker profile (`simulate`, and `run` without a
+    /// remote address).
     fn broker(&self) -> Result<BrokerKind, String> {
+        let name = self.value("--broker").unwrap_or("activemq");
+        if name.starts_with("tcp://") {
+            return Err(format!(
+                "broker {name:?} is a network address; remote brokers only work with \
+                 `ginflow run` on a live executor"
+            ));
+        }
+        parse_profile(name)
+            .map_err(|_| format!("unknown broker {name:?} (activemq|kafka|tcp://HOST:PORT)"))
+    }
+
+    /// `run`'s broker argument: an in-process profile or a remote
+    /// daemon address.
+    fn broker_arg(&self) -> Result<BrokerArg, String> {
         match self.value("--broker").unwrap_or("activemq") {
-            "activemq" | "transient" => Ok(BrokerKind::Transient),
-            "kafka" | "log" => Ok(BrokerKind::Log),
-            other => Err(format!("unknown broker {other:?} (activemq|kafka)")),
+            addr if addr.starts_with("tcp://") => Ok(BrokerArg::Remote(addr.to_owned())),
+            _ => self.broker().map(BrokerArg::Kind),
         }
     }
+
+    /// `--shard I/N` (multi-process execution).
+    fn shard(&self) -> Result<Option<(u32, u32)>, String> {
+        let Some(spec) = self.value("--shard") else {
+            return Ok(None);
+        };
+        let err = || format!("--shard {spec:?}: expected I/N with I < N (e.g. 0/2)");
+        let (index, count) = spec.split_once('/').ok_or_else(err)?;
+        let index: u32 = index.parse().map_err(|_| err())?;
+        let count: u32 = count.parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(Some((index, count)))
+    }
+}
+
+/// The one place broker-profile names map to kinds, shared by
+/// `--broker` and `broker serve --profile`.
+fn parse_profile(name: &str) -> Result<BrokerKind, String> {
+    match name {
+        "activemq" | "transient" => Ok(BrokerKind::Transient),
+        "kafka" | "log" => Ok(BrokerKind::Log),
+        other => Err(format!("unknown profile {other:?} (kafka|activemq)")),
+    }
+}
+
+/// Where `run` gets its middleware from.
+enum BrokerArg {
+    /// An in-process profile.
+    Kind(BrokerKind),
+    /// A `tcp://HOST:PORT` daemon (`ginflow broker serve`).
+    Remote(String),
 }
 
 fn load_workflow(flags: &Flags<'_>) -> Result<Workflow, String> {
@@ -173,24 +268,26 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn service_registry(wf: &Workflow, shell: bool) -> ServiceRegistry {
+fn service_registry(wf: &Workflow, shell: bool, sleep: Duration) -> ServiceRegistry {
     let mut registry = ServiceRegistry::new();
     for (_, spec) in wf.dag().iter() {
         if registry.get(&spec.service).is_none() {
-            if shell {
-                registry.register(
+            let service: Arc<dyn ginflow_core::Service> = if shell {
+                Arc::new(ShellService::new(
                     spec.service.clone(),
-                    Arc::new(ShellService::new(
-                        spec.service.clone(),
-                        Vec::<String>::new(),
-                    )),
-                );
+                    Vec::<String>::new(),
+                ))
+            } else if sleep > Duration::ZERO {
+                // --service-sleep: pace the lineage-tracing stubs, so a
+                // run takes real wall-time (load/fault experiments).
+                Arc::new(ginflow_core::SleepService::new(
+                    sleep,
+                    TraceService::new(spec.service.clone()),
+                ))
             } else {
-                registry.register(
-                    spec.service.clone(),
-                    Arc::new(TraceService::new(spec.service.clone())),
-                );
-            }
+                Arc::new(TraceService::new(spec.service.clone()))
+            };
+            registry.register(spec.service.clone(), service);
         }
     }
     registry
@@ -199,7 +296,14 @@ fn service_registry(wf: &Workflow, shell: bool) -> ServiceRegistry {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let wf = load_workflow(&flags)?;
-    let registry = service_registry(&wf, flags.has("--shell"));
+    let service_sleep = Duration::from_millis(
+        flags
+            .value("--service-sleep")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|e| format!("--service-sleep: {e}"))?,
+    );
+    let registry = service_registry(&wf, flags.has("--shell"), service_sleep);
     let timeout: u64 = flags
         .value("--timeout")
         .unwrap_or("600")
@@ -210,8 +314,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .unwrap_or("0")
         .parse()
         .map_err(|e| format!("--workers: {e}"))?;
+    let shard = flags.shard()?;
     match flags.value("--executor").unwrap_or("scheduler") {
         "centralized" => {
+            if shard.is_some() {
+                return Err("--shard needs the (default) scheduler executor".to_owned());
+            }
+            // Centralized execution never touches a broker; silently
+            // ignoring a daemon address would misreport where the run
+            // happened.
+            if matches!(flags.broker_arg()?, BrokerArg::Remote(_)) {
+                return Err("--executor centralized cannot use a tcp:// broker".to_owned());
+            }
             let outcome = run_centralized(&wf, &registry, CentralizedConfig::default())
                 .map_err(|e| e.to_string())?;
             let mut names: Vec<&String> = outcome.states.keys().collect();
@@ -237,8 +351,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             let backend = match executor {
                 "legacy-threads" => Backend::LegacyThreads,
                 "sim" => Backend::Sim,
-                _ => Backend::Scheduler,
+                _ => match shard {
+                    Some((index, count)) => Backend::Sharded {
+                        shard: index,
+                        of: count,
+                    },
+                    None => Backend::Scheduler,
+                },
             };
+            if shard.is_some() && matches!(executor, "legacy-threads" | "sim") {
+                return Err(format!(
+                    "--shard needs the (default) scheduler executor, not {executor:?}"
+                ));
+            }
             // The simulator runs scripted service models in virtual
             // time; real shell programs cannot execute there.
             if backend == Backend::Sim && flags.has("--shell") {
@@ -248,13 +373,44 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                         .to_owned(),
                 );
             }
-            let engine = Engine::builder()
-                .broker_kind(flags.broker()?)
+            let mut builder = Engine::builder()
                 .registry(Arc::new(registry))
                 .workers(workers)
-                .backend(backend)
-                .deadline(Duration::from_secs(timeout))
-                .build();
+                .backend(backend.clone())
+                .deadline(Duration::from_secs(timeout));
+            builder = match flags.broker_arg()? {
+                BrokerArg::Kind(kind) => {
+                    // A private in-process broker cannot host the other
+                    // shards' agents; a sharded run against one would
+                    // just hang out its deadline.
+                    if shard.is_some() {
+                        return Err("--shard requires a shared broker daemon: pass \
+                             --broker tcp://HOST:PORT (see `ginflow broker serve`)"
+                            .to_owned());
+                    }
+                    builder.broker_kind(kind)
+                }
+                BrokerArg::Remote(addr) => {
+                    if backend == Backend::Sim {
+                        return Err("--executor sim cannot use a tcp:// broker".to_owned());
+                    }
+                    use ginflow_mq::Broker as _;
+                    let remote = ginflow_net::RemoteBroker::connect(&addr)
+                        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+                    // Sharded runs recover cross-shard progress from the
+                    // log; the transient daemon profile cannot replay,
+                    // so a late-starting shard would lose messages.
+                    if shard.is_some() && !remote.persistent() {
+                        return Err(format!(
+                            "--shard requires a persistent broker, but the daemon at {addr} \
+                             runs the transient (activemq) profile; restart it with \
+                             `ginflow broker serve --profile kafka`"
+                        ));
+                    }
+                    builder.broker(Arc::new(remote))
+                }
+            };
+            let engine = builder.build();
             let run = engine.launch(&wf);
 
             // --follow: stream the typed run events as JSON lines while
@@ -303,6 +459,37 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         other => Err(format!(
             "unknown executor {other:?} (centralized|scheduler|legacy-threads|sim)"
         )),
+    }
+}
+
+/// `ginflow broker serve`: the standalone broker daemon of distributed
+/// mode. Blocks until killed; prints the bound address (port 0 resolves
+/// to an ephemeral port) so wrappers can parse it.
+fn cmd_broker(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    match flags.positional.first() {
+        Some(&"serve") => {}
+        other => {
+            return Err(format!(
+                "broker subcommand {:?}: only `serve` exists",
+                other.unwrap_or(&"<none>")
+            ))
+        }
+    }
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:7433");
+    let kind = parse_profile(flags.value("--profile").unwrap_or("kafka"))?;
+    let server = ginflow_net::BrokerServer::bind(addr, kind.build())
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "ginflow broker ({}) listening on {}",
+        kind.label(),
+        server.local_addr()
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    // Serve until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
     }
 }
 

@@ -28,6 +28,16 @@ const FIG5: &str = r#"{
     ]
 }"#;
 
+const FIG2: &str = r#"{
+    "name": "fig2",
+    "tasks": [
+        {"name": "T1", "service": "s1", "inputs": ["input"]},
+        {"name": "T2", "service": "s2", "depends_on": ["T1"]},
+        {"name": "T3", "service": "s3", "depends_on": ["T1"]},
+        {"name": "T4", "service": "s4", "depends_on": ["T2", "T3"]}
+    ]
+}"#;
+
 fn tmpdir() -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("ginflow-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -199,4 +209,120 @@ fn help_lists_commands() {
     for cmd in ["validate", "translate", "run", "simulate", "montage"] {
         assert!(stdout.contains(cmd));
     }
+}
+
+// ---------------------------------------------------------------------
+// Distributed mode: real OS processes sharing only a TCP broker.
+// ---------------------------------------------------------------------
+
+/// Kills a child process on drop so failed tests never leak daemons.
+struct Reaper(std::process::Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Start `ginflow broker serve` on an ephemeral port; return the child
+/// and the parsed `host:port`.
+fn spawn_broker() -> (Reaper, String) {
+    use std::io::{BufRead, BufReader};
+    let mut child = ginflow()
+        .args(["broker", "serve", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("broker must print its address")
+        .to_owned();
+    assert!(addr.contains(':'), "unexpected banner: {line:?}");
+    (Reaper(child), addr)
+}
+
+fn spawn_shard(
+    workflow: &std::path::Path,
+    addr: &str,
+    shard: &str,
+    extra: &[&str],
+) -> std::process::Child {
+    ginflow()
+        .arg("run")
+        .arg(workflow)
+        .args(["--broker", &format!("tcp://{addr}"), "--shard", shard])
+        .args(["--timeout", "60"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap()
+}
+
+fn assert_shard_completed(label: &str, out: std::process::Output) -> String {
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "{label} failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("completed=true"), "{label}: {stdout}");
+    stdout
+}
+
+#[test]
+fn distributed_two_shard_smoke() {
+    let path = write_workflow(&tmpdir(), "dist.json", FIG2);
+    let (_broker, addr) = spawn_broker();
+    let shard0 = spawn_shard(&path, &addr, "0/2", &[]);
+    let shard1 = spawn_shard(&path, &addr, "1/2", &[]);
+    let out0 = assert_shard_completed("shard 0", shard0.wait_with_output().unwrap());
+    let out1 = assert_shard_completed("shard 1", shard1.wait_with_output().unwrap());
+    // Both processes observed the same cross-process sink result.
+    let sink = "s4(s2(s1(input)),s3(s1(input)))";
+    assert!(out0.contains(sink), "shard 0 sink: {out0}");
+    assert!(out1.contains(sink), "shard 1 sink: {out1}");
+    assert!(out0.contains("backend=sharded"), "{out0}");
+}
+
+#[test]
+fn killed_shard_process_recovers_via_replay() {
+    // A slow pipeline (6 × 120 ms) so there is a mid-run to kill into.
+    let pipeline = r#"{
+        "name": "pipeline",
+        "tasks": [
+            {"name": "p0", "service": "s", "inputs": ["x"]},
+            {"name": "p1", "service": "s", "depends_on": ["p0"]},
+            {"name": "p2", "service": "s", "depends_on": ["p1"]},
+            {"name": "p3", "service": "s", "depends_on": ["p2"]},
+            {"name": "p4", "service": "s", "depends_on": ["p3"]},
+            {"name": "p5", "service": "s", "depends_on": ["p4"]}
+        ]
+    }"#;
+    let path = write_workflow(&tmpdir(), "pipeline.json", pipeline);
+    let (_broker, addr) = spawn_broker();
+    let slow = ["--service-sleep", "120"];
+    let shard0 = spawn_shard(&path, &addr, "0/2", &slow);
+    let mut shard1 = spawn_shard(&path, &addr, "1/2", &slow);
+
+    // SIGKILL shard 1 mid-run: no teardown, no goodbye — the paper's
+    // killed JVM as a killed OS process.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    shard1.kill().unwrap();
+    let _ = shard1.wait();
+
+    // Relaunch it. The fresh process replays inboxes + status from the
+    // persistent log and the workflow still completes everywhere.
+    let shard1b = spawn_shard(&path, &addr, "1/2", &slow);
+    let out0 = assert_shard_completed("shard 0", shard0.wait_with_output().unwrap());
+    let out1 = assert_shard_completed("respawned shard 1", shard1b.wait_with_output().unwrap());
+    let sink = "\"s(s(s(s(s(s(x))))))\"";
+    assert!(out0.contains(sink), "shard 0 sink: {out0}");
+    assert!(out1.contains(sink), "respawned shard 1 sink: {out1}");
 }

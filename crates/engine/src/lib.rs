@@ -55,6 +55,19 @@ pub enum Backend {
     LegacyThreads,
     /// The virtual-time discrete-event simulator.
     Sim,
+    /// One shard of a multi-process execution: this engine runs only
+    /// the agents whose FNV name-hash lands in shard `shard` of `of`,
+    /// coordinating with the other shards *only* through the shared
+    /// broker — point the builder at a `ginflow_net::RemoteBroker` and
+    /// launch the same workflow in `of` processes (one per shard). The
+    /// status topic is the cross-shard membrane, so every shard's
+    /// [`RunHandle`] still observes (and waits on) the whole workflow.
+    Sharded {
+        /// This process's shard index (`0..of`).
+        shard: u32,
+        /// Total shard count.
+        of: u32,
+    },
 }
 
 /// Builder for [`Engine`]. Every knob has a sensible default: transient
@@ -136,6 +149,14 @@ impl EngineBuilder {
     }
 
     /// Assemble the engine.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid [`Backend::Sharded`] spec (`of == 0`,
+    /// `shard >= of`, or a non-persistent broker — a late-starting
+    /// shard can only catch up on its peers' progress by replaying the
+    /// log, so sharding over a transient broker would silently lose
+    /// cross-shard messages and hang the run).
     pub fn build(self) -> Engine {
         let backend: Arc<dyn ExecutionBackend> = match self.backend {
             Backend::Sim => Arc::new(SimBackend::new(self.sim)),
@@ -146,6 +167,21 @@ impl EngineBuilder {
                     .unwrap_or_else(|| Arc::new(ServiceRegistry::new()));
                 let mut options = self.options;
                 options.legacy_threads = live == Backend::LegacyThreads;
+                if let Backend::Sharded { shard, of } = live {
+                    assert!(
+                        of >= 1 && shard < of,
+                        "Backend::Sharded {{ shard: {shard}, of: {of} }}: shard must be < of, of >= 1"
+                    );
+                    assert!(
+                        broker.persistent(),
+                        "Backend::Sharded requires a persistent broker shared by every shard \
+                         (the log is how a late-starting shard catches up): connect a \
+                         ginflow_net::RemoteBroker to a `ginflow broker serve` daemon on the \
+                         kafka profile — an in-process broker, persistent or not, is invisible \
+                         to the other shard processes"
+                    );
+                    options.shard = Some((shard, of));
+                }
                 Arc::new(Scheduler::new(broker, registry).with_options(options))
             }
         };

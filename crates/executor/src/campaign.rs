@@ -128,12 +128,37 @@ pub fn deploy_and_execute(
     registry: std::sync::Arc<ginflow_core::ServiceRegistry>,
     timeout: std::time::Duration,
 ) -> Result<LiveReport, ExecError> {
+    // `BrokerKind::Remote.build()` panics (no address); keep this
+    // Result-returning entry point panic-free.
+    if spec.broker == BrokerKind::Remote {
+        return Err(ExecError::ExecutionFailed {
+            reason: "BrokerKind::Remote carries no address; connect a \
+                     ginflow_net::RemoteBroker and call deploy_and_execute_on"
+                .to_owned(),
+        });
+    }
+    deploy_and_execute_on(workflow, spec, registry, timeout, spec.broker.build())
+}
+
+/// [`deploy_and_execute`] against a caller-supplied broker instance —
+/// the deployment campaign's entry point for **remote** middleware:
+/// hand it a `ginflow_net::RemoteBroker` (spec.broker =
+/// [`BrokerKind::Remote`]) and the deployed agents coordinate through
+/// the network daemon instead of an in-process substrate, like the
+/// paper's SAs against a shared ActiveMQ/Kafka installation.
+pub fn deploy_and_execute_on(
+    workflow: &Workflow,
+    spec: ExecutionSpec,
+    registry: std::sync::Arc<ginflow_core::ServiceRegistry>,
+    timeout: std::time::Duration,
+    broker: std::sync::Arc<dyn ginflow_mq::Broker>,
+) -> Result<LiveReport, ExecError> {
     let cluster = Cluster::grid5000(spec.nodes);
     let agent_names: Vec<String> = workflow.dag().iter().map(|(_, t)| t.name.clone()).collect();
     let deployment = spec.executor.deployer().deploy(&cluster, &agent_names)?;
 
     let engine = ginflow_engine::Engine::builder()
-        .broker(spec.broker.build())
+        .broker(broker)
         .registry(registry)
         // One scheduler worker per modelled node, bounded by the local
         // machine: the placement decides the parallelism budget.
@@ -258,6 +283,35 @@ mod tests {
             std::time::Duration::from_secs(30),
         )
         .unwrap();
+        assert!(report.results.contains_key("out"));
+        assert!(report.deployment_secs() > 0.0);
+    }
+
+    #[test]
+    fn live_execution_over_a_remote_broker() {
+        // The deployment campaign pointed at a network daemon: same
+        // placement model, but the agents coordinate over TCP.
+        let wf = patterns::diamond(4, 4, Connectivity::Simple, "s").unwrap();
+        let registry = std::sync::Arc::new(ginflow_core::ServiceRegistry::tracing_for(["s"]));
+        let server = ginflow_net::BrokerServer::bind(
+            "127.0.0.1:0",
+            std::sync::Arc::new(ginflow_mq::LogBroker::new()),
+        )
+        .unwrap();
+        let remote = ginflow_net::RemoteBroker::connect(&server.local_addr().to_string()).unwrap();
+        let report = deploy_and_execute_on(
+            &wf,
+            ExecutionSpec {
+                executor: ExecutorKind::Mesos,
+                broker: BrokerKind::Remote,
+                nodes: 10,
+            },
+            registry,
+            std::time::Duration::from_secs(30),
+            std::sync::Arc::new(remote),
+        )
+        .unwrap();
+        assert_eq!(report.broker, BrokerKind::Remote);
         assert!(report.results.contains_key("out"));
         assert!(report.deployment_secs() > 0.0);
     }

@@ -23,7 +23,8 @@ pub mod deploy;
 pub mod ec2;
 
 pub use campaign::{
-    deploy_and_execute, deploy_and_simulate, CombinedReport, ExecutionSpec, LiveReport,
+    deploy_and_execute, deploy_and_execute_on, deploy_and_simulate, CombinedReport, ExecutionSpec,
+    LiveReport,
 };
 pub use cluster::{Cluster, Node, Placement};
 pub use deploy::{Deployer, DeploymentReport, ExecError, ExecutorKind, MesosDeployer, SshDeployer};

@@ -64,6 +64,9 @@ pub trait Broker: Send + Sync {
 /// whenever a message lands in a subscription's queue.
 pub(crate) type WakeFn = Arc<dyn Fn() + Send + Sync>;
 
+/// Counter of messages dropped from a bounded subscription queue.
+type LagCounter = Arc<std::sync::atomic::AtomicU64>;
+
 /// The registered waker of one subscription, shared between the
 /// subscriber-facing [`Subscription`] and the broker-side
 /// [`SubscriberHandle`].
@@ -99,17 +102,61 @@ impl WakerSlot {
 /// lock (ordering), then fire the collected wakers *after* releasing it
 /// (so a waker may itself publish without deadlocking) — making delivery
 /// push-based end to end: no consumer ever needs to poll.
-pub(crate) struct SubscriberHandle {
+///
+/// Public because it is also the bridge API for out-of-process broker
+/// frontends: `ginflow-net`'s `RemoteBroker` feeds EVENT frames arriving
+/// over TCP into a local [`Subscription`] through a handle obtained from
+/// [`subscription_pair`].
+pub struct SubscriberHandle {
     tx: Sender<Message>,
+    /// Clone of the subscriber's receiving end, used to evict the oldest
+    /// message when a bounded queue is full.
+    rx: Receiver<Message>,
     waker: Arc<WakerSlot>,
+    /// `None` = unbounded (the persistent broker, where the log itself
+    /// is the backstop); `Some(cap)` = drop-oldest beyond `cap`.
+    capacity: Option<usize>,
+    lagged: LagCounter,
+    /// Set by [`Subscription`]'s `Drop`. The handle holds a receiver
+    /// clone (for drop-oldest eviction), so channel disconnection can no
+    /// longer signal a gone subscriber — this flag does.
+    dropped: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl SubscriberHandle {
     /// Enqueue a message. Returns false when the subscriber is gone (the
     /// broker prunes the handle). Does not wake — the broker wakes via
-    /// [`SubscriberHandle::waker`] once its topic lock is released.
-    pub(crate) fn deliver(&self, message: Message) -> bool {
+    /// [`SubscriberHandle::waker`] once its topic lock is released; a
+    /// bridge that delivers outside a topic lock calls
+    /// [`SubscriberHandle::wake`] itself.
+    ///
+    /// On a bounded queue, delivery beyond capacity evicts the *oldest*
+    /// queued message and bumps the subscription's
+    /// [`Subscription::lagged`] counter — a stalled consumer loses the
+    /// head of its backlog rather than growing it without limit.
+    pub fn deliver(&self, message: Message) -> bool {
+        if self.dropped.load(std::sync::atomic::Ordering::Acquire) {
+            return false;
+        }
+        if let Some(cap) = self.capacity {
+            while self.tx.len() >= cap.max(1) {
+                if self.rx.try_recv().is_err() {
+                    break;
+                }
+                self.lagged
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
         self.tx.send(message).is_ok()
+    }
+
+    /// Fire the subscriber's waker, if one is registered. Bridges that
+    /// deliver outside any broker lock pair this with
+    /// [`SubscriberHandle::deliver`].
+    pub fn wake(&self) {
+        if self.waker.armed() {
+            self.waker.wake();
+        }
     }
 
     /// The subscriber's waker, for post-delivery wakeups — `None` while
@@ -127,16 +174,37 @@ pub(crate) fn wake_all(wakers: Vec<Arc<WakerSlot>>) {
     }
 }
 
-/// Create a connected broker-side / subscriber-side endpoint pair.
-pub(crate) fn subscription_pair() -> (SubscriberHandle, Subscription) {
+/// Create a connected broker-side / subscriber-side endpoint pair with
+/// an unbounded queue. The broker (or network bridge) keeps the
+/// [`SubscriberHandle`] and delivers into it; the consumer receives
+/// through the [`Subscription`].
+pub fn subscription_pair() -> (SubscriberHandle, Subscription) {
+    bounded_subscription_pair(None)
+}
+
+/// [`subscription_pair`] with an optional queue bound: beyond
+/// `capacity`, delivery evicts the oldest queued message (counted by
+/// [`Subscription::lagged`]) instead of growing the queue.
+pub fn bounded_subscription_pair(capacity: Option<usize>) -> (SubscriberHandle, Subscription) {
     let (tx, rx) = unbounded();
     let waker = Arc::new(WakerSlot::default());
+    let lagged: LagCounter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let dropped = Arc::new(std::sync::atomic::AtomicBool::new(false));
     (
         SubscriberHandle {
             tx,
+            rx: rx.clone(),
             waker: waker.clone(),
+            capacity,
+            lagged: lagged.clone(),
+            dropped: dropped.clone(),
         },
-        Subscription { rx, waker },
+        Subscription {
+            rx,
+            waker,
+            lagged,
+            dropped,
+        },
     )
 }
 
@@ -144,6 +212,21 @@ pub(crate) fn subscription_pair() -> (SubscriberHandle, Subscription) {
 pub struct Subscription {
     pub(crate) rx: Receiver<Message>,
     pub(crate) waker: Arc<WakerSlot>,
+    lagged: LagCounter,
+    dropped: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        // Future deliveries fail, so brokers prune the handle.
+        self.dropped
+            .store(true, std::sync::atomic::Ordering::Release);
+        // The broker-side handle keeps a receiver clone (for
+        // drop-oldest eviction), so the channel outlives us — drain the
+        // backlog now rather than holding it until the next publish on
+        // this topic finally prunes the handle.
+        while self.rx.try_recv().is_ok() {}
+    }
 }
 
 impl Subscription {
@@ -198,6 +281,15 @@ impl Subscription {
     /// Number of already-delivered messages waiting in the subscription.
     pub fn backlog(&self) -> usize {
         self.rx.len()
+    }
+
+    /// How many messages this subscription has lost to its queue bound
+    /// (always 0 on unbounded subscriptions). A non-zero value means the
+    /// consumer stalled long enough for the broker's drop-oldest policy
+    /// to kick in — on the transient (at-most-once) profile that is
+    /// defined behaviour, not an error.
+    pub fn lagged(&self) -> u64 {
+        self.lagged.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

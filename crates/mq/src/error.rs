@@ -22,6 +22,12 @@ pub enum MqError {
     Disconnected,
     /// Timed out waiting for a message.
     Timeout,
+    /// A remote broker refused the request; the message is the server's
+    /// rendering of its own error.
+    Remote {
+        /// Server-side error text.
+        message: String,
+    },
 }
 
 impl fmt::Display for MqError {
@@ -38,6 +44,7 @@ impl fmt::Display for MqError {
             }
             MqError::Disconnected => f.write_str("broker disconnected"),
             MqError::Timeout => f.write_str("timed out waiting for a message"),
+            MqError::Remote { message } => write!(f, "remote broker: {message}"),
         }
     }
 }

@@ -16,18 +16,29 @@
 //! Both implement the [`Broker`] trait, so the agent runtime and the
 //! simulator are generic over the middleware — switching between the two
 //! is the paper's Fig 14 experiment.
+//!
+//! Neither profile has to live in the caller's process: the [`wire`]
+//! module defines the length-prefixed binary protocol `ginflow-net`'s
+//! broker daemon speaks, and its client-side `RemoteBroker` implements
+//! the same [`Broker`] trait over a TCP connection
+//! ([`BrokerKind::Remote`]) — the membrane that lets one workflow span
+//! multiple OS processes and hosts.
 
 pub mod broker;
 pub mod error;
 pub mod log;
 pub mod message;
 pub mod transient;
+pub mod wire;
 
-pub use broker::{Broker, Receipt, SubscribeMode, Subscription};
+pub use broker::{
+    bounded_subscription_pair, subscription_pair, Broker, Receipt, SubscribeMode, SubscriberHandle,
+    Subscription,
+};
 pub use error::MqError;
 pub use log::LogBroker;
 pub use message::Message;
-pub use transient::TransientBroker;
+pub use transient::{TransientBroker, DEFAULT_QUEUE_CAPACITY};
 
 use std::sync::Arc;
 
@@ -38,23 +49,40 @@ pub enum BrokerKind {
     Transient,
     /// Kafka-like persistent log.
     Log,
+    /// A broker reached over TCP through `ginflow-net`'s [`wire`]
+    /// protocol. Carries no address (the selector stays `Copy`);
+    /// construct the client with `ginflow_net::RemoteBroker::connect`
+    /// and hand it to whatever needs an `Arc<dyn Broker>`.
+    Remote,
 }
 
 impl BrokerKind {
-    /// Label used in reports ("activemq" / "kafka"), matching the paper's
-    /// terminology.
+    /// Label used in reports ("activemq" / "kafka", matching the paper's
+    /// terminology; "remote" for the network client).
     pub fn label(self) -> &'static str {
         match self {
             BrokerKind::Transient => "activemq",
             BrokerKind::Log => "kafka",
+            BrokerKind::Remote => "remote",
         }
     }
 
-    /// Instantiate the corresponding broker.
+    /// Instantiate the corresponding **in-process** broker.
+    ///
+    /// # Panics
+    ///
+    /// [`BrokerKind::Remote`] carries no address and cannot be built
+    /// here — connect with `ginflow_net::RemoteBroker` instead.
     pub fn build(self) -> Arc<dyn Broker> {
         match self {
             BrokerKind::Transient => Arc::new(TransientBroker::new()),
             BrokerKind::Log => Arc::new(LogBroker::new()),
+            BrokerKind::Remote => {
+                panic!(
+                    "BrokerKind::Remote carries no address; connect with \
+                     ginflow_net::RemoteBroker and pass the Arc directly"
+                )
+            }
         }
     }
 }
@@ -69,5 +97,6 @@ mod tests {
         assert!(BrokerKind::Log.build().persistent());
         assert_eq!(BrokerKind::Transient.label(), "activemq");
         assert_eq!(BrokerKind::Log.label(), "kafka");
+        assert_eq!(BrokerKind::Remote.label(), "remote");
     }
 }

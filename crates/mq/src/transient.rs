@@ -1,8 +1,18 @@
 //! The ActiveMQ-like transient broker: fast topic pub/sub, at-most-once,
 //! no retention.
+//!
+//! Subscriber queues are **bounded** (default
+//! [`DEFAULT_QUEUE_CAPACITY`]): a consumer that stalls while publishers
+//! keep going loses the *oldest* queued messages instead of growing
+//! memory without limit. Dropped counts are visible through
+//! [`Subscription::lagged`]. This matches the profile's at-most-once
+//! contract — a transient JMS topic makes no delivery promise to a slow
+//! consumer either; the persistent [`crate::LogBroker`] is the profile
+//! for consumers that must see everything.
 
 use crate::broker::{
-    subscription_pair, wake_all, Broker, Receipt, SubscribeMode, SubscriberHandle, Subscription,
+    bounded_subscription_pair, wake_all, Broker, Receipt, SubscribeMode, SubscriberHandle,
+    Subscription,
 };
 use crate::error::MqError;
 use crate::message::Message;
@@ -18,17 +28,37 @@ struct TopicState {
     subscribers: Vec<SubscriberHandle>,
 }
 
+/// Default bound of one subscriber's delivery queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 8192;
+
 /// Transient in-memory broker. Messages published to a topic with no
-/// subscriber are dropped — at-most-once, like a non-persistent JMS topic.
-#[derive(Default)]
+/// subscriber are dropped — at-most-once, like a non-persistent JMS
+/// topic — and a subscriber whose queue exceeds its bound loses the
+/// oldest entries (see the module docs).
 pub struct TransientBroker {
     topics: Mutex<HashMap<String, TopicState>>,
+    queue_capacity: usize,
+}
+
+impl Default for TransientBroker {
+    fn default() -> Self {
+        TransientBroker::new()
+    }
 }
 
 impl TransientBroker {
-    /// New empty broker.
+    /// New empty broker with the default subscriber-queue bound.
     pub fn new() -> Self {
-        TransientBroker::default()
+        TransientBroker::with_queue_capacity(DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// New empty broker whose subscriber queues hold at most `capacity`
+    /// messages (at least 1); beyond that, delivery drops the oldest.
+    pub fn with_queue_capacity(capacity: usize) -> Self {
+        TransientBroker {
+            topics: Mutex::new(HashMap::new()),
+            queue_capacity: capacity.max(1),
+        }
     }
 }
 
@@ -67,7 +97,7 @@ impl Broker for TransientBroker {
                 })
             }
         }
-        let (handle, subscription) = subscription_pair();
+        let (handle, subscription) = bounded_subscription_pair(Some(self.queue_capacity));
         self.topics
             .lock()
             .entry(topic.to_owned())
@@ -170,6 +200,53 @@ mod tests {
         ));
         assert!(!b.persistent());
         assert_eq!(b.retained("t"), 0);
+    }
+
+    #[test]
+    fn stalled_subscriber_drops_oldest_within_bound() {
+        let b = TransientBroker::with_queue_capacity(4);
+        let sub = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        // Nobody drains: 10 publishes into a queue of 4.
+        for i in 0..10 {
+            b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+        }
+        assert_eq!(sub.backlog(), 4, "queue must stay within its bound");
+        assert_eq!(sub.lagged(), 6, "every drop is counted");
+        // The survivors are the *newest* four, still in order.
+        for i in 6..10 {
+            assert_eq!(
+                sub.recv_timeout(Duration::from_secs(1))
+                    .unwrap()
+                    .payload_str(),
+                format!("m{i}")
+            );
+        }
+        assert_eq!(sub.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn draining_subscriber_never_lags() {
+        let b = TransientBroker::with_queue_capacity(2);
+        let sub = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        for i in 0..100 {
+            b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+            assert_eq!(sub.recv().unwrap().payload_str(), format!("m{i}"));
+        }
+        assert_eq!(sub.lagged(), 0);
+    }
+
+    #[test]
+    fn bounds_are_per_subscription() {
+        let b = TransientBroker::with_queue_capacity(3);
+        let stalled = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        let draining = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        for i in 0..8 {
+            b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+            assert_eq!(draining.recv().unwrap().payload_str(), format!("m{i}"));
+        }
+        assert_eq!(draining.lagged(), 0, "the live consumer saw everything");
+        assert_eq!(stalled.backlog(), 3);
+        assert_eq!(stalled.lagged(), 5);
     }
 
     #[test]

@@ -1,0 +1,728 @@
+//! The length-prefixed binary wire protocol spoken between
+//! `ginflow-net`'s broker daemon and its [`Broker`](crate::Broker)
+//! clients.
+//!
+//! Every frame is `u32_be body_len` followed by `body_len` body bytes;
+//! the body starts with a one-byte opcode. Bodies larger than
+//! [`MAX_FRAME`] are rejected on both encode and decode so a corrupt or
+//! hostile peer cannot force an unbounded allocation.
+//!
+//! ```text
+//! frame      := len:u32_be body                (len = body byte count)
+//! body       := opcode:u8 fields…
+//!
+//! primitives:
+//!   u8 / u32 / u64     big-endian
+//!   bytes              len:u32_be raw-bytes
+//!   str                bytes (UTF-8)
+//!   opt_bytes          present:u8 [bytes]      (0 = absent, 1 = present)
+//!   mode               tag:u8 [offset:u64]     (0 = Latest, 1 = Beginning,
+//!                                               2 = FromOffset(offset))
+//!   message            topic:str partition:u32 offset:u64
+//!                      key:opt_bytes payload:bytes
+//!
+//! client → server (seq correlates the server's reply; UNSUBSCRIBE is
+//! fire-and-forget — its seq is ignored and nothing is replied):
+//!   0x01 PUBLISH       seq:u64 topic:str key:opt_bytes payload:bytes
+//!   0x02 SUBSCRIBE     seq:u64 topic:str mode
+//!   0x03 UNSUBSCRIBE   seq:u64 sub:u64
+//!   0x04 FETCH         seq:u64 topic:str partition:u32 from:u64 max:u32
+//!   0x05 INFO          seq:u64 topic:str
+//!
+//! server → client:
+//!   0x81 RECEIPT       seq:u64 partition:u32 offset:u64
+//!   0x82 SUBSCRIBED    seq:u64 sub:u64 resume:u64
+//!   0x83 MESSAGES      seq:u64 count:u32 message…
+//!   0x84 INFO_REPLY    seq:u64 persistent:u8 partitions:u32 retained:u64
+//!   0x85 ERROR         seq:u64 message:str
+//!   0x90 EVENT         sub:u64 message       (unsolicited push delivery)
+//! ```
+
+use crate::broker::SubscribeMode;
+use crate::message::Message;
+use bytes::Bytes;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Largest accepted frame body, bytes. Large enough for any workflow
+/// payload this repo ships, small enough that a corrupt length prefix
+/// cannot OOM the peer.
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Sentinel `resume` value in SUBSCRIBED: no resume watermark is
+/// available (non-persistent broker, or a multi-partition topic whose
+/// position cannot be expressed as one offset).
+pub const NO_RESUME: u64 = u64::MAX;
+
+/// What the codec can refuse.
+#[derive(Debug)]
+pub enum WireError {
+    /// The frame body ended before its fields did (or the stream died
+    /// mid-frame).
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The claimed body length.
+        len: usize,
+    },
+    /// The opcode byte is not part of the protocol.
+    UnknownOpcode(u8),
+    /// A `str` field was not UTF-8.
+    BadUtf8,
+    /// A `mode` or `opt_bytes` tag byte was invalid.
+    BadTag(u8),
+    /// Underlying socket error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame body of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+                )
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::BadUtf8 => f.write_str("string field is not UTF-8"),
+            WireError::BadTag(tag) => write!(f, "invalid tag byte 0x{tag:02x}"),
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// One protocol frame. Client→server frames carry a `seq` the server
+/// echoes in its reply; [`Frame::Event`] is the unsolicited push path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Publish `payload` to `topic` (client → server).
+    Publish {
+        /// Correlation id.
+        seq: u64,
+        /// Target topic.
+        topic: String,
+        /// Optional partition-routing key.
+        key: Option<Bytes>,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+    /// Open a subscription (client → server).
+    Subscribe {
+        /// Correlation id.
+        seq: u64,
+        /// Topic to subscribe to.
+        topic: String,
+        /// Where the subscription starts.
+        mode: SubscribeMode,
+    },
+    /// Close a subscription (client → server).
+    Unsubscribe {
+        /// Correlation id.
+        seq: u64,
+        /// Server-assigned subscription id.
+        sub: u64,
+    },
+    /// Read retained messages without subscribing (client → server).
+    Fetch {
+        /// Correlation id.
+        seq: u64,
+        /// Topic to read.
+        topic: String,
+        /// Partition to read.
+        partition: u32,
+        /// First offset to return.
+        from: u64,
+        /// Maximum message count.
+        max: u32,
+    },
+    /// Ask for a topic's metadata and the broker's persistence
+    /// (client → server).
+    Info {
+        /// Correlation id.
+        seq: u64,
+        /// Topic asked about (may be empty: broker-level info only).
+        topic: String,
+    },
+    /// Publish acknowledgement (server → client).
+    Receipt {
+        /// Echoed correlation id.
+        seq: u64,
+        /// Partition the message landed in.
+        partition: u32,
+        /// Offset assigned.
+        offset: u64,
+    },
+    /// Subscription opened (server → client).
+    Subscribed {
+        /// Echoed correlation id.
+        seq: u64,
+        /// Subscription id future [`Frame::Event`]s carry.
+        sub: u64,
+        /// The topic's retained-message count sampled *before* the
+        /// subscription attached, or [`NO_RESUME`] when no watermark is
+        /// available (non-persistent broker, multi-partition topic). A
+        /// head-attached (`Latest`) subscriber that later reconnects
+        /// resumes from here, so messages published during the outage
+        /// replay from the log instead of being lost. Single-partition
+        /// contract, like `SubscribeMode::FromOffset` itself.
+        resume: u64,
+    },
+    /// Fetch result (server → client).
+    Messages {
+        /// Echoed correlation id.
+        seq: u64,
+        /// The fetched messages.
+        messages: Vec<Message>,
+    },
+    /// Info result (server → client).
+    InfoReply {
+        /// Echoed correlation id.
+        seq: u64,
+        /// Does the broker retain messages?
+        persistent: bool,
+        /// Partition count of the asked topic.
+        partitions: u32,
+        /// Retained message count of the asked topic.
+        retained: u64,
+    },
+    /// The request failed (server → client).
+    Error {
+        /// Echoed correlation id.
+        seq: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Push delivery on an open subscription (server → client,
+    /// unsolicited).
+    Event {
+        /// Subscription id from [`Frame::Subscribed`].
+        sub: u64,
+        /// The delivered message.
+        message: Message,
+    },
+}
+
+// --- encoding ---------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+fn put_opt_bytes(buf: &mut Vec<u8>, b: &Option<Bytes>) {
+    match b {
+        None => buf.push(0),
+        Some(b) => {
+            buf.push(1);
+            put_bytes(buf, b);
+        }
+    }
+}
+
+fn put_mode(buf: &mut Vec<u8>, mode: SubscribeMode) {
+    match mode {
+        SubscribeMode::Latest => buf.push(0),
+        SubscribeMode::Beginning => buf.push(1),
+        SubscribeMode::FromOffset(o) => {
+            buf.push(2);
+            put_u64(buf, o);
+        }
+    }
+}
+
+fn put_message(buf: &mut Vec<u8>, m: &Message) {
+    put_str(buf, &m.topic);
+    put_u32(buf, m.partition);
+    put_u64(buf, m.offset);
+    put_opt_bytes(buf, &m.key);
+    put_bytes(buf, &m.payload);
+}
+
+impl Frame {
+    /// Serialise into a complete frame (length prefix included).
+    /// Fails with [`WireError::Oversized`] when the body would exceed
+    /// [`MAX_FRAME`].
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = Vec::with_capacity(64);
+        put_u32(&mut buf, 0); // length placeholder
+        match self {
+            Frame::Publish {
+                seq,
+                topic,
+                key,
+                payload,
+            } => {
+                buf.push(0x01);
+                put_u64(&mut buf, *seq);
+                put_str(&mut buf, topic);
+                put_opt_bytes(&mut buf, key);
+                put_bytes(&mut buf, payload);
+            }
+            Frame::Subscribe { seq, topic, mode } => {
+                buf.push(0x02);
+                put_u64(&mut buf, *seq);
+                put_str(&mut buf, topic);
+                put_mode(&mut buf, *mode);
+            }
+            Frame::Unsubscribe { seq, sub } => {
+                buf.push(0x03);
+                put_u64(&mut buf, *seq);
+                put_u64(&mut buf, *sub);
+            }
+            Frame::Fetch {
+                seq,
+                topic,
+                partition,
+                from,
+                max,
+            } => {
+                buf.push(0x04);
+                put_u64(&mut buf, *seq);
+                put_str(&mut buf, topic);
+                put_u32(&mut buf, *partition);
+                put_u64(&mut buf, *from);
+                put_u32(&mut buf, *max);
+            }
+            Frame::Info { seq, topic } => {
+                buf.push(0x05);
+                put_u64(&mut buf, *seq);
+                put_str(&mut buf, topic);
+            }
+            Frame::Receipt {
+                seq,
+                partition,
+                offset,
+            } => {
+                buf.push(0x81);
+                put_u64(&mut buf, *seq);
+                put_u32(&mut buf, *partition);
+                put_u64(&mut buf, *offset);
+            }
+            Frame::Subscribed { seq, sub, resume } => {
+                buf.push(0x82);
+                put_u64(&mut buf, *seq);
+                put_u64(&mut buf, *sub);
+                put_u64(&mut buf, *resume);
+            }
+            Frame::Messages { seq, messages } => {
+                buf.push(0x83);
+                put_u64(&mut buf, *seq);
+                put_u32(&mut buf, messages.len() as u32);
+                for m in messages {
+                    put_message(&mut buf, m);
+                }
+            }
+            Frame::InfoReply {
+                seq,
+                persistent,
+                partitions,
+                retained,
+            } => {
+                buf.push(0x84);
+                put_u64(&mut buf, *seq);
+                buf.push(u8::from(*persistent));
+                put_u32(&mut buf, *partitions);
+                put_u64(&mut buf, *retained);
+            }
+            Frame::Error { seq, message } => {
+                buf.push(0x85);
+                put_u64(&mut buf, *seq);
+                put_str(&mut buf, message);
+            }
+            Frame::Event { sub, message } => {
+                buf.push(0x90);
+                put_u64(&mut buf, *sub);
+                put_message(&mut buf, message);
+            }
+        }
+        let body_len = buf.len() - 4;
+        if body_len > MAX_FRAME {
+            return Err(WireError::Oversized { len: body_len });
+        }
+        buf[..4].copy_from_slice(&(body_len as u32).to_be_bytes());
+        Ok(buf)
+    }
+
+    /// Decode one frame *body* (the bytes after the length prefix).
+    pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
+        if body.len() > MAX_FRAME {
+            return Err(WireError::Oversized { len: body.len() });
+        }
+        let mut r = Reader { body, at: 0 };
+        let opcode = r.u8()?;
+        let frame = match opcode {
+            0x01 => Frame::Publish {
+                seq: r.u64()?,
+                topic: r.str()?,
+                key: r.opt_bytes()?,
+                payload: r.bytes()?,
+            },
+            0x02 => Frame::Subscribe {
+                seq: r.u64()?,
+                topic: r.str()?,
+                mode: r.mode()?,
+            },
+            0x03 => Frame::Unsubscribe {
+                seq: r.u64()?,
+                sub: r.u64()?,
+            },
+            0x04 => Frame::Fetch {
+                seq: r.u64()?,
+                topic: r.str()?,
+                partition: r.u32()?,
+                from: r.u64()?,
+                max: r.u32()?,
+            },
+            0x05 => Frame::Info {
+                seq: r.u64()?,
+                topic: r.str()?,
+            },
+            0x81 => Frame::Receipt {
+                seq: r.u64()?,
+                partition: r.u32()?,
+                offset: r.u64()?,
+            },
+            0x82 => Frame::Subscribed {
+                seq: r.u64()?,
+                sub: r.u64()?,
+                resume: r.u64()?,
+            },
+            0x83 => {
+                let seq = r.u64()?;
+                let count = r.u32()? as usize;
+                // Each message is at least 17 bytes on the wire; a count
+                // claiming more than fits in the body is corrupt.
+                if count > body.len() / 17 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut messages = Vec::with_capacity(count);
+                for _ in 0..count {
+                    messages.push(r.message()?);
+                }
+                Frame::Messages { seq, messages }
+            }
+            0x84 => Frame::InfoReply {
+                seq: r.u64()?,
+                persistent: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    tag => return Err(WireError::BadTag(tag)),
+                },
+                partitions: r.u32()?,
+                retained: r.u64()?,
+            },
+            0x85 => Frame::Error {
+                seq: r.u64()?,
+                message: r.str()?,
+            },
+            0x90 => Frame::Event {
+                sub: r.u64()?,
+                message: r.message()?,
+            },
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        if r.at != body.len() {
+            // Trailing garbage means the peer and we disagree about the
+            // frame layout — treat as corruption, not leniency.
+            return Err(WireError::Truncated);
+        }
+        Ok(frame)
+    }
+}
+
+/// Write one frame to a stream (a single `write_all`; callers flush).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let buf = frame.encode()?;
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Read one frame from a stream. `Ok(None)` on a clean EOF at a frame
+/// boundary; [`WireError::Truncated`] when the stream dies mid-frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut len = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len)? {
+        return Ok(None);
+    }
+    let body_len = u32::from_be_bytes(len) as usize;
+    if body_len > MAX_FRAME {
+        return Err(WireError::Oversized { len: body_len });
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Frame::decode(&body).map(Some)
+}
+
+/// `read_exact`, except a clean EOF before the first byte returns
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Cursor over a frame body.
+struct Reader<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.at + n > self.body.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.body[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.u32()? as usize;
+        Ok(Bytes::copy_from_slice(self.take(len)?))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadUtf8)
+    }
+
+    fn opt_bytes(&mut self) -> Result<Option<Bytes>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.bytes()?)),
+            tag => Err(WireError::BadTag(tag)),
+        }
+    }
+
+    fn mode(&mut self) -> Result<SubscribeMode, WireError> {
+        match self.u8()? {
+            0 => Ok(SubscribeMode::Latest),
+            1 => Ok(SubscribeMode::Beginning),
+            2 => Ok(SubscribeMode::FromOffset(self.u64()?)),
+            tag => Err(WireError::BadTag(tag)),
+        }
+    }
+
+    fn message(&mut self) -> Result<Message, WireError> {
+        Ok(Message {
+            topic: self.str()?,
+            partition: self.u32()?,
+            offset: self.u64()?,
+            key: self.opt_bytes()?,
+            payload: self.bytes()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let encoded = frame.encode().unwrap();
+        let body_len = u32::from_be_bytes(encoded[..4].try_into().unwrap()) as usize;
+        assert_eq!(body_len, encoded.len() - 4);
+        assert_eq!(Frame::decode(&encoded[4..]).unwrap(), frame);
+        // And through the stream API.
+        let mut cursor = std::io::Cursor::new(&encoded);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    fn message() -> Message {
+        Message {
+            topic: "sa.T1".into(),
+            partition: 3,
+            offset: 42,
+            key: Some(Bytes::from_static(b"k")),
+            payload: Bytes::from_static(b"payload"),
+        }
+    }
+
+    #[test]
+    fn every_frame_type_roundtrips() {
+        for frame in [
+            Frame::Publish {
+                seq: 1,
+                topic: "status".into(),
+                key: None,
+                payload: Bytes::from_static(b"x"),
+            },
+            Frame::Subscribe {
+                seq: 2,
+                topic: "sa.T1".into(),
+                mode: SubscribeMode::FromOffset(7),
+            },
+            Frame::Unsubscribe { seq: 3, sub: 9 },
+            Frame::Fetch {
+                seq: 4,
+                topic: "t".into(),
+                partition: 1,
+                from: 100,
+                max: 50,
+            },
+            Frame::Info {
+                seq: 5,
+                topic: String::new(),
+            },
+            Frame::Receipt {
+                seq: 1,
+                partition: 0,
+                offset: 12,
+            },
+            Frame::Subscribed {
+                seq: 2,
+                sub: 9,
+                resume: 4,
+            },
+            Frame::Messages {
+                seq: 4,
+                messages: vec![message(), message()],
+            },
+            Frame::InfoReply {
+                seq: 5,
+                persistent: true,
+                partitions: 4,
+                retained: 1000,
+            },
+            Frame::Error {
+                seq: 6,
+                message: "no such partition".into(),
+            },
+            Frame::Event {
+                sub: 9,
+                message: message(),
+            },
+        ] {
+            roundtrip(frame);
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected() {
+        let encoded = Frame::Event {
+            sub: 1,
+            message: message(),
+        }
+        .encode()
+        .unwrap();
+        for cut in 1..encoded.len() - 4 {
+            let body = &encoded[4..encoded.len() - cut];
+            assert!(
+                matches!(Frame::decode(body), Err(WireError::Truncated)),
+                "cut {cut} must be truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&(u32::MAX).to_be_bytes());
+        bogus.push(0x01);
+        let mut cursor = std::io::Cursor::new(&bogus);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_fails_encode() {
+        let frame = Frame::Publish {
+            seq: 0,
+            topic: "t".into(),
+            key: None,
+            payload: Bytes::from(vec![0u8; MAX_FRAME + 1]),
+        };
+        assert!(matches!(frame.encode(), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(
+            Frame::decode(&[0x7f]),
+            Err(WireError::UnknownOpcode(0x7f))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut encoded = Frame::Subscribed {
+            seq: 1,
+            sub: 2,
+            resume: 0,
+        }
+        .encode()
+        .unwrap();
+        encoded.push(0xff);
+        assert!(matches!(
+            Frame::decode(&encoded[4..]),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_truncation() {
+        let encoded = Frame::Subscribed {
+            seq: 1,
+            sub: 2,
+            resume: 0,
+        }
+        .encode()
+        .unwrap();
+        let mut cursor = std::io::Cursor::new(&encoded[..encoded.len() - 3]);
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Truncated)));
+    }
+}

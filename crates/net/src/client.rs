@@ -1,0 +1,634 @@
+//! [`RemoteBroker`] — the client side of the wire protocol, implementing
+//! the same [`Broker`] trait as the in-process brokers so every runtime
+//! (scheduler, legacy threads, sharded engines) is oblivious to the
+//! network.
+//!
+//! Three properties matter:
+//!
+//! * **Push, not poll.** EVENT frames are fed straight into the local
+//!   [`Subscription`]'s queue and fire its registered waker
+//!   ([`Subscription::set_waker`]), so the PR-1 scheduler drives remote
+//!   subscriptions exactly like local ones — zero polling end to end.
+//! * **Reconnect with replay.** When the connection drops, a background
+//!   loop redials and re-subscribes every live subscription. Against a
+//!   persistent broker, a subscription that has seen offsets resumes
+//!   with [`SubscribeMode::FromOffset`] at the lowest unseen offset; the
+//!   per-partition offset filter then drops whatever the replay
+//!   re-delivers, so consumers observe an exactly-once stream across
+//!   connection loss.
+//! * **Blocking sends ride out outages.** Publishes and requests made
+//!   while the connection is down wait (bounded by
+//!   [`RECONNECT_GRACE`]) for the redial instead of failing — an agent
+//!   mid-workflow never silently loses a result message to a severed
+//!   connection.
+//!
+//! The recovery contract covers **connection** loss: the daemon keeps
+//! the log, the client reconnects and replays. It does not cover a
+//! *daemon* restart — the daemon's log is in-memory, so restarting it
+//! loses the retained history that replay (and the offset watermarks
+//! this client keeps) are defined against; restart the workflow run
+//! too. The same applies to reusing one long-lived daemon for multiple
+//! logical runs of the same workflow: topics are named by task, so a
+//! second run would replay the first run's retained messages. One
+//! daemon per workflow run (or a daemon restart between runs) is the
+//! supported deployment until the broker grows file-backed, namespaced
+//! logs (see ROADMAP).
+
+use crossbeam::channel::{unbounded, Sender};
+use ginflow_mq::wire::{read_frame, write_frame, Frame};
+use ginflow_mq::{
+    subscription_pair, Broker, Message, MqError, Receipt, SubscribeMode, SubscriberHandle,
+    Subscription,
+};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long one request waits for its reply.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a send blocks waiting for a reconnect before giving up.
+pub const RECONNECT_GRACE: Duration = Duration::from_secs(30);
+
+/// Socket write timeout: bounds how long the connection mutex can be
+/// held against a stalled peer (blackholed network, SIGSTOPped daemon),
+/// so shutdown/cancel never wedge behind a blocked `write_all`. A write
+/// that times out may be partial, which corrupts the frame stream — the
+/// connection is declared dead and the reconnect path takes over.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One client-side subscription: the delivery bridge plus what is
+/// needed to resume it on a fresh connection.
+struct RemoteSub {
+    topic: String,
+    /// The mode of the *original* subscribe call, used to resume a
+    /// subscription that has not seen any message yet.
+    origin_mode: SubscribeMode,
+    handle: SubscriberHandle,
+    /// Next expected offset per partition — the dedupe filter that makes
+    /// reconnect replay exactly-once, and the resume point for
+    /// [`SubscribeMode::FromOffset`] re-subscription.
+    next_offset: Mutex<HashMap<u32, u64>>,
+}
+
+impl RemoteSub {
+    /// Record the server's resume watermark for a head-attached
+    /// (`Latest`) subscription on a persistent broker: with it, a
+    /// reconnect resumes from the log position the subscription
+    /// attached at, so messages published during an outage replay
+    /// instead of being lost — even if nothing was delivered before the
+    /// drop. Replaying origins (`Beginning`/`FromOffset`) must NOT be
+    /// seeded: their history arrives with offsets below the watermark
+    /// and would be discarded as duplicates.
+    fn seed_watermark(&self, resume: u64, persistent: bool) {
+        if resume != ginflow_mq::wire::NO_RESUME
+            && persistent
+            && self.origin_mode == SubscribeMode::Latest
+        {
+            self.next_offset.lock().entry(0).or_insert(resume);
+        }
+    }
+
+    /// The mode to resume with after a reconnect.
+    fn resume_mode(&self, persistent: bool) -> SubscribeMode {
+        let next = self.next_offset.lock();
+        if persistent {
+            if let Some(&lowest) = next.values().min() {
+                return SubscribeMode::FromOffset(lowest);
+            }
+            // Nothing seen yet: re-request exactly what was asked.
+            return self.origin_mode;
+        }
+        // Transient brokers can only attach at the head.
+        SubscribeMode::Latest
+    }
+
+    /// Deliver one pushed message (false = local subscriber is gone).
+    /// Replay duplicates — `offset` below the per-partition watermark —
+    /// are absorbed here.
+    fn deliver(&self, message: Message) -> bool {
+        {
+            let mut next = self.next_offset.lock();
+            let watermark = next.entry(message.partition).or_insert(0);
+            if message.offset < *watermark {
+                return true; // duplicate from a reconnect replay
+            }
+            *watermark = message.offset + 1;
+        }
+        if !self.handle.deliver(message) {
+            return false;
+        }
+        self.handle.wake();
+        true
+    }
+}
+
+/// What the reader does with a reply.
+enum Waiter {
+    /// Hand the raw reply frame to the requester.
+    Reply(Sender<Result<Frame, MqError>>),
+    /// A subscribe in flight: the reader itself registers the
+    /// subscription under the server-assigned id *before* processing any
+    /// further frame, so no EVENT can slip past between the ack and the
+    /// registration.
+    Subscribe {
+        entry: Arc<RemoteSub>,
+        reply: Sender<Result<Frame, MqError>>,
+    },
+    /// A re-subscription issued by the reconnect path (no requester).
+    Resubscribe { entry: Arc<RemoteSub> },
+    /// A subscribe whose requester timed out and walked away: if the
+    /// ack still arrives, the server-side subscription must be torn
+    /// down rather than stream events nobody handles.
+    Abandoned,
+}
+
+struct ClientInner {
+    addr: String,
+    /// The write half; `None` while disconnected. Senders wait on
+    /// `conn_ready` for the reconnect loop to restore it.
+    conn: Mutex<Option<TcpStream>>,
+    conn_ready: Condvar,
+    pending: Mutex<HashMap<u64, Waiter>>,
+    subs: Mutex<HashMap<u64, Arc<RemoteSub>>>,
+    /// Subscriptions whose re-subscription was in flight when the
+    /// connection died again; the next reconnect pass re-issues them.
+    orphans: Mutex<Vec<Arc<RemoteSub>>>,
+    seq: AtomicU64,
+    persistent: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// A [`Broker`] living in another process, reached over TCP. Dropping
+/// the value closes the connection and joins the reader thread.
+pub struct RemoteBroker {
+    inner: Arc<ClientInner>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RemoteBroker {
+    /// Connect to a broker daemon. Accepts `host:port` or
+    /// `tcp://host:port`.
+    pub fn connect(addr: &str) -> std::io::Result<RemoteBroker> {
+        let addr = addr.strip_prefix("tcp://").unwrap_or(addr).to_owned();
+        let stream = TcpStream::connect(&addr)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        let write_half = stream.try_clone()?;
+        let inner = Arc::new(ClientInner {
+            addr,
+            conn: Mutex::new(Some(write_half)),
+            conn_ready: Condvar::new(),
+            pending: Mutex::new(HashMap::new()),
+            subs: Mutex::new(HashMap::new()),
+            orphans: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            persistent: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let reader = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("gf-net-client".into())
+                .spawn(move || reader_loop(inner, stream))
+                .expect("spawn client reader")
+        };
+        let broker = RemoteBroker {
+            inner,
+            reader: Mutex::new(Some(reader)),
+        };
+        // Handshake: learn whether the far side retains messages (the
+        // sync `Broker::persistent` contract needs a cached answer).
+        match broker.info("") {
+            Ok((persistent, _, _)) => {
+                broker.inner.persistent.store(persistent, Ordering::SeqCst);
+                Ok(broker)
+            }
+            Err(e) => Err(std::io::Error::other(format!("broker handshake: {e}"))),
+        }
+    }
+
+    /// Close the connection and join the reader thread. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(conn) = self.inner.conn.lock().take() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        self.inner.conn_ready.notify_all();
+        if let Some(t) = self.reader.lock().take() {
+            let _ = t.join();
+        }
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Round trip returning the reply frame (or the server's error).
+    fn call(&self, make: impl FnOnce(u64) -> Frame) -> Result<Frame, MqError> {
+        let seq = self.next_seq();
+        let (tx, rx) = unbounded();
+        self.inner.pending.lock().insert(seq, Waiter::Reply(tx));
+        if let Err(e) = self.inner.send(&make(seq)) {
+            self.inner.pending.lock().remove(&seq);
+            return Err(e);
+        }
+        match rx.recv_timeout(REQUEST_TIMEOUT) {
+            Ok(reply) => unwrap_reply(reply?),
+            Err(_) => {
+                self.inner.pending.lock().remove(&seq);
+                Err(MqError::Timeout)
+            }
+        }
+    }
+
+    fn info(&self, topic: &str) -> Result<(bool, u32, u64), MqError> {
+        match self.call(|seq| Frame::Info {
+            seq,
+            topic: topic.to_owned(),
+        })? {
+            Frame::InfoReply {
+                persistent,
+                partitions,
+                retained,
+                ..
+            } => Ok((persistent, partitions, retained)),
+            other => Err(protocol_error(&other)),
+        }
+    }
+}
+
+impl Drop for RemoteBroker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn unwrap_reply(frame: Frame) -> Result<Frame, MqError> {
+    match frame {
+        Frame::Error { message, .. } => Err(map_server_error(message)),
+        other => Ok(other),
+    }
+}
+
+/// Map the server's rendered error back onto the closest [`MqError`].
+fn map_server_error(message: String) -> MqError {
+    if message.contains("requires a persistent broker") {
+        MqError::NotPersistent {
+            operation: "remote request",
+        }
+    } else {
+        MqError::Remote { message }
+    }
+}
+
+fn protocol_error(frame: &Frame) -> MqError {
+    MqError::Remote {
+        message: format!("unexpected reply frame {frame:?}"),
+    }
+}
+
+impl ClientInner {
+    /// Write one frame, waiting out a reconnect if necessary. Encoding
+    /// happens before the connection is touched: a frame the codec
+    /// refuses (oversized payload) is the *caller's* error and must not
+    /// poison the link.
+    fn send(&self, frame: &Frame) -> Result<(), MqError> {
+        let buf = frame.encode().map_err(|e| MqError::Remote {
+            message: e.to_string(),
+        })?;
+        let deadline = Instant::now() + RECONNECT_GRACE;
+        let mut conn = self.conn.lock();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(MqError::Disconnected);
+            }
+            if let Some(stream) = conn.as_mut() {
+                use std::io::Write;
+                return match stream.write_all(&buf) {
+                    Ok(()) => Ok(()),
+                    Err(_) => {
+                        // The write half died; the reader notices the
+                        // same thing and reconnects. Drop our stale
+                        // stream so later sends wait for the fresh one.
+                        *conn = None;
+                        Err(MqError::Disconnected)
+                    }
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(MqError::Disconnected);
+            }
+            self.conn_ready.wait_for(&mut conn, deadline - now);
+        }
+    }
+
+    /// Send without waiting for a live connection — for best-effort
+    /// frames issued from the reader thread, which must never block on
+    /// a reconnect only it can perform.
+    fn send_best_effort(&self, frame: &Frame) {
+        let Ok(buf) = frame.encode() else { return };
+        if let Some(stream) = self.conn.lock().as_mut() {
+            use std::io::Write;
+            let _ = stream.write_all(&buf);
+        }
+    }
+
+    /// Fail every in-flight request: requesters see `Disconnected` and
+    /// retry; re-subscriptions in flight move to the orphan list so the
+    /// next reconnect pass re-issues them.
+    fn fail_pending(&self) {
+        let pending: Vec<Waiter> = {
+            let mut map = self.pending.lock();
+            map.drain().map(|(_, w)| w).collect()
+        };
+        for waiter in pending {
+            match waiter {
+                Waiter::Reply(tx) | Waiter::Subscribe { reply: tx, .. } => {
+                    let _ = tx.send(Err(MqError::Disconnected));
+                }
+                Waiter::Resubscribe { entry } => {
+                    self.orphans.lock().push(entry);
+                }
+                // The requester already gave up; the connection the
+                // server-side subscription lived on is gone too.
+                Waiter::Abandoned => {}
+            }
+        }
+    }
+
+    /// Handle one frame from the server.
+    fn on_frame(&self, frame: Frame) {
+        match frame {
+            Frame::Event { sub, message } => {
+                let entry = self.subs.lock().get(&sub).cloned();
+                if let Some(entry) = entry {
+                    if !entry.deliver(message) {
+                        // Local subscriber dropped its Subscription:
+                        // prune and tell the server. Best-effort only —
+                        // this runs on the reader thread, which must
+                        // not park waiting for a reconnect; a missed
+                        // unsubscribe just means the server keeps an
+                        // ignored subscription until the connection
+                        // turns over.
+                        self.subs.lock().remove(&sub);
+                        self.send_best_effort(&Frame::Unsubscribe { seq: 0, sub });
+                    }
+                }
+            }
+            Frame::Subscribed { seq, sub, resume } => {
+                let persistent = self.persistent.load(Ordering::SeqCst);
+                let waiter = self.pending.lock().remove(&seq);
+                match waiter {
+                    Some(Waiter::Subscribe { entry, reply }) => {
+                        // Register before touching the socket again —
+                        // the very next frame may be this sub's EVENT.
+                        entry.seed_watermark(resume, persistent);
+                        self.subs.lock().insert(sub, entry);
+                        let _ = reply.send(Ok(Frame::Subscribed { seq, sub, resume }));
+                    }
+                    Some(Waiter::Resubscribe { entry }) => {
+                        entry.seed_watermark(resume, persistent);
+                        self.subs.lock().insert(sub, entry);
+                    }
+                    Some(Waiter::Reply(tx)) => {
+                        let _ = tx.send(Ok(Frame::Subscribed { seq, sub, resume }));
+                    }
+                    Some(Waiter::Abandoned) => {
+                        // The requester timed out and walked away; tear
+                        // the freshly opened server-side subscription
+                        // down instead of letting it stream into the
+                        // void.
+                        self.send_best_effort(&Frame::Unsubscribe { seq: 0, sub });
+                    }
+                    None => {}
+                }
+            }
+            Frame::Receipt { .. } | Frame::Messages { .. } | Frame::InfoReply { .. } => {
+                let seq = match &frame {
+                    Frame::Receipt { seq, .. }
+                    | Frame::Messages { seq, .. }
+                    | Frame::InfoReply { seq, .. } => *seq,
+                    _ => unreachable!(),
+                };
+                if let Some(waiter) = self.pending.lock().remove(&seq) {
+                    match waiter {
+                        Waiter::Reply(tx) => {
+                            let _ = tx.send(Ok(frame));
+                        }
+                        Waiter::Subscribe { reply, .. } => {
+                            let _ = reply.send(Err(protocol_error(&frame)));
+                        }
+                        Waiter::Resubscribe { .. } | Waiter::Abandoned => {}
+                    }
+                }
+            }
+            Frame::Error { seq, message } => {
+                if let Some(waiter) = self.pending.lock().remove(&seq) {
+                    match waiter {
+                        Waiter::Reply(tx) | Waiter::Subscribe { reply: tx, .. } => {
+                            let _ = tx.send(Err(map_server_error(message)));
+                        }
+                        // A failed re-subscription is dropped; the
+                        // subscription dies quietly like a local one
+                        // whose broker went away.
+                        Waiter::Resubscribe { .. } | Waiter::Abandoned => {}
+                    }
+                }
+            }
+            // Clients never receive request frames; ignore.
+            Frame::Publish { .. }
+            | Frame::Subscribe { .. }
+            | Frame::Unsubscribe { .. }
+            | Frame::Fetch { .. }
+            | Frame::Info { .. } => {}
+        }
+    }
+}
+
+/// The reader: dispatch frames; on connection loss, redial and restore
+/// every live subscription.
+fn reader_loop(inner: Arc<ClientInner>, stream: TcpStream) {
+    let mut stream = stream;
+    loop {
+        let mut reader = match stream.try_clone() {
+            Ok(s) => BufReader::new(s),
+            Err(_) => return,
+        };
+        while let Ok(Some(frame)) = read_frame(&mut reader) {
+            inner.on_frame(frame);
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Connection lost: park senders, fail requests, redial.
+        *inner.conn.lock() = None;
+        inner.fail_pending();
+        match reconnect(&inner) {
+            Some(fresh) => stream = fresh,
+            None => return,
+        }
+    }
+}
+
+/// Redial until the daemon answers (or shutdown), then re-subscribe
+/// every live subscription *before* unparking senders — replayed
+/// history must not interleave behind fresh publishes.
+fn reconnect(inner: &Arc<ClientInner>) -> Option<TcpStream> {
+    // Old server-assigned ids are meaningless on a fresh connection;
+    // orphans are re-subscriptions a previous reconnect never finished.
+    let mut live: Vec<Arc<RemoteSub>> = inner.subs.lock().drain().map(|(_, e)| e).collect();
+    live.append(&mut inner.orphans.lock());
+    let persistent = inner.persistent.load(Ordering::SeqCst);
+    let mut delay = Duration::from_millis(20);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        let Ok(stream) = TcpStream::connect(&inner.addr) else {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(500));
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        let Ok(mut write_half) = stream.try_clone() else {
+            continue;
+        };
+        // Issue the re-subscriptions on the fresh socket. Their
+        // `Subscribed` acks are processed by the reader loop once it
+        // resumes reading this stream; the `Resubscribe` waiters re-key
+        // the entries under their new server ids.
+        let mut ok = true;
+        for entry in &live {
+            let seq = inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
+            let frame = Frame::Subscribe {
+                seq,
+                topic: entry.topic.clone(),
+                mode: entry.resume_mode(persistent),
+            };
+            inner.pending.lock().insert(
+                seq,
+                Waiter::Resubscribe {
+                    entry: entry.clone(),
+                },
+            );
+            if write_frame(&mut write_half, &frame).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            // The fresh socket died mid-handshake. Strip the waiters we
+            // just queued (no replies will ever arrive for them — we
+            // never read this socket) and retry with the same entries.
+            inner
+                .pending
+                .lock()
+                .retain(|_, w| !matches!(w, Waiter::Resubscribe { .. }));
+            continue;
+        }
+        *inner.conn.lock() = Some(write_half);
+        inner.conn_ready.notify_all();
+        return Some(stream);
+    }
+}
+
+impl Broker for RemoteBroker {
+    fn publish(
+        &self,
+        topic: &str,
+        key: Option<bytes::Bytes>,
+        payload: bytes::Bytes,
+    ) -> Result<Receipt, MqError> {
+        match self.call(|seq| Frame::Publish {
+            seq,
+            topic: topic.to_owned(),
+            key,
+            payload,
+        })? {
+            Frame::Receipt {
+                partition, offset, ..
+            } => Ok(Receipt { partition, offset }),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError> {
+        let (handle, subscription) = subscription_pair();
+        let entry = Arc::new(RemoteSub {
+            topic: topic.to_owned(),
+            origin_mode: mode,
+            handle,
+            next_offset: Mutex::new(HashMap::new()),
+        });
+        let seq = self.next_seq();
+        let (tx, rx) = unbounded();
+        self.inner
+            .pending
+            .lock()
+            .insert(seq, Waiter::Subscribe { entry, reply: tx });
+        let frame = Frame::Subscribe {
+            seq,
+            topic: topic.to_owned(),
+            mode,
+        };
+        if let Err(e) = self.inner.send(&frame) {
+            self.inner.pending.lock().remove(&seq);
+            return Err(e);
+        }
+        match rx.recv_timeout(REQUEST_TIMEOUT) {
+            Ok(Ok(_)) => Ok(subscription),
+            Ok(Err(e)) => Err(e),
+            Err(_) => {
+                // Leave a tombstone: if the ack still arrives, the
+                // reader unsubscribes the orphaned server-side
+                // subscription instead of letting it stream events
+                // nobody handles.
+                let mut pending = self.inner.pending.lock();
+                if pending.remove(&seq).is_some() {
+                    pending.insert(seq, Waiter::Abandoned);
+                }
+                Err(MqError::Timeout)
+            }
+        }
+    }
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        from_offset: u64,
+        max: usize,
+    ) -> Result<Vec<Message>, MqError> {
+        match self.call(|seq| Frame::Fetch {
+            seq,
+            topic: topic.to_owned(),
+            partition,
+            from: from_offset,
+            max: max.min(u32::MAX as usize) as u32,
+        })? {
+            Frame::Messages { messages, .. } => Ok(messages),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    fn persistent(&self) -> bool {
+        self.inner.persistent.load(Ordering::SeqCst)
+    }
+
+    fn partitions(&self, topic: &str) -> u32 {
+        self.info(topic).map(|(_, p, _)| p).unwrap_or(1)
+    }
+
+    fn retained(&self, topic: &str) -> u64 {
+        self.info(topic).map(|(_, _, r)| r).unwrap_or(0)
+    }
+}

@@ -1,0 +1,83 @@
+//! # ginflow-net — the network membrane
+//!
+//! GinFlow's premise is that co-workflow agents coordinate *only*
+//! through message-queue middleware (§IV-A) — which means the broker is
+//! the one thing that has to cross host boundaries for the
+//! "decentralised" manager to actually decentralise. This crate makes
+//! the in-process broker substrates of `ginflow-mq` network-reachable:
+//!
+//! * [`BrokerServer`] — the broker daemon (`ginflow broker serve`):
+//!   fronts any [`Broker`](ginflow_mq::Broker) (the persistent
+//!   [`LogBroker`](ginflow_mq::LogBroker) by default) over TCP. Each
+//!   connection gets a request reader plus an event pump driven by the
+//!   broker's push wakers — the daemon never polls.
+//! * [`RemoteBroker`] — the client: implements the same `Broker` trait
+//!   over a connection, pushing EVENT frames into local
+//!   [`Subscription`](ginflow_mq::Subscription)s (wakers included, so
+//!   the event-driven scheduler drives remote subscriptions with zero
+//!   polling), and transparently reconnecting with
+//!   [`SubscribeMode::FromOffset`](ginflow_mq::SubscribeMode) replay +
+//!   offset dedupe when the connection drops.
+//!
+//! With a daemon in the middle, `Backend::Sharded` (in
+//! `ginflow-engine`) runs one workflow across multiple OS processes:
+//! each process executes only the agents whose FNV name-hash lands in
+//! its shard, and the shared status topic is the cross-shard membrane.
+//!
+//! ## Wire protocol
+//!
+//! Length-prefixed binary frames, defined (with the full grammar) in
+//! [`ginflow_mq::wire`]:
+//!
+//! ```text
+//! frame := len:u32_be body          body := opcode:u8 fields…
+//!
+//! client → server          server → client
+//!   0x01 PUBLISH             0x81 RECEIPT      (ack of PUBLISH)
+//!   0x02 SUBSCRIBE           0x82 SUBSCRIBED   (ack of SUBSCRIBE)
+//!   0x03 UNSUBSCRIBE         0x83 MESSAGES     (ack of FETCH)
+//!   0x04 FETCH               0x84 INFO_REPLY   (ack of INFO)
+//!   0x05 INFO                0x85 ERROR        (failed request)
+//!                            0x90 EVENT        (push delivery)
+//! ```
+//!
+//! Requests carry a `seq` the ack echoes (UNSUBSCRIBE is
+//! fire-and-forget); EVENT frames carry the server-assigned
+//! subscription id from SUBSCRIBED. Frames over
+//! [`MAX_FRAME`](ginflow_mq::wire::MAX_FRAME) are rejected outright on
+//! both sides.
+
+pub mod client;
+pub mod server;
+
+pub use client::RemoteBroker;
+pub use server::BrokerServer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ginflow_mq::{Broker, LogBroker, SubscribeMode};
+    use std::sync::Arc;
+
+    #[test]
+    fn server_binds_ephemeral_and_stops() {
+        let server = BrokerServer::bind("127.0.0.1:0", Arc::new(LogBroker::new())).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        server.stop();
+        server.stop(); // idempotent
+    }
+
+    #[test]
+    fn connect_and_publish_roundtrip() {
+        let server = BrokerServer::bind("127.0.0.1:0", Arc::new(LogBroker::new())).unwrap();
+        let client = RemoteBroker::connect(&format!("tcp://{}", server.local_addr())).unwrap();
+        assert!(client.persistent());
+        let r = client
+            .publish("t", None, bytes::Bytes::from_static(b"hello"))
+            .unwrap();
+        assert_eq!(r.offset, 0);
+        let sub = client.subscribe("t", SubscribeMode::Beginning).unwrap();
+        let m = sub.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(m.payload_str(), "hello");
+    }
+}

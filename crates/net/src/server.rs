@@ -1,0 +1,339 @@
+//! The broker daemon: accepts TCP connections and fronts any in-process
+//! [`Broker`] (the persistent log by default) over the wire protocol.
+//!
+//! One thread reads each connection's requests; one *pump* thread per
+//! connection forwards subscription deliveries as EVENT frames, woken by
+//! the broker's own [`Subscription::set_waker`] push path — the daemon
+//! polls nothing, exactly like the in-process scheduler.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ginflow_mq::wire::{read_frame, write_frame, Frame};
+use ginflow_mq::{Broker, Subscription};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+/// Max EVENT frames one pump turn writes before re-checking its queue —
+/// keeps one fire-hose subscription from starving the others.
+const EVENT_BATCH: usize = 128;
+
+/// Socket write timeout: a stalled client (full receive buffer, frozen
+/// process) fails its connection after this instead of wedging the
+/// pump/reader behind a blocked `write_all` forever.
+const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// A running broker daemon: one listener, one connection handler (plus
+/// one event pump) per client. Dropping the server (or calling
+/// [`BrokerServer::stop`]) closes every connection and joins every
+/// thread.
+/// One accepted connection as the acceptor tracks it: a socket clone
+/// (for shutdown injection) plus the handler thread.
+struct ConnEntry {
+    socket: TcpStream,
+    thread: JoinHandle<()>,
+}
+
+pub struct BrokerServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    conns: Arc<Mutex<Vec<ConnEntry>>>,
+}
+
+impl BrokerServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:7433"`, port 0 for ephemeral) and
+    /// start serving `broker` in background threads.
+    pub fn bind(addr: &str, broker: Arc<dyn Broker>) -> std::io::Result<BrokerServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ConnEntry>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("gf-net-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        // Reap finished connections so a long-running
+                        // daemon doesn't accumulate dead fds and thread
+                        // handles across client reconnect cycles.
+                        for dead in extract_finished(&mut conns.lock()) {
+                            let _ = dead.thread.join();
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                        let Ok(socket) = stream.try_clone() else {
+                            continue;
+                        };
+                        let broker = broker.clone();
+                        let shutdown = shutdown.clone();
+                        let thread = std::thread::Builder::new()
+                            .name("gf-net-conn".into())
+                            .spawn(move || serve_connection(stream, broker, shutdown))
+                            .expect("spawn connection thread");
+                        conns.lock().push(ConnEntry { socket, thread });
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(BrokerServer {
+            addr: local,
+            shutdown,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sever every live connection while keeping the listener up — the
+    /// fault-injection hook reconnect logic and tests are built on (the
+    /// network equivalent of the paper's killed JVM).
+    pub fn drop_connections(&self) {
+        for entry in self.drain_conns() {
+            let _ = entry.socket.shutdown(std::net::Shutdown::Both);
+            let _ = entry.thread.join();
+        }
+    }
+
+    /// Stop accepting, close every live connection, join every thread.
+    /// Idempotent.
+    pub fn stop(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+        self.drop_connections();
+    }
+
+    fn drain_conns(&self) -> Vec<ConnEntry> {
+        self.conns.lock().drain(..).collect()
+    }
+}
+
+/// Remove and return the entries whose handler thread has exited.
+fn extract_finished(conns: &mut Vec<ConnEntry>) -> Vec<ConnEntry> {
+    let mut finished = Vec::new();
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].thread.is_finished() {
+            finished.push(conns.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    finished
+}
+
+impl Drop for BrokerServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One live subscription of one connection, scheduled onto the pump with
+/// the same false→true schedule-bit protocol the in-process scheduler
+/// uses.
+struct ServerSub {
+    id: u64,
+    sub: Subscription,
+    scheduled: AtomicBool,
+}
+
+enum PumpMsg {
+    Drain(Arc<ServerSub>),
+    Stop,
+}
+
+fn serve_connection(stream: TcpStream, broker: Arc<dyn Broker>, shutdown: Arc<AtomicBool>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let (pump_tx, pump_rx) = unbounded::<PumpMsg>();
+    let pump = {
+        let writer = writer.clone();
+        let pump_requeue = pump_tx.clone();
+        std::thread::Builder::new()
+            .name("gf-net-pump".into())
+            .spawn(move || pump_loop(writer, pump_rx, pump_requeue))
+            .expect("spawn pump thread")
+    };
+
+    let mut subs: HashMap<u64, Arc<ServerSub>> = HashMap::new();
+    let mut next_sub: u64 = 1;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF, a dead socket, or a corrupt/hostile frame all
+            // end the connection; the client reconnects and replays.
+            Ok(None) | Err(_) => break,
+        };
+        let reply = match frame {
+            Frame::Publish {
+                seq,
+                topic,
+                key,
+                payload,
+            } => Some(match broker.publish(&topic, key, payload) {
+                Ok(receipt) => Frame::Receipt {
+                    seq,
+                    partition: receipt.partition,
+                    offset: receipt.offset,
+                },
+                Err(e) => error_frame(seq, e),
+            }),
+            Frame::Subscribe { seq, topic, mode } => {
+                // Sample the resume watermark *before* attaching: a
+                // message published after this point either replays on
+                // resume (offset >= watermark) or arrives live — never
+                // both dropped. Sampling after attach could count a
+                // live-delivered message into the watermark and make
+                // the client discard it as a replay duplicate. A single
+                // offset cannot describe a multi-partition position
+                // (retained() sums partitions), so those topics get the
+                // no-watermark sentinel instead of a wrong number.
+                let resume = if broker.persistent() && broker.partitions(&topic) <= 1 {
+                    broker.retained(&topic)
+                } else {
+                    ginflow_mq::wire::NO_RESUME
+                };
+                match broker.subscribe(&topic, mode) {
+                    Ok(sub) => {
+                        let id = next_sub;
+                        next_sub += 1;
+                        let entry = Arc::new(ServerSub {
+                            id,
+                            sub,
+                            scheduled: AtomicBool::new(false),
+                        });
+                        subs.insert(id, entry.clone());
+                        // Ack before arming the waker so the client
+                        // learns the sub id before the first EVENT can
+                        // be written.
+                        let ack = Frame::Subscribed {
+                            seq,
+                            sub: id,
+                            resume,
+                        };
+                        if write_locked(&writer, &ack).is_err() {
+                            break;
+                        }
+                        let weak: Weak<ServerSub> = Arc::downgrade(&entry);
+                        let tx = pump_tx.clone();
+                        entry.sub.set_waker(move || {
+                            if let Some(entry) = weak.upgrade() {
+                                if !entry.scheduled.swap(true, Ordering::SeqCst) {
+                                    let _ = tx.send(PumpMsg::Drain(entry));
+                                }
+                            }
+                        });
+                        None
+                    }
+                    Err(e) => Some(error_frame(seq, e)),
+                }
+            }
+            Frame::Unsubscribe { sub, .. } => {
+                // Fire-and-forget: drop the subscription; the broker
+                // prunes its handle on the next publish.
+                subs.remove(&sub);
+                None
+            }
+            Frame::Fetch {
+                seq,
+                topic,
+                partition,
+                from,
+                max,
+            } => Some(match broker.fetch(&topic, partition, from, max as usize) {
+                Ok(messages) => Frame::Messages { seq, messages },
+                Err(e) => error_frame(seq, e),
+            }),
+            Frame::Info { seq, topic } => Some(Frame::InfoReply {
+                seq,
+                persistent: broker.persistent(),
+                partitions: broker.partitions(&topic),
+                retained: broker.retained(&topic),
+            }),
+            // A client speaking server frames is broken: hang up.
+            Frame::Receipt { .. }
+            | Frame::Subscribed { .. }
+            | Frame::Messages { .. }
+            | Frame::InfoReply { .. }
+            | Frame::Error { .. }
+            | Frame::Event { .. } => break,
+        };
+        if let Some(reply) = reply {
+            if write_locked(&writer, &reply).is_err() {
+                break;
+            }
+        }
+    }
+    // Teardown: drop subscriptions (pruning their broker handles), stop
+    // the pump, and let the client see EOF.
+    subs.clear();
+    let _ = pump_tx.send(PumpMsg::Stop);
+    let _ = pump.join();
+}
+
+fn error_frame(seq: u64, e: ginflow_mq::MqError) -> Frame {
+    Frame::Error {
+        seq,
+        message: e.to_string(),
+    }
+}
+
+fn write_locked(writer: &Mutex<TcpStream>, frame: &Frame) -> Result<(), ()> {
+    write_frame(&mut *writer.lock(), frame).map_err(|_| ())
+}
+
+/// Forward deliveries of scheduled subscriptions as EVENT frames.
+fn pump_loop(writer: Arc<Mutex<TcpStream>>, rx: Receiver<PumpMsg>, requeue: Sender<PumpMsg>) {
+    while let Ok(msg) = rx.recv() {
+        let entry = match msg {
+            PumpMsg::Stop => return,
+            PumpMsg::Drain(entry) => entry,
+        };
+        for _ in 0..EVENT_BATCH {
+            match entry.sub.try_recv() {
+                Ok(Some(message)) => {
+                    let frame = Frame::Event {
+                        sub: entry.id,
+                        message,
+                    };
+                    if write_locked(&writer, &frame).is_err() {
+                        // Connection is dying; the reader thread tears
+                        // everything down.
+                        return;
+                    }
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+        // Same lost-wakeup-free protocol as the scheduler: clear the
+        // bit, then re-check the backlog.
+        entry.scheduled.store(false, Ordering::SeqCst);
+        if entry.sub.backlog() > 0 && !entry.scheduled.swap(true, Ordering::SeqCst) {
+            let _ = requeue.send(PumpMsg::Drain(entry));
+        }
+    }
+}
