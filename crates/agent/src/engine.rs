@@ -34,6 +34,7 @@ use crate::message::StatusUpdate;
 use crate::runtime::WaitError;
 use ginflow_core::{TaskState, Value, Workflow};
 use ginflow_hoclflow::{AdaptPlan, AgentProgram};
+use ginflow_mq::RunId;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -320,15 +321,19 @@ struct TrackInner {
 /// incarnation and incarnations never decrease.
 pub struct RunTracker {
     meta: RunMeta,
+    run_id: RunId,
     hub: EventHub,
     inner: Mutex<TrackInner>,
 }
 
 impl RunTracker {
-    /// Fresh tracker over a workflow's metadata.
-    pub fn new(meta: RunMeta) -> Self {
+    /// Fresh tracker over a workflow's metadata, for the run named
+    /// `run_id` — the namespace key under which the run's status topic
+    /// lives, carried here so every report and handle can name it.
+    pub fn new(meta: RunMeta, run_id: RunId) -> Self {
         RunTracker {
             meta,
+            run_id,
             hub: EventHub::new(),
             inner: Mutex::new(TrackInner {
                 tasks: HashMap::new(),
@@ -344,6 +349,11 @@ impl RunTracker {
     /// The workflow metadata the tracker derives against.
     pub fn meta(&self) -> &RunMeta {
         &self.meta
+    }
+
+    /// The run this tracker observes.
+    pub fn run_id(&self) -> &RunId {
+        &self.run_id
     }
 
     /// Feed one status update; derived events fan out to subscribers.
@@ -541,6 +551,10 @@ impl TaskReport {
 pub struct RunReport {
     /// Which backend executed the run.
     pub backend: &'static str,
+    /// The run's id — the namespace key of every topic the run used
+    /// (`run/<id>/…`); what `ginflow broker runs` lists on a shared
+    /// daemon.
+    pub run_id: String,
     /// Did every sink complete?
     pub completed: bool,
     /// Was the run cancelled via [`RunHandle::cancel`]?
@@ -554,6 +568,14 @@ pub struct RunReport {
     pub adaptations_fired: u32,
     /// Agent respawns observed (§IV-B recoveries).
     pub respawns: u32,
+    /// Messages this run's broker subscriptions dropped to their
+    /// bounded-queue (drop-oldest) policy — see
+    /// [`ginflow_mq::Subscription::lagged`]. Non-zero means a consumer
+    /// stalled long enough to lose messages: defined behaviour on the
+    /// transient (at-most-once) profile, but observable here instead of
+    /// silent. Always 0 on unbounded (persistent) subscriptions and on
+    /// the sim backend.
+    pub lagged: u64,
     /// Per-task detail, keyed by task name (every task of the workflow,
     /// observed or not).
     pub tasks: BTreeMap<String, TaskReport>,
@@ -593,6 +615,8 @@ impl RunReport {
 pub trait RunControl: Send + Sync {
     /// Backend label ("scheduler", "legacy-threads", "sim", …).
     fn backend(&self) -> &'static str;
+    /// The run's id (its topic-namespace key).
+    fn run_id(&self) -> String;
     /// Latest observed state of a task.
     fn state_of(&self, task: &str) -> Option<TaskState>;
     /// Latest observed result of a task.
@@ -651,6 +675,13 @@ impl RunHandle {
     /// Which backend is executing this run.
     pub fn backend(&self) -> &'static str {
         self.inner.backend()
+    }
+
+    /// The run's id: the key of the topic namespace (`run/<id>/…`) the
+    /// run coordinates under. Auto-generated at launch unless pinned
+    /// (e.g. `Engine::builder().run_id(..)`, `ginflow run --run-id`).
+    pub fn run_id(&self) -> String {
+        self.inner.run_id()
     }
 
     /// Subscribe to the typed run event stream (full history replayed
@@ -812,7 +843,7 @@ mod tests {
 
     #[test]
     fn tracker_derives_ordered_events() {
-        let tracker = RunTracker::new(meta());
+        let tracker = RunTracker::new(meta(), RunId::generate());
         let events = tracker.subscribe();
         tracker.observe(&update("a", TaskState::Running, 0));
         tracker.observe(&update("a", TaskState::Completed, 0));
@@ -836,7 +867,7 @@ mod tests {
 
     #[test]
     fn late_subscriber_replays_history() {
-        let tracker = RunTracker::new(meta());
+        let tracker = RunTracker::new(meta(), RunId::generate());
         tracker.observe(&update("a", TaskState::Running, 0));
         tracker.observe(&update("b", TaskState::Completed, 0));
         let replayed: Vec<RunEvent> = tracker.subscribe().collect();
@@ -846,7 +877,7 @@ mod tests {
 
     #[test]
     fn adaptation_failure_and_respawn_events() {
-        let tracker = RunTracker::new(meta());
+        let tracker = RunTracker::new(meta(), RunId::generate());
         tracker.observe(&update("a", TaskState::Running, 0));
         tracker.observe(&update("a", TaskState::Failed, 0));
         tracker.observe(&update("a", TaskState::Running, 1));
@@ -866,7 +897,7 @@ mod tests {
 
     #[test]
     fn stale_incarnation_updates_are_dropped() {
-        let tracker = RunTracker::new(meta());
+        let tracker = RunTracker::new(meta(), RunId::generate());
         // First-ever observation at incarnation 1: the dead incarnation
         // 0 never published, which still counts as one recovery.
         tracker.observe(&update("a", TaskState::Running, 1));
@@ -895,7 +926,7 @@ mod tests {
 
     #[test]
     fn unwatched_sink_failure_is_terminal() {
-        let tracker = RunTracker::new(meta());
+        let tracker = RunTracker::new(meta(), RunId::generate());
         tracker.observe(&update("b", TaskState::Failed, 0));
         assert_eq!(
             tracker.outcome(),
@@ -907,7 +938,7 @@ mod tests {
 
     #[test]
     fn fail_is_terminal_and_idempotent() {
-        let tracker = RunTracker::new(meta());
+        let tracker = RunTracker::new(meta(), RunId::generate());
         assert!(tracker.fail(RunFailure::Cancelled));
         assert!(!tracker.fail(RunFailure::DeadlineExpired));
         tracker.observe(&update("b", TaskState::Completed, 0)); // ignored

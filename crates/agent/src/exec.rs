@@ -5,10 +5,10 @@
 
 use crate::core::{Command, Event, SaCore};
 use crate::engine::{RunTracker, TaskReport};
-use crate::message::{topics, StatusUpdate};
+use crate::message::StatusUpdate;
 use crate::runtime::WaitError;
 use ginflow_core::{ServiceRegistry, TaskState, Value};
-use ginflow_mq::{Broker, Subscription};
+use ginflow_mq::{Broker, Subscription, TopicNamespace};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -16,10 +16,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything needed to run one agent's events: the broker for sends and
-/// status publishes, the registry for service invocations, and the
-/// agent's identity.
+/// status publishes, the run's topic namespace, the registry for service
+/// invocations, and the agent's identity.
 pub(crate) struct AgentCtx<'a> {
     pub broker: &'a dyn Broker,
+    pub ns: &'a TopicNamespace,
     pub registry: &'a ServiceRegistry,
     pub name: &'a str,
     pub incarnation: u32,
@@ -46,11 +47,17 @@ impl AgentCtx<'_> {
                         queue.push_back(Event::ServiceCompleted { effect, result });
                     }
                     Command::Send { to, message } => {
-                        let _ = self.broker.publish(
-                            &topics::inbox(&to),
-                            Some(bytes::Bytes::from(to.clone().into_bytes())),
-                            message.encode(),
-                        );
+                        // Destinations come from the compiled DAG, whose
+                        // names were validated at launch; a name the
+                        // namespace rejects has no inbox to lose a
+                        // message to, matching the ignored-publish path.
+                        if let Ok(topic) = self.ns.inbox(&to) {
+                            let _ = self.broker.publish(
+                                &topic,
+                                Some(bytes::Bytes::from(to.clone().into_bytes())),
+                                message.encode(),
+                            );
+                        }
                     }
                     Command::Publish { state, result } => {
                         let update = StatusUpdate {
@@ -59,7 +66,7 @@ impl AgentCtx<'_> {
                             result,
                             incarnation: self.incarnation,
                         };
-                        let _ = self.broker.publish(topics::STATUS, None, update.encode());
+                        let _ = self.broker.publish(self.ns.status(), None, update.encode());
                     }
                 }
             }
@@ -244,8 +251,9 @@ pub(crate) fn status_loop(
     }
 }
 
-/// Wake every status collector on the broker so it can observe its
-/// shutdown flag. Runs sharing a broker ignore each other's sentinels.
-pub(crate) fn publish_shutdown_sentinel(broker: &dyn Broker) {
-    let _ = broker.publish(topics::STATUS, None, bytes::Bytes::new());
+/// Wake this run's status collectors so they can observe their shutdown
+/// flag. The status topic is run-scoped, so other runs on the same
+/// broker never even see the sentinel.
+pub(crate) fn publish_shutdown_sentinel(broker: &dyn Broker, ns: &TopicNamespace) {
+    let _ = broker.publish(ns.status(), None, bytes::Bytes::new());
 }

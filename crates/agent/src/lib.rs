@@ -41,7 +41,8 @@ pub use engine::{
     EventWait, ExecutionBackend, RunControl, RunEvent, RunEvents, RunFailure, RunHandle, RunMeta,
     RunOutcome, RunReport, RunTracker, TaskReport,
 };
-pub use message::{topics, SaMessage, StatusUpdate};
+pub use ginflow_mq::{RunId, TopicNamespace};
+pub use message::{SaMessage, StatusUpdate};
 pub use runtime::{RunOptions, WaitError};
 pub use scheduler::{Scheduler, WorkflowRun};
 

@@ -1,5 +1,10 @@
 //! Wire messages between service agents, and the status updates sent "to
 //! the multiset so as to update the status of the workflow" (§IV-A).
+//!
+//! Topic *names* live in [`ginflow_mq::TopicNamespace`]: every message
+//! here travels on a run-scoped topic (`run/<id>/sa.<task>` inboxes,
+//! `run/<id>/status`), so concurrent runs on one broker never see each
+//! other's traffic.
 
 use ginflow_core::{TaskState, Value};
 use serde::{Deserialize, Serialize};
@@ -66,17 +71,6 @@ impl StatusUpdate {
     }
 }
 
-/// Topic naming conventions shared by runtime and monitor.
-pub mod topics {
-    /// Inbox topic of a task's agent.
-    pub fn inbox(task: &str) -> String {
-        format!("sa.{task}")
-    }
-
-    /// The shared status topic.
-    pub const STATUS: &str = "status";
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,11 +100,5 @@ mod tests {
             incarnation: 2,
         };
         assert_eq!(StatusUpdate::decode(&s.encode()), Some(s));
-    }
-
-    #[test]
-    fn topic_names() {
-        assert_eq!(topics::inbox("T1"), "sa.T1");
-        assert_eq!(topics::STATUS, "status");
     }
 }

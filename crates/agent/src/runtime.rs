@@ -21,10 +21,10 @@
 use crate::core::{Event, SaCore};
 use crate::engine::RunTracker;
 use crate::exec::{publish_shutdown_sentinel, status_loop, AgentCtx, StatusBoard};
-use crate::message::{topics, SaMessage};
+use crate::message::SaMessage;
 use ginflow_core::{ServiceRegistry, TaskState, Value};
 use ginflow_hoclflow::{AdaptPlan, AgentProgram};
-use ginflow_mq::{Broker, SubscribeMode, Subscription};
+use ginflow_mq::{Broker, LagProbe, RunId, SubscribeMode, Subscription, TopicNamespace};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,6 +64,14 @@ pub struct RunOptions {
     /// transient broker and a shard set loses cross-shard messages
     /// published before this process subscribed.
     pub shard: Option<(u32, u32)>,
+    /// The run id every topic of the launch is namespaced under
+    /// (`run/<id>/sa.<task>`, `run/<id>/status`). `None` (the default)
+    /// generates a fresh id per launch, so runs sharing a broker are
+    /// isolated from each other. Pin it for multi-process sharding:
+    /// every shard of one run must join the *same* namespace
+    /// (`ginflow-engine` enforces this at `Engine::build`; `ginflow run
+    /// --shard` requires `--run-id`).
+    pub run_id: Option<RunId>,
     /// Legacy backend only: inbox poll interval (also the crash-flag
     /// observation granularity).
     pub poll_interval: Duration,
@@ -80,6 +88,7 @@ impl Default for RunOptions {
             legacy_threads: false,
             auto_recover: false,
             shard: None,
+            run_id: None,
             poll_interval: Duration::from_millis(5),
             monitor_interval: Duration::from_millis(10),
         }
@@ -172,6 +181,8 @@ struct AgentHandle {
 
 struct LegacyInner {
     broker: Arc<dyn Broker>,
+    /// The run's topic namespace (`run/<id>/…`).
+    ns: Arc<TopicNamespace>,
     registry: Arc<ServiceRegistry>,
     programs: HashMap<String, AgentProgram>,
     plans: Arc<Vec<AdaptPlan>>,
@@ -182,6 +193,8 @@ struct LegacyInner {
     shutdown: Arc<AtomicBool>,
     options: RunOptions,
     sinks: Vec<String>,
+    /// Lag probes of every subscription the run ever opened.
+    lag_probes: Mutex<Vec<LagProbe>>,
 }
 
 /// A workflow running on one thread per agent (the seed runtime).
@@ -197,6 +210,7 @@ pub(crate) fn launch_legacy(
     agents: Vec<AgentProgram>,
     plans: Vec<AdaptPlan>,
     tracker: Arc<RunTracker>,
+    ns: Arc<TopicNamespace>,
     options: RunOptions,
 ) -> LegacyRun {
     let sinks: Vec<String> = agents
@@ -206,6 +220,7 @@ pub(crate) fn launch_legacy(
         .collect();
     let inner = Arc::new(LegacyInner {
         broker,
+        ns,
         registry,
         programs: agents.iter().map(|a| (a.name.clone(), a.clone())).collect(),
         plans: Arc::new(plans),
@@ -216,13 +231,15 @@ pub(crate) fn launch_legacy(
         shutdown: Arc::new(AtomicBool::new(false)),
         options,
         sinks,
+        lag_probes: Mutex::new(Vec::new()),
     });
 
     // Status collector first: no update may be missed.
     let status_sub = inner
         .broker
-        .subscribe(topics::STATUS, SubscribeMode::Latest)
+        .subscribe(inner.ns.status(), SubscribeMode::Latest)
         .expect("status subscription");
+    inner.lag_probes.lock().push(status_sub.lag_probe());
     let status_thread = {
         let board = inner.board.clone();
         let tracker = inner.tracker.clone();
@@ -231,13 +248,19 @@ pub(crate) fn launch_legacy(
     };
 
     // All inbox subscriptions are created before any agent starts, so
-    // no agent can publish to a not-yet-subscribed inbox.
+    // no agent can publish to a not-yet-subscribed inbox. The namespace
+    // validates every task name here — the topic boundary.
     let mut pending: Vec<(AgentProgram, Subscription)> = Vec::with_capacity(agents.len());
     for program in agents {
+        let topic = inner
+            .ns
+            .inbox(&program.name)
+            .unwrap_or_else(|e| panic!("cannot launch agent: {e}"));
         let sub = inner
             .broker
-            .subscribe(&topics::inbox(&program.name), SubscribeMode::Latest)
+            .subscribe(&topic, SubscribeMode::Latest)
             .expect("inbox subscription");
+        inner.lag_probes.lock().push(sub.lag_probe());
         pending.push((program, sub));
     }
     for (program, sub) in pending {
@@ -265,6 +288,12 @@ impl LegacyRun {
 
     pub fn tracker(&self) -> &Arc<RunTracker> {
         &self.inner.tracker
+    }
+
+    /// Cumulative slow-subscriber drops across every subscription the
+    /// run ever opened.
+    pub fn lagged(&self) -> u64 {
+        self.inner.lag_probes.lock().iter().map(|p| p.get()).sum()
     }
 
     pub fn wait(&self, timeout: Duration) -> Result<HashMap<String, Value>, WaitError> {
@@ -316,7 +345,7 @@ impl LegacyRun {
         for h in handles {
             let _ = h.thread.join();
         }
-        publish_shutdown_sentinel(&*self.inner.broker);
+        publish_shutdown_sentinel(&*self.inner.broker, &self.inner.ns);
         if let Some(t) = self.status_thread.lock().take() {
             let _ = t.join();
         }
@@ -371,9 +400,13 @@ fn respawn(inner: &Arc<LegacyInner>, task: &str) -> bool {
     } else {
         SubscribeMode::Latest
     };
-    let Ok(sub) = inner.broker.subscribe(&topics::inbox(task), mode) else {
+    let Ok(topic) = inner.ns.inbox(task) else {
         return false;
     };
+    let Ok(sub) = inner.broker.subscribe(&topic, mode) else {
+        return false;
+    };
+    inner.lag_probes.lock().push(sub.lag_probe());
     spawn_agent(inner, program, sub, incarnation);
     true
 }
@@ -388,6 +421,7 @@ fn agent_loop(
     let name = core.name().to_owned();
     let ctx = AgentCtx {
         broker: &*inner.broker,
+        ns: &inner.ns,
         registry: &inner.registry,
         name: &name,
         incarnation,

@@ -37,11 +37,11 @@ use crate::engine::{
     RunTracker,
 };
 use crate::exec::{publish_shutdown_sentinel, status_loop, AgentCtx, StatusBoard};
-use crate::message::{topics, SaMessage};
+use crate::message::SaMessage;
 use crate::runtime::{launch_legacy, LegacyRun, RunOptions, WaitError};
 use ginflow_core::{ServiceRegistry, TaskState, Value, Workflow};
 use ginflow_hoclflow::{agent_programs, AdaptPlan, AgentProgram};
-use ginflow_mq::{Broker, SubscribeMode, Subscription};
+use ginflow_mq::{Broker, LagProbe, RunId, SubscribeMode, Subscription, TopicNamespace};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -86,8 +86,27 @@ impl Scheduler {
     }
 
     /// Launch pre-compiled agent programs.
+    ///
+    /// Every topic of the launch lives in the run's namespace
+    /// (`run/<id>/…`): the id is [`RunOptions::run_id`] when pinned
+    /// (mandatory for multi-process sharding — every shard must join
+    /// the same namespace), freshly generated otherwise, so two
+    /// launches against one shared broker never see each other's
+    /// messages.
+    ///
+    /// # Panics
+    ///
+    /// When an agent's name cannot form a topic segment (empty,
+    /// contains `/` or control characters — see
+    /// [`ginflow_mq::namespace::validate_segment`]); validate upstream
+    /// to fail gracefully, as the CLI does.
     pub fn launch_programs(&self, agents: Vec<AgentProgram>, plans: Vec<AdaptPlan>) -> WorkflowRun {
-        let tracker = Arc::new(RunTracker::new(RunMeta::from_programs(&agents, &plans)));
+        let run_id = self.options.run_id.clone().unwrap_or_else(RunId::generate);
+        let ns = Arc::new(TopicNamespace::new(run_id.clone()));
+        let tracker = Arc::new(RunTracker::new(
+            RunMeta::from_programs(&agents, &plans),
+            run_id,
+        ));
         if self.options.legacy_threads {
             WorkflowRun {
                 backend: Backend::Legacy(launch_legacy(
@@ -96,6 +115,7 @@ impl Scheduler {
                     agents,
                     plans,
                     tracker,
+                    ns,
                     self.options.clone(),
                 )),
             }
@@ -107,6 +127,7 @@ impl Scheduler {
                     agents,
                     plans,
                     tracker,
+                    ns,
                     self.options.clone(),
                 )),
             }
@@ -206,6 +227,12 @@ impl WorkflowRun {
         self.tracker().subscribe()
     }
 
+    /// The run's id — the key of the topic namespace (`run/<id>/…`) this
+    /// run coordinates under.
+    pub fn run_id(&self) -> &RunId {
+        self.tracker().run_id()
+    }
+
     /// Cancel the run: emits `RunFailed(Cancelled)`, tears every agent
     /// down through the broker and joins all threads before returning.
     pub fn cancel(&self) {
@@ -232,13 +259,26 @@ impl WorkflowRun {
         };
         RunReport {
             backend: self.backend_label(),
+            run_id: tracker.run_id().as_str().to_owned(),
             completed: outcome == Some(RunOutcome::Completed),
             cancelled: outcome == Some(RunOutcome::Failed(RunFailure::Cancelled)),
             deadline_expired: outcome == Some(RunOutcome::Failed(RunFailure::DeadlineExpired)),
             wall,
             adaptations_fired,
             respawns,
+            lagged: self.lagged(),
             tasks,
+        }
+    }
+
+    /// Messages this run's broker subscriptions dropped to their queue
+    /// bound (drop-oldest policy on the transient profile), cumulative
+    /// over every subscription the run ever opened — respawned
+    /// incarnations included.
+    pub fn lagged(&self) -> u64 {
+        match &self.backend {
+            Backend::Pool(run) => run.inner.lagged(),
+            Backend::Legacy(run) => run.lagged(),
         }
     }
 
@@ -293,6 +333,10 @@ impl Drop for WorkflowRun {
 impl RunControl for WorkflowRun {
     fn backend(&self) -> &'static str {
         self.backend_label()
+    }
+
+    fn run_id(&self) -> String {
+        WorkflowRun::run_id(self).as_str().to_owned()
     }
 
     fn state_of(&self, task: &str) -> Option<TaskState> {
@@ -386,6 +430,9 @@ struct AgentSlot {
 
 struct PoolInner {
     broker: Arc<dyn Broker>,
+    /// The run's topic namespace: every subscribe/publish goes through
+    /// it, so the whole run lives under `run/<id>/…`.
+    ns: Arc<TopicNamespace>,
     registry: Arc<ServiceRegistry>,
     /// Agent programs this process executes — in sharded mode, only the
     /// agents whose [`process_shard`] matches this process's shard.
@@ -404,6 +451,10 @@ struct PoolInner {
     /// Inbox subscription mode for (re)spawned agents: full replay in
     /// sharded-persistent mode, head-attach otherwise.
     inbox_mode: SubscribeMode,
+    /// Lag probes of every subscription the run ever opened (status +
+    /// every agent incarnation's inbox) — summed into
+    /// [`crate::engine::RunReport::lagged`].
+    lag_probes: Mutex<Vec<LagProbe>>,
     label: &'static str,
 }
 
@@ -438,6 +489,7 @@ fn launch_pool(
     agents: Vec<AgentProgram>,
     plans: Vec<AdaptPlan>,
     tracker: Arc<RunTracker>,
+    ns: Arc<TopicNamespace>,
     options: RunOptions,
 ) -> PoolRun {
     let workers = options.resolve_workers();
@@ -470,8 +522,9 @@ fn launch_pool(
 
     // Status collector first: no update may be missed.
     let status_sub = broker
-        .subscribe(topics::STATUS, status_mode)
+        .subscribe(ns.status(), status_mode)
         .expect("status subscription");
+    let status_lag = status_sub.lag_probe();
     let status_thread = {
         let board = board.clone();
         let tracker = tracker.clone();
@@ -495,6 +548,7 @@ fn launch_pool(
         agents.into_iter().filter(|a| is_local(&a.name)).collect();
     let inner = Arc::new(PoolInner {
         broker,
+        ns,
         registry,
         programs: local_agents
             .iter()
@@ -510,6 +564,7 @@ fn launch_pool(
         sinks,
         auto_recover: options.auto_recover,
         inbox_mode,
+        lag_probes: Mutex::new(vec![status_lag]),
         label,
     });
 
@@ -523,10 +578,18 @@ fn launch_pool(
     {
         let mut slots = inner.slots.lock();
         for program in local_agents {
+            // The namespace validates the task name here — the topic
+            // boundary — so a name that would collide or split
+            // namespaces fails the launch loudly.
+            let topic = inner
+                .ns
+                .inbox(&program.name)
+                .unwrap_or_else(|e| panic!("cannot launch agent: {e}"));
             let sub = inner
                 .broker
-                .subscribe(&topics::inbox(&program.name), inner.inbox_mode)
+                .subscribe(&topic, inner.inbox_mode)
                 .expect("inbox subscription");
+            inner.lag_probes.lock().push(sub.lag_probe());
             let slot = inner.make_slot(program, sub, 0);
             slots.insert(slot.name.clone(), slot.clone());
             fresh.push(slot);
@@ -620,6 +683,12 @@ impl PoolInner {
         self.slots.lock().get(task).cloned()
     }
 
+    /// Cumulative slow-subscriber drops across every subscription the
+    /// run ever opened.
+    fn lagged(&self) -> u64 {
+        self.lag_probes.lock().iter().map(|p| p.get()).sum()
+    }
+
     fn kill(&self, task: &str) -> bool {
         match self.slot(task) {
             Some(slot) if !slot.dead.load(Ordering::SeqCst) => {
@@ -682,9 +751,13 @@ impl PoolInner {
         } else {
             SubscribeMode::Latest
         };
-        let Ok(sub) = self.broker.subscribe(&topics::inbox(task), mode) else {
+        let Ok(topic) = self.ns.inbox(task) else {
             return false;
         };
+        let Ok(sub) = self.broker.subscribe(&topic, mode) else {
+            return false;
+        };
+        self.lag_probes.lock().push(sub.lag_probe());
         let slot = self.make_slot(program, sub, incarnation);
         slots.insert(task.to_owned(), slot.clone());
         drop(slots);
@@ -712,6 +785,7 @@ fn process(inner: &Arc<PoolInner>, slot: &Arc<AgentSlot>) {
         let mut core = slot.core.lock();
         let ctx = AgentCtx {
             broker: &*inner.broker,
+            ns: &inner.ns,
             registry: &inner.registry,
             name: &slot.name,
             incarnation: slot.incarnation,
@@ -805,7 +879,7 @@ impl PoolRun {
                 let _ = shard.send(WorkItem::Shutdown);
             }
             let _ = self.inner.reaper.send(ReaperMsg::Shutdown);
-            publish_shutdown_sentinel(&*self.inner.broker);
+            publish_shutdown_sentinel(&*self.inner.broker, &self.inner.ns);
         }
         self.inner.board.close();
         let workers: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();

@@ -1,6 +1,7 @@
 //! Broker transport A/B: 1000-task fan-out/fan-in over the in-process
 //! `LogBroker` vs the same log behind the `ginflow-net` TCP daemon on
-//! loopback (one engine, then two sharded engines). Writes
+//! loopback (one engine, two sharded engines, and two concurrent
+//! independent runs multiplexed on one daemon). Writes
 //! `results/BENCH_net.csv`.
 
 use ginflow_bench::scheduler_scale::csv_rows;
@@ -9,7 +10,8 @@ use ginflow_bench::{broker_net, csv, quick_from_args};
 fn main() {
     let quick = quick_from_args(
         "bench_broker",
-        "in-process log broker vs TCP remote broker (1 and 2 shards) on a wide fan-out/fan-in",
+        "in-process log broker vs TCP remote broker (1 shard, 2 shards, 2 concurrent runs) \
+         on a wide fan-out/fan-in",
     );
     let samples = broker_net::run(quick);
     println!(
@@ -22,12 +24,14 @@ fn main() {
             s.mode, s.tasks, s.workers, s.wall_secs, s.cpu_secs, s.completed
         );
     }
-    if let [local, remote, sharded] = &samples[..] {
+    if let [local, remote, sharded, two_runs] = &samples[..] {
         if local.completed && remote.completed {
             println!(
-                "\nnetwork membrane cost: {:.2}x wall vs in-process; 2-shard split: {:.2}x vs 1-shard remote",
+                "\nnetwork membrane cost: {:.2}x wall vs in-process; 2-shard split: {:.2}x vs \
+                 1-shard remote; 2 concurrent runs: {:.2}x vs 1 run (2x the work on one daemon)",
                 remote.wall_secs / local.wall_secs.max(1e-9),
                 sharded.wall_secs / remote.wall_secs.max(1e-9),
+                two_runs.wall_secs / remote.wall_secs.max(1e-9),
             );
         }
     }

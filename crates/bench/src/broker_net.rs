@@ -1,16 +1,19 @@
 //! Broker-transport A/B: the same fan-out/fan-in coordination workload
 //! over (a) the in-process persistent log, (b) the same log behind the
 //! `ginflow-net` TCP daemon on loopback, one process-equivalent engine,
-//! and (c) two sharded engines splitting the agents over that daemon.
+//! (c) two sharded engines splitting the agents over that daemon, and
+//! (d) two *independent concurrent runs* (distinct run-scoped topic
+//! namespaces) multiplexed onto one daemon.
 //!
 //! Every task is a zero-work tracing stub, so the numbers isolate what
-//! the network membrane costs (publish round trips, EVENT push latency)
-//! and what sharding buys back once agents are split across engines.
-//! Emits `results/BENCH_net.csv`.
+//! the network membrane costs (publish round trips, EVENT push latency),
+//! what sharding buys back once agents are split across engines, and
+//! what multi-run tenancy costs a standing daemon versus serving one
+//! run. Emits `results/BENCH_net.csv`.
 
 use crate::scheduler_scale::{fan_out_fan_in, process_cpu, Sample};
 use ginflow_core::ServiceRegistry;
-use ginflow_engine::{Backend, Engine};
+use ginflow_engine::{Backend, Engine, RunId};
 use ginflow_mq::{Broker, LogBroker};
 use ginflow_net::{BrokerServer, RemoteBroker};
 use std::sync::Arc;
@@ -108,6 +111,7 @@ pub fn run_remote_sharded(width: usize, workers: usize, timeout: Duration) -> Sa
             .broker(Arc::new(remote))
             .registry(registry())
             .workers(workers)
+            .run_id(RunId::new("bench-sharded").expect("valid run id"))
             .backend(Backend::Sharded { shard, of: 2 })
             .deadline(timeout)
             .build()
@@ -131,6 +135,43 @@ pub fn run_remote_sharded(width: usize, workers: usize, timeout: Duration) -> Sa
     out
 }
 
+/// (d) two *concurrent independent runs* on one daemon: same workload
+/// twice, each under its own run-scoped topic namespace, racing on the
+/// shared log. Wall time is launch → both runs observing completion;
+/// each run's tasks count separately (the daemon handles 2× traffic).
+/// Compares against [`run_remote`] to price multi-run tenancy.
+pub fn run_two_runs(width: usize, workers: usize, timeout: Duration) -> Sample {
+    let wf = fan_out_fan_in(width);
+    let server = BrokerServer::bind("127.0.0.1:0", Arc::new(LogBroker::new()))
+        .expect("bind loopback broker");
+    let engine = |run: &str| {
+        let remote = RemoteBroker::connect(&server.local_addr().to_string()).expect("connect run");
+        Engine::builder()
+            .broker(Arc::new(remote))
+            .registry(registry())
+            .workers(workers)
+            .run_id(RunId::new(run).expect("valid run id"))
+            .deadline(timeout)
+            .build()
+    };
+    let cpu0 = process_cpu();
+    let started = Instant::now();
+    let run_a = engine("bench-run-a").launch(&wf);
+    let run_b = engine("bench-run-b").launch(&wf);
+    let report_a = run_a.join();
+    let report_b = run_b.join();
+    let wall = started.elapsed();
+    let ok = report_a.completed
+        && report_b.completed
+        // Isolation: neither run observed the other's tasks or events.
+        && report_a.tasks.len() == wf.dag().len()
+        && report_b.tasks.len() == wf.dag().len();
+    let cpu = process_cpu().saturating_sub(cpu0);
+    let out = sample("remote_2runs", width, workers, wall, cpu, ok);
+    server.stop();
+    out
+}
+
 /// The whole campaign at one scale.
 pub fn run(quick: bool) -> Vec<Sample> {
     let width = if quick { 200 } else { 1000 };
@@ -142,6 +183,7 @@ pub fn run(quick: bool) -> Vec<Sample> {
         run_local(width, workers, timeout),
         run_remote(width, workers, timeout),
         run_remote_sharded(width, workers, timeout),
+        run_two_runs(width, workers, timeout),
     ]
 }
 
@@ -150,7 +192,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_three_transports_complete_a_small_fanout() {
+    fn all_four_transports_complete_a_small_fanout() {
         for s in run_small() {
             assert!(s.completed, "{} did not complete", s.mode);
             assert_eq!(s.tasks, 18);
@@ -163,6 +205,7 @@ mod tests {
             run_local(16, 2, timeout),
             run_remote(16, 2, timeout),
             run_remote_sharded(16, 2, timeout),
+            run_two_runs(16, 2, timeout),
         ]
     }
 }

@@ -5,9 +5,13 @@
 //! ginflow translate <workflow.json>
 //! ginflow run <workflow.json> [--broker activemq|kafka|tcp://HOST:PORT]
 //!                             [--executor centralized|scheduler|legacy-threads|sim]
-//!                             [--shard I/N] [--workers N] [--shell]
+//!                             [--run-id ID] [--shard I/N] [--workers N] [--shell]
 //!                             [--service-sleep MS] [--timeout SECS] [--follow]
 //! ginflow broker serve [--addr HOST:PORT] [--profile kafka|activemq]
+//!                      [--retention SECS]
+//! ginflow broker runs  [--addr HOST:PORT]
+//! ginflow broker close <run> [--addr HOST:PORT]
+//! ginflow broker gc    [--addr HOST:PORT]
 //! ginflow simulate <workflow.json> [--broker activemq|kafka] [--seed N]
 //!                                  [--service-secs X] [--fail-p P --fail-t T]
 //! ginflow montage [--simulate]
@@ -40,18 +44,24 @@
 //!
 //! Every shard waits on the *whole* workflow (the shared status topic is
 //! the cross-shard membrane) and exits 0 once all sinks complete. A
-//! killed shard process can simply be relaunched: against the kafka
-//! profile it replays its agents' inboxes from the persistent log and
-//! catches back up (§IV-B, applied to a whole process).
+//! killed shard process can simply be relaunched with the same
+//! `--run-id`: against the kafka profile it replays its agents' inboxes
+//! from the persistent log and catches back up (§IV-B, applied to a
+//! whole process).
 //!
-//! Topics are named by task and the daemon's log lives in memory, so
-//! run one daemon per workflow run (or restart it between runs):
-//! pointing a *second* logical run at a daemon that already holds a
-//! finished run's history would replay that history. Run-scoped topic
-//! namespaces and file-backed logs are on the ROADMAP.
+//! Topics are **run-scoped** (`run/<id>/…`): every run gets a fresh id
+//! (printed in the summary line) unless pinned with `--run-id`, so one
+//! standing daemon serves any number of concurrent or back-to-back runs
+//! with no cross-run replay. Sharded runs must pin `--run-id` — the N
+//! shard processes of one run coordinate by sharing the namespace.
+//! `ginflow broker runs` lists the daemon's runs with per-run topic
+//! accounting; a completed run's topics are reclaimed by
+//! `ginflow broker gc` or automatically after `--retention SECS`. The
+//! daemon's log still lives in memory: a daemon *restart* loses
+//! retained history (file-backed logs are on the ROADMAP).
 
 use ginflow_core::{json, ServiceRegistry, ShellService, TraceService, Workflow};
-use ginflow_engine::{Backend, Engine};
+use ginflow_engine::{Backend, Engine, RunId};
 use ginflow_hoclflow::{compile_centralized, run as run_centralized, CentralizedConfig};
 use ginflow_mq::BrokerKind;
 use ginflow_sim::{simulate, CostModel, FailureSpec, ServiceModel, SimConfig, SECOND};
@@ -99,21 +109,29 @@ fn print_usage() {
          \x20 ginflow translate <workflow.json>\n\
          \x20 ginflow run       <workflow.json> [--broker activemq|kafka|tcp://HOST:PORT]\n\
          \x20                   [--executor centralized|scheduler|legacy-threads|sim]\n\
-         \x20                   [--shard I/N] [--workers N] [--shell]\n\
+         \x20                   [--run-id ID] [--shard I/N] [--workers N] [--shell]\n\
          \x20                   [--service-sleep MS] [--timeout SECS] [--follow]\n\
          \x20 ginflow broker    serve [--addr HOST:PORT] [--profile kafka|activemq]\n\
+         \x20                   [--retention SECS]\n\
+         \x20 ginflow broker    runs [--addr HOST:PORT]\n\
+         \x20 ginflow broker    close <run> [--addr HOST:PORT]\n\
+         \x20 ginflow broker    gc [--addr HOST:PORT]\n\
          \x20 ginflow simulate  <workflow.json> [--broker activemq|kafka] [--seed N]\n\
          \x20                   [--service-secs X] [--fail-p P --fail-t T]\n\
          \x20 ginflow montage   [--simulate]\n\
          \n\
-         distributed mode: start the broker daemon, then launch one `run`\n\
-         per shard against it — the same workflow executes across N OS\n\
-         processes sharing nothing but the broker:\n\
+         distributed mode: start the broker daemon once, then launch one\n\
+         `run` per shard against it — the same workflow executes across N\n\
+         OS processes sharing nothing but the broker. Topics are scoped\n\
+         per run (run/<id>/...), so the daemon serves many runs: shards\n\
+         of one run share a --run-id, different runs use different ids:\n\
          \x20 ginflow broker serve --addr 0.0.0.0:7433 &\n\
-         \x20 ginflow run wf.json --broker tcp://HOST:7433 --shard 0/2 &\n\
-         \x20 ginflow run wf.json --broker tcp://HOST:7433 --shard 1/2\n\
+         \x20 ginflow run wf.json --broker tcp://HOST:7433 --run-id a --shard 0/2 &\n\
+         \x20 ginflow run wf.json --broker tcp://HOST:7433 --run-id a --shard 1/2\n\
          every shard exits 0 once all sinks complete; a killed shard can\n\
-         be relaunched and replays its state from the persistent log."
+         be relaunched (same --run-id) and replays its state from the\n\
+         persistent log. `broker runs` lists the daemon's runs; completed\n\
+         runs' topics are reclaimed by `broker gc` or --retention SECS."
     );
 }
 
@@ -136,6 +154,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--service-sleep",
     "--addr",
     "--profile",
+    "--run-id",
+    "--retention",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
@@ -315,6 +335,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|e| format!("--workers: {e}"))?;
     let shard = flags.shard()?;
+    // Validated at the topic boundary: an id with '/' or whitespace
+    // would silently collide or split namespaces on a shared daemon.
+    let run_id = flags
+        .value("--run-id")
+        .map(|id| RunId::new(id).map_err(|e| format!("--run-id: {e}")))
+        .transpose()?;
+    if shard.is_some() && run_id.is_none() {
+        return Err(
+            "--shard requires --run-id: topics are run-scoped (run/<id>/...), so every \
+             shard process of one run must be launched with the same id to share a \
+             namespace"
+                .to_owned(),
+        );
+    }
     match flags.value("--executor").unwrap_or("scheduler") {
         "centralized" => {
             if shard.is_some() {
@@ -348,6 +382,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         // raise --workers or pick legacy-threads until service
         // offloading lands.
         executor @ ("scheduler" | "threaded" | "legacy-threads" | "sim") => {
+            // Task names become topic segments (run/<id>/sa.<task>);
+            // reject invalid ones here with a clean error instead of
+            // panicking deep inside the launch.
+            for (_, spec) in wf.dag().iter() {
+                ginflow_mq::namespace::validate_segment("task name", &spec.name)
+                    .map_err(|e| e.to_string())?;
+            }
             let backend = match executor {
                 "legacy-threads" => Backend::LegacyThreads,
                 "sim" => Backend::Sim,
@@ -378,6 +419,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 .workers(workers)
                 .backend(backend.clone())
                 .deadline(Duration::from_secs(timeout));
+            if let Some(id) = run_id {
+                builder = builder.run_id(id);
+            }
+            // Kept aside for the post-run registry calls: a completed
+            // run is marked closed on the daemon so its topics become
+            // reclaimable.
+            let mut remote_handle: Option<Arc<ginflow_net::RemoteBroker>> = None;
             builder = match flags.broker_arg()? {
                 BrokerArg::Kind(kind) => {
                     // A private in-process broker cannot host the other
@@ -395,8 +443,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                         return Err("--executor sim cannot use a tcp:// broker".to_owned());
                     }
                     use ginflow_mq::Broker as _;
-                    let remote = ginflow_net::RemoteBroker::connect(&addr)
-                        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+                    let remote = Arc::new(
+                        ginflow_net::RemoteBroker::connect(&addr)
+                            .map_err(|e| format!("connecting to {addr}: {e}"))?,
+                    );
                     // Sharded runs recover cross-shard progress from the
                     // log; the transient daemon profile cannot replay,
                     // so a late-starting shard would lose messages.
@@ -407,7 +457,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                              `ginflow broker serve --profile kafka`"
                         ));
                     }
-                    builder.broker(Arc::new(remote))
+                    remote_handle = Some(remote.clone());
+                    builder.broker(remote)
                 }
             };
             let engine = builder.build();
@@ -441,13 +492,32 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 }
             }
             println!(
-                "backend={} completed={} wall={:.3}s adaptations={} respawns={}",
+                "backend={} run={} completed={} wall={:.3}s adaptations={} respawns={} lagged={}",
                 report.backend,
+                report.run_id,
                 report.completed,
                 report.wall.as_secs_f64(),
                 report.adaptations_fired,
-                report.respawns
+                report.respawns,
+                report.lagged
             );
+            // join() only returns on a terminal outcome (completed,
+            // cancelled, deadline expired): mark the run closed on the
+            // daemon so `broker gc` (or the retention sweeper) may
+            // reclaim its topics — failed runs must not pin the
+            // daemon's memory forever. Exception: a *failed shard* must
+            // NOT close the run — its log is exactly what a relaunched
+            // sibling (same --run-id) replays to recover, and a local
+            // deadline expiry says nothing about the peers; abandoned
+            // sharded runs are reclaimed by the operator
+            // (`ginflow broker close RUN` + `gc`). Best-effort: a
+            // racing shard may already have closed it, and a dead
+            // daemon no longer holds anything to reclaim.
+            if report.completed || shard.is_none() {
+                if let Some(remote) = remote_handle {
+                    let _ = remote.close_run(&report.run_id);
+                }
+            }
             if report.completed {
                 Ok(())
             } else if report.deadline_expired {
@@ -462,23 +532,80 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `ginflow broker serve`: the standalone broker daemon of distributed
-/// mode. Blocks until killed; prints the bound address (port 0 resolves
-/// to an ephemeral port) so wrappers can parse it.
+/// `ginflow broker` — the daemon and its run-registry tools.
+///
+/// * `serve`: the standalone broker daemon of distributed mode. Blocks
+///   until killed; prints the bound address (port 0 resolves to an
+///   ephemeral port) so wrappers can parse it. `--retention SECS` makes
+///   the daemon reclaim a completed run's topics automatically that
+///   long after the run is closed.
+/// * `runs`: list the daemon's runs (per-run topic accounting).
+/// * `close`: mark a run completed by hand — how an operator retires an
+///   abandoned run (e.g. a sharded run whose processes died) so `gc`
+///   can reclaim it.
+/// * `gc`: reclaim every completed run's topics now.
 fn cmd_broker(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     match flags.positional.first() {
-        Some(&"serve") => {}
-        other => {
-            return Err(format!(
-                "broker subcommand {:?}: only `serve` exists",
-                other.unwrap_or(&"<none>")
-            ))
+        Some(&"serve") => cmd_broker_serve(&flags),
+        Some(&"close") => {
+            let run = flags
+                .positional
+                .get(1)
+                .ok_or("broker close: expected a run id")?;
+            let client = broker_client(&flags)?;
+            if client.close_run(run).map_err(|e| e.to_string())? {
+                println!("run {run} marked completed (reclaimable by gc)");
+                Ok(())
+            } else {
+                Err(format!("daemon knows no run {run:?}"))
+            }
         }
+        Some(&"runs") => {
+            let client = broker_client(&flags)?;
+            let runs = client.list_runs().map_err(|e| e.to_string())?;
+            if runs.is_empty() {
+                println!("no runs");
+            }
+            for r in runs {
+                println!(
+                    "{:<24} topics={:<4} retained={:<8} {}",
+                    r.run,
+                    r.topics,
+                    r.retained,
+                    if r.completed { "completed" } else { "active" }
+                );
+            }
+            Ok(())
+        }
+        Some(&"gc") => {
+            let client = broker_client(&flags)?;
+            let (runs, topics) = client.gc_runs().map_err(|e| e.to_string())?;
+            println!("reclaimed {runs} run(s), {topics} topic(s)");
+            Ok(())
+        }
+        other => Err(format!(
+            "broker subcommand {:?}: expected serve|runs|close|gc",
+            other.unwrap_or(&"<none>")
+        )),
     }
+}
+
+/// Connect to a daemon for the registry subcommands (`runs`, `gc`).
+fn broker_client(flags: &Flags<'_>) -> Result<ginflow_net::RemoteBroker, String> {
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:7433");
+    ginflow_net::RemoteBroker::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))
+}
+
+fn cmd_broker_serve(flags: &Flags<'_>) -> Result<(), String> {
     let addr = flags.value("--addr").unwrap_or("127.0.0.1:7433");
     let kind = parse_profile(flags.value("--profile").unwrap_or("kafka"))?;
-    let server = ginflow_net::BrokerServer::bind(addr, kind.build())
+    let retention = flags
+        .value("--retention")
+        .map(|s| s.parse::<u64>().map_err(|e| format!("--retention: {e}")))
+        .transpose()?
+        .map(Duration::from_secs);
+    let server = ginflow_net::BrokerServer::bind_with_retention(addr, kind.build(), retention)
         .map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
         "ginflow broker ({}) listening on {}",

@@ -247,22 +247,38 @@ fn spawn_broker() -> (Reaper, String) {
     (Reaper(child), addr)
 }
 
-fn spawn_shard(
+/// Launch one `ginflow run` against a daemon; `shard` of `Some("0/2")`
+/// adds `--shard` (which requires the pinned run id).
+fn spawn_run(
     workflow: &std::path::Path,
     addr: &str,
-    shard: &str,
+    run_id: &str,
+    shard: Option<&str>,
     extra: &[&str],
 ) -> std::process::Child {
-    ginflow()
-        .arg("run")
+    let mut cmd = ginflow();
+    cmd.arg("run")
         .arg(workflow)
-        .args(["--broker", &format!("tcp://{addr}"), "--shard", shard])
-        .args(["--timeout", "60"])
+        .args(["--broker", &format!("tcp://{addr}"), "--run-id", run_id]);
+    if let Some(shard) = shard {
+        cmd.args(["--shard", shard]);
+    }
+    cmd.args(["--timeout", "60"])
         .args(extra)
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::piped())
         .spawn()
         .unwrap()
+}
+
+fn spawn_shard(
+    workflow: &std::path::Path,
+    addr: &str,
+    run_id: &str,
+    shard: &str,
+    extra: &[&str],
+) -> std::process::Child {
+    spawn_run(workflow, addr, run_id, Some(shard), extra)
 }
 
 fn assert_shard_completed(label: &str, out: std::process::Output) -> String {
@@ -280,8 +296,8 @@ fn assert_shard_completed(label: &str, out: std::process::Output) -> String {
 fn distributed_two_shard_smoke() {
     let path = write_workflow(&tmpdir(), "dist.json", FIG2);
     let (_broker, addr) = spawn_broker();
-    let shard0 = spawn_shard(&path, &addr, "0/2", &[]);
-    let shard1 = spawn_shard(&path, &addr, "1/2", &[]);
+    let shard0 = spawn_shard(&path, &addr, "smoke", "0/2", &[]);
+    let shard1 = spawn_shard(&path, &addr, "smoke", "1/2", &[]);
     let out0 = assert_shard_completed("shard 0", shard0.wait_with_output().unwrap());
     let out1 = assert_shard_completed("shard 1", shard1.wait_with_output().unwrap());
     // Both processes observed the same cross-process sink result.
@@ -289,6 +305,113 @@ fn distributed_two_shard_smoke() {
     assert!(out0.contains(sink), "shard 0 sink: {out0}");
     assert!(out1.contains(sink), "shard 1 sink: {out1}");
     assert!(out0.contains("backend=sharded"), "{out0}");
+    assert!(out0.contains("run=smoke"), "{out0}");
+}
+
+#[test]
+fn task_name_with_separator_is_rejected_cleanly() {
+    // "a/b" would split the run's topic namespace; the CLI refuses it
+    // with an error (not a panic). A name with a space stays legal.
+    let bad = r#"{"name": "w", "tasks": [{"name": "a/b", "service": "s", "inputs": ["x"]}]}"#;
+    let path = write_workflow(&tmpdir(), "badname.json", bad);
+    let out = ginflow().arg("run").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("task name"), "{stderr}");
+    assert!(stderr.contains("a/b"), "{stderr}");
+
+    let spaced =
+        r#"{"name": "w", "tasks": [{"name": "load data", "service": "s", "inputs": ["x"]}]}"#;
+    let path = write_workflow(&tmpdir(), "spacedname.json", spaced);
+    let out = ginflow()
+        .args(["run", "--timeout", "30"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("completed=true"));
+}
+
+#[test]
+fn sharded_run_without_run_id_is_rejected() {
+    let path = write_workflow(&tmpdir(), "noid.json", FIG2);
+    let out = ginflow()
+        .arg("run")
+        .arg(&path)
+        .args(["--broker", "tcp://127.0.0.1:1", "--shard", "0/2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--run-id"), "{stderr}");
+}
+
+/// One standing daemon, many runs: a 2-way sharded run and a plain run
+/// of the *same* workflow execute concurrently under different run ids
+/// (so their topics would collide task-for-task without run scoping),
+/// then a third run reuses the warm daemon back-to-back. The registry
+/// lists every run, and GC reclaims the completed runs' topics.
+#[test]
+fn one_daemon_serves_concurrent_and_back_to_back_runs() {
+    let path = write_workflow(&tmpdir(), "multi.json", FIG2);
+    let (_broker, addr) = spawn_broker();
+
+    // Concurrent: run "a" sharded 2-way + run "b" plain, same workflow.
+    let a0 = spawn_shard(&path, &addr, "a", "0/2", &[]);
+    let a1 = spawn_shard(&path, &addr, "a", "1/2", &[]);
+    let b = spawn_run(&path, &addr, "b", None, &[]);
+    let out_a0 = assert_shard_completed("run a shard 0", a0.wait_with_output().unwrap());
+    let out_a1 = assert_shard_completed("run a shard 1", a1.wait_with_output().unwrap());
+    let out_b = assert_shard_completed("run b", b.wait_with_output().unwrap());
+    let sink = "s4(s2(s1(input)),s3(s1(input)))";
+    for (label, out) in [("a0", &out_a0), ("a1", &out_a1), ("b", &out_b)] {
+        assert!(out.contains(sink), "{label}: {out}");
+    }
+    assert!(out_a0.contains("run=a"), "{out_a0}");
+    assert!(out_b.contains("run=b"), "{out_b}");
+    assert!(out_b.contains("backend=scheduler"), "{out_b}");
+
+    // The registry accounted both runs (fig2 = 4 inboxes + status each)
+    // and both were auto-closed on completion.
+    let runs = ginflow()
+        .args(["broker", "runs", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(runs.status.success());
+    let listing = String::from_utf8_lossy(&runs.stdout).into_owned();
+    for line in ["a ", "b "] {
+        assert!(listing.contains(line), "{listing}");
+    }
+    assert!(listing.contains("topics=5"), "{listing}");
+    assert!(listing.contains("completed"), "{listing}");
+
+    // GC reclaims both completed runs' topics.
+    let gc = ginflow()
+        .args(["broker", "gc", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(gc.status.success());
+    let gc_out = String::from_utf8_lossy(&gc.stdout).into_owned();
+    assert!(
+        gc_out.contains("reclaimed 2 run(s), 10 topic(s)"),
+        "{gc_out}"
+    );
+
+    // Back-to-back: the warm (now reclaimed) daemon serves a fresh run.
+    let c = spawn_run(&path, &addr, "c", None, &[]);
+    let out_c = assert_shard_completed("run c", c.wait_with_output().unwrap());
+    assert!(out_c.contains(sink), "{out_c}");
+    let runs2 = ginflow()
+        .args(["broker", "runs", "--addr", &addr])
+        .output()
+        .unwrap();
+    let listing2 = String::from_utf8_lossy(&runs2.stdout).into_owned();
+    assert!(listing2.contains("c "), "{listing2}");
+    assert!(!listing2.contains("a "), "run a was reclaimed: {listing2}");
 }
 
 #[test]
@@ -308,8 +431,8 @@ fn killed_shard_process_recovers_via_replay() {
     let path = write_workflow(&tmpdir(), "pipeline.json", pipeline);
     let (_broker, addr) = spawn_broker();
     let slow = ["--service-sleep", "120"];
-    let shard0 = spawn_shard(&path, &addr, "0/2", &slow);
-    let mut shard1 = spawn_shard(&path, &addr, "1/2", &slow);
+    let shard0 = spawn_shard(&path, &addr, "kill", "0/2", &slow);
+    let mut shard1 = spawn_shard(&path, &addr, "kill", "1/2", &slow);
 
     // SIGKILL shard 1 mid-run: no teardown, no goodbye — the paper's
     // killed JVM as a killed OS process.
@@ -317,9 +440,10 @@ fn killed_shard_process_recovers_via_replay() {
     shard1.kill().unwrap();
     let _ = shard1.wait();
 
-    // Relaunch it. The fresh process replays inboxes + status from the
-    // persistent log and the workflow still completes everywhere.
-    let shard1b = spawn_shard(&path, &addr, "1/2", &slow);
+    // Relaunch it with the same run id: the fresh process replays
+    // inboxes + status from *this run's* topics in the persistent log
+    // and the workflow still completes everywhere.
+    let shard1b = spawn_shard(&path, &addr, "kill", "1/2", &slow);
     let out0 = assert_shard_completed("shard 0", shard0.wait_with_output().unwrap());
     let out1 = assert_shard_completed("respawned shard 1", shard1b.wait_with_output().unwrap());
     let sink = "\"s(s(s(s(s(s(x))))))\"";

@@ -36,6 +36,7 @@ pub use ginflow_agent::engine::{
     RunOutcome, RunReport, RunTracker, TaskReport,
 };
 pub use ginflow_agent::{RunOptions, WaitError};
+pub use ginflow_mq::{RunId, TopicNamespace};
 pub use ginflow_sim::SimBackend;
 
 use ginflow_agent::Scheduler;
@@ -81,6 +82,7 @@ pub struct EngineBuilder {
     backend: Backend,
     sim: SimConfig,
     deadline: Option<Duration>,
+    run_id: Option<RunId>,
 }
 
 impl EngineBuilder {
@@ -148,18 +150,32 @@ impl EngineBuilder {
         self
     }
 
+    /// Pin the run id: every topic of a launched run lives under
+    /// `run/<id>/…`, so runs sharing one broker (a standing
+    /// `ginflow broker serve` daemon included) never see each other's
+    /// messages. Absent, every launch generates a fresh id. Pinning is
+    /// **required** for [`Backend::Sharded`] — the N shard processes of
+    /// one run must agree on the namespace — and is how a respawned
+    /// shard rejoins its run.
+    pub fn run_id(mut self, run_id: RunId) -> Self {
+        self.run_id = Some(run_id);
+        self
+    }
+
     /// Assemble the engine.
     ///
     /// # Panics
     ///
     /// On an invalid [`Backend::Sharded`] spec (`of == 0`,
-    /// `shard >= of`, or a non-persistent broker — a late-starting
+    /// `shard >= of`, a non-persistent broker — a late-starting
     /// shard can only catch up on its peers' progress by replaying the
     /// log, so sharding over a transient broker would silently lose
-    /// cross-shard messages and hang the run).
+    /// cross-shard messages and hang the run — or a missing
+    /// [`EngineBuilder::run_id`], without which the shard processes
+    /// would each generate a private namespace and never coordinate).
     pub fn build(self) -> Engine {
         let backend: Arc<dyn ExecutionBackend> = match self.backend {
-            Backend::Sim => Arc::new(SimBackend::new(self.sim)),
+            Backend::Sim => Arc::new(SimBackend::new(self.sim).with_run_id(self.run_id)),
             live => {
                 let broker = self.broker.unwrap_or_else(|| BrokerKind::Transient.build());
                 let registry = self
@@ -167,6 +183,7 @@ impl EngineBuilder {
                     .unwrap_or_else(|| Arc::new(ServiceRegistry::new()));
                 let mut options = self.options;
                 options.legacy_threads = live == Backend::LegacyThreads;
+                options.run_id = self.run_id;
                 if let Backend::Sharded { shard, of } = live {
                     assert!(
                         of >= 1 && shard < of,
@@ -179,6 +196,13 @@ impl EngineBuilder {
                          ginflow_net::RemoteBroker to a `ginflow broker serve` daemon on the \
                          kafka profile — an in-process broker, persistent or not, is invisible \
                          to the other shard processes"
+                    );
+                    assert!(
+                        options.run_id.is_some(),
+                        "Backend::Sharded requires .run_id(..): topics are run-scoped \
+                         (run/<id>/…), so every shard process of one run must be built with \
+                         the same run id to share a namespace (`ginflow run --shard I/N \
+                         --run-id ID`)"
                     );
                     options.shard = Some((shard, of));
                 }

@@ -14,7 +14,7 @@ use ginflow_core::{
     patterns, Connectivity, ServiceRegistry, SleepService, TaskState, TraceService, Value,
     Workflow, WorkflowBuilder,
 };
-use ginflow_engine::{Backend, Engine, RunReport};
+use ginflow_engine::{Backend, Engine, RunId, RunReport};
 use ginflow_mq::LogBroker;
 use ginflow_net::{BrokerServer, RemoteBroker};
 use std::collections::BTreeMap;
@@ -40,12 +40,14 @@ fn sink_results(report: &RunReport, sinks: &[&str]) -> BTreeMap<String, Option<V
         .collect()
 }
 
-fn sharded_engine(server: &BrokerServer, shard: u32, of: u32) -> Engine {
+fn sharded_engine(server: &BrokerServer, run_id: &str, shard: u32, of: u32) -> Engine {
     let broker = RemoteBroker::connect(&server.local_addr().to_string()).unwrap();
     Engine::builder()
         .broker(Arc::new(broker))
         .registry(services())
         .workers(1)
+        // Every shard process of one run must join the same namespace.
+        .run_id(RunId::new(run_id).unwrap())
         .backend(Backend::Sharded { shard, of })
         .build()
 }
@@ -82,8 +84,8 @@ fn two_tcp_shards_agree_with_single_process() {
 
     // Distributed: two sharded engines, one TCP broker between them.
     let server = BrokerServer::bind("127.0.0.1:0", Arc::new(LogBroker::new())).unwrap();
-    let run0 = sharded_engine(&server, 0, 2).launch(&wf);
-    let run1 = sharded_engine(&server, 1, 2).launch(&wf);
+    let run0 = sharded_engine(&server, "agree", 0, 2).launch(&wf);
+    let run1 = sharded_engine(&server, "agree", 1, 2).launch(&wf);
     let results0 = run0.wait(Duration::from_secs(60)).unwrap();
     let results1 = run1.wait(Duration::from_secs(60)).unwrap();
     let report0 = run0.join();
@@ -132,6 +134,9 @@ fn killed_shard_respawns_and_completes_via_replay() {
             .broker(Arc::new(broker))
             .registry(registry.clone())
             .workers(1)
+            // The respawned shard rejoins the same run id — that is
+            // what scopes the log it replays to *this* run.
+            .run_id(RunId::new("kill-replay").unwrap())
             .backend(Backend::Sharded { shard, of: 2 })
             .build()
     };

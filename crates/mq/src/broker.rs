@@ -58,6 +58,16 @@ pub trait Broker: Send + Sync {
     /// Total retained messages in `topic` across partitions (0 on
     /// non-persistent brokers) — used by recovery to bound replay.
     fn retained(&self, topic: &str) -> u64;
+
+    /// Drop `topic` entirely: retained messages and subscriber
+    /// registrations (live [`Subscription`]s see disconnection). The
+    /// reclamation hook a standing daemon's run GC is built on. Returns
+    /// whether the topic existed; the default (for brokers that cannot
+    /// reclaim, e.g. a remote frontend) removes nothing.
+    fn delete_topic(&self, topic: &str) -> bool {
+        let _ = topic;
+        false
+    }
 }
 
 /// Callback invoked (after the broker's topic lock is released)
@@ -290,6 +300,26 @@ impl Subscription {
     /// defined behaviour, not an error.
     pub fn lagged(&self) -> u64 {
         self.lagged.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// A detached reader of this subscription's [`Subscription::lagged`]
+    /// counter, usable after the subscription itself moved into a
+    /// consumer thread — how a run aggregates slow-subscriber drops
+    /// across all its subscriptions for its report.
+    pub fn lag_probe(&self) -> LagProbe {
+        LagProbe(self.lagged.clone())
+    }
+}
+
+/// Shareable view of one subscription's lag counter (messages dropped by
+/// the drop-oldest bound); see [`Subscription::lag_probe`].
+#[derive(Clone)]
+pub struct LagProbe(LagCounter);
+
+impl LagProbe {
+    /// The current drop count.
+    pub fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

@@ -28,6 +28,17 @@ pub enum MqError {
         /// Server-side error text.
         message: String,
     },
+    /// A run id or task name was rejected at the topic boundary (empty,
+    /// or containing a path separator / whitespace) — publishing under
+    /// it would silently collide or split namespaces.
+    InvalidTopic {
+        /// What kind of segment was rejected ("run id", "task name").
+        what: &'static str,
+        /// The offending value.
+        name: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for MqError {
@@ -45,6 +56,9 @@ impl fmt::Display for MqError {
             MqError::Disconnected => f.write_str("broker disconnected"),
             MqError::Timeout => f.write_str("timed out waiting for a message"),
             MqError::Remote { message } => write!(f, "remote broker: {message}"),
+            MqError::InvalidTopic { what, name, reason } => {
+                write!(f, "invalid {what} {name:?}: {reason}")
+            }
         }
     }
 }
@@ -66,5 +80,13 @@ mod tests {
         }
         .to_string()
         .contains('3'));
+        let invalid = MqError::InvalidTopic {
+            what: "run id",
+            name: "a/b".into(),
+            reason: "must not contain '/'",
+        }
+        .to_string();
+        assert!(invalid.contains("run id"), "{invalid}");
+        assert!(invalid.contains("a/b"), "{invalid}");
     }
 }

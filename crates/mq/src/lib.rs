@@ -23,21 +23,29 @@
 //! the same [`Broker`] trait over a TCP connection
 //! ([`BrokerKind::Remote`]) — the membrane that lets one workflow span
 //! multiple OS processes and hosts.
+//!
+//! Topics are **run-scoped** ([`namespace`]): every workflow run owns a
+//! [`RunId`] and publishes under `run/<id>/…`, so one standing broker —
+//! in-process or a long-lived daemon — serves any number of concurrent
+//! or back-to-back runs without replaying one run's history into
+//! another.
 
 pub mod broker;
 pub mod error;
 pub mod log;
 pub mod message;
+pub mod namespace;
 pub mod transient;
 pub mod wire;
 
 pub use broker::{
-    bounded_subscription_pair, subscription_pair, Broker, Receipt, SubscribeMode, SubscriberHandle,
-    Subscription,
+    bounded_subscription_pair, subscription_pair, Broker, LagProbe, Receipt, SubscribeMode,
+    SubscriberHandle, Subscription,
 };
 pub use error::MqError;
 pub use log::LogBroker;
 pub use message::Message;
+pub use namespace::{RunId, TopicNamespace};
 pub use transient::{TransientBroker, DEFAULT_QUEUE_CAPACITY};
 
 use std::sync::Arc;

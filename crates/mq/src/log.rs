@@ -200,6 +200,12 @@ impl Broker for LogBroker {
             .map(|s| s.partitions.iter().map(|p| p.len() as u64).sum())
             .unwrap_or(0)
     }
+
+    fn delete_topic(&self, topic: &str) -> bool {
+        // Dropping the state drops every SubscriberHandle with it;
+        // live subscriptions observe disconnection on their next recv.
+        self.topics.lock().remove(topic).is_some()
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +338,23 @@ mod tests {
         b.create_topic("wide", 2);
         assert_eq!(b.partitions("wide"), 8);
         assert_eq!(b.partitions("unknown"), 1);
+    }
+
+    #[test]
+    fn delete_topic_reclaims_retention_and_disconnects_subscribers() {
+        let b = LogBroker::new();
+        b.publish("t", None, payload("m0")).unwrap();
+        let sub = b.subscribe("t", SubscribeMode::Beginning).unwrap();
+        assert!(b.delete_topic("t"));
+        assert!(!b.delete_topic("t"), "already gone");
+        assert_eq!(b.retained("t"), 0);
+        // The queued replay drains, then the channel reports the broker
+        // side gone.
+        assert_eq!(sub.recv().unwrap().payload_str(), "m0");
+        assert!(matches!(sub.recv(), Err(MqError::Disconnected)));
+        // The name is reusable from scratch.
+        b.publish("t", None, payload("fresh")).unwrap();
+        assert_eq!(b.retained("t"), 1);
     }
 
     #[test]

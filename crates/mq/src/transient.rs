@@ -128,6 +128,10 @@ impl Broker for TransientBroker {
     fn retained(&self, _topic: &str) -> u64 {
         0
     }
+
+    fn delete_topic(&self, topic: &str) -> bool {
+        self.topics.lock().remove(topic).is_some()
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +251,15 @@ mod tests {
         assert_eq!(draining.lagged(), 0, "the live consumer saw everything");
         assert_eq!(stalled.backlog(), 3);
         assert_eq!(stalled.lagged(), 5);
+    }
+
+    #[test]
+    fn delete_topic_disconnects_subscribers() {
+        let b = TransientBroker::new();
+        let sub = b.subscribe("t", SubscribeMode::Latest).unwrap();
+        assert!(b.delete_topic("t"));
+        assert!(matches!(sub.recv(), Err(MqError::Disconnected)));
+        assert!(!b.delete_topic("t"));
     }
 
     #[test]

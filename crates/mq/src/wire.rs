@@ -28,6 +28,9 @@
 //!   0x03 UNSUBSCRIBE   seq:u64 sub:u64
 //!   0x04 FETCH         seq:u64 topic:str partition:u32 from:u64 max:u32
 //!   0x05 INFO          seq:u64 topic:str
+//!   0x06 RUN_LIST      seq:u64
+//!   0x07 RUN_CLOSE     seq:u64 run:str
+//!   0x08 RUN_GC        seq:u64
 //!
 //! server → client:
 //!   0x81 RECEIPT       seq:u64 partition:u32 offset:u64
@@ -35,8 +38,18 @@
 //!   0x83 MESSAGES      seq:u64 count:u32 message…
 //!   0x84 INFO_REPLY    seq:u64 persistent:u8 partitions:u32 retained:u64
 //!   0x85 ERROR         seq:u64 message:str
+//!   0x86 RUN_LIST_REPLY seq:u64 count:u32 run_stat…
+//!   0x87 RUN_GC_REPLY  seq:u64 runs:u32 topics:u32
 //!   0x90 EVENT         sub:u64 message       (unsolicited push delivery)
+//!
+//! run_stat := run:str topics:u32 retained:u64 completed:u8
 //! ```
+//!
+//! The `RUN_*` verbs are the daemon's run registry (topics are
+//! run-scoped, `run/<id>/…` — see [`crate::namespace`]): list the runs
+//! the daemon has seen with their per-run topic accounting, mark a run
+//! completed, and garbage-collect completed runs' topics so a standing
+//! daemon does not grow without bound.
 
 use crate::broker::SubscribeMode;
 use crate::message::Message;
@@ -101,6 +114,21 @@ impl From<std::io::Error> for WireError {
     }
 }
 
+/// One run's row in [`Frame::RunListReply`]: the daemon's per-run topic
+/// accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunStat {
+    /// The run id (the `<id>` of its `run/<id>/…` topics).
+    pub run: String,
+    /// Topics currently accounted to the run.
+    pub topics: u32,
+    /// Retained messages across those topics.
+    pub retained: u64,
+    /// Has the run been marked completed ([`Frame::RunClose`])?
+    /// Completed runs are reclaimable by [`Frame::RunGc`].
+    pub completed: bool,
+}
+
 /// One protocol frame. Client→server frames carry a `seq` the server
 /// echoes in its reply; [`Frame::Event`] is the unsolicited push path.
 #[derive(Clone, Debug, PartialEq)]
@@ -153,6 +181,24 @@ pub enum Frame {
         /// Topic asked about (may be empty: broker-level info only).
         topic: String,
     },
+    /// List every run the daemon's registry knows (client → server).
+    RunList {
+        /// Correlation id.
+        seq: u64,
+    },
+    /// Mark a run completed so retention GC may reclaim its topics
+    /// (client → server). Idempotent.
+    RunClose {
+        /// Correlation id.
+        seq: u64,
+        /// The run to mark.
+        run: String,
+    },
+    /// Reclaim every completed run's topics now (client → server).
+    RunGc {
+        /// Correlation id.
+        seq: u64,
+    },
     /// Publish acknowledgement (server → client).
     Receipt {
         /// Echoed correlation id.
@@ -194,6 +240,23 @@ pub enum Frame {
         partitions: u32,
         /// Retained message count of the asked topic.
         retained: u64,
+    },
+    /// Run listing (server → client).
+    RunListReply {
+        /// Echoed correlation id.
+        seq: u64,
+        /// Per-run accounting rows.
+        runs: Vec<RunStat>,
+    },
+    /// Ack of [`Frame::RunClose`] / [`Frame::RunGc`] (server → client):
+    /// how many runs and topics the operation affected.
+    RunGcReply {
+        /// Echoed correlation id.
+        seq: u64,
+        /// Runs marked (close) or reclaimed (gc).
+        runs: u32,
+        /// Topics dropped (always 0 for close).
+        topics: u32,
     },
     /// The request failed (server → client).
     Error {
@@ -310,6 +373,19 @@ impl Frame {
                 put_u64(&mut buf, *seq);
                 put_str(&mut buf, topic);
             }
+            Frame::RunList { seq } => {
+                buf.push(0x06);
+                put_u64(&mut buf, *seq);
+            }
+            Frame::RunClose { seq, run } => {
+                buf.push(0x07);
+                put_u64(&mut buf, *seq);
+                put_str(&mut buf, run);
+            }
+            Frame::RunGc { seq } => {
+                buf.push(0x08);
+                put_u64(&mut buf, *seq);
+            }
             Frame::Receipt {
                 seq,
                 partition,
@@ -350,6 +426,23 @@ impl Frame {
                 buf.push(0x85);
                 put_u64(&mut buf, *seq);
                 put_str(&mut buf, message);
+            }
+            Frame::RunListReply { seq, runs } => {
+                buf.push(0x86);
+                put_u64(&mut buf, *seq);
+                put_u32(&mut buf, runs.len() as u32);
+                for r in runs {
+                    put_str(&mut buf, &r.run);
+                    put_u32(&mut buf, r.topics);
+                    put_u64(&mut buf, r.retained);
+                    buf.push(u8::from(r.completed));
+                }
+            }
+            Frame::RunGcReply { seq, runs, topics } => {
+                buf.push(0x87);
+                put_u64(&mut buf, *seq);
+                put_u32(&mut buf, *runs);
+                put_u32(&mut buf, *topics);
             }
             Frame::Event { sub, message } => {
                 buf.push(0x90);
@@ -399,6 +492,12 @@ impl Frame {
                 seq: r.u64()?,
                 topic: r.str()?,
             },
+            0x06 => Frame::RunList { seq: r.u64()? },
+            0x07 => Frame::RunClose {
+                seq: r.u64()?,
+                run: r.str()?,
+            },
+            0x08 => Frame::RunGc { seq: r.u64()? },
             0x81 => Frame::Receipt {
                 seq: r.u64()?,
                 partition: r.u32()?,
@@ -436,6 +535,34 @@ impl Frame {
             0x85 => Frame::Error {
                 seq: r.u64()?,
                 message: r.str()?,
+            },
+            0x86 => {
+                let seq = r.u64()?;
+                let count = r.u32()? as usize;
+                // Each run_stat is at least 17 bytes; a count claiming
+                // more than fits in the body is corrupt.
+                if count > body.len() / 17 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut runs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    runs.push(RunStat {
+                        run: r.str()?,
+                        topics: r.u32()?,
+                        retained: r.u64()?,
+                        completed: match r.u8()? {
+                            0 => false,
+                            1 => true,
+                            tag => return Err(WireError::BadTag(tag)),
+                        },
+                    });
+                }
+                Frame::RunListReply { seq, runs }
+            }
+            0x87 => Frame::RunGcReply {
+                seq: r.u64()?,
+                runs: r.u32()?,
+                topics: r.u32()?,
             },
             0x90 => Frame::Event {
                 sub: r.u64()?,
@@ -639,6 +766,34 @@ mod tests {
             Frame::Error {
                 seq: 6,
                 message: "no such partition".into(),
+            },
+            Frame::RunList { seq: 7 },
+            Frame::RunClose {
+                seq: 8,
+                run: "r1f".into(),
+            },
+            Frame::RunGc { seq: 9 },
+            Frame::RunListReply {
+                seq: 7,
+                runs: vec![
+                    RunStat {
+                        run: "r1f".into(),
+                        topics: 5,
+                        retained: 1000,
+                        completed: true,
+                    },
+                    RunStat {
+                        run: "r20".into(),
+                        topics: 0,
+                        retained: 0,
+                        completed: false,
+                    },
+                ],
+            },
+            Frame::RunGcReply {
+                seq: 9,
+                runs: 2,
+                topics: 11,
             },
             Frame::Event {
                 sub: 9,

@@ -4,7 +4,7 @@
 //! trailing garbage) are rejected instead of mis-decoded.
 
 use bytes::Bytes;
-use ginflow_mq::wire::{read_frame, Frame, WireError, MAX_FRAME};
+use ginflow_mq::wire::{read_frame, Frame, RunStat, WireError, MAX_FRAME};
 use ginflow_mq::{Message, SubscribeMode};
 use proptest::prelude::*;
 
@@ -104,9 +104,30 @@ fn arb_frame() -> BoxedStrategy<Frame> {
             }
         ),
         (seq(), "[ -~]{0,48}").prop_map(|(seq, message)| Frame::Error { seq, message }),
+        seq().prop_map(|seq| Frame::RunList { seq }),
+        (seq(), arb_topic()).prop_map(|(seq, run)| Frame::RunClose { seq, run }),
+        seq().prop_map(|seq| Frame::RunGc { seq }),
+        (seq(), prop::collection::vec(arb_run_stat(), 0..4))
+            .prop_map(|(seq, runs)| Frame::RunListReply { seq, runs }),
+        (seq(), any::<u32>(), any::<u32>()).prop_map(|(seq, runs, topics)| Frame::RunGcReply {
+            seq,
+            runs,
+            topics
+        }),
         (any::<u64>(), arb_message()).prop_map(|(sub, message)| Frame::Event { sub, message }),
     ]
     .boxed()
+}
+
+fn arb_run_stat() -> BoxedStrategy<RunStat> {
+    (arb_topic(), any::<u32>(), any::<u64>(), any::<bool>())
+        .prop_map(|(run, topics, retained, completed)| RunStat {
+            run,
+            topics,
+            retained,
+            completed,
+        })
+        .boxed()
 }
 
 proptest! {

@@ -27,15 +27,19 @@
 //! *daemon* restart — the daemon's log is in-memory, so restarting it
 //! loses the retained history that replay (and the offset watermarks
 //! this client keeps) are defined against; restart the workflow run
-//! too. The same applies to reusing one long-lived daemon for multiple
-//! logical runs of the same workflow: topics are named by task, so a
-//! second run would replay the first run's retained messages. One
-//! daemon per workflow run (or a daemon restart between runs) is the
-//! supported deployment until the broker grows file-backed, namespaced
-//! logs (see ROADMAP).
+//! too (file-backed logs remain on the ROADMAP).
+//!
+//! One daemon serves **many workflow runs**: topics are run-scoped
+//! (`run/<id>/…`, [`ginflow_mq::namespace`]), so concurrent and
+//! back-to-back runs with distinct run ids never see each other's
+//! messages or history. The run-registry verbs here manage that
+//! lifecycle: [`RemoteBroker::list_runs`] shows the daemon's per-run
+//! topic accounting, [`RemoteBroker::close_run`] marks a run completed,
+//! and [`RemoteBroker::gc_runs`] reclaims completed runs' topics (the
+//! daemon's retention window does the same automatically).
 
 use crossbeam::channel::{unbounded, Sender};
-use ginflow_mq::wire::{read_frame, write_frame, Frame};
+use ginflow_mq::wire::{read_frame, write_frame, Frame, RunStat};
 use ginflow_mq::{
     subscription_pair, Broker, Message, MqError, Receipt, SubscribeMode, SubscriberHandle,
     Subscription,
@@ -262,6 +266,39 @@ impl RemoteBroker {
             other => Err(protocol_error(&other)),
         }
     }
+
+    /// The daemon's run registry: every run it has seen (topics are
+    /// run-scoped, so any `run/<id>/…` publish or subscribe registers
+    /// the run), with per-run topic and retained-message accounting.
+    pub fn list_runs(&self) -> Result<Vec<RunStat>, MqError> {
+        match self.call(|seq| Frame::RunList { seq })? {
+            Frame::RunListReply { runs, .. } => Ok(runs),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Mark `run` completed on the daemon, making its topics
+    /// reclaimable by [`RemoteBroker::gc_runs`] (or the daemon's
+    /// retention sweeper). Idempotent; returns whether the daemon knew
+    /// the run.
+    pub fn close_run(&self, run: &str) -> Result<bool, MqError> {
+        match self.call(|seq| Frame::RunClose {
+            seq,
+            run: run.to_owned(),
+        })? {
+            Frame::RunGcReply { runs, .. } => Ok(runs > 0),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Reclaim every completed run's topics now. Returns
+    /// `(runs, topics)` dropped.
+    pub fn gc_runs(&self) -> Result<(u32, u32), MqError> {
+        match self.call(|seq| Frame::RunGc { seq })? {
+            Frame::RunGcReply { runs, topics, .. } => Ok((runs, topics)),
+            other => Err(protocol_error(&other)),
+        }
+    }
 }
 
 impl Drop for RemoteBroker {
@@ -411,11 +448,17 @@ impl ClientInner {
                     None => {}
                 }
             }
-            Frame::Receipt { .. } | Frame::Messages { .. } | Frame::InfoReply { .. } => {
+            Frame::Receipt { .. }
+            | Frame::Messages { .. }
+            | Frame::InfoReply { .. }
+            | Frame::RunListReply { .. }
+            | Frame::RunGcReply { .. } => {
                 let seq = match &frame {
                     Frame::Receipt { seq, .. }
                     | Frame::Messages { seq, .. }
-                    | Frame::InfoReply { seq, .. } => *seq,
+                    | Frame::InfoReply { seq, .. }
+                    | Frame::RunListReply { seq, .. }
+                    | Frame::RunGcReply { seq, .. } => *seq,
                     _ => unreachable!(),
                 };
                 if let Some(waiter) = self.pending.lock().remove(&seq) {
@@ -448,7 +491,10 @@ impl ClientInner {
             | Frame::Subscribe { .. }
             | Frame::Unsubscribe { .. }
             | Frame::Fetch { .. }
-            | Frame::Info { .. } => {}
+            | Frame::Info { .. }
+            | Frame::RunList { .. }
+            | Frame::RunClose { .. }
+            | Frame::RunGc { .. } => {}
         }
     }
 }

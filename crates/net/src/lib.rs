@@ -24,6 +24,20 @@
 //! each process executes only the agents whose FNV name-hash lands in
 //! its shard, and the shared status topic is the cross-shard membrane.
 //!
+//! ## One standing daemon, many runs
+//!
+//! Topics are run-scoped (`run/<id>/…`, see [`ginflow_mq::namespace`]),
+//! so one long-lived daemon serves any number of concurrent or
+//! back-to-back workflow runs — distinct run ids never see each other's
+//! messages or retained history; shard processes joining the *same* run
+//! id share one namespace. The daemon keeps a **run registry** (fed
+//! purely from topic names on publish/subscribe) with per-run topic
+//! accounting: `ginflow broker runs` lists active and completed runs,
+//! `ginflow broker gc` reclaims completed runs' topics, and a retention
+//! window ([`BrokerServer::bind_with_retention`],
+//! `ginflow broker serve --retention SECS`) reclaims them automatically
+//! so the in-memory log doesn't grow without bound.
+//!
 //! ## Wire protocol
 //!
 //! Length-prefixed binary frames, defined (with the full grammar) in
@@ -33,12 +47,14 @@
 //! frame := len:u32_be body          body := opcode:u8 fields…
 //!
 //! client → server          server → client
-//!   0x01 PUBLISH             0x81 RECEIPT      (ack of PUBLISH)
-//!   0x02 SUBSCRIBE           0x82 SUBSCRIBED   (ack of SUBSCRIBE)
-//!   0x03 UNSUBSCRIBE         0x83 MESSAGES     (ack of FETCH)
-//!   0x04 FETCH               0x84 INFO_REPLY   (ack of INFO)
-//!   0x05 INFO                0x85 ERROR        (failed request)
-//!                            0x90 EVENT        (push delivery)
+//!   0x01 PUBLISH             0x81 RECEIPT        (ack of PUBLISH)
+//!   0x02 SUBSCRIBE           0x82 SUBSCRIBED     (ack of SUBSCRIBE)
+//!   0x03 UNSUBSCRIBE         0x83 MESSAGES       (ack of FETCH)
+//!   0x04 FETCH               0x84 INFO_REPLY     (ack of INFO)
+//!   0x05 INFO                0x85 ERROR          (failed request)
+//!   0x06 RUN_LIST            0x86 RUN_LIST_REPLY (ack of RUN_LIST)
+//!   0x07 RUN_CLOSE           0x87 RUN_GC_REPLY   (ack of RUN_CLOSE/RUN_GC)
+//!   0x08 RUN_GC              0x90 EVENT          (push delivery)
 //! ```
 //!
 //! Requests carry a `seq` the ack echoes (UNSUBSCRIBE is
@@ -58,6 +74,7 @@ mod tests {
     use super::*;
     use ginflow_mq::{Broker, LogBroker, SubscribeMode};
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn server_binds_ephemeral_and_stops() {
@@ -79,5 +96,65 @@ mod tests {
         let sub = client.subscribe("t", SubscribeMode::Beginning).unwrap();
         let m = sub.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
         assert_eq!(m.payload_str(), "hello");
+    }
+
+    #[test]
+    fn run_registry_lists_closes_and_reclaims() {
+        let broker = Arc::new(LogBroker::new());
+        let server = BrokerServer::bind("127.0.0.1:0", broker.clone()).unwrap();
+        let client = RemoteBroker::connect(&format!("tcp://{}", server.local_addr())).unwrap();
+
+        // Two runs publish under their namespaces; a non-run topic is
+        // not accounted.
+        for topic in ["run/a/sa.T1", "run/a/status", "run/b/status", "plain"] {
+            client
+                .publish(topic, None, bytes::Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        let runs = client.list_runs().unwrap();
+        assert_eq!(
+            runs.iter().map(|r| r.run.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert_eq!(runs[0].topics, 2);
+        assert_eq!(runs[0].retained, 2);
+        assert!(!runs[0].completed);
+
+        // GC before close reclaims nothing; after close, run "a"'s
+        // topics are dropped and the run is forgotten.
+        assert_eq!(client.gc_runs().unwrap(), (0, 0));
+        assert!(client.close_run("a").unwrap());
+        assert!(!client.close_run("unknown").unwrap());
+        let listed = client.list_runs().unwrap();
+        assert!(listed.iter().any(|r| r.run == "a" && r.completed));
+        assert_eq!(client.gc_runs().unwrap(), (1, 2));
+        assert_eq!(broker.retained("run/a/status"), 0, "log reclaimed");
+        let left = client.list_runs().unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].run, "b");
+        assert_eq!(broker.retained("run/b/status"), 1, "run b untouched");
+    }
+
+    #[test]
+    fn retention_sweeper_reclaims_closed_runs_without_a_gc_request() {
+        let broker = Arc::new(LogBroker::new());
+        let server = BrokerServer::bind_with_retention(
+            "127.0.0.1:0",
+            broker.clone(),
+            Some(std::time::Duration::from_millis(50)),
+        )
+        .unwrap();
+        let client = RemoteBroker::connect(&format!("tcp://{}", server.local_addr())).unwrap();
+        client
+            .publish("run/a/status", None, bytes::Bytes::from_static(b"x"))
+            .unwrap();
+        client.close_run("a").unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while !client.list_runs().unwrap().is_empty() {
+            assert!(Instant::now() < deadline, "sweeper never reclaimed run a");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(broker.retained("run/a/status"), 0);
+        server.stop();
     }
 }

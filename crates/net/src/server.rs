@@ -5,21 +5,40 @@
 //! connection forwards subscription deliveries as EVENT frames, woken by
 //! the broker's own [`Subscription::set_waker`] push path — the daemon
 //! polls nothing, exactly like the in-process scheduler.
+//!
+//! The daemon is **multi-run**: topics are run-scoped
+//! (`run/<id>/…`, see [`ginflow_mq::namespace`]), and the server keeps a
+//! [run registry](BrokerServer) accounting every run-scoped topic to its
+//! run. Clients list the runs (`RUN_LIST`), mark a run completed
+//! (`RUN_CLOSE`) and reclaim completed runs' topics (`RUN_GC`); with a
+//! retention window ([`BrokerServer::bind_with_retention`]) a background
+//! sweeper reclaims them automatically, so a standing daemon serving
+//! many runs does not grow without bound.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use ginflow_mq::wire::{read_frame, write_frame, Frame};
-use ginflow_mq::{Broker, Subscription};
+use ginflow_mq::wire::{read_frame, write_frame, Frame, RunStat};
+use ginflow_mq::{namespace, Broker, Subscription};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Max EVENT frames one pump turn writes before re-checking its queue —
 /// keeps one fire-hose subscription from starving the others.
 const EVENT_BATCH: usize = 128;
+
+/// How often the retention sweeper wakes (capped by the retention
+/// window itself, so short windows stay accurate — but never below
+/// [`SWEEP_FLOOR`], so `--retention 0` cannot busy-spin the sweeper
+/// against the registry mutex).
+const SWEEP_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Minimum sweeper sleep, whatever the retention window.
+const SWEEP_FLOOR: Duration = Duration::from_millis(50);
 
 /// Socket write timeout: a stalled client (full receive buffer, frozen
 /// process) fails its connection after this instead of wedging the
@@ -41,20 +60,41 @@ pub struct BrokerServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
+    sweeper_thread: Mutex<Option<JoinHandle<()>>>,
     conns: Arc<Mutex<Vec<ConnEntry>>>,
+    registry: Arc<RunRegistry>,
 }
 
 impl BrokerServer {
     /// Bind `addr` (e.g. `"127.0.0.1:7433"`, port 0 for ephemeral) and
-    /// start serving `broker` in background threads.
+    /// start serving `broker` in background threads. Runs are reclaimed
+    /// only on explicit `RUN_GC` requests; see
+    /// [`BrokerServer::bind_with_retention`] for automatic retention.
     pub fn bind(addr: &str, broker: Arc<dyn Broker>) -> std::io::Result<BrokerServer> {
+        BrokerServer::bind_with_retention(addr, broker, None)
+    }
+
+    /// [`BrokerServer::bind`] with a retention window: a background
+    /// sweeper drops every topic of a run `retention` after the run was
+    /// marked completed (`RUN_CLOSE`), so a standing daemon serving many
+    /// back-to-back runs reclaims their logs without operator action.
+    pub fn bind_with_retention(
+        addr: &str,
+        broker: Arc<dyn Broker>,
+        retention: Option<Duration>,
+    ) -> std::io::Result<BrokerServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<ConnEntry>>> = Arc::new(Mutex::new(Vec::new()));
+        let registry = Arc::new(RunRegistry {
+            broker: broker.clone(),
+            runs: Mutex::new(HashMap::new()),
+        });
         let accept_thread = {
             let shutdown = shutdown.clone();
             let conns = conns.clone();
+            let registry = registry.clone();
             std::thread::Builder::new()
                 .name("gf-net-accept".into())
                 .spawn(move || {
@@ -76,26 +116,47 @@ impl BrokerServer {
                         };
                         let broker = broker.clone();
                         let shutdown = shutdown.clone();
+                        let registry = registry.clone();
                         let thread = std::thread::Builder::new()
                             .name("gf-net-conn".into())
-                            .spawn(move || serve_connection(stream, broker, shutdown))
+                            .spawn(move || serve_connection(stream, broker, registry, shutdown))
                             .expect("spawn connection thread");
                         conns.lock().push(ConnEntry { socket, thread });
                     }
                 })
                 .expect("spawn accept thread")
         };
+        let sweeper_thread = retention.map(|window| {
+            let shutdown = shutdown.clone();
+            let registry = registry.clone();
+            std::thread::Builder::new()
+                .name("gf-net-gc".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        registry.gc(window);
+                        std::thread::sleep(SWEEP_INTERVAL.min(window).max(SWEEP_FLOOR));
+                    }
+                })
+                .expect("spawn gc sweeper thread")
+        });
         Ok(BrokerServer {
             addr: local,
             shutdown,
             accept_thread: Mutex::new(Some(accept_thread)),
+            sweeper_thread: Mutex::new(sweeper_thread),
             conns,
+            registry,
         })
     }
 
     /// The bound address (resolves port 0 to the actual port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Snapshot of the run registry (what `RUN_LIST` answers).
+    pub fn runs(&self) -> Vec<RunStat> {
+        self.registry.list()
     }
 
     /// Sever every live connection while keeping the listener up — the
@@ -116,6 +177,9 @@ impl BrokerServer {
             let _ = TcpStream::connect(self.addr);
         }
         if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sweeper_thread.lock().take() {
             let _ = t.join();
         }
         self.drop_connections();
@@ -146,6 +210,108 @@ impl Drop for BrokerServer {
     }
 }
 
+/// One run as the registry sees it: the run-scoped topics touched so
+/// far, and when (if) a client marked the run completed.
+#[derive(Default)]
+struct RunEntry {
+    topics: HashSet<String>,
+    completed_at: Option<Instant>,
+}
+
+/// Per-run topic accounting for a standing daemon. Fed from the request
+/// path: any publish or subscribe touching a `run/<id>/…` topic
+/// registers the topic under its run. No side channel — the topic name
+/// itself is the account key, so even a client that never speaks the
+/// `RUN_*` verbs is accounted correctly.
+pub(crate) struct RunRegistry {
+    broker: Arc<dyn Broker>,
+    runs: Mutex<HashMap<String, RunEntry>>,
+}
+
+impl RunRegistry {
+    /// Account `topic` to its run, if it is run-scoped.
+    fn observe(&self, topic: &str) {
+        if let Some(run) = namespace::run_of(topic) {
+            // Steady state (every publish after the first on a topic)
+            // allocates nothing: look up by borrowed keys and only
+            // clone the strings when the run or topic is new.
+            let mut runs = self.runs.lock();
+            match runs.get_mut(run) {
+                Some(entry) => {
+                    if !entry.topics.contains(topic) {
+                        entry.topics.insert(topic.to_owned());
+                    }
+                }
+                None => {
+                    runs.entry(run.to_owned())
+                        .or_default()
+                        .topics
+                        .insert(topic.to_owned());
+                }
+            }
+        }
+    }
+
+    /// Every known run with its topic accounting, sorted by run id.
+    fn list(&self) -> Vec<RunStat> {
+        let runs = self.runs.lock();
+        let mut out: Vec<RunStat> = runs
+            .iter()
+            .map(|(run, entry)| RunStat {
+                run: run.clone(),
+                topics: entry.topics.len() as u32,
+                retained: entry.topics.iter().map(|t| self.broker.retained(t)).sum(),
+                completed: entry.completed_at.is_some(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.run.cmp(&b.run));
+        out
+    }
+
+    /// Mark a run completed (reclaimable). Returns whether the run is
+    /// known. Idempotent: re-closing keeps the original completion time.
+    fn close(&self, run: &str) -> bool {
+        match self.runs.lock().get_mut(run) {
+            Some(entry) => {
+                entry.completed_at.get_or_insert_with(Instant::now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reclaim every run completed at least `min_age` ago: drop its
+    /// topics from the broker and forget the run. Returns
+    /// `(runs, topics)` reclaimed.
+    fn gc(&self, min_age: Duration) -> (u32, u32) {
+        // Collect under the lock, delete outside it: delete_topic
+        // disconnects subscriptions, whose teardown must not contend
+        // with request-path accounting.
+        let victims: Vec<(String, HashSet<String>)> = {
+            let mut runs = self.runs.lock();
+            let expired: Vec<String> = runs
+                .iter()
+                .filter(|(_, e)| e.completed_at.is_some_and(|at| at.elapsed() >= min_age))
+                .map(|(run, _)| run.clone())
+                .collect();
+            expired
+                .into_iter()
+                .filter_map(|run| runs.remove(&run).map(|e| (run, e.topics)))
+                .collect()
+        };
+        let mut topics = 0u32;
+        let runs = victims.len() as u32;
+        for (_, run_topics) in victims {
+            for topic in run_topics {
+                if self.broker.delete_topic(&topic) {
+                    topics += 1;
+                }
+            }
+        }
+        (runs, topics)
+    }
+}
+
 /// One live subscription of one connection, scheduled onto the pump with
 /// the same false→true schedule-bit protocol the in-process scheduler
 /// uses.
@@ -160,7 +326,12 @@ enum PumpMsg {
     Stop,
 }
 
-fn serve_connection(stream: TcpStream, broker: Arc<dyn Broker>, shutdown: Arc<AtomicBool>) {
+fn serve_connection(
+    stream: TcpStream,
+    broker: Arc<dyn Broker>,
+    registry: Arc<RunRegistry>,
+    shutdown: Arc<AtomicBool>,
+) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -177,6 +348,13 @@ fn serve_connection(stream: TcpStream, broker: Arc<dyn Broker>, shutdown: Arc<At
 
     let mut subs: HashMap<u64, Arc<ServerSub>> = HashMap::new();
     let mut next_sub: u64 = 1;
+    // Topics this connection has already reported to the run registry:
+    // steady-state publishes (thousands per run on a handful of topics)
+    // take one local lookup instead of the cross-connection registry
+    // mutex. Safe to cache because registry entries only disappear when
+    // a *completed* run is GC'd — a run still publishing has no
+    // business being closed.
+    let mut seen_topics: HashSet<String> = HashSet::new();
     let mut reader = BufReader::new(stream);
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -194,15 +372,25 @@ fn serve_connection(stream: TcpStream, broker: Arc<dyn Broker>, shutdown: Arc<At
                 topic,
                 key,
                 payload,
-            } => Some(match broker.publish(&topic, key, payload) {
-                Ok(receipt) => Frame::Receipt {
-                    seq,
-                    partition: receipt.partition,
-                    offset: receipt.offset,
-                },
-                Err(e) => error_frame(seq, e),
-            }),
+            } => {
+                if !seen_topics.contains(&topic) {
+                    registry.observe(&topic);
+                    seen_topics.insert(topic.clone());
+                }
+                Some(match broker.publish(&topic, key, payload) {
+                    Ok(receipt) => Frame::Receipt {
+                        seq,
+                        partition: receipt.partition,
+                        offset: receipt.offset,
+                    },
+                    Err(e) => error_frame(seq, e),
+                })
+            }
             Frame::Subscribe { seq, topic, mode } => {
+                if !seen_topics.contains(&topic) {
+                    registry.observe(&topic);
+                    seen_topics.insert(topic.clone());
+                }
                 // Sample the resume watermark *before* attaching: a
                 // message published after this point either replays on
                 // resume (offset >= watermark) or arrives live — never
@@ -274,11 +462,28 @@ fn serve_connection(stream: TcpStream, broker: Arc<dyn Broker>, shutdown: Arc<At
                 partitions: broker.partitions(&topic),
                 retained: broker.retained(&topic),
             }),
+            Frame::RunList { seq } => Some(Frame::RunListReply {
+                seq,
+                runs: registry.list(),
+            }),
+            Frame::RunClose { seq, run } => Some(Frame::RunGcReply {
+                seq,
+                runs: u32::from(registry.close(&run)),
+                topics: 0,
+            }),
+            Frame::RunGc { seq } => {
+                // Explicit GC reclaims every completed run now,
+                // whatever the daemon's retention window says.
+                let (runs, topics) = registry.gc(Duration::ZERO);
+                Some(Frame::RunGcReply { seq, runs, topics })
+            }
             // A client speaking server frames is broken: hang up.
             Frame::Receipt { .. }
             | Frame::Subscribed { .. }
             | Frame::Messages { .. }
             | Frame::InfoReply { .. }
+            | Frame::RunListReply { .. }
+            | Frame::RunGcReply { .. }
             | Frame::Error { .. }
             | Frame::Event { .. } => break,
         };

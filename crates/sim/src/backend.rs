@@ -27,12 +27,26 @@ pub struct SimBackend {
     /// Simulation parameters (cost model, services, failures, broker
     /// persistence).
     pub config: SimConfig,
+    /// Pinned run id for launched runs; `None` (the default) generates
+    /// a fresh one per launch, mirroring the live backends. The sim
+    /// touches no broker topics — the id only labels handles/reports so
+    /// cross-backend comparisons stay uniform.
+    pub run_id: Option<ginflow_mq::RunId>,
 }
 
 impl SimBackend {
     /// Backend over the given simulation parameters.
     pub fn new(config: SimConfig) -> Self {
-        SimBackend { config }
+        SimBackend {
+            config,
+            run_id: None,
+        }
+    }
+
+    /// Pin the run id of every launch (see [`SimBackend::run_id`]).
+    pub fn with_run_id(mut self, run_id: Option<ginflow_mq::RunId>) -> Self {
+        self.run_id = run_id;
+        self
     }
 }
 
@@ -43,7 +57,11 @@ impl ExecutionBackend for SimBackend {
 
     fn launch_run(&self, workflow: &Workflow) -> RunHandle {
         let report = simulate(workflow, &self.config);
-        let tracker = RunTracker::new(RunMeta::of(workflow));
+        let run_id = self
+            .run_id
+            .clone()
+            .unwrap_or_else(ginflow_mq::RunId::generate);
+        let tracker = RunTracker::new(RunMeta::of(workflow), run_id);
         for (_, update) in &report.status_log {
             tracker.observe(update);
         }
@@ -102,6 +120,10 @@ impl SimRun {
 impl RunControl for SimRun {
     fn backend(&self) -> &'static str {
         "sim"
+    }
+
+    fn run_id(&self) -> String {
+        self.tracker.run_id().as_str().to_owned()
     }
 
     fn state_of(&self, task: &str) -> Option<TaskState> {
@@ -173,12 +195,14 @@ impl RunControl for SimRun {
         let (adaptations_fired, respawns) = self.tracker.counts();
         RunReport {
             backend: "sim",
+            run_id: self.tracker.run_id().as_str().to_owned(),
             completed: self.report.completed,
             cancelled: outcome == Some(RunOutcome::Failed(RunFailure::Cancelled)),
             deadline_expired: outcome == Some(RunOutcome::Failed(RunFailure::DeadlineExpired)),
             wall: Duration::from_micros(self.report.makespan_us),
             adaptations_fired,
             respawns,
+            lagged: 0,
             tasks: self.tasks.clone(),
         }
     }
