@@ -260,8 +260,18 @@ impl SaCore {
         Ok(commands)
     }
 
-    /// Derive the lifecycle state from the solution and append a `Publish`
+    /// Derive the lifecycle state from the solution and emit a `Publish`
     /// command when it changed.
+    ///
+    /// The publish goes at the **front** of the command list, before any
+    /// `Send` to successors: the shared space learns of the transition
+    /// before its consequences can propagate. That ordering is what
+    /// keeps every observer's status view gap-free under pipelined
+    /// publishing — a `Completed` enters the broker's status log before
+    /// the result message that lets a downstream task (possibly on
+    /// another shard, over another connection) complete, so no
+    /// downstream completion can ever be observed ahead of its
+    /// upstream's.
     fn refresh_state(&mut self, commands: &mut Vec<Command>) {
         let new_state = if self.solution.has_pending() {
             TaskState::Running
@@ -284,10 +294,13 @@ impl SaCore {
             } else {
                 None
             };
-            commands.push(Command::Publish {
-                state: new_state,
-                result,
-            });
+            commands.insert(
+                0,
+                Command::Publish {
+                    state: new_state,
+                    result,
+                },
+            );
         }
     }
 

@@ -51,8 +51,12 @@ impl AgentCtx<'_> {
                         // names were validated at launch; a name the
                         // namespace rejects has no inbox to lose a
                         // message to, matching the ignored-publish path.
+                        // Fire-and-forget pipelined publish: neither
+                        // send consumes the receipt, and on a remote
+                        // broker the blocking round trip would be the
+                        // whole coordination hot path.
                         if let Ok(topic) = self.ns.inbox(&to) {
-                            let _ = self.broker.publish(
+                            let _ = self.broker.publish_nowait(
                                 &topic,
                                 Some(bytes::Bytes::from(to.clone().into_bytes())),
                                 message.encode(),
@@ -66,7 +70,9 @@ impl AgentCtx<'_> {
                             result,
                             incarnation: self.incarnation,
                         };
-                        let _ = self.broker.publish(self.ns.status(), None, update.encode());
+                        let _ = self
+                            .broker
+                            .publish_nowait(self.ns.status(), None, update.encode());
                     }
                 }
             }

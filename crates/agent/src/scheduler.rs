@@ -576,19 +576,27 @@ fn launch_pool(
     // `RunOptions::shard`.)
     let mut fresh = Vec::with_capacity(local_agents.len());
     {
+        // The namespace validates the task names here — the topic
+        // boundary — so a name that would collide or split namespaces
+        // fails the launch loudly. Subscriptions are opened in one
+        // pipelined bulk call: on a remote broker that is one round
+        // trip for the whole run, not one per agent.
+        let topics: Vec<(String, ginflow_mq::SubscribeMode)> = local_agents
+            .iter()
+            .map(|program| {
+                let topic = inner
+                    .ns
+                    .inbox(&program.name)
+                    .unwrap_or_else(|e| panic!("cannot launch agent: {e}"));
+                (topic, inner.inbox_mode)
+            })
+            .collect();
+        let subs = inner
+            .broker
+            .subscribe_many(&topics)
+            .expect("inbox subscriptions");
         let mut slots = inner.slots.lock();
-        for program in local_agents {
-            // The namespace validates the task name here — the topic
-            // boundary — so a name that would collide or split
-            // namespaces fails the launch loudly.
-            let topic = inner
-                .ns
-                .inbox(&program.name)
-                .unwrap_or_else(|e| panic!("cannot launch agent: {e}"));
-            let sub = inner
-                .broker
-                .subscribe(&topic, inner.inbox_mode)
-                .expect("inbox subscription");
+        for (program, sub) in local_agents.into_iter().zip(subs) {
             inner.lag_probes.lock().push(sub.lag_probe());
             let slot = inner.make_slot(program, sub, 0);
             slots.insert(slot.name.clone(), slot.clone());

@@ -8,7 +8,7 @@
 //! make it flaky.
 
 use ginflow_agent::{RunOptions, Scheduler};
-use ginflow_bench::scheduler_scale::{fan_out_fan_in, process_cpu};
+use ginflow_bench::workload::{fan_out_fan_in, process_cpu};
 use ginflow_core::ServiceRegistry;
 use ginflow_mq::BrokerKind;
 use std::sync::Arc;

@@ -5,7 +5,7 @@
 //! `tests/runtime.rs` for the new path).
 
 use ginflow_agent::{RunOptions, Scheduler};
-use ginflow_bench::scheduler_scale::fan_out_fan_in;
+use ginflow_bench::workload::fan_out_fan_in;
 use ginflow_core::workflow::{ReplacementTask, WorkflowBuilder};
 use ginflow_core::{FailingService, ServiceRegistry, TaskState, Value, Workflow};
 use ginflow_mq::{Broker, BrokerKind, LogBroker};
@@ -130,12 +130,20 @@ fn auto_recovery_on_the_pool_restarts_dead_agents() {
         ..pool_options()
     });
     let run = scheduler.launch(&fig2());
-    run.kill("T3");
+    assert!(run.kill("T3"));
     let results = run.wait(WAIT).expect("auto recovery completes the run");
     assert_eq!(
         results["T4"],
         Value::Str("s4(s2(s1(input)),s3(s1(input)))".into())
     );
+    // The respawn is asynchronous (reaper → recovery thread) and the
+    // run may complete first when the kill lands after T3 already
+    // finished its work — poll briefly instead of racing the recovery
+    // thread.
+    let deadline = std::time::Instant::now() + WAIT;
+    while run.incarnation("T3") == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     assert!(run.incarnation("T3") >= 1, "T3 was respawned");
     run.shutdown();
 }

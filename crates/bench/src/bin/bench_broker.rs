@@ -1,45 +1,91 @@
-//! Broker transport A/B: 1000-task fan-out/fan-in over the in-process
+//! Broker transport A/B: a wide fan-out/fan-in over the in-process
 //! `LogBroker` vs the same log behind the `ginflow-net` TCP daemon on
 //! loopback (one engine, two sharded engines, and two concurrent
-//! independent runs multiplexed on one daemon). Writes
+//! independent runs multiplexed on one daemon), plus a publish storm
+//! isolating raw publish cost (blocking round trip vs pipelined
+//! fire-and-forget) with msgs/sec and p50/p99 publish latency. Writes
 //! `results/BENCH_net.csv`.
 
-use ginflow_bench::scheduler_scale::csv_rows;
-use ginflow_bench::{broker_net, csv, quick_from_args};
+use ginflow_bench::workload::{csv_rows, CSV_HEADER};
+use ginflow_bench::{broker_net, csv};
+
+fn usage() -> ! {
+    println!("bench_broker: in-process log broker vs TCP remote broker on a wide fan-out/fan-in");
+    println!("usage: bench_broker [--quick] [--tasks N]");
+    println!("  --quick     reduced scale (CI-sized, 202 tasks)");
+    println!(
+        "  --tasks N   total task count (default 1002); the publish storm runs 10x N messages"
+    );
+    std::process::exit(0);
+}
 
 fn main() {
-    let quick = quick_from_args(
-        "bench_broker",
-        "in-process log broker vs TCP remote broker (1 shard, 2 shards, 2 concurrent runs) \
-         on a wide fan-out/fan-in",
-    );
-    let samples = broker_net::run(quick);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let mut tasks = if args.iter().any(|a| a == "--quick") {
+        202
+    } else {
+        1002
+    };
+    if let Some(at) = args.iter().position(|a| a == "--tasks") {
+        match args.get(at + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 3 => tasks = n,
+            _ => {
+                eprintln!("--tasks needs an integer argument >= 3");
+                std::process::exit(2);
+            }
+        }
+    }
+    let samples = broker_net::run_with_tasks(tasks);
     println!(
-        "{:<16} {:>6} {:>8} {:>10} {:>9} {:>10}",
-        "mode", "tasks", "workers", "wall (s)", "cpu (s)", "completed"
+        "{:<24} {:>7} {:>8} {:>10} {:>9} {:>10} {:>12} {:>9} {:>9}",
+        "mode",
+        "tasks",
+        "workers",
+        "wall (s)",
+        "cpu (s)",
+        "completed",
+        "msgs/s",
+        "p50 (us)",
+        "p99 (us)"
     );
     for s in &samples {
         println!(
-            "{:<16} {:>6} {:>8} {:>10.3} {:>9.3} {:>10}",
-            s.mode, s.tasks, s.workers, s.wall_secs, s.cpu_secs, s.completed
+            "{:<24} {:>7} {:>8} {:>10.3} {:>9.3} {:>10} {:>12} {:>9} {:>9}",
+            s.mode,
+            s.tasks,
+            s.workers,
+            s.wall_secs,
+            s.cpu_secs,
+            s.completed,
+            s.msgs_per_sec
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_default(),
+            s.p50_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            s.p99_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
         );
     }
-    if let [local, remote, sharded, two_runs] = &samples[..] {
+    let find = |mode: &str| samples.iter().find(|s| s.mode == mode);
+    if let (Some(local), Some(remote)) = (find("local_log"), find("remote_1shard")) {
         if local.completed && remote.completed {
             println!(
-                "\nnetwork membrane cost: {:.2}x wall vs in-process; 2-shard split: {:.2}x vs \
-                 1-shard remote; 2 concurrent runs: {:.2}x vs 1 run (2x the work on one daemon)",
+                "\nnetwork membrane cost: {:.2}x wall vs in-process",
                 remote.wall_secs / local.wall_secs.max(1e-9),
-                sharded.wall_secs / remote.wall_secs.max(1e-9),
-                two_runs.wall_secs / remote.wall_secs.max(1e-9),
             );
         }
     }
-    csv::write_csv(
-        "results/BENCH_net.csv",
-        &broker_net::CSV_HEADER,
-        &csv_rows(&samples),
-    )
-    .expect("write results/BENCH_net.csv");
+    if let (Some(rtt), Some(pipelined)) = (find("storm_remote_rtt"), find("storm_remote_pipelined"))
+    {
+        println!(
+            "pipelined publish: {:.1}x throughput vs blocking round trip ({:.0} vs {:.0} msgs/s)",
+            pipelined.msgs_per_sec.unwrap_or(0.0) / rtt.msgs_per_sec.unwrap_or(f64::MAX),
+            pipelined.msgs_per_sec.unwrap_or(0.0),
+            rtt.msgs_per_sec.unwrap_or(0.0),
+        );
+    }
+    csv::write_csv("results/BENCH_net.csv", &CSV_HEADER, &csv_rows(&samples))
+        .expect("write results/BENCH_net.csv");
     println!("\nwrote results/BENCH_net.csv");
 }

@@ -2,6 +2,7 @@
 //! thread-per-agent backend on a 1000-task fan-out/fan-in workflow
 //! (200 tasks with `--quick`). Writes `results/BENCH_scheduler.csv`.
 
+use ginflow_bench::workload::{csv_rows, CSV_HEADER};
 use ginflow_bench::{csv, quick_from_args, scheduler_scale};
 
 fn main() {
@@ -29,11 +30,10 @@ fn main() {
             );
         }
     }
-    let rows = scheduler_scale::csv_rows(&samples);
     csv::write_csv(
         "results/BENCH_scheduler.csv",
-        &scheduler_scale::CSV_HEADER,
-        &rows,
+        &CSV_HEADER,
+        &csv_rows(&samples),
     )
     .expect("write results/BENCH_scheduler.csv");
     println!("\nwrote results/BENCH_scheduler.csv");

@@ -25,6 +25,7 @@ pub mod fig16;
 pub mod scheduler_scale;
 pub mod stats;
 pub mod table;
+pub mod workload;
 
 /// Parse the common `--quick` flag (plus `--help`).
 pub fn quick_from_args(figure: &str, description: &str) -> bool {

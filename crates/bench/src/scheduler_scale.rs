@@ -1,75 +1,20 @@
 //! Scheduler scaling benchmark: event-driven worker pool vs the legacy
-//! thread-per-agent backend on a wide fan-out/fan-in workflow.
+//! thread-per-agent backend on a wide fan-out/fan-in workflow (see
+//! [`crate::workload`] for the workload itself).
 //!
-//! The workload is the scheduler's worst nightmare and the paper's §V
-//! spirit at 10× scale: one source fans out to N parallel tasks which
-//! all merge into one sink — N+2 agents, 2N+… messages, no service work
-//! at all, so every measured second is pure coordination. The legacy
-//! backend pays one OS thread and a 5 ms poll loop per agent; the pool
-//! runs everything on a bounded worker set woken by broker deliveries.
+//! The legacy backend pays one OS thread and a 5 ms poll loop per
+//! agent; the pool runs everything on a bounded worker set woken by
+//! broker deliveries.
 //!
 //! Emits `results/BENCH_scheduler.csv` with wall-clock and process CPU
 //! time per backend.
 
-use ginflow_core::{ServiceRegistry, Value, Workflow, WorkflowBuilder};
+use crate::workload::{fan_out_fan_in, process_cpu, Sample};
+use ginflow_core::ServiceRegistry;
 use ginflow_engine::{Backend, Engine};
 use ginflow_mq::BrokerKind;
 use std::sync::Arc;
 use std::time::Duration;
-
-/// One measured execution.
-#[derive(Clone, Debug)]
-pub struct Sample {
-    /// Backend label: `pool` or `legacy_threads`.
-    pub mode: String,
-    /// Total task count (fan-out width + source + sink).
-    pub tasks: usize,
-    /// Worker threads driving the agents (= agents for legacy).
-    pub workers: usize,
-    /// Observed makespan (launch → last status transition, s) from the
-    /// run's [`ginflow_engine::RunReport`].
-    pub wall_secs: f64,
-    /// Process CPU time consumed during the run (s).
-    pub cpu_secs: f64,
-    /// Did the workflow complete in time?
-    pub completed: bool,
-}
-
-/// Source → `width` parallel tasks → sink.
-pub fn fan_out_fan_in(width: usize) -> Workflow {
-    let mut b = WorkflowBuilder::new(format!("fan-{width}"));
-    b.task("src", "s").input(Value::str("input"));
-    let mids: Vec<String> = (0..width).map(|i| format!("t{i}")).collect();
-    for mid in &mids {
-        b.task(mid, "s").after(["src"]);
-    }
-    b.task("sink", "s").after(mids.iter().map(String::as_str));
-    b.build().expect("fan-out/fan-in is a valid DAG")
-}
-
-/// Process CPU time (user + system) — Linux `/proc/self/stat`; zero on
-/// other platforms (wall-clock comparison still stands there). Public so
-/// the scheduler's integration tests measure with the same parser.
-pub fn process_cpu() -> Duration {
-    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
-        return Duration::ZERO;
-    };
-    // utime/stime are fields 14/15 (1-based); the comm field (2) is
-    // parenthesised and may contain spaces, so parse after the last ')'.
-    let Some(after_comm) = stat.rsplit(')').next() else {
-        return Duration::ZERO;
-    };
-    let fields: Vec<&str> = after_comm.split_whitespace().collect();
-    // after_comm starts at field 3 (state): utime is index 11, stime 12.
-    let (Some(utime), Some(stime)) = (
-        fields.get(11).and_then(|f| f.parse::<u64>().ok()),
-        fields.get(12).and_then(|f| f.parse::<u64>().ok()),
-    ) else {
-        return Duration::ZERO;
-    };
-    // USER_HZ is 100 on every mainstream Linux configuration.
-    Duration::from_millis((utime + stime) * 10)
-}
 
 /// Run one backend once through the unified engine; timings come from
 /// the structured [`ginflow_engine::RunReport`].
@@ -94,18 +39,18 @@ pub fn run_once(mode: &str, width: usize, workers: usize, timeout: Duration) -> 
     let report = run.join();
     let cpu = process_cpu().saturating_sub(cpu_before);
 
-    Sample {
-        mode: mode.to_owned(),
-        tasks: width + 2,
-        workers: if mode == "legacy_threads" {
+    Sample::workflow(
+        mode,
+        width + 2,
+        if mode == "legacy_threads" {
             width + 2
         } else {
             workers
         },
-        wall_secs: report.wall.as_secs_f64(),
-        cpu_secs: cpu.as_secs_f64(),
-        completed: report.completed,
-    }
+        report.wall,
+        cpu,
+        report.completed,
+    )
 }
 
 /// The A/B campaign: both backends at the given scale.
@@ -120,30 +65,3 @@ pub fn run(quick: bool) -> Vec<Sample> {
         run_once("legacy_threads", width, workers, timeout),
     ]
 }
-
-/// CSV rows for `results/BENCH_scheduler.csv`.
-pub fn csv_rows(samples: &[Sample]) -> Vec<Vec<String>> {
-    samples
-        .iter()
-        .map(|s| {
-            vec![
-                s.mode.clone(),
-                s.tasks.to_string(),
-                s.workers.to_string(),
-                format!("{:.4}", s.wall_secs),
-                format!("{:.4}", s.cpu_secs),
-                s.completed.to_string(),
-            ]
-        })
-        .collect()
-}
-
-/// The CSV header.
-pub const CSV_HEADER: [&str; 6] = [
-    "mode",
-    "tasks",
-    "workers",
-    "wall_secs",
-    "cpu_secs",
-    "completed",
-];

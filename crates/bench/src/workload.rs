@@ -1,0 +1,211 @@
+//! Shared benchmark machinery: the fan-out/fan-in coordination
+//! workload every scaling benchmark drives (`bench_scheduler`,
+//! `bench_broker`), the common [`Sample`] row format, process-CPU
+//! measurement, and publish-latency statistics.
+
+use ginflow_core::{Value, Workflow, WorkflowBuilder};
+use std::time::Duration;
+
+/// One measured execution (a row of `results/BENCH_*.csv`).
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Scenario label (`pool`, `local_log`, `storm_remote_pipelined`, …).
+    pub mode: String,
+    /// Total task count for workflow scenarios; message count for
+    /// publish storms.
+    pub tasks: usize,
+    /// Worker threads driving the agents (= agents for legacy).
+    pub workers: usize,
+    /// Observed makespan (s).
+    pub wall_secs: f64,
+    /// Process CPU time consumed during the run (s).
+    pub cpu_secs: f64,
+    /// Did the workload complete in time?
+    pub completed: bool,
+    /// Publish throughput — publish-storm scenarios only.
+    pub msgs_per_sec: Option<f64>,
+    /// Median single-publish latency, microseconds — storm only.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile single-publish latency, microseconds — storm only.
+    pub p99_us: Option<f64>,
+}
+
+impl Sample {
+    /// A workflow-execution row (no publish-latency columns).
+    pub fn workflow(
+        mode: &str,
+        tasks: usize,
+        workers: usize,
+        wall: Duration,
+        cpu: Duration,
+        completed: bool,
+    ) -> Sample {
+        Sample {
+            mode: mode.to_owned(),
+            tasks,
+            workers,
+            wall_secs: wall.as_secs_f64(),
+            cpu_secs: cpu.as_secs_f64(),
+            completed,
+            msgs_per_sec: None,
+            p50_us: None,
+            p99_us: None,
+        }
+    }
+
+    /// A publish-storm row: `msgs` publishes in `wall`, with the
+    /// per-publish latency distribution summarised as p50/p99.
+    /// `completed` must be false when any publish (or the closing
+    /// flush) errored — a failing transport must not masquerade as a
+    /// fast one.
+    pub fn storm(
+        mode: &str,
+        msgs: usize,
+        wall: Duration,
+        cpu: Duration,
+        completed: bool,
+        latencies_us: &mut [f64],
+    ) -> Sample {
+        Sample {
+            mode: mode.to_owned(),
+            tasks: msgs,
+            workers: 1,
+            wall_secs: wall.as_secs_f64(),
+            cpu_secs: cpu.as_secs_f64(),
+            completed,
+            msgs_per_sec: Some(msgs as f64 / wall.as_secs_f64().max(1e-9)),
+            p50_us: percentile(latencies_us, 0.50),
+            p99_us: percentile(latencies_us, 0.99),
+        }
+    }
+}
+
+/// The `p`-th percentile (0..=1) of `values`; sorts in place.
+pub fn percentile(values: &mut [f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((values.len() - 1) as f64 * p).round() as usize;
+    Some(values[rank.min(values.len() - 1)])
+}
+
+/// Source → `width` parallel tasks → sink: the scheduler's worst
+/// nightmare and the paper's §V spirit at 10× scale — N+2 agents,
+/// pure coordination, no service work.
+pub fn fan_out_fan_in(width: usize) -> Workflow {
+    let mut b = WorkflowBuilder::new(format!("fan-{width}"));
+    b.task("src", "s").input(Value::str("input"));
+    let mids: Vec<String> = (0..width).map(|i| format!("t{i}")).collect();
+    for mid in &mids {
+        b.task(mid, "s").after(["src"]);
+    }
+    b.task("sink", "s").after(mids.iter().map(String::as_str));
+    b.build().expect("fan-out/fan-in is a valid DAG")
+}
+
+/// Process CPU time (user + system) — Linux `/proc/self/stat`; zero on
+/// other platforms (wall-clock comparison still stands there). Public so
+/// the scheduler's integration tests measure with the same parser.
+pub fn process_cpu() -> Duration {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return Duration::ZERO;
+    };
+    // utime/stime are fields 14/15 (1-based); the comm field (2) is
+    // parenthesised and may contain spaces, so parse after the last ')'.
+    let Some(after_comm) = stat.rsplit(')').next() else {
+        return Duration::ZERO;
+    };
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    // after_comm starts at field 3 (state): utime is index 11, stime 12.
+    let (Some(utime), Some(stime)) = (
+        fields.get(11).and_then(|f| f.parse::<u64>().ok()),
+        fields.get(12).and_then(|f| f.parse::<u64>().ok()),
+    ) else {
+        return Duration::ZERO;
+    };
+    // USER_HZ is 100 on every mainstream Linux configuration.
+    Duration::from_millis((utime + stime) * 10)
+}
+
+/// The common CSV header of `results/BENCH_scheduler.csv` and
+/// `results/BENCH_net.csv`. Latency columns are empty for workflow
+/// scenarios.
+pub const CSV_HEADER: [&str; 9] = [
+    "mode",
+    "tasks",
+    "workers",
+    "wall_secs",
+    "cpu_secs",
+    "completed",
+    "msgs_per_sec",
+    "p50_us",
+    "p99_us",
+];
+
+fn opt_cell(v: Option<f64>, precision: usize) -> String {
+    v.map(|v| format!("{v:.precision$}")).unwrap_or_default()
+}
+
+/// CSV rows matching [`CSV_HEADER`].
+pub fn csv_rows(samples: &[Sample]) -> Vec<Vec<String>> {
+    samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.mode.clone(),
+                s.tasks.to_string(),
+                s.workers.to_string(),
+                format!("{:.4}", s.wall_secs),
+                format!("{:.4}", s.cpu_secs),
+                s.completed.to_string(),
+                opt_cell(s.msgs_per_sec, 0),
+                opt_cell(s.p50_us, 2),
+                opt_cell(s.p99_us, 2),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_fan_in_shape() {
+        let wf = fan_out_fan_in(3);
+        assert_eq!(wf.dag().len(), 5);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&mut v, 0.50), Some(51.0));
+        assert_eq!(percentile(&mut v, 0.99), Some(99.0));
+        assert_eq!(percentile(&mut [], 0.5), None);
+    }
+
+    #[test]
+    fn csv_cells_blank_latency_for_workflow_rows() {
+        let rows = csv_rows(&[Sample::workflow(
+            "m",
+            3,
+            1,
+            Duration::from_millis(10),
+            Duration::ZERO,
+            true,
+        )]);
+        assert_eq!(rows[0][6], "");
+        let mut lats = vec![1.0, 2.0, 3.0];
+        let rows = csv_rows(&[Sample::storm(
+            "s",
+            3,
+            Duration::from_millis(10),
+            Duration::ZERO,
+            true,
+            &mut lats,
+        )]);
+        assert_eq!(rows[0][6], "300");
+        assert_eq!(rows[0][7], "2.00");
+    }
+}

@@ -36,8 +36,56 @@ pub trait Broker: Send + Sync {
     /// on partitioned brokers.
     fn publish(&self, topic: &str, key: Option<Bytes>, payload: Bytes) -> Result<Receipt, MqError>;
 
+    /// Publish without waiting for the broker's acknowledgement — the
+    /// hot-path variant for callers that do not consume the [`Receipt`]
+    /// (agents firing results and status updates).
+    ///
+    /// In-process brokers complete synchronously, so the default simply
+    /// forwards to [`Broker::publish`]. Out-of-process frontends
+    /// (`ginflow-net`'s `RemoteBroker`) override this with a *pipelined*
+    /// path: the frame is written and the call returns, acks are
+    /// consumed asynchronously, and the call only blocks when the
+    /// in-flight window is full. Per-topic FIFO ordering is preserved
+    /// either way. A pipelined publish that later fails (connection
+    /// lost before the ack) surfaces on the next [`Broker::flush`] —
+    /// the same at-most-once-on-outage contract the blocking path gives
+    /// callers that discard its error.
+    fn publish_nowait(
+        &self,
+        topic: &str,
+        key: Option<Bytes>,
+        payload: Bytes,
+    ) -> Result<(), MqError> {
+        self.publish(topic, key, payload).map(|_| ())
+    }
+
+    /// Block until every pipelined [`Broker::publish_nowait`] has been
+    /// acknowledged. Returns the first latched pipeline error (e.g.
+    /// publishes lost to a severed connection) since the previous
+    /// flush, if any. In-process brokers have nothing in flight, so the
+    /// default is a no-op.
+    fn flush(&self) -> Result<(), MqError> {
+        Ok(())
+    }
+
     /// Subscribe to a topic.
     fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError>;
+
+    /// Open many subscriptions at once, in order. Semantically identical
+    /// to calling [`Broker::subscribe`] per request (the default does
+    /// exactly that); out-of-process frontends override this to
+    /// *pipeline* the round trips — all SUBSCRIBE frames go out before
+    /// the first ack is awaited, so launching a 1000-agent run costs
+    /// one round trip rather than a thousand.
+    fn subscribe_many(
+        &self,
+        requests: &[(String, SubscribeMode)],
+    ) -> Result<Vec<Subscription>, MqError> {
+        requests
+            .iter()
+            .map(|(topic, mode)| self.subscribe(topic, *mode))
+            .collect()
+    }
 
     /// Read retained messages without subscribing (replay). Only the
     /// persistent broker supports this.
@@ -181,6 +229,73 @@ impl SubscriberHandle {
 pub(crate) fn wake_all(wakers: Vec<Arc<WakerSlot>>) {
     for waker in wakers {
         waker.wake();
+    }
+}
+
+/// FNV-1a — deterministic, dependency-free hashing (partition routing
+/// and topic-shard selection).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c9dc5;
+    for &b in bytes {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x01000193);
+    }
+    hash
+}
+
+/// Number of lock shards the in-process brokers split their topic maps
+/// into. Publishes to different topics hash to different shards, so
+/// concurrent runs (distinct run-scoped namespaces) and concurrent
+/// agents (distinct inbox topics) stop serialising on one global mutex.
+/// Power of two so the modulo is a mask.
+pub(crate) const TOPIC_SHARDS: usize = 16;
+
+/// Shard count, honouring the `GINFLOW_MQ_SINGLE_SHARD` debug knob
+/// (set to any value to collapse the map back to one global lock — the
+/// A/B lever for benchmarking what sharding buys in isolation).
+fn shard_count() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        if std::env::var_os("GINFLOW_MQ_SINGLE_SHARD").is_some() {
+            1
+        } else {
+            TOPIC_SHARDS
+        }
+    })
+}
+
+/// A topic map split into [`TOPIC_SHARDS`] independently locked shards,
+/// keyed by FNV-1a of the topic name. All broker operations address one
+/// topic, so no operation ever needs more than one shard lock — there
+/// is no lock-ordering hazard and no global pause.
+pub(crate) struct TopicShards<S> {
+    shards: Box<[Mutex<std::collections::HashMap<String, S>>]>,
+}
+
+impl<S> Default for TopicShards<S> {
+    fn default() -> Self {
+        TopicShards {
+            shards: (0..shard_count())
+                .map(|_| Mutex::new(std::collections::HashMap::new()))
+                .collect(),
+        }
+    }
+}
+
+impl<S> TopicShards<S> {
+    /// The shard holding `topic`.
+    pub fn shard(&self, topic: &str) -> &Mutex<std::collections::HashMap<String, S>> {
+        &self.shards[fnv1a(topic.as_bytes()) as usize % self.shards.len()]
+    }
+
+    /// Lock `topic`'s shard and look the topic up.
+    pub fn with<R>(&self, topic: &str, f: impl FnOnce(Option<&S>) -> R) -> R {
+        f(self.shard(topic).lock().get(topic))
+    }
+
+    /// Remove `topic` from its shard, returning its state if present.
+    pub fn remove(&self, topic: &str) -> Option<S> {
+        self.shard(topic).lock().remove(topic)
     }
 }
 

@@ -8,23 +8,27 @@
 //! the services and to replay them on demand" (§IV-B).
 
 use crate::broker::{
-    subscription_pair, wake_all, Broker, Receipt, SubscribeMode, SubscriberHandle, Subscription,
+    fnv1a, subscription_pair, wake_all, Broker, Receipt, SubscribeMode, SubscriberHandle,
+    Subscription, TopicShards,
 };
 use crate::error::MqError;
 use crate::message::Message;
 use bytes::Bytes;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 struct TopicState {
+    /// The shared topic name every delivered [`Message`] clones — one
+    /// allocation per topic lifetime, not one per publish.
+    name: Arc<str>,
     partitions: Vec<Vec<Message>>,
     subscribers: Vec<SubscriberHandle>,
     round_robin: u32,
 }
 
 impl TopicState {
-    fn new(partitions: u32) -> Self {
+    fn new(topic: &str, partitions: u32) -> Self {
         TopicState {
+            name: Arc::from(topic),
             partitions: (0..partitions.max(1)).map(|_| Vec::new()).collect(),
             subscribers: Vec::new(),
             round_robin: 0,
@@ -32,9 +36,13 @@ impl TopicState {
     }
 }
 
-/// Persistent, partitioned, replayable in-memory broker.
+/// Persistent, partitioned, replayable in-memory broker. The topic map
+/// is split into lock shards keyed by topic hash
+/// ([`crate::broker::TOPIC_SHARDS`]), so publishes to distinct topics —
+/// different agents' inboxes, different runs' namespaces — never
+/// contend on a shared lock.
 pub struct LogBroker {
-    topics: Mutex<HashMap<String, TopicState>>,
+    topics: TopicShards<TopicState>,
     default_partitions: u32,
 }
 
@@ -48,7 +56,7 @@ impl LogBroker {
     /// Broker creating single-partition topics on demand.
     pub fn new() -> Self {
         LogBroker {
-            topics: Mutex::new(HashMap::new()),
+            topics: TopicShards::default(),
             default_partitions: 1,
         }
     }
@@ -56,7 +64,7 @@ impl LogBroker {
     /// Broker creating `n`-partition topics on demand.
     pub fn with_default_partitions(n: u32) -> Self {
         LogBroker {
-            topics: Mutex::new(HashMap::new()),
+            topics: TopicShards::default(),
             default_partitions: n.max(1),
         }
     }
@@ -65,9 +73,10 @@ impl LogBroker {
     /// Existing topics keep their partition count.
     pub fn create_topic(&self, topic: &str, partitions: u32) {
         self.topics
+            .shard(topic)
             .lock()
             .entry(topic.to_owned())
-            .or_insert_with(|| TopicState::new(partitions));
+            .or_insert_with(|| TopicState::new(topic, partitions));
     }
 
     fn route(state: &mut TopicState, key: Option<&Bytes>) -> u32 {
@@ -83,29 +92,19 @@ impl LogBroker {
     }
 }
 
-/// FNV-1a — deterministic, dependency-free key hashing.
-fn fnv1a(bytes: &[u8]) -> u32 {
-    let mut hash: u32 = 0x811c9dc5;
-    for &b in bytes {
-        hash ^= b as u32;
-        hash = hash.wrapping_mul(0x01000193);
-    }
-    hash
-}
-
 impl Broker for LogBroker {
     fn publish(&self, topic: &str, key: Option<Bytes>, payload: Bytes) -> Result<Receipt, MqError> {
         let (wakers, receipt) = {
-            let mut topics = self.topics.lock();
+            let mut topics = self.topics.shard(topic).lock();
             let default_partitions = self.default_partitions;
             let state = topics
                 .entry(topic.to_owned())
-                .or_insert_with(|| TopicState::new(default_partitions));
+                .or_insert_with(|| TopicState::new(topic, default_partitions));
             let partition = Self::route(state, key.as_ref());
             let log = &mut state.partitions[partition as usize];
             let offset = log.len() as u64;
             let message = Message {
-                topic: topic.to_owned(),
+                topic: state.name.clone(),
                 partition,
                 offset,
                 key,
@@ -123,11 +122,11 @@ impl Broker for LogBroker {
 
     fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError> {
         let (handle, subscription) = subscription_pair();
-        let mut topics = self.topics.lock();
+        let mut topics = self.topics.shard(topic).lock();
         let default_partitions = self.default_partitions;
         let state = topics
             .entry(topic.to_owned())
-            .or_insert_with(|| TopicState::new(default_partitions));
+            .or_insert_with(|| TopicState::new(topic, default_partitions));
         // Replay happens under the topic lock, so no message published
         // concurrently can be missed or duplicated. No waker can be
         // registered yet — `Subscription::set_waker` fires immediately
@@ -160,7 +159,7 @@ impl Broker for LogBroker {
         from_offset: u64,
         max: usize,
     ) -> Result<Vec<Message>, MqError> {
-        let topics = self.topics.lock();
+        let topics = self.topics.shard(topic).lock();
         let state = match topics.get(topic) {
             Some(s) => s,
             None => return Ok(Vec::new()),
@@ -187,24 +186,22 @@ impl Broker for LogBroker {
 
     fn partitions(&self, topic: &str) -> u32 {
         self.topics
-            .lock()
-            .get(topic)
-            .map(|s| s.partitions.len() as u32)
+            .with(topic, |s| s.map(|s| s.partitions.len() as u32))
             .unwrap_or(1)
     }
 
     fn retained(&self, topic: &str) -> u64 {
         self.topics
-            .lock()
-            .get(topic)
-            .map(|s| s.partitions.iter().map(|p| p.len() as u64).sum())
+            .with(topic, |s| {
+                s.map(|s| s.partitions.iter().map(|p| p.len() as u64).sum())
+            })
             .unwrap_or(0)
     }
 
     fn delete_topic(&self, topic: &str) -> bool {
         // Dropping the state drops every SubscriberHandle with it;
         // live subscriptions observe disconnection on their next recv.
-        self.topics.lock().remove(topic).is_some()
+        self.topics.remove(topic).is_some()
     }
 }
 
@@ -359,6 +356,7 @@ mod tests {
 
     #[test]
     fn fnv_is_stable() {
+        use crate::broker::fnv1a;
         assert_eq!(fnv1a(b""), 0x811c9dc5);
         assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));

@@ -2,12 +2,18 @@
 
 use bytes::Bytes;
 use std::fmt;
+use std::sync::Arc;
 
 /// One delivered message.
+///
+/// Cloning is cheap by construction — fan-out to N subscribers clones
+/// three reference counts, never the bytes: the topic is a shared
+/// `Arc<str>` (brokers keep one per topic and hand out clones), and key
+/// and payload are [`Bytes`].
 #[derive(Clone, PartialEq, Eq)]
 pub struct Message {
     /// Topic the message was published to.
-    pub topic: String,
+    pub topic: Arc<str>,
     /// Partition within the topic (always 0 on the transient broker).
     pub partition: u32,
     /// Offset within the partition (a per-topic sequence number on the

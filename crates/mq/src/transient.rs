@@ -12,20 +12,31 @@
 
 use crate::broker::{
     bounded_subscription_pair, wake_all, Broker, Receipt, SubscribeMode, SubscriberHandle,
-    Subscription,
+    Subscription, TopicShards,
 };
 use crate::error::MqError;
 use crate::message::Message;
 use bytes::Bytes;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::sync::Arc;
 
-#[derive(Default)]
 struct TopicState {
+    /// The shared topic name every delivered [`Message`] clones — one
+    /// allocation per topic lifetime, not one per publish.
+    name: Arc<str>,
     /// Per-topic sequence number (informational offset).
     seq: u64,
     /// Live subscriber endpoints; dead ones are pruned on publish.
     subscribers: Vec<SubscriberHandle>,
+}
+
+impl TopicState {
+    fn new(topic: &str) -> Self {
+        TopicState {
+            name: Arc::from(topic),
+            seq: 0,
+            subscribers: Vec::new(),
+        }
+    }
 }
 
 /// Default bound of one subscriber's delivery queue.
@@ -34,9 +45,11 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 8192;
 /// Transient in-memory broker. Messages published to a topic with no
 /// subscriber are dropped — at-most-once, like a non-persistent JMS
 /// topic — and a subscriber whose queue exceeds its bound loses the
-/// oldest entries (see the module docs).
+/// oldest entries (see the module docs). Like the log broker, the topic
+/// map is split into lock shards keyed by topic hash so concurrent
+/// publishers to distinct topics never serialise on one mutex.
 pub struct TransientBroker {
-    topics: Mutex<HashMap<String, TopicState>>,
+    topics: TopicShards<TopicState>,
     queue_capacity: usize,
 }
 
@@ -56,7 +69,7 @@ impl TransientBroker {
     /// messages (at least 1); beyond that, delivery drops the oldest.
     pub fn with_queue_capacity(capacity: usize) -> Self {
         TransientBroker {
-            topics: Mutex::new(HashMap::new()),
+            topics: TopicShards::default(),
             queue_capacity: capacity.max(1),
         }
     }
@@ -65,12 +78,14 @@ impl TransientBroker {
 impl Broker for TransientBroker {
     fn publish(&self, topic: &str, key: Option<Bytes>, payload: Bytes) -> Result<Receipt, MqError> {
         let (wakers, offset) = {
-            let mut topics = self.topics.lock();
-            let state = topics.entry(topic.to_owned()).or_default();
+            let mut topics = self.topics.shard(topic).lock();
+            let state = topics
+                .entry(topic.to_owned())
+                .or_insert_with(|| TopicState::new(topic));
             let offset = state.seq;
             state.seq += 1;
             let message = Message {
-                topic: topic.to_owned(),
+                topic: state.name.clone(),
                 partition: 0,
                 offset,
                 key,
@@ -99,9 +114,10 @@ impl Broker for TransientBroker {
         }
         let (handle, subscription) = bounded_subscription_pair(Some(self.queue_capacity));
         self.topics
+            .shard(topic)
             .lock()
             .entry(topic.to_owned())
-            .or_default()
+            .or_insert_with(|| TopicState::new(topic))
             .subscribers
             .push(handle);
         Ok(subscription)
@@ -130,7 +146,7 @@ impl Broker for TransientBroker {
     }
 
     fn delete_topic(&self, topic: &str) -> bool {
-        self.topics.lock().remove(topic).is_some()
+        self.topics.remove(topic).is_some()
     }
 }
 

@@ -41,6 +41,8 @@
 //!   0x86 RUN_LIST_REPLY seq:u64 count:u32 run_stat…
 //!   0x87 RUN_GC_REPLY  seq:u64 runs:u32 topics:u32
 //!   0x90 EVENT         sub:u64 message       (unsolicited push delivery)
+//!   0x91 EVENTS        sub:u64 count:u32 message…
+//!                      (coalesced push: one frame per pump wakeup)
 //!
 //! run_stat := run:str topics:u32 retained:u64 completed:u8
 //! ```
@@ -273,6 +275,17 @@ pub enum Frame {
         /// The delivered message.
         message: Message,
     },
+    /// Coalesced push delivery: everything queued on one subscription at
+    /// the moment its pump woke, in one frame — one encode and one
+    /// syscall per *wakeup* instead of one per message (server →
+    /// client, unsolicited). Semantically identical to the same
+    /// messages arriving as consecutive [`Frame::Event`]s.
+    Events {
+        /// Subscription id from [`Frame::Subscribed`].
+        sub: u64,
+        /// The delivered messages, in delivery order.
+        messages: Vec<Message>,
+    },
 }
 
 // --- encoding ---------------------------------------------------------
@@ -449,6 +462,14 @@ impl Frame {
                 put_u64(&mut buf, *sub);
                 put_message(&mut buf, message);
             }
+            Frame::Events { sub, messages } => {
+                buf.push(0x91);
+                put_u64(&mut buf, *sub);
+                put_u32(&mut buf, messages.len() as u32);
+                for m in messages {
+                    put_message(&mut buf, m);
+                }
+            }
         }
         let body_len = buf.len() - 4;
         if body_len > MAX_FRAME {
@@ -463,7 +484,7 @@ impl Frame {
         if body.len() > MAX_FRAME {
             return Err(WireError::Oversized { len: body.len() });
         }
-        let mut r = Reader { body, at: 0 };
+        let mut r = Reader::new(body);
         let opcode = r.u8()?;
         let frame = match opcode {
             0x01 => Frame::Publish {
@@ -568,9 +589,23 @@ impl Frame {
                 sub: r.u64()?,
                 message: r.message()?,
             },
+            0x91 => {
+                let sub = r.u64()?;
+                let count = r.u32()? as usize;
+                // Each message is at least 17 bytes on the wire; a count
+                // claiming more than fits in the body is corrupt.
+                if count > body.len() / 17 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut messages = Vec::with_capacity(count);
+                for _ in 0..count {
+                    messages.push(r.message()?);
+                }
+                Frame::Events { sub, messages }
+            }
             other => return Err(WireError::UnknownOpcode(other)),
         };
-        if r.at != body.len() {
+        if !r.is_exhausted() {
             // Trailing garbage means the peer and we disagree about the
             // frame layout — treat as corruption, not leniency.
             return Err(WireError::Truncated);
@@ -624,44 +659,75 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, WireErro
     Ok(true)
 }
 
-/// Cursor over a frame body.
-struct Reader<'a> {
+/// Truncation-checked cursor over a length-prefixed binary body.
+///
+/// Public because it is the one bounds-checked byte reader of the
+/// workspace: sibling binary codecs (the agent message codec) build on
+/// these primitives instead of growing parallel implementations whose
+/// corruption checks could drift apart.
+pub struct Reader<'a> {
     body: &'a [u8],
     at: usize,
 }
 
-impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
-        if self.at + n > self.body.len() {
+impl<'a> Reader<'a> {
+    /// Cursor over `body`, positioned at the start.
+    pub fn new(body: &'a [u8]) -> Self {
+        Reader { body, at: 0 }
+    }
+
+    /// Consume the next `n` bytes; [`WireError::Truncated`] when fewer
+    /// remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.body.len() {
             return Err(WireError::Truncated);
         }
-        let slice = &self.body[self.at..self.at + n];
-        self.at += n;
+        let slice = &self.body[self.at..end];
+        self.at = end;
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    /// Big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    /// Big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn bytes(&mut self) -> Result<Bytes, WireError> {
+    /// Length-prefixed byte field.
+    pub fn bytes(&mut self) -> Result<Bytes, WireError> {
         let len = self.u32()? as usize;
         Ok(Bytes::copy_from_slice(self.take(len)?))
     }
 
-    fn str(&mut self) -> Result<String, WireError> {
+    /// Length-prefixed UTF-8 string field.
+    pub fn str(&mut self) -> Result<String, WireError> {
         let len = self.u32()? as usize;
         std::str::from_utf8(self.take(len)?)
             .map(str::to_owned)
             .map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Bytes not yet consumed — the bound for element-count sanity
+    /// checks (a count claiming more elements than bytes is corrupt).
+    pub fn remaining(&self) -> usize {
+        self.body.len() - self.at
+    }
+
+    /// Has the whole body been consumed? Trailing garbage means the
+    /// peer and we disagree about the layout — corruption, not
+    /// leniency.
+    pub fn is_exhausted(&self) -> bool {
+        self.at == self.body.len()
     }
 
     fn opt_bytes(&mut self) -> Result<Option<Bytes>, WireError> {
@@ -683,7 +749,7 @@ impl Reader<'_> {
 
     fn message(&mut self) -> Result<Message, WireError> {
         Ok(Message {
-            topic: self.str()?,
+            topic: self.str()?.into(),
             partition: self.u32()?,
             offset: self.u64()?,
             key: self.opt_bytes()?,
@@ -798,6 +864,14 @@ mod tests {
             Frame::Event {
                 sub: 9,
                 message: message(),
+            },
+            Frame::Events {
+                sub: 9,
+                messages: vec![message(), message(), message()],
+            },
+            Frame::Events {
+                sub: 1,
+                messages: Vec::new(),
             },
         ] {
             roundtrip(frame);

@@ -42,7 +42,7 @@ fn arb_message() -> BoxedStrategy<Message> {
         arb_bytes(),
     )
         .prop_map(|(topic, (partition, offset), key, payload)| Message {
-            topic,
+            topic: topic.into(),
             partition,
             offset,
             key,
@@ -115,6 +115,8 @@ fn arb_frame() -> BoxedStrategy<Frame> {
             topics
         }),
         (any::<u64>(), arb_message()).prop_map(|(sub, message)| Frame::Event { sub, message }),
+        (any::<u64>(), prop::collection::vec(arb_message(), 0..6))
+            .prop_map(|(sub, messages)| Frame::Events { sub, messages }),
     ]
     .boxed()
 }

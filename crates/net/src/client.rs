@@ -22,12 +22,52 @@
 //!   mid-workflow never silently loses a result message to a severed
 //!   connection.
 //!
+//! ## Pipelined publish
+//!
+//! [`Broker::publish`] is the blocking path: one RECEIPT round trip
+//! per message, receipt returned to the caller.
+//! [`Broker::publish_nowait`] is the hot path: the PUBLISH frame is
+//! written and the call returns; the reader thread consumes RECEIPTs
+//! asynchronously, releasing bytes from the in-flight window
+//! ([`PIPELINE_WINDOW_BYTES`]). The call only blocks when the window
+//! is full, or on [`Broker::flush`], which drains the pipeline and
+//! reports (then clears) the loss ledger.
+//!
+//! **Ordering.** Both paths write frames to one socket under one lock
+//! and the daemon processes a connection's requests in order, so
+//! publishes from one client — pipelined, blocking, or interleaved —
+//! land in per-topic FIFO order exactly as before; a blocking
+//! publish's receipt accounts for every pipelined frame queued ahead
+//! of it.
+//!
+//! **Ack/loss semantics.** A pipelined publish that fails before the
+//! frame leaves the process errors immediately (caller's error, e.g.
+//! oversized payload or a timed-out reconnect wait). One that dies
+//! *after* the write — connection severed before its RECEIPT, or
+//! refused by the server — is counted on a loss ledger that the next
+//! `flush()` returns and resets. Un-acked pipelined publishes are
+//! **not** replayed on reconnect: the daemon may have processed a
+//! frame whose receipt was lost with the connection, and re-sending
+//! would duplicate it in the persistent log. This is the same
+//! at-most-once-on-outage contract as the blocking path (whose
+//! `Disconnected` error hot-path callers discard); flush points are
+//! where a caller that needs certainty asks for it.
+//!
+//! **Flush points.** Call `flush()` wherever the program must know the
+//! log contains everything published so far: end of a publish storm,
+//! before tearing a run down, before asserting on `retained()` in a
+//! test. Workflow execution itself needs no explicit flush — run
+//! completion is observed through status messages that only exist
+//! because their publish reached the daemon.
+//!
 //! The recovery contract covers **connection** loss: the daemon keeps
-//! the log, the client reconnects and replays. It does not cover a
-//! *daemon* restart — the daemon's log is in-memory, so restarting it
-//! loses the retained history that replay (and the offset watermarks
-//! this client keeps) are defined against; restart the workflow run
-//! too (file-backed logs remain on the ROADMAP).
+//! the log, the client reconnects and replays subscriptions
+//! exactly-once (the offset-watermark dedupe is unchanged by
+//! pipelining). It does not cover a *daemon* restart — the daemon's
+//! log is in-memory, so restarting it loses the retained history that
+//! replay (and the offset watermarks this client keeps) are defined
+//! against; restart the workflow run too (file-backed logs remain on
+//! the ROADMAP).
 //!
 //! One daemon serves **many workflow runs**: topics are run-scoped
 //! (`run/<id>/…`, [`ginflow_mq::namespace`]), so concurrent and
@@ -65,6 +105,14 @@ pub const RECONNECT_GRACE: Duration = Duration::from_secs(30);
 /// that times out may be partial, which corrupts the frame stream — the
 /// connection is declared dead and the reconnect path takes over.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Upper bound on un-acknowledged pipelined publish bytes
+/// ([`ginflow_mq::Broker::publish_nowait`]). While the window has room,
+/// a pipelined publish costs one frame write — no round trip; when it
+/// is full, the publisher blocks until the reader's asynchronous ack
+/// consumption drains it. Bounds both client memory and how far the
+/// publisher can run ahead of a slow daemon.
+pub const PIPELINE_WINDOW_BYTES: usize = 4 * 1024 * 1024;
 
 /// One client-side subscription: the delivery bridge plus what is
 /// needed to resume it on a fresh connection.
@@ -112,22 +160,47 @@ impl RemoteSub {
         SubscribeMode::Latest
     }
 
+    /// Admit `message` past the per-partition watermark filter; replay
+    /// duplicates from a reconnect — `offset` below the watermark — are
+    /// absorbed here.
+    fn admit(&self, message: &Message) -> bool {
+        let mut next = self.next_offset.lock();
+        let watermark = next.entry(message.partition).or_insert(0);
+        if message.offset < *watermark {
+            return false; // duplicate from a reconnect replay
+        }
+        *watermark = message.offset + 1;
+        true
+    }
+
     /// Deliver one pushed message (false = local subscriber is gone).
-    /// Replay duplicates — `offset` below the per-partition watermark —
-    /// are absorbed here.
     fn deliver(&self, message: Message) -> bool {
-        {
-            let mut next = self.next_offset.lock();
-            let watermark = next.entry(message.partition).or_insert(0);
-            if message.offset < *watermark {
-                return true; // duplicate from a reconnect replay
-            }
-            *watermark = message.offset + 1;
+        if !self.admit(&message) {
+            return true;
         }
         if !self.handle.deliver(message) {
             return false;
         }
         self.handle.wake();
+        true
+    }
+
+    /// Deliver a coalesced batch, waking the subscriber **once** at the
+    /// end instead of per message (false = local subscriber is gone).
+    fn deliver_batch(&self, messages: Vec<Message>) -> bool {
+        let mut delivered = false;
+        for message in messages {
+            if !self.admit(&message) {
+                continue;
+            }
+            if !self.handle.deliver(message) {
+                return false;
+            }
+            delivered = true;
+        }
+        if delivered {
+            self.handle.wake();
+        }
         true
     }
 }
@@ -150,6 +223,27 @@ enum Waiter {
     /// ack still arrives, the server-side subscription must be torn
     /// down rather than stream events nobody handles.
     Abandoned,
+    /// A pipelined publish in flight: nobody blocks on the RECEIPT —
+    /// the reader consumes it and releases the publish's bytes from the
+    /// pipeline window.
+    Pipelined {
+        /// Wire bytes this publish holds in the window.
+        bytes: usize,
+    },
+}
+
+/// Un-acknowledged pipelined publishes: the window occupancy publishers
+/// block on when full, and the loss ledger [`RemoteBroker::flush`]
+/// reports from.
+#[derive(Default)]
+struct PipelineState {
+    /// Wire bytes currently in flight.
+    inflight_bytes: usize,
+    /// Publishes currently in flight.
+    inflight: usize,
+    /// Pipelined publishes lost since the last flush (connection died
+    /// before their ack, or the server refused them).
+    lost: u64,
 }
 
 struct ClientInner {
@@ -159,20 +253,32 @@ struct ClientInner {
     conn: Mutex<Option<TcpStream>>,
     conn_ready: Condvar,
     pending: Mutex<HashMap<u64, Waiter>>,
+    pipeline: Mutex<PipelineState>,
+    /// Signalled whenever pipeline occupancy drops (ack consumed,
+    /// pending failed): wakes window-full publishers and flushers.
+    pipeline_drained: Condvar,
     subs: Mutex<HashMap<u64, Arc<RemoteSub>>>,
     /// Subscriptions whose re-subscription was in flight when the
     /// connection died again; the next reconnect pass re-issues them.
     orphans: Mutex<Vec<Arc<RemoteSub>>>,
+    /// Outbound frame queue drained by the writer thread, which
+    /// coalesces every frame available at wakeup into one socket write
+    /// — a burst of pipelined publishes costs one syscall, not one
+    /// each. A single FIFO queue for *all* request frames preserves the
+    /// per-connection ordering contract.
+    out_tx: Sender<Vec<u8>>,
     seq: AtomicU64,
     persistent: AtomicBool,
     shutdown: AtomicBool,
 }
 
 /// A [`Broker`] living in another process, reached over TCP. Dropping
-/// the value closes the connection and joins the reader thread.
+/// the value closes the connection and joins the reader and writer
+/// threads.
 pub struct RemoteBroker {
     inner: Arc<ClientInner>,
     reader: Mutex<Option<JoinHandle<()>>>,
+    writer: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl RemoteBroker {
@@ -184,13 +290,17 @@ impl RemoteBroker {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
         let write_half = stream.try_clone()?;
+        let (out_tx, out_rx) = unbounded::<Vec<u8>>();
         let inner = Arc::new(ClientInner {
             addr,
             conn: Mutex::new(Some(write_half)),
             conn_ready: Condvar::new(),
             pending: Mutex::new(HashMap::new()),
+            pipeline: Mutex::new(PipelineState::default()),
+            pipeline_drained: Condvar::new(),
             subs: Mutex::new(HashMap::new()),
             orphans: Mutex::new(Vec::new()),
+            out_tx,
             seq: AtomicU64::new(0),
             persistent: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
@@ -202,9 +312,17 @@ impl RemoteBroker {
                 .spawn(move || reader_loop(inner, stream))
                 .expect("spawn client reader")
         };
+        let writer = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("gf-net-writer".into())
+                .spawn(move || writer_loop(inner, out_rx))
+                .expect("spawn client writer")
+        };
         let broker = RemoteBroker {
             inner,
             reader: Mutex::new(Some(reader)),
+            writer: Mutex::new(Some(writer)),
         };
         // Handshake: learn whether the far side retains messages (the
         // sync `Broker::persistent` contract needs a cached answer).
@@ -225,9 +343,19 @@ impl RemoteBroker {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
         self.inner.conn_ready.notify_all();
+        // An empty buffer is the writer's wakeup sentinel: it re-checks
+        // the shutdown flag and exits.
+        let _ = self.inner.out_tx.send(Vec::new());
         if let Some(t) = self.reader.lock().take() {
             let _ = t.join();
         }
+        if let Some(t) = self.writer.lock().take() {
+            let _ = t.join();
+        }
+        // Drain whatever was still pending (pipelined publishes
+        // included) so window waiters and flushers unblock promptly
+        // instead of timing out against a closed connection.
+        self.inner.fail_pending();
     }
 
     fn next_seq(&self) -> u64 {
@@ -299,6 +427,71 @@ impl RemoteBroker {
             other => Err(protocol_error(&other)),
         }
     }
+
+    /// Register a subscribe waiter and encode its frame; the caller
+    /// sends the bytes (possibly concatenated with other requests) and
+    /// then awaits the ack with [`RemoteBroker::await_subscribed`].
+    #[allow(clippy::type_complexity)]
+    fn subscribe_request(
+        &self,
+        topic: &str,
+        mode: SubscribeMode,
+    ) -> Result<
+        (
+            u64,
+            Vec<u8>,
+            crossbeam::channel::Receiver<Result<Frame, MqError>>,
+            Subscription,
+        ),
+        MqError,
+    > {
+        let (handle, subscription) = subscription_pair();
+        let entry = Arc::new(RemoteSub {
+            topic: topic.to_owned(),
+            origin_mode: mode,
+            handle,
+            next_offset: Mutex::new(HashMap::new()),
+        });
+        let seq = self.next_seq();
+        let frame = Frame::Subscribe {
+            seq,
+            topic: topic.to_owned(),
+            mode,
+        };
+        let buf = frame.encode().map_err(|e| MqError::Remote {
+            message: e.to_string(),
+        })?;
+        let (tx, rx) = unbounded();
+        self.inner
+            .pending
+            .lock()
+            .insert(seq, Waiter::Subscribe { entry, reply: tx });
+        Ok((seq, buf, rx, subscription))
+    }
+
+    /// Wait for a subscribe ack registered by
+    /// [`RemoteBroker::subscribe_request`].
+    fn await_subscribed(
+        &self,
+        seq: u64,
+        rx: &crossbeam::channel::Receiver<Result<Frame, MqError>>,
+    ) -> Result<(), MqError> {
+        match rx.recv_timeout(REQUEST_TIMEOUT) {
+            Ok(Ok(_)) => Ok(()),
+            Ok(Err(e)) => Err(e),
+            Err(_) => {
+                // Leave a tombstone: if the ack still arrives, the
+                // reader unsubscribes the orphaned server-side
+                // subscription instead of letting it stream events
+                // nobody handles.
+                let mut pending = self.inner.pending.lock();
+                if pending.remove(&seq).is_some() {
+                    pending.insert(seq, Waiter::Abandoned);
+                }
+                Err(MqError::Timeout)
+            }
+        }
+    }
 }
 
 impl Drop for RemoteBroker {
@@ -332,14 +525,29 @@ fn protocol_error(frame: &Frame) -> MqError {
 }
 
 impl ClientInner {
-    /// Write one frame, waiting out a reconnect if necessary. Encoding
-    /// happens before the connection is touched: a frame the codec
-    /// refuses (oversized payload) is the *caller's* error and must not
-    /// poison the link.
+    /// Queue one frame for the writer thread. Encoding happens before
+    /// anything is queued: a frame the codec refuses (oversized
+    /// payload) is the *caller's* error and must not poison the link.
     fn send(&self, frame: &Frame) -> Result<(), MqError> {
         let buf = frame.encode().map_err(|e| MqError::Remote {
             message: e.to_string(),
         })?;
+        self.enqueue(buf)
+    }
+
+    /// Hand encoded frame bytes to the writer thread. The single FIFO
+    /// queue is what preserves ordering across pipelined and blocking
+    /// requests from any number of caller threads.
+    fn enqueue(&self, buf: Vec<u8>) -> Result<(), MqError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(MqError::Disconnected);
+        }
+        self.out_tx.send(buf).map_err(|_| MqError::Disconnected)
+    }
+
+    /// Write an already-encoded frame batch, waiting out a reconnect if
+    /// necessary (writer thread and reconnect path only).
+    fn send_bytes(&self, buf: &[u8]) -> Result<(), MqError> {
         let deadline = Instant::now() + RECONNECT_GRACE;
         let mut conn = self.conn.lock();
         loop {
@@ -348,7 +556,7 @@ impl ClientInner {
             }
             if let Some(stream) = conn.as_mut() {
                 use std::io::Write;
-                return match stream.write_all(&buf) {
+                return match stream.write_all(buf) {
                     Ok(()) => Ok(()),
                     Err(_) => {
                         // The write half died; the reader notices the
@@ -365,6 +573,38 @@ impl ClientInner {
             }
             self.conn_ready.wait_for(&mut conn, deadline - now);
         }
+    }
+
+    /// Reserve `bytes` of pipeline window, blocking while it is full.
+    fn pipeline_reserve(&self, bytes: usize) -> Result<(), MqError> {
+        let deadline = Instant::now() + RECONNECT_GRACE;
+        let mut p = self.pipeline.lock();
+        while p.inflight_bytes >= PIPELINE_WINDOW_BYTES {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(MqError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(MqError::Timeout);
+            }
+            self.pipeline_drained.wait_for(&mut p, deadline - now);
+        }
+        p.inflight_bytes += bytes;
+        p.inflight += 1;
+        Ok(())
+    }
+
+    /// Release a pipelined publish's window reservation; `lost` records
+    /// it on the ledger [`RemoteBroker::flush`] reports from.
+    fn pipeline_complete(&self, bytes: usize, lost: bool) {
+        let mut p = self.pipeline.lock();
+        p.inflight_bytes = p.inflight_bytes.saturating_sub(bytes);
+        p.inflight = p.inflight.saturating_sub(1);
+        if lost {
+            p.lost += 1;
+        }
+        drop(p);
+        self.pipeline_drained.notify_all();
     }
 
     /// Send without waiting for a live connection — for best-effort
@@ -397,6 +637,11 @@ impl ClientInner {
                 // The requester already gave up; the connection the
                 // server-side subscription lived on is gone too.
                 Waiter::Abandoned => {}
+                // The publish died with the connection before its ack:
+                // release the window and record the loss for the next
+                // flush (at-most-once on outage, like the blocking
+                // path's discarded Disconnected error).
+                Waiter::Pipelined { bytes } => self.pipeline_complete(bytes, true),
             }
         }
     }
@@ -404,6 +649,16 @@ impl ClientInner {
     /// Handle one frame from the server.
     fn on_frame(&self, frame: Frame) {
         match frame {
+            Frame::Events { sub, messages } => {
+                let entry = self.subs.lock().get(&sub).cloned();
+                if let Some(entry) = entry {
+                    if !entry.deliver_batch(messages) {
+                        // Same pruning path as a single EVENT below.
+                        self.subs.lock().remove(&sub);
+                        self.send_best_effort(&Frame::Unsubscribe { seq: 0, sub });
+                    }
+                }
+            }
             Frame::Event { sub, message } => {
                 let entry = self.subs.lock().get(&sub).cloned();
                 if let Some(entry) = entry {
@@ -445,6 +700,9 @@ impl ClientInner {
                         // void.
                         self.send_best_effort(&Frame::Unsubscribe { seq: 0, sub });
                     }
+                    // A SUBSCRIBED reply to a publish seq is server
+                    // nonsense; release the window either way.
+                    Some(Waiter::Pipelined { bytes }) => self.pipeline_complete(bytes, false),
                     None => {}
                 }
             }
@@ -469,6 +727,10 @@ impl ClientInner {
                         Waiter::Subscribe { reply, .. } => {
                             let _ = reply.send(Err(protocol_error(&frame)));
                         }
+                        // The asynchronous ack of a pipelined publish:
+                        // release its window bytes, wake anyone blocked
+                        // on a full window or a flush.
+                        Waiter::Pipelined { bytes } => self.pipeline_complete(bytes, false),
                         Waiter::Resubscribe { .. } | Waiter::Abandoned => {}
                     }
                 }
@@ -479,6 +741,9 @@ impl ClientInner {
                         Waiter::Reply(tx) | Waiter::Subscribe { reply: tx, .. } => {
                             let _ = tx.send(Err(map_server_error(message)));
                         }
+                        // The server refused a pipelined publish; the
+                        // loss surfaces on the next flush.
+                        Waiter::Pipelined { bytes } => self.pipeline_complete(bytes, true),
                         // A failed re-subscription is dropped; the
                         // subscription dies quietly like a local one
                         // whose broker went away.
@@ -495,6 +760,37 @@ impl ClientInner {
             | Frame::RunList { .. }
             | Frame::RunClose { .. }
             | Frame::RunGc { .. } => {}
+        }
+    }
+}
+
+/// Coalesced-write budget per writer wakeup: everything queued is
+/// drained into one buffer up to this size, then written with a single
+/// syscall.
+const WRITE_COALESCE_BYTES: usize = 256 * 1024;
+
+/// The writer: drain the outbound queue, coalescing every frame
+/// available at wakeup into one socket write. While a publisher burst
+/// is still producing, frames accumulate here and leave in batches —
+/// the client-side mirror of the server's reply and EVENTS batching.
+/// Send failures are not reported from here: the reader observes the
+/// same dead connection and fails the pending waiters.
+fn writer_loop(inner: Arc<ClientInner>, rx: crossbeam::channel::Receiver<Vec<u8>>) {
+    let mut buf: Vec<u8> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        buf.clear();
+        buf.extend_from_slice(&first);
+        while buf.len() < WRITE_COALESCE_BYTES {
+            match rx.try_recv() {
+                Ok(next) => buf.extend_from_slice(&next),
+                Err(_) => break,
+            }
+        }
+        if !buf.is_empty() {
+            let _ = inner.send_bytes(&buf);
         }
     }
 }
@@ -607,44 +903,127 @@ impl Broker for RemoteBroker {
         }
     }
 
-    fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError> {
-        let (handle, subscription) = subscription_pair();
-        let entry = Arc::new(RemoteSub {
-            topic: topic.to_owned(),
-            origin_mode: mode,
-            handle,
-            next_offset: Mutex::new(HashMap::new()),
-        });
+    /// The pipelined hot path: encode, reserve window space, write —
+    /// no round trip. The RECEIPT is consumed asynchronously by the
+    /// reader thread, which releases the window bytes; this call only
+    /// blocks when [`PIPELINE_WINDOW_BYTES`] are already in flight.
+    /// Frames go out on the same socket in call order, so per-topic
+    /// FIFO ordering versus other publishes from this client holds
+    /// exactly as for the blocking path.
+    fn publish_nowait(
+        &self,
+        topic: &str,
+        key: Option<bytes::Bytes>,
+        payload: bytes::Bytes,
+    ) -> Result<(), MqError> {
         let seq = self.next_seq();
-        let (tx, rx) = unbounded();
+        let frame = Frame::Publish {
+            seq,
+            topic: topic.to_owned(),
+            key,
+            payload,
+        };
+        let buf = frame.encode().map_err(|e| MqError::Remote {
+            message: e.to_string(),
+        })?;
+        let bytes = buf.len();
+        self.inner.pipeline_reserve(bytes)?;
         self.inner
             .pending
             .lock()
-            .insert(seq, Waiter::Subscribe { entry, reply: tx });
-        let frame = Frame::Subscribe {
-            seq,
-            topic: topic.to_owned(),
-            mode,
-        };
-        if let Err(e) = self.inner.send(&frame) {
+            .insert(seq, Waiter::Pipelined { bytes });
+        if let Err(e) = self.inner.enqueue(buf) {
+            // The frame never left: the send is the caller's error, not
+            // a silent pipeline loss.
+            if self.inner.pending.lock().remove(&seq).is_some() {
+                self.inner.pipeline_complete(bytes, false);
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Wait until every pipelined publish has been acknowledged.
+    /// Reports (and clears) the loss ledger: publishes that died
+    /// un-acked with a severed connection or were refused by the
+    /// server since the previous flush.
+    fn flush(&self) -> Result<(), MqError> {
+        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        let mut p = self.inner.pipeline.lock();
+        loop {
+            if p.inflight == 0 {
+                if p.lost > 0 {
+                    let lost = std::mem::take(&mut p.lost);
+                    return Err(MqError::Remote {
+                        message: format!(
+                            "{lost} pipelined publish(es) lost before acknowledgement"
+                        ),
+                    });
+                }
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(MqError::Timeout);
+            }
+            self.inner.pipeline_drained.wait_for(&mut p, deadline - now);
+        }
+    }
+
+    fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError> {
+        let (seq, buf, rx, subscription) = self.subscribe_request(topic, mode)?;
+        if let Err(e) = self.inner.enqueue(buf) {
             self.inner.pending.lock().remove(&seq);
             return Err(e);
         }
-        match rx.recv_timeout(REQUEST_TIMEOUT) {
-            Ok(Ok(_)) => Ok(subscription),
-            Ok(Err(e)) => Err(e),
-            Err(_) => {
-                // Leave a tombstone: if the ack still arrives, the
-                // reader unsubscribes the orphaned server-side
-                // subscription instead of letting it stream events
-                // nobody handles.
-                let mut pending = self.inner.pending.lock();
-                if pending.remove(&seq).is_some() {
-                    pending.insert(seq, Waiter::Abandoned);
+        self.await_subscribed(seq, &rx)?;
+        Ok(subscription)
+    }
+
+    /// Pipelined bulk subscribe: every SUBSCRIBE frame is registered
+    /// and written (one concatenated socket write) before the first
+    /// ack is awaited, so N subscriptions cost one round trip instead
+    /// of N — the difference between a 1000-agent launch paying ~1000
+    /// loopback RTTs and paying one.
+    fn subscribe_many(
+        &self,
+        requests: &[(String, SubscribeMode)],
+    ) -> Result<Vec<Subscription>, MqError> {
+        // Register + encode everything first: nothing has touched the
+        // socket yet, so any failure here can cleanly unregister.
+        let mut awaiting = Vec::with_capacity(requests.len());
+        let mut subscriptions = Vec::with_capacity(requests.len());
+        let mut batch: Vec<u8> = Vec::with_capacity(64 * requests.len());
+        for (topic, mode) in requests {
+            match self.subscribe_request(topic, *mode) {
+                Ok((seq, buf, rx, subscription)) => {
+                    batch.extend_from_slice(&buf);
+                    awaiting.push((seq, rx));
+                    subscriptions.push(subscription);
                 }
-                Err(MqError::Timeout)
+                Err(e) => {
+                    let mut pending = self.inner.pending.lock();
+                    for (seq, _) in &awaiting {
+                        pending.remove(seq);
+                    }
+                    return Err(e);
+                }
             }
         }
+        if let Err(e) = self.inner.enqueue(batch) {
+            let mut pending = self.inner.pending.lock();
+            for (seq, _) in &awaiting {
+                pending.remove(seq);
+            }
+            return Err(e);
+        }
+        for (seq, rx) in &awaiting {
+            // An error drops every Subscription created so far; their
+            // server-side twins are pruned through the usual
+            // dead-subscriber path.
+            self.await_subscribed(*seq, rx)?;
+        }
+        Ok(subscriptions)
     }
 
     fn fetch(

@@ -17,7 +17,14 @@
 //!   the event-driven scheduler drives remote subscriptions with zero
 //!   polling), and transparently reconnecting with
 //!   [`SubscribeMode::FromOffset`](ginflow_mq::SubscribeMode) replay +
-//!   offset dedupe when the connection drops.
+//!   offset dedupe when the connection drops. Hot-path publishes are
+//!   **pipelined**: `publish_nowait` writes the frame and returns,
+//!   acks are consumed asynchronously against a bounded in-flight
+//!   window, and `flush()` drains the pipeline — see
+//!   [`client`](crate::client) for the ordering, ack and flush-point
+//!   semantics. The daemon symmetrically coalesces everything queued
+//!   on a subscription into one multi-message EVENTS frame per pump
+//!   wakeup.
 //!
 //! With a daemon in the middle, `Backend::Sharded` (in
 //! `ginflow-engine`) runs one workflow across multiple OS processes:
@@ -55,6 +62,7 @@
 //!   0x06 RUN_LIST            0x86 RUN_LIST_REPLY (ack of RUN_LIST)
 //!   0x07 RUN_CLOSE           0x87 RUN_GC_REPLY   (ack of RUN_CLOSE/RUN_GC)
 //!   0x08 RUN_GC              0x90 EVENT          (push delivery)
+//!                            0x91 EVENTS         (coalesced push delivery)
 //! ```
 //!
 //! Requests carry a `seq` the ack echoes (UNSUBSCRIBE is

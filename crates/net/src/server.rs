@@ -16,8 +16,8 @@
 //! many runs does not grow without bound.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use ginflow_mq::wire::{read_frame, write_frame, Frame, RunStat};
-use ginflow_mq::{namespace, Broker, Subscription};
+use ginflow_mq::wire::{read_frame, Frame, RunStat};
+use ginflow_mq::{namespace, Broker, Message, Subscription};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
@@ -27,9 +27,31 @@ use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Max EVENT frames one pump turn writes before re-checking its queue —
-/// keeps one fire-hose subscription from starving the others.
+/// Max messages one pump turn coalesces into a single EVENTS frame
+/// before re-checking its queue — bounds frame size and keeps one
+/// fire-hose subscription from starving the others.
 const EVENT_BATCH: usize = 128;
+
+/// Byte budget of one coalesced EVENTS frame (payload + topic + key +
+/// framing headroom per message, enforced before a message joins a
+/// non-empty batch) — far under `MAX_FRAME`, so only a single message
+/// whose EVENT envelope alone exceeds the frame limit can ever fail
+/// encode, and that frame is dropped rather than killing the pump.
+const EVENT_BATCH_BYTES: usize = 1 << 20;
+
+/// Per-wakeup batch cap, honouring the `GINFLOW_NET_UNBATCHED` debug
+/// knob (set to any value to force one EVENT frame per message — the
+/// A/B lever for benchmarking what push coalescing buys in isolation).
+fn event_batch() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        if std::env::var_os("GINFLOW_NET_UNBATCHED").is_some() {
+            1
+        } else {
+            EVENT_BATCH
+        }
+    })
+}
 
 /// How often the retention sweeper wakes (capped by the retention
 /// window itself, so short windows stay accurate — but never below
@@ -356,9 +378,24 @@ fn serve_connection(
     // business being closed.
     let mut seen_topics: HashSet<String> = HashSet::new();
     let mut reader = BufReader::new(stream);
+    // Reply frames are coalesced here and flushed in one locked write
+    // whenever the request stream pauses (or the buffer grows large):
+    // a client pipelining N publishes costs the server one reply
+    // syscall, not N. Flushing *before* any blocking read keeps the
+    // request/ack cycle live — a blocking publisher is never left
+    // waiting on a buffered receipt.
+    let mut replies: Vec<u8> = Vec::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
+        }
+        if !replies.is_empty() && reader.buffer().is_empty() {
+            // No more requests already buffered: the next read may
+            // block, so everything owed goes out now.
+            if write_bytes_locked(&writer, &replies).is_err() {
+                break;
+            }
+            replies.clear();
         }
         let frame = match read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
@@ -417,15 +454,19 @@ fn serve_connection(
                         subs.insert(id, entry.clone());
                         // Ack before arming the waker so the client
                         // learns the sub id before the first EVENT can
-                        // be written.
+                        // be written — which means flushing any owed
+                        // replies along with it.
                         let ack = Frame::Subscribed {
                             seq,
                             sub: id,
                             resume,
                         };
-                        if write_locked(&writer, &ack).is_err() {
+                        if append_frame(&mut replies, &ack).is_err()
+                            || write_bytes_locked(&writer, &replies).is_err()
+                        {
                             break;
                         }
+                        replies.clear();
                         let weak: Weak<ServerSub> = Arc::downgrade(&entry);
                         let tx = pump_tx.clone();
                         entry.sub.set_waker(move || {
@@ -485,11 +526,20 @@ fn serve_connection(
             | Frame::RunListReply { .. }
             | Frame::RunGcReply { .. }
             | Frame::Error { .. }
-            | Frame::Event { .. } => break,
+            | Frame::Event { .. }
+            | Frame::Events { .. } => break,
         };
         if let Some(reply) = reply {
-            if write_locked(&writer, &reply).is_err() {
+            if append_frame(&mut replies, &reply).is_err() {
                 break;
+            }
+            // A large owed batch flushes early so the buffer stays
+            // bounded even against a client that never stops sending.
+            if replies.len() >= REPLY_BATCH_BYTES {
+                if write_bytes_locked(&writer, &replies).is_err() {
+                    break;
+                }
+                replies.clear();
             }
         }
     }
@@ -507,32 +557,93 @@ fn error_frame(seq: u64, e: ginflow_mq::MqError) -> Frame {
     }
 }
 
-fn write_locked(writer: &Mutex<TcpStream>, frame: &Frame) -> Result<(), ()> {
-    write_frame(&mut *writer.lock(), frame).map_err(|_| ())
+/// Owed-reply buffer flush threshold (bytes): below this, replies wait
+/// for the request stream to pause; beyond it they go out immediately.
+const REPLY_BATCH_BYTES: usize = 64 * 1024;
+
+/// Append one frame's encoding to a reply batch.
+fn append_frame(batch: &mut Vec<u8>, frame: &Frame) -> Result<(), ()> {
+    batch.extend_from_slice(&frame.encode().map_err(|_| ())?);
+    Ok(())
 }
 
-/// Forward deliveries of scheduled subscriptions as EVENT frames.
+/// Write a batch of already-encoded frames in one locked write.
+fn write_bytes_locked(writer: &Mutex<TcpStream>, bytes: &[u8]) -> Result<(), ()> {
+    use std::io::Write;
+    writer.lock().write_all(bytes).map_err(|_| ())
+}
+
+/// Write one pump batch as an EVENT (single message) or EVENTS frame.
+/// Returns `Err` only for a dying connection; a frame the codec refuses
+/// (a message so large the EVENT envelope pushes it past `MAX_FRAME`)
+/// is dropped rather than allowed to kill the pump — the message is
+/// still in the log for `fetch`, and every other subscription keeps
+/// flowing.
+fn write_event_batch(
+    writer: &Mutex<TcpStream>,
+    sub: u64,
+    batch: &mut Vec<Message>,
+) -> Result<(), ()> {
+    let frame = if batch.len() == 1 {
+        Frame::Event {
+            sub,
+            message: batch.pop().expect("len checked"),
+        }
+    } else {
+        Frame::Events {
+            sub,
+            messages: std::mem::take(batch),
+        }
+    };
+    batch.clear();
+    let Ok(bytes) = frame.encode() else {
+        return Ok(());
+    };
+    write_bytes_locked(writer, &bytes)
+}
+
+/// Forward deliveries of scheduled subscriptions as EVENT/EVENTS
+/// frames. Everything queued on a subscription at wakeup is coalesced
+/// into **one** multi-message EVENTS frame (one encode, one locked
+/// write, one syscall) instead of a frame per message — under fan-in
+/// load the per-message cost collapses to a memcpy into the batch.
+/// The per-message byte accounting (payload + topic + key + framing
+/// headroom) is checked *before* a message joins a non-empty batch, so
+/// a batch can never grow past [`EVENT_BATCH_BYTES`] — far inside
+/// `MAX_FRAME` — by the message that lands on top of it.
 fn pump_loop(writer: Arc<Mutex<TcpStream>>, rx: Receiver<PumpMsg>, requeue: Sender<PumpMsg>) {
     while let Ok(msg) = rx.recv() {
         let entry = match msg {
             PumpMsg::Stop => return,
             PumpMsg::Drain(entry) => entry,
         };
-        for _ in 0..EVENT_BATCH {
+        let mut batch: Vec<Message> = Vec::new();
+        let mut batch_bytes = 0usize;
+        for _ in 0..event_batch() {
             match entry.sub.try_recv() {
                 Ok(Some(message)) => {
-                    let frame = Frame::Event {
-                        sub: entry.id,
-                        message,
-                    };
-                    if write_locked(&writer, &frame).is_err() {
-                        // Connection is dying; the reader thread tears
-                        // everything down.
-                        return;
+                    let msg_bytes = message.payload.len()
+                        + message.topic.len()
+                        + message.key.as_ref().map_or(0, |k| k.len())
+                        + 32;
+                    if !batch.is_empty() && batch_bytes + msg_bytes > EVENT_BATCH_BYTES {
+                        // This message would push the batch over its
+                        // budget: flush what is owed, start fresh.
+                        if write_event_batch(&writer, entry.id, &mut batch).is_err() {
+                            return;
+                        }
+                        batch_bytes = 0;
                     }
+                    batch_bytes += msg_bytes;
+                    batch.push(message);
                 }
                 Ok(None) | Err(_) => break,
             }
+        }
+        if !batch.is_empty() && write_event_batch(&writer, entry.id, &mut batch).is_err() {
+            // Connection is dying; the reader thread tears everything
+            // down.
+            return;
         }
         // Same lost-wakeup-free protocol as the scheduler: clear the
         // bit, then re-check the backlog.

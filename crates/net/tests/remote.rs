@@ -279,3 +279,231 @@ fn oversized_publish_is_rejected_client_side() {
     // The connection survives the refused frame.
     remote.publish("t", None, payload("ok")).unwrap();
 }
+
+// --- pipelined publish (publish_nowait / flush) -----------------------
+
+#[test]
+fn pipelined_publishes_deliver_in_order_and_flush_drains() {
+    let (server, broker) = serve_log();
+    let remote = client(&server);
+    let sub = remote.subscribe("t", SubscribeMode::Latest).unwrap();
+    for i in 0..200 {
+        remote
+            .publish_nowait("t", None, payload(&format!("m{i}")))
+            .unwrap();
+    }
+    // Flush blocks until every ack is consumed: afterwards the log
+    // provably holds everything.
+    remote.flush().unwrap();
+    assert_eq!(broker.retained("t"), 200);
+    for i in 0..200 {
+        assert_eq!(
+            sub.recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .payload_str(),
+            format!("m{i}"),
+            "pipelining must not reorder"
+        );
+    }
+}
+
+#[test]
+fn pipelined_and_blocking_publishes_interleave_in_order() {
+    let (server, _broker) = serve_log();
+    let remote = client(&server);
+    let sub = remote.subscribe("t", SubscribeMode::Latest).unwrap();
+    for i in 0..50 {
+        if i % 2 == 0 {
+            remote
+                .publish_nowait("t", None, payload(&format!("m{i}")))
+                .unwrap();
+        } else {
+            // The blocking publish waits for its RECEIPT, which the
+            // server only sends after processing every pipelined frame
+            // queued before it — one socket, FIFO.
+            let r = remote
+                .publish("t", None, payload(&format!("m{i}")))
+                .unwrap();
+            assert_eq!(r.offset, i as u64, "receipts see pipelined predecessors");
+        }
+    }
+    remote.flush().unwrap();
+    for i in 0..50 {
+        assert_eq!(
+            sub.recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .payload_str(),
+            format!("m{i}")
+        );
+    }
+}
+
+#[test]
+fn exactly_once_replay_survives_pipelined_publishing() {
+    // The PR-3 reconnect contract, now with the publisher pipelined:
+    // sever the connection mid-stream; the subscription replays the
+    // outage window exactly once.
+    let (server, broker) = serve_log();
+    let remote = client(&server);
+    let sub = remote.subscribe("t", SubscribeMode::Beginning).unwrap();
+    for i in 0..10 {
+        remote
+            .publish_nowait("t", None, payload(&format!("m{i}")))
+            .unwrap();
+    }
+    remote.flush().unwrap();
+    server.drop_connections();
+    broker.publish("t", None, payload("m10")).unwrap();
+    // After the redial, pipelined publishing keeps working…
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let sent = remote
+            .publish_nowait("t", None, payload("m11"))
+            .and_then(|()| remote.flush());
+        match sent {
+            Ok(()) => break,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("pipelined publish never recovered: {e}"),
+        }
+    }
+    // …and the subscriber sees every message exactly once, in order.
+    for i in 0..12 {
+        assert_eq!(
+            sub.recv_timeout(Duration::from_secs(10))
+                .unwrap()
+                .payload_str(),
+            format!("m{i}")
+        );
+    }
+    assert_eq!(sub.backlog(), 0, "no duplicates from the replay");
+}
+
+#[test]
+fn pipelined_losses_surface_on_flush_not_silently() {
+    // Sever the connection in the middle of a pipelined stream, then
+    // check conservation: every one of the 500 publishes is either
+    // retained by the broker, returned as a send error to the caller,
+    // or reported lost by the flush ledger. Nothing vanishes silently.
+    let (server, broker) = serve_log();
+    let remote = client(&server);
+    let mut send_errors = 0u64;
+    for i in 0..500 {
+        if remote
+            .publish_nowait("t", None, payload(&format!("m{i}")))
+            .is_err()
+        {
+            send_errors += 1;
+        }
+        if i == 250 {
+            server.drop_connections();
+        }
+    }
+    let lost = match remote.flush() {
+        Ok(()) => 0,
+        Err(MqError::Remote { message }) => {
+            // "<n> pipelined publish(es) lost before acknowledgement"
+            message
+                .split_whitespace()
+                .next()
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("unparseable loss report: {message}"))
+        }
+        Err(e) => panic!("unexpected flush error: {e}"),
+    };
+    let retained = broker.retained("t");
+    assert!(retained <= 500);
+    assert!(
+        retained + send_errors + lost >= 500,
+        "silent loss: retained {retained} + send errors {send_errors} + flush-reported {lost} < 500"
+    );
+}
+
+// --- batched EVENT push ----------------------------------------------
+
+#[test]
+fn replayed_history_arrives_as_one_coalesced_events_frame() {
+    use ginflow_mq::wire::{read_frame, write_frame, Frame};
+    // 50 retained messages are queued into the server-side subscription
+    // before its pump waker arms, so the first pump drain must coalesce
+    // them into a single EVENTS frame. Speak the wire protocol raw to
+    // observe the actual frames.
+    let (server, broker) = serve_log();
+    for i in 0..50 {
+        broker
+            .publish("t", None, payload(&format!("m{i}")))
+            .unwrap();
+    }
+    let mut socket = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_frame(
+        &mut socket,
+        &Frame::Subscribe {
+            seq: 1,
+            topic: "t".into(),
+            mode: SubscribeMode::Beginning,
+        },
+    )
+    .unwrap();
+    let mut reader = std::io::BufReader::new(socket.try_clone().unwrap());
+    assert!(matches!(
+        read_frame(&mut reader).unwrap(),
+        Some(Frame::Subscribed { seq: 1, .. })
+    ));
+    // Collect frames until all 50 messages arrived; count the frames.
+    let mut frames = 0usize;
+    let mut got = Vec::new();
+    while got.len() < 50 {
+        match read_frame(&mut reader).unwrap() {
+            Some(Frame::Event { message, .. }) => {
+                frames += 1;
+                got.push(message);
+            }
+            Some(Frame::Events { messages, .. }) => {
+                frames += 1;
+                got.extend(messages);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(got.len(), 50);
+    for (i, m) in got.iter().enumerate() {
+        assert_eq!(
+            m.payload_str(),
+            format!("m{i}"),
+            "batching must not reorder"
+        );
+        assert_eq!(m.offset, i as u64);
+    }
+    assert_eq!(
+        frames, 1,
+        "a fully queued backlog must coalesce into one EVENTS frame"
+    );
+}
+
+#[test]
+fn burst_fanout_is_delivered_completely_under_batching() {
+    // End-to-end: a publish burst through one client reaches another
+    // client's subscription complete and ordered, whatever mix of
+    // EVENT/EVENTS frames the pump chose.
+    let (server, _broker) = serve_log();
+    let consumer = client(&server);
+    let sub = consumer.subscribe("t", SubscribeMode::Latest).unwrap();
+    let producer = client(&server);
+    for i in 0..500 {
+        producer
+            .publish_nowait("t", None, payload(&format!("m{i}")))
+            .unwrap();
+    }
+    producer.flush().unwrap();
+    for i in 0..500 {
+        assert_eq!(
+            sub.recv_timeout(Duration::from_secs(10))
+                .unwrap()
+                .payload_str(),
+            format!("m{i}")
+        );
+    }
+    assert_eq!(sub.lagged(), 0);
+}
