@@ -21,6 +21,18 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Internal re-exec: hold N silent connections open from a separate
+    // process, so a 10k-connection storm's client fds don't count
+    // against the measuring process's fd limit.
+    if args.first().map(String::as_str) == Some("__idle_conns") {
+        let addr = args.get(1).expect("__idle_conns ADDR N");
+        let n: usize = args
+            .get(2)
+            .and_then(|v| v.parse().ok())
+            .expect("conn count");
+        broker_net::idle_conns_helper(addr, n);
+        return;
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         usage();
     }
@@ -40,7 +52,7 @@ fn main() {
     }
     let samples = broker_net::run_with_tasks(tasks);
     println!(
-        "{:<24} {:>7} {:>8} {:>10} {:>9} {:>10} {:>12} {:>9} {:>9}",
+        "{:<24} {:>7} {:>8} {:>10} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9}",
         "mode",
         "tasks",
         "workers",
@@ -49,11 +61,12 @@ fn main() {
         "completed",
         "msgs/s",
         "p50 (us)",
-        "p99 (us)"
+        "p99 (us)",
+        "rss (MiB)"
     );
     for s in &samples {
         println!(
-            "{:<24} {:>7} {:>8} {:>10.3} {:>9.3} {:>10} {:>12} {:>9} {:>9}",
+            "{:<24} {:>7} {:>8} {:>10.3} {:>9.3} {:>10} {:>12} {:>9} {:>9} {:>9}",
             s.mode,
             s.tasks,
             s.workers,
@@ -65,6 +78,7 @@ fn main() {
                 .unwrap_or_default(),
             s.p50_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
             s.p99_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            s.rss_mib.map(|v| format!("{v:.1}")).unwrap_or_default(),
         );
     }
     let find = |mode: &str| samples.iter().find(|s| s.mode == mode);
@@ -84,6 +98,24 @@ fn main() {
             pipelined.msgs_per_sec.unwrap_or(0.0),
             rtt.msgs_per_sec.unwrap_or(0.0),
         );
+    }
+    let conn = |idle: usize| {
+        samples
+            .iter()
+            .find(|s| s.mode == "connection_storm" && s.workers == idle)
+    };
+    if let Some(base) = conn(10) {
+        for scale in [1000usize, 10_000] {
+            if let Some(s) = conn(scale) {
+                println!(
+                    "connection storm @ {} idle conns: {:.2}x wall vs 10 ({:.0} msgs/s, rss {:.0} MiB)",
+                    scale,
+                    s.wall_secs / base.wall_secs.max(1e-9),
+                    s.msgs_per_sec.unwrap_or(0.0),
+                    s.rss_mib.unwrap_or(0.0),
+                );
+            }
+        }
     }
     csv::write_csv("results/BENCH_net.csv", &CSV_HEADER, &csv_rows(&samples))
         .expect("write results/BENCH_net.csv");

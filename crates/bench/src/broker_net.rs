@@ -13,7 +13,11 @@
 //! push latency), what sharding buys back once agents are split across
 //! engines, and what multi-run tenancy costs a standing daemon versus
 //! serving one run. The storm rows add msgs/sec throughput and p50/p99
-//! per-publish latency. Emits `results/BENCH_net.csv`.
+//! per-publish latency; the **connection storm** rows re-run the
+//! pipelined storm with 10 / 1k / 10k idle connections parked on the
+//! daemon's event loop, adding process RSS — the flat-memory,
+//! flat-throughput claim at 10k+ connections. Emits
+//! `results/BENCH_net.csv`.
 
 use crate::workload::{fan_out_fan_in, process_cpu, Sample};
 use ginflow_core::ServiceRegistry;
@@ -224,6 +228,155 @@ pub fn run_publish_storm(msgs: usize) -> Vec<Sample> {
     out
 }
 
+/// Raise this process's fd soft limit towards `want` (capped by the
+/// hard limit) — a 10k-connection storm holds both ends of every
+/// socket in one process, and default soft limits (often 1024) are far
+/// too small. Best-effort; the storm surfaces any residual shortfall
+/// as failed connects.
+fn raise_fd_limit(want: u64) {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe {
+        let mut r = Rlimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut r) != 0 || r.cur >= want {
+            return;
+        }
+        if r.max < want {
+            // Raising the hard limit needs CAP_SYS_RESOURCE; try it,
+            // then re-read whatever the kernel actually granted.
+            let bigger = Rlimit {
+                cur: want,
+                max: want,
+            };
+            let _ = setrlimit(RLIMIT_NOFILE, &bigger);
+            if getrlimit(RLIMIT_NOFILE, &mut r) != 0 || r.cur >= want {
+                return;
+            }
+        }
+        r.cur = want.min(r.max);
+        let _ = setrlimit(RLIMIT_NOFILE, &r);
+    }
+}
+
+fn current_fd_limit() -> u64 {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    }
+    let mut r = Rlimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(7, &mut r) } != 0 {
+        return u64::MAX;
+    }
+    r.cur
+}
+
+/// The silent clients of a connection storm. In-process raw sockets
+/// when the fd budget allows (both socket ends count against this
+/// process); past that, a child process (`bench_broker __idle_conns`)
+/// holds the client ends, so only the daemon-side fds land in our
+/// table — how 10k connections fit under a 20k hard fd limit.
+enum IdlePopulation {
+    /// Held only to keep the sockets open for the storm's duration.
+    #[allow(dead_code)]
+    InProcess(Vec<std::net::TcpStream>),
+    Child(std::process::Child),
+}
+
+impl IdlePopulation {
+    fn connect(addr: std::net::SocketAddr, idle: usize) -> IdlePopulation {
+        raise_fd_limit(idle as u64 * 2 + 512);
+        if idle as u64 * 2 + 512 <= current_fd_limit() {
+            return IdlePopulation::InProcess(
+                (0..idle)
+                    .map(|_| std::net::TcpStream::connect(addr).expect("idle connect"))
+                    .collect(),
+            );
+        }
+        let exe = std::env::current_exe().expect("current_exe for idle-conn helper");
+        let mut child = std::process::Command::new(exe)
+            .args(["__idle_conns", &addr.to_string(), &idle.to_string()])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn idle-conn helper");
+        // The helper prints one line once every socket is connected.
+        let mut ready = String::new();
+        std::io::BufRead::read_line(
+            &mut std::io::BufReader::new(child.stdout.take().expect("helper stdout")),
+            &mut ready,
+        )
+        .expect("helper readiness");
+        assert_eq!(ready.trim(), "ready", "idle-conn helper failed to connect");
+        IdlePopulation::Child(child)
+    }
+}
+
+impl Drop for IdlePopulation {
+    fn drop(&mut self) {
+        if let IdlePopulation::Child(child) = self {
+            // Closing its stdin unblocks the helper; reap it.
+            drop(child.stdin.take());
+            let _ = child.wait();
+        }
+    }
+}
+
+/// The idle-conn helper body, called by `bench_broker` when invoked as
+/// `__idle_conns ADDR N`: connect `n` silent sockets, report readiness
+/// on stdout, hold them open until stdin closes.
+pub fn idle_conns_helper(addr: &str, n: usize) {
+    raise_fd_limit(n as u64 + 512);
+    let conns: Vec<std::net::TcpStream> = (0..n)
+        .map(|_| std::net::TcpStream::connect(addr).expect("helper connect"))
+        .collect();
+    println!("ready");
+    let mut sink = String::new();
+    let _ = std::io::Read::read_to_string(&mut std::io::stdin(), &mut sink);
+    drop(conns);
+}
+
+/// The connection storm: `idle` connected-but-silent raw sockets parked
+/// on the daemon, then the pipelined publish storm from one live client
+/// — does the hot path stay flat as the fd table grows? One set of
+/// connections serves all [`REPEAT`] storm repetitions (reconnecting
+/// 10k sockets per repetition would measure TIME_WAIT churn, not the
+/// daemon), the row keeps the best repetition, the `workers` column
+/// carries the idle-connection count, and `rss_mib` records this
+/// process's resident set with every connection still open — the
+/// daemon side of the flat-memory claim in one number.
+pub fn run_connection_storm(idle: usize, msgs: usize) -> Sample {
+    let server = BrokerServer::bind("127.0.0.1:0", Arc::new(LogBroker::new()))
+        .expect("bind loopback broker");
+    let addr = server.local_addr();
+    let idles = IdlePopulation::connect(addr, idle);
+    let remote = RemoteBroker::connect(&addr.to_string()).expect("connect");
+    let mut best = (0..REPEAT)
+        .map(|_| {
+            storm("connection_storm", msgs, &remote, |b, t, p| {
+                b.publish_nowait(t, None, p).is_ok()
+            })
+        })
+        .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
+        .expect("REPEAT >= 1");
+    best.workers = idle;
+    best.rss_mib = crate::workload::process_rss_mib();
+    drop(idles);
+    server.stop();
+    best
+}
+
 /// How often each scenario runs; the reported row is the repetition
 /// with the lowest wall time. Scheduling noise on a shared box only
 /// ever *adds* time, so the minimum is the cleanest view of what the
@@ -263,6 +416,16 @@ pub fn run_with_tasks(tasks: usize) -> Vec<Sample> {
             .expect("REPEAT >= 1");
         samples.push(best);
     }
+    // Connection storms: the same pipelined publish load with a growing
+    // population of idle connections. 10 is the baseline, 1k the CI
+    // regression gate, 10k the headline scale (full runs only — opening
+    // 10k sockets is itself seconds of work).
+    for idle in [10usize, 1000, 10_000] {
+        if idle == 10_000 && tasks < 1002 {
+            continue;
+        }
+        samples.push(run_connection_storm(idle, tasks * 10));
+    }
     samples
 }
 
@@ -294,6 +457,16 @@ mod tests {
             let (p50, p99) = (s.p50_us.unwrap(), s.p99_us.unwrap());
             assert!(p50 <= p99, "{}: p50 {p50} > p99 {p99}", s.mode);
         }
+    }
+
+    #[test]
+    fn connection_storm_reports_rss_and_idle_population() {
+        let s = run_connection_storm(50, 200);
+        assert!(s.completed, "storm failed with 50 idle connections");
+        assert_eq!(s.workers, 50);
+        assert_eq!(s.tasks, 200);
+        assert!(s.msgs_per_sec.unwrap() > 0.0);
+        assert!(s.rss_mib.unwrap() > 1.0, "rss: {:?}", s.rss_mib);
     }
 
     fn run_small() -> Vec<Sample> {

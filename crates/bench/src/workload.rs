@@ -28,6 +28,10 @@ pub struct Sample {
     pub p50_us: Option<f64>,
     /// 99th-percentile single-publish latency, microseconds — storm only.
     pub p99_us: Option<f64>,
+    /// Process resident set size at scenario end, MiB — connection-storm
+    /// scenarios only (daemon + clients share the process on loopback,
+    /// so this is the whole-stack memory footprint at N connections).
+    pub rss_mib: Option<f64>,
 }
 
 impl Sample {
@@ -50,6 +54,7 @@ impl Sample {
             msgs_per_sec: None,
             p50_us: None,
             p99_us: None,
+            rss_mib: None,
         }
     }
 
@@ -76,6 +81,7 @@ impl Sample {
             msgs_per_sec: Some(msgs as f64 / wall.as_secs_f64().max(1e-9)),
             p50_us: percentile(latencies_us, 0.50),
             p99_us: percentile(latencies_us, 0.99),
+            rss_mib: None,
         }
     }
 }
@@ -128,10 +134,18 @@ pub fn process_cpu() -> Duration {
     Duration::from_millis((utime + stime) * 10)
 }
 
+/// Process resident set size in MiB — Linux `/proc/self/statm` (second
+/// field, resident pages × 4 KiB); `None` on other platforms.
+pub fn process_rss_mib() -> Option<f64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: f64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096.0 / (1024.0 * 1024.0))
+}
+
 /// The common CSV header of `results/BENCH_scheduler.csv` and
 /// `results/BENCH_net.csv`. Latency columns are empty for workflow
 /// scenarios.
-pub const CSV_HEADER: [&str; 9] = [
+pub const CSV_HEADER: [&str; 10] = [
     "mode",
     "tasks",
     "workers",
@@ -141,6 +155,7 @@ pub const CSV_HEADER: [&str; 9] = [
     "msgs_per_sec",
     "p50_us",
     "p99_us",
+    "rss_mib",
 ];
 
 fn opt_cell(v: Option<f64>, precision: usize) -> String {
@@ -162,6 +177,7 @@ pub fn csv_rows(samples: &[Sample]) -> Vec<Vec<String>> {
                 opt_cell(s.msgs_per_sec, 0),
                 opt_cell(s.p50_us, 2),
                 opt_cell(s.p99_us, 2),
+                opt_cell(s.rss_mib, 1),
             ]
         })
         .collect()
@@ -207,5 +223,15 @@ mod tests {
         )]);
         assert_eq!(rows[0][6], "300");
         assert_eq!(rows[0][7], "2.00");
+        assert_eq!(rows[0][9], "", "rss blank unless measured");
+    }
+
+    #[test]
+    fn rss_cell_renders_when_measured() {
+        let mut s = Sample::workflow("m", 1, 1, Duration::from_millis(1), Duration::ZERO, true);
+        s.rss_mib = Some(12.34);
+        assert_eq!(csv_rows(&[s])[0][9], "12.3");
+        let rss = process_rss_mib().expect("linux statm");
+        assert!(rss > 1.0, "a running test binary is resident: {rss}");
     }
 }

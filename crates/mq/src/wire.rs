@@ -43,6 +43,11 @@
 //!   0x90 EVENT         sub:u64 message       (unsolicited push delivery)
 //!   0x91 EVENTS        sub:u64 count:u32 message…
 //!                      (coalesced push: one frame per pump wakeup)
+//!   0x92 RECEIPTS      seq_first:u64 count:u32 partition:u32 offset_first:u64
+//!                      (range ack: count consecutive publishes, seqs
+//!                       seq_first… and offsets offset_first…, all on
+//!                       one partition — the request-direction mirror
+//!                       of EVENTS; count ≤ MAX_RECEIPT_RUN)
 //!
 //! run_stat := run:str topics:u32 retained:u64 completed:u8
 //! ```
@@ -68,6 +73,13 @@ pub const MAX_FRAME: usize = 8 * 1024 * 1024;
 /// available (non-persistent broker, or a multi-partition topic whose
 /// position cannot be expressed as one offset).
 pub const NO_RESUME: u64 = u64::MAX;
+
+/// Largest receipt run one RECEIPTS frame may acknowledge. The frame is
+/// constant-size whatever its count, so without this cap a corrupt or
+/// hostile 25-byte frame could claim 2³² receipts and stall the client
+/// resolving them; a cooperating server flushes its run long before
+/// this bound.
+pub const MAX_RECEIPT_RUN: u32 = 1 << 20;
 
 /// What the codec can refuse.
 #[derive(Debug)]
@@ -209,6 +221,26 @@ pub enum Frame {
         partition: u32,
         /// Offset assigned.
         offset: u64,
+    },
+    /// Range acknowledgement of `count` consecutive publishes — the
+    /// request-direction mirror of [`Frame::Events`] (server → client).
+    /// Acknowledges seqs `seq_first..seq_first + count`, whose messages
+    /// all landed on `partition` at the consecutive offsets
+    /// `offset_first..offset_first + count`; semantically identical to
+    /// the same `count` [`Frame::Receipt`]s arriving back to back. The
+    /// server only coalesces receipts whose actual values form this
+    /// arithmetic run (one client pipelining into one single-partition
+    /// topic — the publish-storm shape), so the expansion is exact.
+    Receipts {
+        /// Correlation id of the first publish in the run.
+        seq_first: u64,
+        /// Run length (≥ 2 from a well-formed server; decode rejects
+        /// counts above [`MAX_RECEIPT_RUN`]).
+        count: u32,
+        /// Partition every message in the run landed in.
+        partition: u32,
+        /// Offset of the first message; successors increment by one.
+        offset_first: u64,
     },
     /// Subscription opened (server → client).
     Subscribed {
@@ -457,6 +489,18 @@ impl Frame {
                 put_u32(&mut buf, *runs);
                 put_u32(&mut buf, *topics);
             }
+            Frame::Receipts {
+                seq_first,
+                count,
+                partition,
+                offset_first,
+            } => {
+                buf.push(0x92);
+                put_u64(&mut buf, *seq_first);
+                put_u32(&mut buf, *count);
+                put_u32(&mut buf, *partition);
+                put_u64(&mut buf, *offset_first);
+            }
             Frame::Event { sub, message } => {
                 buf.push(0x90);
                 put_u64(&mut buf, *sub);
@@ -585,6 +629,21 @@ impl Frame {
                 runs: r.u32()?,
                 topics: r.u32()?,
             },
+            0x92 => {
+                let seq_first = r.u64()?;
+                let count = r.u32()?;
+                if count > MAX_RECEIPT_RUN {
+                    // The frame is constant-size whatever it claims, so
+                    // an absurd count is corruption, not a big batch.
+                    return Err(WireError::Truncated);
+                }
+                Frame::Receipts {
+                    seq_first,
+                    count,
+                    partition: r.u32()?,
+                    offset_first: r.u64()?,
+                }
+            }
             0x90 => Frame::Event {
                 sub: r.u64()?,
                 message: r.message()?,
@@ -861,6 +920,12 @@ mod tests {
                 runs: 2,
                 topics: 11,
             },
+            Frame::Receipts {
+                seq_first: 100,
+                count: 64,
+                partition: 0,
+                offset_first: 4096,
+            },
             Frame::Event {
                 sub: 9,
                 message: message(),
@@ -916,6 +981,25 @@ mod tests {
             payload: Bytes::from(vec![0u8; MAX_FRAME + 1]),
         };
         assert!(matches!(frame.encode(), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn receipts_run_over_cap_is_rejected() {
+        let encoded = Frame::Receipts {
+            seq_first: 1,
+            count: MAX_RECEIPT_RUN,
+            partition: 0,
+            offset_first: 0,
+        }
+        .encode()
+        .unwrap();
+        assert!(Frame::decode(&encoded[4..]).is_ok(), "cap itself is legal");
+        let mut body = encoded[4..].to_vec();
+        body[9..13].copy_from_slice(&(MAX_RECEIPT_RUN + 1).to_be_bytes());
+        assert!(
+            matches!(Frame::decode(&body), Err(WireError::Truncated)),
+            "count beyond MAX_RECEIPT_RUN must be rejected"
+        );
     }
 
     #[test]

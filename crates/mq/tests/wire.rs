@@ -4,7 +4,7 @@
 //! trailing garbage) are rejected instead of mis-decoded.
 
 use bytes::Bytes;
-use ginflow_mq::wire::{read_frame, Frame, RunStat, WireError, MAX_FRAME};
+use ginflow_mq::wire::{read_frame, Frame, RunStat, WireError, MAX_FRAME, MAX_RECEIPT_RUN};
 use ginflow_mq::{Message, SubscribeMode};
 use proptest::prelude::*;
 
@@ -88,6 +88,14 @@ fn arb_frame() -> BoxedStrategy<Frame> {
             partition,
             offset,
         }),
+        (seq(), 0u32..=MAX_RECEIPT_RUN, any::<u32>(), any::<u64>()).prop_map(
+            |(seq_first, count, partition, offset_first)| Frame::Receipts {
+                seq_first,
+                count,
+                partition,
+                offset_first,
+            }
+        ),
         (seq(), any::<u64>(), any::<u64>()).prop_map(|(seq, sub, resume)| Frame::Subscribed {
             seq,
             sub,
@@ -175,6 +183,34 @@ proptest! {
             prop_assert_eq!(got.as_ref(), Some(f));
         }
         prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+}
+
+proptest! {
+    /// A RECEIPTS frame is constant-size whatever run length it
+    /// claims, so the count carries no implicit body-size bound — any
+    /// count beyond MAX_RECEIPT_RUN must be rejected as corruption,
+    /// and every strict prefix of the body must fail like any frame.
+    #[test]
+    fn receipts_over_cap_or_truncated_rejected(
+        seq_first in any::<u64>(),
+        excess in 1u32..1024,
+        partition in any::<u32>(),
+        offset_first in any::<u64>(),
+        cut in 1usize..24,
+    ) {
+        let frame = Frame::Receipts {
+            seq_first,
+            count: MAX_RECEIPT_RUN,
+            partition,
+            offset_first,
+        };
+        let encoded = frame.encode().unwrap();
+        let mut body = encoded[4..].to_vec();
+        prop_assert_eq!(Frame::decode(&body).unwrap(), frame);
+        prop_assert!(Frame::decode(&body[..body.len() - cut.min(body.len() - 1)]).is_err());
+        body[9..13].copy_from_slice(&(MAX_RECEIPT_RUN + excess).to_be_bytes());
+        prop_assert!(Frame::decode(&body).is_err());
     }
 }
 

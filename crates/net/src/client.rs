@@ -31,7 +31,16 @@
 //! asynchronously, releasing bytes from the in-flight window
 //! ([`PIPELINE_WINDOW_BYTES`]). The call only blocks when the window
 //! is full, or on [`Broker::flush`], which drains the pipeline and
-//! reports (then clears) the loss ledger.
+//! reports (then clears) the loss ledger. The event-loop daemon acks
+//! pipelined storms with RECEIPTS *range* frames (one frame per run of
+//! consecutive seqs/offsets); the reader expands them back into
+//! per-seq receipts, so callers never see the difference.
+//!
+//! The wire itself is abstracted behind
+//! [`Transport`](crate::transport::Transport): [`RemoteBroker::connect`]
+//! dials TCP, [`RemoteBroker::connect_with`] accepts any connector (an
+//! in-process socketpair, a fault-injecting wrapper), and the same
+//! connector is re-invoked on every reconnect.
 //!
 //! **Ordering.** Both paths write frames to one socket under one lock
 //! and the daemon processes a connection's requests in order, so
@@ -78,6 +87,7 @@
 //! and [`RemoteBroker::gc_runs`] reclaims completed runs' topics (the
 //! daemon's retention window does the same automatically).
 
+use crate::transport::{Connector, Transport};
 use crossbeam::channel::{unbounded, Sender};
 use ginflow_mq::wire::{read_frame, write_frame, Frame, RunStat};
 use ginflow_mq::{
@@ -247,10 +257,14 @@ struct PipelineState {
 }
 
 struct ClientInner {
-    addr: String,
+    /// Dials a fresh transport to the daemon — the reconnect seam.
+    /// TCP for [`RemoteBroker::connect`]; anything (an in-process
+    /// socketpair, a fault-injecting wrapper) for
+    /// [`RemoteBroker::connect_with`].
+    connector: Connector,
     /// The write half; `None` while disconnected. Senders wait on
     /// `conn_ready` for the reconnect loop to restore it.
-    conn: Mutex<Option<TcpStream>>,
+    conn: Mutex<Option<Box<dyn Transport>>>,
     conn_ready: Condvar,
     pending: Mutex<HashMap<u64, Waiter>>,
     pipeline: Mutex<PipelineState>,
@@ -282,17 +296,30 @@ pub struct RemoteBroker {
 }
 
 impl RemoteBroker {
-    /// Connect to a broker daemon. Accepts `host:port` or
+    /// Connect to a broker daemon over TCP. Accepts `host:port` or
     /// `tcp://host:port`.
     pub fn connect(addr: &str) -> std::io::Result<RemoteBroker> {
         let addr = addr.strip_prefix("tcp://").unwrap_or(addr).to_owned();
-        let stream = TcpStream::connect(&addr)?;
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        RemoteBroker::connect_with(Box::new(move || {
+            let stream = TcpStream::connect(&addr)?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+            Ok(Box::new(stream) as Box<dyn Transport>)
+        }))
+    }
+
+    /// Connect through an arbitrary [`Connector`] — how the client runs
+    /// over anything that speaks [`Transport`]: an in-process
+    /// socketpair from
+    /// [`BrokerServer::connect_in_process`](crate::BrokerServer::connect_in_process),
+    /// or a fault-injecting wrapper. The connector is also the
+    /// reconnect path: it is re-invoked whenever the connection drops.
+    pub fn connect_with(connector: Connector) -> std::io::Result<RemoteBroker> {
+        let stream = connector()?;
         let write_half = stream.try_clone()?;
         let (out_tx, out_rx) = unbounded::<Vec<u8>>();
         let inner = Arc::new(ClientInner {
-            addr,
+            connector,
             conn: Mutex::new(Some(write_half)),
             conn_ready: Condvar::new(),
             pending: Mutex::new(HashMap::new()),
@@ -340,7 +367,7 @@ impl RemoteBroker {
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         if let Some(conn) = self.inner.conn.lock().take() {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
+            let _ = conn.shutdown();
         }
         self.inner.conn_ready.notify_all();
         // An empty buffer is the writer's wakeup sentinel: it re-checks
@@ -706,6 +733,46 @@ impl ClientInner {
                     None => {}
                 }
             }
+            Frame::Receipts {
+                seq_first,
+                count,
+                partition,
+                offset_first,
+            } => {
+                // A receipt-range ack: the event-loop daemon coalesces
+                // consecutive publish acks whose seqs and offsets form
+                // arithmetic runs on one partition into a single frame.
+                // Expand it back into the per-seq receipts the waiters
+                // expect; the per-entry maths is exact because the
+                // server only coalesces actual runs.
+                let waiters: Vec<(u64, Option<Waiter>)> = {
+                    let mut pending = self.pending.lock();
+                    (0..count as u64)
+                        .map(|i| (i, pending.remove(&(seq_first + i))))
+                        .collect()
+                };
+                for (i, waiter) in waiters {
+                    let Some(waiter) = waiter else { continue };
+                    match waiter {
+                        Waiter::Reply(tx) => {
+                            let _ = tx.send(Ok(Frame::Receipt {
+                                seq: seq_first + i,
+                                partition,
+                                offset: offset_first + i,
+                            }));
+                        }
+                        // The common case: pipelined publishes acked in
+                        // bulk — release their window bytes.
+                        Waiter::Pipelined { bytes } => self.pipeline_complete(bytes, false),
+                        Waiter::Subscribe { reply, .. } => {
+                            let _ = reply.send(Err(MqError::Remote {
+                                message: "RECEIPTS reply to a subscribe request".into(),
+                            }));
+                        }
+                        Waiter::Resubscribe { .. } | Waiter::Abandoned => {}
+                    }
+                }
+            }
             Frame::Receipt { .. }
             | Frame::Messages { .. }
             | Frame::InfoReply { .. }
@@ -797,7 +864,7 @@ fn writer_loop(inner: Arc<ClientInner>, rx: crossbeam::channel::Receiver<Vec<u8>
 
 /// The reader: dispatch frames; on connection loss, redial and restore
 /// every live subscription.
-fn reader_loop(inner: Arc<ClientInner>, stream: TcpStream) {
+fn reader_loop(inner: Arc<ClientInner>, stream: Box<dyn Transport>) {
     let mut stream = stream;
     loop {
         let mut reader = match stream.try_clone() {
@@ -823,7 +890,7 @@ fn reader_loop(inner: Arc<ClientInner>, stream: TcpStream) {
 /// Redial until the daemon answers (or shutdown), then re-subscribe
 /// every live subscription *before* unparking senders — replayed
 /// history must not interleave behind fresh publishes.
-fn reconnect(inner: &Arc<ClientInner>) -> Option<TcpStream> {
+fn reconnect(inner: &Arc<ClientInner>) -> Option<Box<dyn Transport>> {
     // Old server-assigned ids are meaningless on a fresh connection;
     // orphans are re-subscriptions a previous reconnect never finished.
     let mut live: Vec<Arc<RemoteSub>> = inner.subs.lock().drain().map(|(_, e)| e).collect();
@@ -834,13 +901,11 @@ fn reconnect(inner: &Arc<ClientInner>) -> Option<TcpStream> {
         if inner.shutdown.load(Ordering::SeqCst) {
             return None;
         }
-        let Ok(stream) = TcpStream::connect(&inner.addr) else {
+        let Ok(stream) = (inner.connector)() else {
             std::thread::sleep(delay);
             delay = (delay * 2).min(Duration::from_millis(500));
             continue;
         };
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
         let Ok(mut write_half) = stream.try_clone() else {
             continue;
         };

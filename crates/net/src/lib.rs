@@ -8,9 +8,17 @@
 //!
 //! * [`BrokerServer`] — the broker daemon (`ginflow broker serve`):
 //!   fronts any [`Broker`](ginflow_mq::Broker) (the persistent
-//!   [`LogBroker`](ginflow_mq::LogBroker) by default) over TCP. Each
-//!   connection gets a request reader plus an event pump driven by the
-//!   broker's push wakers — the daemon never polls.
+//!   [`LogBroker`](ginflow_mq::LogBroker) by default) over TCP. The
+//!   default flavor is a **single-thread epoll event loop** (the `mio`
+//!   shim): non-blocking sockets, per-connection read/write buffer
+//!   state machines, subscription wakeups routed into the loop through
+//!   the broker's push wakers, and a timer wheel driving the retention
+//!   sweep — thread count independent of client count, zero syscalls
+//!   while idle, 10k+ concurrent connections on one thread. Publish
+//!   acks coalesce into RECEIPTS range frames (the request-direction
+//!   mirror of EVENTS). `GINFLOW_NET_THREADED=1` (or
+//!   [`ServerFlavor::Threaded`]) keeps the original
+//!   two-threads-per-connection path as an A/B baseline.
 //! * [`RemoteBroker`] — the client: implements the same `Broker` trait
 //!   over a connection, pushing EVENT frames into local
 //!   [`Subscription`](ginflow_mq::Subscription)s (wakers included, so
@@ -63,19 +71,29 @@
 //!   0x07 RUN_CLOSE           0x87 RUN_GC_REPLY   (ack of RUN_CLOSE/RUN_GC)
 //!   0x08 RUN_GC              0x90 EVENT          (push delivery)
 //!                            0x91 EVENTS         (coalesced push delivery)
+//!                            0x92 RECEIPTS       (range ack of consecutive
+//!                                                 PUBLISHes)
 //! ```
 //!
 //! Requests carry a `seq` the ack echoes (UNSUBSCRIBE is
 //! fire-and-forget); EVENT frames carry the server-assigned
-//! subscription id from SUBSCRIBED. Frames over
+//! subscription id from SUBSCRIBED; a RECEIPTS frame acks `count`
+//! consecutive seqs whose receipts form one arithmetic run (same
+//! partition, consecutive offsets) — the event-loop daemon's bulk ack
+//! for pipelined publish storms. Frames over
 //! [`MAX_FRAME`](ginflow_mq::wire::MAX_FRAME) are rejected outright on
 //! both sides.
 
 pub mod client;
+mod event_loop;
+mod registry;
 pub mod server;
+mod threaded;
+pub mod transport;
 
 pub use client::RemoteBroker;
-pub use server::BrokerServer;
+pub use server::{BrokerServer, ServerFlavor};
+pub use transport::{Connector, Transport};
 
 #[cfg(test)]
 mod tests {

@@ -1,48 +1,72 @@
 //! The broker daemon: accepts TCP connections and fronts any in-process
 //! [`Broker`] (the persistent log by default) over the wire protocol.
 //!
-//! One thread reads each connection's requests; one *pump* thread per
-//! connection forwards subscription deliveries as EVENT frames, woken by
-//! the broker's own [`Subscription::set_waker`] push path — the daemon
-//! polls nothing, exactly like the in-process scheduler.
+//! [`BrokerServer`] is a facade over two interchangeable I/O
+//! architectures serving the identical protocol:
 //!
-//! The daemon is **multi-run**: topics are run-scoped
+//! * **Event loop** (default, [`event_loop`](crate::event_loop) module
+//!   docs for the full architecture): one thread, one epoll instance,
+//!   non-blocking sockets with per-connection read/write buffer state
+//!   machines. Thread count is independent of client count, publish
+//!   acks coalesce into `RECEIPTS` range frames, subscription wakeups
+//!   ride the broker's [`Subscription::set_waker`] push path into the
+//!   loop, and the retention sweep runs off the loop's timer wheel — an
+//!   idle daemon makes zero syscalls between deadlines.
+//! * **Thread-per-connection** (`GINFLOW_NET_THREADED=1`, or
+//!   [`ServerFlavor::Threaded`]): the original reader + pump thread
+//!   pair per client, blocking sockets, one RECEIPT per PUBLISH. Kept
+//!   as the A/B baseline for isolation benchmarks, following the PR-5
+//!   knob convention (`GINFLOW_MQ_SINGLE_SHARD`,
+//!   `GINFLOW_NET_UNBATCHED`).
+//!
+//! Both flavors are **multi-run**: topics are run-scoped
 //! (`run/<id>/…`, see [`ginflow_mq::namespace`]), and the server keeps a
-//! [run registry](BrokerServer) accounting every run-scoped topic to its
-//! run. Clients list the runs (`RUN_LIST`), mark a run completed
-//! (`RUN_CLOSE`) and reclaim completed runs' topics (`RUN_GC`); with a
-//! retention window ([`BrokerServer::bind_with_retention`]) a background
-//! sweeper reclaims them automatically, so a standing daemon serving
-//! many runs does not grow without bound.
+//! run registry accounting every run-scoped topic to its run. Clients
+//! list the runs (`RUN_LIST`), mark a run completed (`RUN_CLOSE`) and
+//! reclaim completed runs' topics (`RUN_GC`); with a retention window
+//! ([`BrokerServer::bind_with_retention`]) the daemon reclaims them
+//! automatically, so a standing daemon serving many runs does not grow
+//! without bound.
+//!
+//! [`Subscription::set_waker`]: ginflow_mq::Subscription::set_waker
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use ginflow_mq::wire::{read_frame, Frame, RunStat};
-use ginflow_mq::{namespace, Broker, Message, Subscription};
-use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Weak};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use crate::event_loop::EventLoopServer;
+use crate::registry::RunRegistry;
+use crate::threaded::ThreadedServer;
+use crate::transport::Transport;
+use ginflow_mq::wire::{Frame, RunStat};
+use ginflow_mq::Broker;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Max messages one pump turn coalesces into a single EVENTS frame
-/// before re-checking its queue — bounds frame size and keeps one
-/// fire-hose subscription from starving the others.
-const EVENT_BATCH: usize = 128;
+/// Max messages one drain coalesces into a single EVENTS frame before
+/// re-checking its queue — bounds frame size and keeps one fire-hose
+/// subscription from starving the others.
+pub(crate) const EVENT_BATCH: usize = 128;
 
 /// Byte budget of one coalesced EVENTS frame (payload + topic + key +
 /// framing headroom per message, enforced before a message joins a
 /// non-empty batch) — far under `MAX_FRAME`, so only a single message
 /// whose EVENT envelope alone exceeds the frame limit can ever fail
-/// encode, and that frame is dropped rather than killing the pump.
-const EVENT_BATCH_BYTES: usize = 1 << 20;
+/// encode, and that frame is dropped rather than killing the
+/// connection.
+pub(crate) const EVENT_BATCH_BYTES: usize = 1 << 20;
+
+/// How often the threaded flavor's retention sweeper wakes (capped by
+/// the retention window itself, so short windows stay accurate — but
+/// never below [`SWEEP_FLOOR`], so `--retention 0` cannot busy-spin the
+/// sweeper against the registry mutex). The event loop needs neither:
+/// its timer wheel sleeps exactly until the next run's deadline.
+pub(crate) const SWEEP_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Minimum threaded-sweeper sleep, whatever the retention window.
+pub(crate) const SWEEP_FLOOR: Duration = Duration::from_millis(50);
 
 /// Per-wakeup batch cap, honouring the `GINFLOW_NET_UNBATCHED` debug
 /// knob (set to any value to force one EVENT frame per message — the
 /// A/B lever for benchmarking what push coalescing buys in isolation).
-fn event_batch() -> usize {
+pub(crate) fn event_batch() -> usize {
     static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *N.get_or_init(|| {
         if std::env::var_os("GINFLOW_NET_UNBATCHED").is_some() {
@@ -53,603 +77,138 @@ fn event_batch() -> usize {
     })
 }
 
-/// How often the retention sweeper wakes (capped by the retention
-/// window itself, so short windows stay accurate — but never below
-/// [`SWEEP_FLOOR`], so `--retention 0` cannot busy-spin the sweeper
-/// against the registry mutex).
-const SWEEP_INTERVAL: Duration = Duration::from_millis(500);
-
-/// Minimum sweeper sleep, whatever the retention window.
-const SWEEP_FLOOR: Duration = Duration::from_millis(50);
-
-/// Socket write timeout: a stalled client (full receive buffer, frozen
-/// process) fails its connection after this instead of wedging the
-/// pump/reader behind a blocked `write_all` forever.
-const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
-
-/// A running broker daemon: one listener, one connection handler (plus
-/// one event pump) per client. Dropping the server (or calling
-/// [`BrokerServer::stop`]) closes every connection and joins every
-/// thread.
-/// One accepted connection as the acceptor tracks it: a socket clone
-/// (for shutdown injection) plus the handler thread.
-struct ConnEntry {
-    socket: TcpStream,
-    thread: JoinHandle<()>,
-}
-
-pub struct BrokerServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Mutex<Option<JoinHandle<()>>>,
-    sweeper_thread: Mutex<Option<JoinHandle<()>>>,
-    conns: Arc<Mutex<Vec<ConnEntry>>>,
-    registry: Arc<RunRegistry>,
-}
-
-impl BrokerServer {
-    /// Bind `addr` (e.g. `"127.0.0.1:7433"`, port 0 for ephemeral) and
-    /// start serving `broker` in background threads. Runs are reclaimed
-    /// only on explicit `RUN_GC` requests; see
-    /// [`BrokerServer::bind_with_retention`] for automatic retention.
-    pub fn bind(addr: &str, broker: Arc<dyn Broker>) -> std::io::Result<BrokerServer> {
-        BrokerServer::bind_with_retention(addr, broker, None)
-    }
-
-    /// [`BrokerServer::bind`] with a retention window: a background
-    /// sweeper drops every topic of a run `retention` after the run was
-    /// marked completed (`RUN_CLOSE`), so a standing daemon serving many
-    /// back-to-back runs reclaims their logs without operator action.
-    pub fn bind_with_retention(
-        addr: &str,
-        broker: Arc<dyn Broker>,
-        retention: Option<Duration>,
-    ) -> std::io::Result<BrokerServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<ConnEntry>>> = Arc::new(Mutex::new(Vec::new()));
-        let registry = Arc::new(RunRegistry {
-            broker: broker.clone(),
-            runs: Mutex::new(HashMap::new()),
-        });
-        let accept_thread = {
-            let shutdown = shutdown.clone();
-            let conns = conns.clone();
-            let registry = registry.clone();
-            std::thread::Builder::new()
-                .name("gf-net-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        // Reap finished connections so a long-running
-                        // daemon doesn't accumulate dead fds and thread
-                        // handles across client reconnect cycles.
-                        for dead in extract_finished(&mut conns.lock()) {
-                            let _ = dead.thread.join();
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let _ = stream.set_nodelay(true);
-                        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-                        let Ok(socket) = stream.try_clone() else {
-                            continue;
-                        };
-                        let broker = broker.clone();
-                        let shutdown = shutdown.clone();
-                        let registry = registry.clone();
-                        let thread = std::thread::Builder::new()
-                            .name("gf-net-conn".into())
-                            .spawn(move || serve_connection(stream, broker, registry, shutdown))
-                            .expect("spawn connection thread");
-                        conns.lock().push(ConnEntry { socket, thread });
-                    }
-                })
-                .expect("spawn accept thread")
-        };
-        let sweeper_thread = retention.map(|window| {
-            let shutdown = shutdown.clone();
-            let registry = registry.clone();
-            std::thread::Builder::new()
-                .name("gf-net-gc".into())
-                .spawn(move || {
-                    while !shutdown.load(Ordering::SeqCst) {
-                        registry.gc(window);
-                        std::thread::sleep(SWEEP_INTERVAL.min(window).max(SWEEP_FLOOR));
-                    }
-                })
-                .expect("spawn gc sweeper thread")
-        });
-        Ok(BrokerServer {
-            addr: local,
-            shutdown,
-            accept_thread: Mutex::new(Some(accept_thread)),
-            sweeper_thread: Mutex::new(sweeper_thread),
-            conns,
-            registry,
-        })
-    }
-
-    /// The bound address (resolves port 0 to the actual port).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Snapshot of the run registry (what `RUN_LIST` answers).
-    pub fn runs(&self) -> Vec<RunStat> {
-        self.registry.list()
-    }
-
-    /// Sever every live connection while keeping the listener up — the
-    /// fault-injection hook reconnect logic and tests are built on (the
-    /// network equivalent of the paper's killed JVM).
-    pub fn drop_connections(&self) {
-        for entry in self.drain_conns() {
-            let _ = entry.socket.shutdown(std::net::Shutdown::Both);
-            let _ = entry.thread.join();
-        }
-    }
-
-    /// Stop accepting, close every live connection, join every thread.
-    /// Idempotent.
-    pub fn stop(&self) {
-        if !self.shutdown.swap(true, Ordering::SeqCst) {
-            // Unblock the accept loop with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
-        }
-        if let Some(t) = self.accept_thread.lock().take() {
-            let _ = t.join();
-        }
-        if let Some(t) = self.sweeper_thread.lock().take() {
-            let _ = t.join();
-        }
-        self.drop_connections();
-    }
-
-    fn drain_conns(&self) -> Vec<ConnEntry> {
-        self.conns.lock().drain(..).collect()
-    }
-}
-
-/// Remove and return the entries whose handler thread has exited.
-fn extract_finished(conns: &mut Vec<ConnEntry>) -> Vec<ConnEntry> {
-    let mut finished = Vec::new();
-    let mut i = 0;
-    while i < conns.len() {
-        if conns[i].thread.is_finished() {
-            finished.push(conns.swap_remove(i));
-        } else {
-            i += 1;
-        }
-    }
-    finished
-}
-
-impl Drop for BrokerServer {
-    fn drop(&mut self) {
-        self.stop();
-    }
-}
-
-/// One run as the registry sees it: the run-scoped topics touched so
-/// far, and when (if) a client marked the run completed.
-#[derive(Default)]
-struct RunEntry {
-    topics: HashSet<String>,
-    completed_at: Option<Instant>,
-}
-
-/// Per-run topic accounting for a standing daemon. Fed from the request
-/// path: any publish or subscribe touching a `run/<id>/…` topic
-/// registers the topic under its run. No side channel — the topic name
-/// itself is the account key, so even a client that never speaks the
-/// `RUN_*` verbs is accounted correctly.
-pub(crate) struct RunRegistry {
-    broker: Arc<dyn Broker>,
-    runs: Mutex<HashMap<String, RunEntry>>,
-}
-
-impl RunRegistry {
-    /// Account `topic` to its run, if it is run-scoped.
-    fn observe(&self, topic: &str) {
-        if let Some(run) = namespace::run_of(topic) {
-            // Steady state (every publish after the first on a topic)
-            // allocates nothing: look up by borrowed keys and only
-            // clone the strings when the run or topic is new.
-            let mut runs = self.runs.lock();
-            match runs.get_mut(run) {
-                Some(entry) => {
-                    if !entry.topics.contains(topic) {
-                        entry.topics.insert(topic.to_owned());
-                    }
-                }
-                None => {
-                    runs.entry(run.to_owned())
-                        .or_default()
-                        .topics
-                        .insert(topic.to_owned());
-                }
-            }
-        }
-    }
-
-    /// Every known run with its topic accounting, sorted by run id.
-    fn list(&self) -> Vec<RunStat> {
-        let runs = self.runs.lock();
-        let mut out: Vec<RunStat> = runs
-            .iter()
-            .map(|(run, entry)| RunStat {
-                run: run.clone(),
-                topics: entry.topics.len() as u32,
-                retained: entry.topics.iter().map(|t| self.broker.retained(t)).sum(),
-                completed: entry.completed_at.is_some(),
-            })
-            .collect();
-        out.sort_by(|a, b| a.run.cmp(&b.run));
-        out
-    }
-
-    /// Mark a run completed (reclaimable). Returns whether the run is
-    /// known. Idempotent: re-closing keeps the original completion time.
-    fn close(&self, run: &str) -> bool {
-        match self.runs.lock().get_mut(run) {
-            Some(entry) => {
-                entry.completed_at.get_or_insert_with(Instant::now);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Reclaim every run completed at least `min_age` ago: drop its
-    /// topics from the broker and forget the run. Returns
-    /// `(runs, topics)` reclaimed.
-    fn gc(&self, min_age: Duration) -> (u32, u32) {
-        // Collect under the lock, delete outside it: delete_topic
-        // disconnects subscriptions, whose teardown must not contend
-        // with request-path accounting.
-        let victims: Vec<(String, HashSet<String>)> = {
-            let mut runs = self.runs.lock();
-            let expired: Vec<String> = runs
-                .iter()
-                .filter(|(_, e)| e.completed_at.is_some_and(|at| at.elapsed() >= min_age))
-                .map(|(run, _)| run.clone())
-                .collect();
-            expired
-                .into_iter()
-                .filter_map(|run| runs.remove(&run).map(|e| (run, e.topics)))
-                .collect()
-        };
-        let mut topics = 0u32;
-        let runs = victims.len() as u32;
-        for (_, run_topics) in victims {
-            for topic in run_topics {
-                if self.broker.delete_topic(&topic) {
-                    topics += 1;
-                }
-            }
-        }
-        (runs, topics)
-    }
-}
-
-/// One live subscription of one connection, scheduled onto the pump with
-/// the same false→true schedule-bit protocol the in-process scheduler
-/// uses.
-struct ServerSub {
-    id: u64,
-    sub: Subscription,
-    scheduled: AtomicBool,
-}
-
-enum PumpMsg {
-    Drain(Arc<ServerSub>),
-    Stop,
-}
-
-fn serve_connection(
-    stream: TcpStream,
-    broker: Arc<dyn Broker>,
-    registry: Arc<RunRegistry>,
-    shutdown: Arc<AtomicBool>,
-) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let writer = Arc::new(Mutex::new(write_half));
-    let (pump_tx, pump_rx) = unbounded::<PumpMsg>();
-    let pump = {
-        let writer = writer.clone();
-        let pump_requeue = pump_tx.clone();
-        std::thread::Builder::new()
-            .name("gf-net-pump".into())
-            .spawn(move || pump_loop(writer, pump_rx, pump_requeue))
-            .expect("spawn pump thread")
-    };
-
-    let mut subs: HashMap<u64, Arc<ServerSub>> = HashMap::new();
-    let mut next_sub: u64 = 1;
-    // Topics this connection has already reported to the run registry:
-    // steady-state publishes (thousands per run on a handful of topics)
-    // take one local lookup instead of the cross-connection registry
-    // mutex. Safe to cache because registry entries only disappear when
-    // a *completed* run is GC'd — a run still publishing has no
-    // business being closed.
-    let mut seen_topics: HashSet<String> = HashSet::new();
-    let mut reader = BufReader::new(stream);
-    // Reply frames are coalesced here and flushed in one locked write
-    // whenever the request stream pauses (or the buffer grows large):
-    // a client pipelining N publishes costs the server one reply
-    // syscall, not N. Flushing *before* any blocking read keeps the
-    // request/ack cycle live — a blocking publisher is never left
-    // waiting on a buffered receipt.
-    let mut replies: Vec<u8> = Vec::new();
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        if !replies.is_empty() && reader.buffer().is_empty() {
-            // No more requests already buffered: the next read may
-            // block, so everything owed goes out now.
-            if write_bytes_locked(&writer, &replies).is_err() {
-                break;
-            }
-            replies.clear();
-        }
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
-            // Clean EOF, a dead socket, or a corrupt/hostile frame all
-            // end the connection; the client reconnects and replays.
-            Ok(None) | Err(_) => break,
-        };
-        let reply = match frame {
-            Frame::Publish {
-                seq,
-                topic,
-                key,
-                payload,
-            } => {
-                if !seen_topics.contains(&topic) {
-                    registry.observe(&topic);
-                    seen_topics.insert(topic.clone());
-                }
-                Some(match broker.publish(&topic, key, payload) {
-                    Ok(receipt) => Frame::Receipt {
-                        seq,
-                        partition: receipt.partition,
-                        offset: receipt.offset,
-                    },
-                    Err(e) => error_frame(seq, e),
-                })
-            }
-            Frame::Subscribe { seq, topic, mode } => {
-                if !seen_topics.contains(&topic) {
-                    registry.observe(&topic);
-                    seen_topics.insert(topic.clone());
-                }
-                // Sample the resume watermark *before* attaching: a
-                // message published after this point either replays on
-                // resume (offset >= watermark) or arrives live — never
-                // both dropped. Sampling after attach could count a
-                // live-delivered message into the watermark and make
-                // the client discard it as a replay duplicate. A single
-                // offset cannot describe a multi-partition position
-                // (retained() sums partitions), so those topics get the
-                // no-watermark sentinel instead of a wrong number.
-                let resume = if broker.persistent() && broker.partitions(&topic) <= 1 {
-                    broker.retained(&topic)
-                } else {
-                    ginflow_mq::wire::NO_RESUME
-                };
-                match broker.subscribe(&topic, mode) {
-                    Ok(sub) => {
-                        let id = next_sub;
-                        next_sub += 1;
-                        let entry = Arc::new(ServerSub {
-                            id,
-                            sub,
-                            scheduled: AtomicBool::new(false),
-                        });
-                        subs.insert(id, entry.clone());
-                        // Ack before arming the waker so the client
-                        // learns the sub id before the first EVENT can
-                        // be written — which means flushing any owed
-                        // replies along with it.
-                        let ack = Frame::Subscribed {
-                            seq,
-                            sub: id,
-                            resume,
-                        };
-                        if append_frame(&mut replies, &ack).is_err()
-                            || write_bytes_locked(&writer, &replies).is_err()
-                        {
-                            break;
-                        }
-                        replies.clear();
-                        let weak: Weak<ServerSub> = Arc::downgrade(&entry);
-                        let tx = pump_tx.clone();
-                        entry.sub.set_waker(move || {
-                            if let Some(entry) = weak.upgrade() {
-                                if !entry.scheduled.swap(true, Ordering::SeqCst) {
-                                    let _ = tx.send(PumpMsg::Drain(entry));
-                                }
-                            }
-                        });
-                        None
-                    }
-                    Err(e) => Some(error_frame(seq, e)),
-                }
-            }
-            Frame::Unsubscribe { sub, .. } => {
-                // Fire-and-forget: drop the subscription; the broker
-                // prunes its handle on the next publish.
-                subs.remove(&sub);
-                None
-            }
-            Frame::Fetch {
-                seq,
-                topic,
-                partition,
-                from,
-                max,
-            } => Some(match broker.fetch(&topic, partition, from, max as usize) {
-                Ok(messages) => Frame::Messages { seq, messages },
-                Err(e) => error_frame(seq, e),
-            }),
-            Frame::Info { seq, topic } => Some(Frame::InfoReply {
-                seq,
-                persistent: broker.persistent(),
-                partitions: broker.partitions(&topic),
-                retained: broker.retained(&topic),
-            }),
-            Frame::RunList { seq } => Some(Frame::RunListReply {
-                seq,
-                runs: registry.list(),
-            }),
-            Frame::RunClose { seq, run } => Some(Frame::RunGcReply {
-                seq,
-                runs: u32::from(registry.close(&run)),
-                topics: 0,
-            }),
-            Frame::RunGc { seq } => {
-                // Explicit GC reclaims every completed run now,
-                // whatever the daemon's retention window says.
-                let (runs, topics) = registry.gc(Duration::ZERO);
-                Some(Frame::RunGcReply { seq, runs, topics })
-            }
-            // A client speaking server frames is broken: hang up.
-            Frame::Receipt { .. }
-            | Frame::Subscribed { .. }
-            | Frame::Messages { .. }
-            | Frame::InfoReply { .. }
-            | Frame::RunListReply { .. }
-            | Frame::RunGcReply { .. }
-            | Frame::Error { .. }
-            | Frame::Event { .. }
-            | Frame::Events { .. } => break,
-        };
-        if let Some(reply) = reply {
-            if append_frame(&mut replies, &reply).is_err() {
-                break;
-            }
-            // A large owed batch flushes early so the buffer stays
-            // bounded even against a client that never stops sending.
-            if replies.len() >= REPLY_BATCH_BYTES {
-                if write_bytes_locked(&writer, &replies).is_err() {
-                    break;
-                }
-                replies.clear();
-            }
-        }
-    }
-    // Teardown: drop subscriptions (pruning their broker handles), stop
-    // the pump, and let the client see EOF.
-    subs.clear();
-    let _ = pump_tx.send(PumpMsg::Stop);
-    let _ = pump.join();
-}
-
-fn error_frame(seq: u64, e: ginflow_mq::MqError) -> Frame {
+pub(crate) fn error_frame(seq: u64, e: ginflow_mq::MqError) -> Frame {
     Frame::Error {
         seq,
         message: e.to_string(),
     }
 }
 
-/// Owed-reply buffer flush threshold (bytes): below this, replies wait
-/// for the request stream to pause; beyond it they go out immediately.
-const REPLY_BATCH_BYTES: usize = 64 * 1024;
-
-/// Append one frame's encoding to a reply batch.
-fn append_frame(batch: &mut Vec<u8>, frame: &Frame) -> Result<(), ()> {
-    batch.extend_from_slice(&frame.encode().map_err(|_| ())?);
-    Ok(())
+/// Which I/O architecture a [`BrokerServer`] runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ServerFlavor {
+    /// Event loop unless `GINFLOW_NET_THREADED` is set in the
+    /// environment (checked at bind time).
+    #[default]
+    Auto,
+    /// The single-thread epoll event loop.
+    EventLoop,
+    /// The legacy two-threads-per-connection baseline.
+    Threaded,
 }
 
-/// Write a batch of already-encoded frames in one locked write.
-fn write_bytes_locked(writer: &Mutex<TcpStream>, bytes: &[u8]) -> Result<(), ()> {
-    use std::io::Write;
-    writer.lock().write_all(bytes).map_err(|_| ())
+enum Flavor {
+    EventLoop(EventLoopServer),
+    Threaded(ThreadedServer),
 }
 
-/// Write one pump batch as an EVENT (single message) or EVENTS frame.
-/// Returns `Err` only for a dying connection; a frame the codec refuses
-/// (a message so large the EVENT envelope pushes it past `MAX_FRAME`)
-/// is dropped rather than allowed to kill the pump — the message is
-/// still in the log for `fetch`, and every other subscription keeps
-/// flowing.
-fn write_event_batch(
-    writer: &Mutex<TcpStream>,
-    sub: u64,
-    batch: &mut Vec<Message>,
-) -> Result<(), ()> {
-    let frame = if batch.len() == 1 {
-        Frame::Event {
-            sub,
-            message: batch.pop().expect("len checked"),
-        }
-    } else {
-        Frame::Events {
-            sub,
-            messages: std::mem::take(batch),
-        }
-    };
-    batch.clear();
-    let Ok(bytes) = frame.encode() else {
-        return Ok(());
-    };
-    write_bytes_locked(writer, &bytes)
+/// A running broker daemon. Dropping the server (or calling
+/// [`BrokerServer::stop`]) closes every connection and joins every
+/// server thread.
+pub struct BrokerServer {
+    flavor: Flavor,
 }
 
-/// Forward deliveries of scheduled subscriptions as EVENT/EVENTS
-/// frames. Everything queued on a subscription at wakeup is coalesced
-/// into **one** multi-message EVENTS frame (one encode, one locked
-/// write, one syscall) instead of a frame per message — under fan-in
-/// load the per-message cost collapses to a memcpy into the batch.
-/// The per-message byte accounting (payload + topic + key + framing
-/// headroom) is checked *before* a message joins a non-empty batch, so
-/// a batch can never grow past [`EVENT_BATCH_BYTES`] — far inside
-/// `MAX_FRAME` — by the message that lands on top of it.
-fn pump_loop(writer: Arc<Mutex<TcpStream>>, rx: Receiver<PumpMsg>, requeue: Sender<PumpMsg>) {
-    while let Ok(msg) = rx.recv() {
-        let entry = match msg {
-            PumpMsg::Stop => return,
-            PumpMsg::Drain(entry) => entry,
+impl BrokerServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:7433"`, port 0 for ephemeral) and
+    /// start serving `broker` in the background. Runs are reclaimed
+    /// only on explicit `RUN_GC` requests; see
+    /// [`BrokerServer::bind_with_retention`] for automatic retention.
+    pub fn bind(addr: &str, broker: Arc<dyn Broker>) -> std::io::Result<BrokerServer> {
+        BrokerServer::bind_with_retention(addr, broker, None)
+    }
+
+    /// [`BrokerServer::bind`] with a retention window: completed runs'
+    /// topics are dropped `retention` after the run was marked
+    /// completed (`RUN_CLOSE`), so a standing daemon serving many
+    /// back-to-back runs reclaims their logs without operator action.
+    pub fn bind_with_retention(
+        addr: &str,
+        broker: Arc<dyn Broker>,
+        retention: Option<Duration>,
+    ) -> std::io::Result<BrokerServer> {
+        BrokerServer::bind_with_flavor(addr, broker, retention, ServerFlavor::Auto)
+    }
+
+    /// [`BrokerServer::bind_with_retention`] with the I/O architecture
+    /// pinned — the programmatic form of the `GINFLOW_NET_THREADED`
+    /// knob, for A/B tests and benchmarks that must not touch the
+    /// process environment.
+    pub fn bind_with_flavor(
+        addr: &str,
+        broker: Arc<dyn Broker>,
+        retention: Option<Duration>,
+        flavor: ServerFlavor,
+    ) -> std::io::Result<BrokerServer> {
+        let registry = Arc::new(RunRegistry::new(broker.clone()));
+        let threaded = match flavor {
+            ServerFlavor::Threaded => true,
+            ServerFlavor::EventLoop => false,
+            ServerFlavor::Auto => std::env::var_os("GINFLOW_NET_THREADED").is_some(),
         };
-        let mut batch: Vec<Message> = Vec::new();
-        let mut batch_bytes = 0usize;
-        for _ in 0..event_batch() {
-            match entry.sub.try_recv() {
-                Ok(Some(message)) => {
-                    let msg_bytes = message.payload.len()
-                        + message.topic.len()
-                        + message.key.as_ref().map_or(0, |k| k.len())
-                        + 32;
-                    if !batch.is_empty() && batch_bytes + msg_bytes > EVENT_BATCH_BYTES {
-                        // This message would push the batch over its
-                        // budget: flush what is owed, start fresh.
-                        if write_event_batch(&writer, entry.id, &mut batch).is_err() {
-                            return;
-                        }
-                        batch_bytes = 0;
-                    }
-                    batch_bytes += msg_bytes;
-                    batch.push(message);
-                }
-                Ok(None) | Err(_) => break,
-            }
+        let flavor = if threaded {
+            Flavor::Threaded(ThreadedServer::bind(addr, broker, registry, retention)?)
+        } else {
+            Flavor::EventLoop(EventLoopServer::bind(addr, broker, registry, retention)?)
+        };
+        Ok(BrokerServer { flavor })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        match &self.flavor {
+            Flavor::EventLoop(s) => s.local_addr(),
+            Flavor::Threaded(s) => s.local_addr(),
         }
-        if !batch.is_empty() && write_event_batch(&writer, entry.id, &mut batch).is_err() {
-            // Connection is dying; the reader thread tears everything
-            // down.
-            return;
+    }
+
+    /// The I/O architecture actually serving (`"event-loop"` or
+    /// `"threaded"`).
+    pub fn flavor(&self) -> &'static str {
+        match &self.flavor {
+            Flavor::EventLoop(_) => "event-loop",
+            Flavor::Threaded(_) => "threaded",
         }
-        // Same lost-wakeup-free protocol as the scheduler: clear the
-        // bit, then re-check the backlog.
-        entry.scheduled.store(false, Ordering::SeqCst);
-        if entry.sub.backlog() > 0 && !entry.scheduled.swap(true, Ordering::SeqCst) {
-            let _ = requeue.send(PumpMsg::Drain(entry));
+    }
+
+    /// Snapshot of the run registry (what `RUN_LIST` answers).
+    pub fn runs(&self) -> Vec<RunStat> {
+        match &self.flavor {
+            Flavor::EventLoop(s) => s.registry().list(),
+            Flavor::Threaded(s) => s.registry().list(),
+        }
+    }
+
+    /// Open an in-process connection to this daemon: a socketpair half
+    /// served exactly like an accepted socket, no listener involved.
+    /// Pair with [`RemoteBroker::connect_with`] to run the full client
+    /// against the daemon without TCP — the in-process test seam the
+    /// [`Transport`] refactor exists for.
+    ///
+    /// [`RemoteBroker::connect_with`]: crate::RemoteBroker::connect_with
+    pub fn connect_in_process(&self) -> std::io::Result<Box<dyn Transport>> {
+        match &self.flavor {
+            Flavor::EventLoop(s) => s.connect_in_process(),
+            Flavor::Threaded(s) => s.connect_in_process(),
+        }
+    }
+
+    /// Sever every live connection while keeping the listener up — the
+    /// fault-injection hook reconnect logic and tests are built on (the
+    /// network equivalent of the paper's killed JVM).
+    pub fn drop_connections(&self) {
+        match &self.flavor {
+            Flavor::EventLoop(s) => s.drop_connections(),
+            Flavor::Threaded(s) => s.drop_connections(),
+        }
+    }
+
+    /// Stop accepting, close every live connection, join every server
+    /// thread. Idempotent.
+    pub fn stop(&self) {
+        match &self.flavor {
+            Flavor::EventLoop(s) => s.stop(),
+            Flavor::Threaded(s) => s.stop(),
         }
     }
 }

@@ -1,0 +1,529 @@
+//! The original thread-per-connection server: one request-reader thread
+//! plus one event-pump thread per client, blocking sockets throughout.
+//! Kept as the `GINFLOW_NET_THREADED=1` A/B baseline for the epoll
+//! event loop (the PR-5 knob convention), and as the simplest possible
+//! reference implementation of the protocol — it still acks every
+//! PUBLISH with an individual RECEIPT, so benchmarking against it
+//! isolates exactly what the loop's RECEIPTS range acks and
+//! shared-nothing buffering buy.
+
+use crate::registry::RunRegistry;
+use crate::server::{error_frame, event_batch, EVENT_BATCH_BYTES, SWEEP_FLOOR, SWEEP_INTERVAL};
+use crate::transport::Transport;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ginflow_mq::wire::{read_frame, Frame};
+use ginflow_mq::{Broker, Message, Subscription};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Socket write timeout: a stalled client (full receive buffer, frozen
+/// process) fails its connection after this instead of wedging the
+/// pump/reader behind a blocked `write_all` forever. Configured on the
+/// concrete socket at accept time — blocking transports only.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One accepted connection as the acceptor tracks it: a stream clone
+/// (for shutdown injection) plus the handler thread.
+struct ConnEntry {
+    socket: Box<dyn Transport>,
+    thread: JoinHandle<()>,
+}
+
+/// The thread-per-connection daemon flavor. Public API lives on the
+/// [`BrokerServer`](crate::BrokerServer) facade.
+pub(crate) struct ThreadedServer {
+    addr: SocketAddr,
+    broker: Arc<dyn Broker>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    sweeper_thread: Mutex<Option<JoinHandle<()>>>,
+    conns: Arc<Mutex<Vec<ConnEntry>>>,
+    registry: Arc<RunRegistry>,
+}
+
+impl ThreadedServer {
+    pub(crate) fn bind(
+        addr: &str,
+        broker: Arc<dyn Broker>,
+        registry: Arc<RunRegistry>,
+        retention: Option<Duration>,
+    ) -> std::io::Result<ThreadedServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ConnEntry>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            let conns = conns.clone();
+            let registry = registry.clone();
+            let broker = broker.clone();
+            std::thread::Builder::new()
+                .name("gf-net-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        // Reap finished connections so a long-running
+                        // daemon doesn't accumulate dead fds and thread
+                        // handles across client reconnect cycles.
+                        for dead in extract_finished(&mut conns.lock()) {
+                            let _ = dead.thread.join();
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                        spawn_connection(
+                            Box::new(stream),
+                            &broker,
+                            &registry,
+                            &shutdown,
+                            &mut conns.lock(),
+                        );
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        let sweeper_thread = retention.map(|window| {
+            let shutdown = shutdown.clone();
+            let registry = registry.clone();
+            std::thread::Builder::new()
+                .name("gf-net-gc".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        registry.gc(window);
+                        std::thread::sleep(SWEEP_INTERVAL.min(window).max(SWEEP_FLOOR));
+                    }
+                })
+                .expect("spawn gc sweeper thread")
+        });
+        Ok(ThreadedServer {
+            addr: local,
+            broker,
+            shutdown,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            sweeper_thread: Mutex::new(sweeper_thread),
+            conns,
+            registry,
+        })
+    }
+
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<RunRegistry> {
+        &self.registry
+    }
+
+    /// Serve an in-process socketpair connection: same handler threads,
+    /// no listener involved. The returned half is the client's.
+    pub(crate) fn connect_in_process(&self) -> std::io::Result<Box<dyn Transport>> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(std::io::Error::other("server stopped"));
+        }
+        let (client_end, server_end) = std::os::unix::net::UnixStream::pair()?;
+        let _ = server_end.set_write_timeout(Some(WRITE_TIMEOUT));
+        let _ = client_end.set_write_timeout(Some(WRITE_TIMEOUT));
+        spawn_connection(
+            Box::new(server_end),
+            &self.broker,
+            &self.registry,
+            &self.shutdown,
+            &mut self.conns.lock(),
+        );
+        Ok(Box::new(client_end))
+    }
+
+    /// Sever every live connection while keeping the listener up.
+    pub(crate) fn drop_connections(&self) {
+        for entry in self.drain_conns() {
+            let _ = entry.socket.shutdown();
+            let _ = entry.thread.join();
+        }
+    }
+
+    /// Stop accepting, close every live connection, join every thread.
+    /// Idempotent.
+    pub(crate) fn stop(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sweeper_thread.lock().take() {
+            let _ = t.join();
+        }
+        self.drop_connections();
+    }
+
+    fn drain_conns(&self) -> Vec<ConnEntry> {
+        self.conns.lock().drain(..).collect()
+    }
+}
+
+impl Drop for ThreadedServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn spawn_connection(
+    stream: Box<dyn Transport>,
+    broker: &Arc<dyn Broker>,
+    registry: &Arc<RunRegistry>,
+    shutdown: &Arc<AtomicBool>,
+    conns: &mut Vec<ConnEntry>,
+) {
+    let Ok(socket) = stream.try_clone() else {
+        return;
+    };
+    let broker = broker.clone();
+    let registry = registry.clone();
+    let shutdown = shutdown.clone();
+    let thread = std::thread::Builder::new()
+        .name("gf-net-conn".into())
+        .spawn(move || serve_connection(stream, broker, registry, shutdown))
+        .expect("spawn connection thread");
+    conns.push(ConnEntry { socket, thread });
+}
+
+/// Remove and return the entries whose handler thread has exited.
+fn extract_finished(conns: &mut Vec<ConnEntry>) -> Vec<ConnEntry> {
+    let mut finished = Vec::new();
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].thread.is_finished() {
+            finished.push(conns.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    finished
+}
+
+/// One live subscription of one connection, scheduled onto the pump with
+/// the same false→true schedule-bit protocol the in-process scheduler
+/// uses.
+struct ServerSub {
+    id: u64,
+    sub: Subscription,
+    scheduled: AtomicBool,
+}
+
+enum PumpMsg {
+    Drain(Arc<ServerSub>),
+    Stop,
+}
+
+fn serve_connection(
+    stream: Box<dyn Transport>,
+    broker: Arc<dyn Broker>,
+    registry: Arc<RunRegistry>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let (pump_tx, pump_rx) = unbounded::<PumpMsg>();
+    let pump = {
+        let writer = writer.clone();
+        let pump_requeue = pump_tx.clone();
+        std::thread::Builder::new()
+            .name("gf-net-pump".into())
+            .spawn(move || pump_loop(writer, pump_rx, pump_requeue))
+            .expect("spawn pump thread")
+    };
+
+    let mut subs: HashMap<u64, Arc<ServerSub>> = HashMap::new();
+    let mut next_sub: u64 = 1;
+    // Topics this connection has already reported to the run registry:
+    // steady-state publishes (thousands per run on a handful of topics)
+    // take one local lookup instead of the cross-connection registry
+    // mutex. Safe to cache because registry entries only disappear when
+    // a *completed* run is GC'd — a run still publishing has no
+    // business being closed.
+    let mut seen_topics: HashSet<String> = HashSet::new();
+    let mut reader = BufReader::new(stream);
+    // Reply frames are coalesced here and flushed in one locked write
+    // whenever the request stream pauses (or the buffer grows large):
+    // a client pipelining N publishes costs the server one reply
+    // syscall, not N. Flushing *before* any blocking read keeps the
+    // request/ack cycle live — a blocking publisher is never left
+    // waiting on a buffered receipt.
+    let mut replies: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if !replies.is_empty() && reader.buffer().is_empty() {
+            // No more requests already buffered: the next read may
+            // block, so everything owed goes out now.
+            if write_bytes_locked(&writer, &replies).is_err() {
+                break;
+            }
+            replies.clear();
+        }
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF, a dead socket, or a corrupt/hostile frame all
+            // end the connection; the client reconnects and replays.
+            Ok(None) | Err(_) => break,
+        };
+        let reply = match frame {
+            Frame::Publish {
+                seq,
+                topic,
+                key,
+                payload,
+            } => {
+                if !seen_topics.contains(&topic) {
+                    registry.observe(&topic);
+                    seen_topics.insert(topic.clone());
+                }
+                Some(match broker.publish(&topic, key, payload) {
+                    Ok(receipt) => Frame::Receipt {
+                        seq,
+                        partition: receipt.partition,
+                        offset: receipt.offset,
+                    },
+                    Err(e) => error_frame(seq, e),
+                })
+            }
+            Frame::Subscribe { seq, topic, mode } => {
+                if !seen_topics.contains(&topic) {
+                    registry.observe(&topic);
+                    seen_topics.insert(topic.clone());
+                }
+                // Sample the resume watermark *before* attaching: a
+                // message published after this point either replays on
+                // resume (offset >= watermark) or arrives live — never
+                // both dropped. Sampling after attach could count a
+                // live-delivered message into the watermark and make
+                // the client discard it as a replay duplicate. A single
+                // offset cannot describe a multi-partition position
+                // (retained() sums partitions), so those topics get the
+                // no-watermark sentinel instead of a wrong number.
+                let resume = if broker.persistent() && broker.partitions(&topic) <= 1 {
+                    broker.retained(&topic)
+                } else {
+                    ginflow_mq::wire::NO_RESUME
+                };
+                match broker.subscribe(&topic, mode) {
+                    Ok(sub) => {
+                        let id = next_sub;
+                        next_sub += 1;
+                        let entry = Arc::new(ServerSub {
+                            id,
+                            sub,
+                            scheduled: AtomicBool::new(false),
+                        });
+                        subs.insert(id, entry.clone());
+                        // Ack before arming the waker so the client
+                        // learns the sub id before the first EVENT can
+                        // be written — which means flushing any owed
+                        // replies along with it.
+                        let ack = Frame::Subscribed {
+                            seq,
+                            sub: id,
+                            resume,
+                        };
+                        if append_frame(&mut replies, &ack).is_err()
+                            || write_bytes_locked(&writer, &replies).is_err()
+                        {
+                            break;
+                        }
+                        replies.clear();
+                        let weak: Weak<ServerSub> = Arc::downgrade(&entry);
+                        let tx = pump_tx.clone();
+                        entry.sub.set_waker(move || {
+                            if let Some(entry) = weak.upgrade() {
+                                if !entry.scheduled.swap(true, Ordering::SeqCst) {
+                                    let _ = tx.send(PumpMsg::Drain(entry));
+                                }
+                            }
+                        });
+                        None
+                    }
+                    Err(e) => Some(error_frame(seq, e)),
+                }
+            }
+            Frame::Unsubscribe { sub, .. } => {
+                // Fire-and-forget: drop the subscription; the broker
+                // prunes its handle on the next publish.
+                subs.remove(&sub);
+                None
+            }
+            Frame::Fetch {
+                seq,
+                topic,
+                partition,
+                from,
+                max,
+            } => Some(match broker.fetch(&topic, partition, from, max as usize) {
+                Ok(messages) => Frame::Messages { seq, messages },
+                Err(e) => error_frame(seq, e),
+            }),
+            Frame::Info { seq, topic } => Some(Frame::InfoReply {
+                seq,
+                persistent: broker.persistent(),
+                partitions: broker.partitions(&topic),
+                retained: broker.retained(&topic),
+            }),
+            Frame::RunList { seq } => Some(Frame::RunListReply {
+                seq,
+                runs: registry.list(),
+            }),
+            Frame::RunClose { seq, run } => Some(Frame::RunGcReply {
+                seq,
+                runs: u32::from(registry.close(&run)),
+                topics: 0,
+            }),
+            Frame::RunGc { seq } => {
+                // Explicit GC reclaims every completed run now,
+                // whatever the daemon's retention window says.
+                let (runs, topics) = registry.gc(Duration::ZERO);
+                Some(Frame::RunGcReply { seq, runs, topics })
+            }
+            // A client speaking server frames is broken: hang up.
+            Frame::Receipt { .. }
+            | Frame::Receipts { .. }
+            | Frame::Subscribed { .. }
+            | Frame::Messages { .. }
+            | Frame::InfoReply { .. }
+            | Frame::RunListReply { .. }
+            | Frame::RunGcReply { .. }
+            | Frame::Error { .. }
+            | Frame::Event { .. }
+            | Frame::Events { .. } => break,
+        };
+        if let Some(reply) = reply {
+            if append_frame(&mut replies, &reply).is_err() {
+                break;
+            }
+            // A large owed batch flushes early so the buffer stays
+            // bounded even against a client that never stops sending.
+            if replies.len() >= REPLY_BATCH_BYTES {
+                if write_bytes_locked(&writer, &replies).is_err() {
+                    break;
+                }
+                replies.clear();
+            }
+        }
+    }
+    // Teardown: drop subscriptions (pruning their broker handles), stop
+    // the pump, and let the client see EOF.
+    subs.clear();
+    let _ = pump_tx.send(PumpMsg::Stop);
+    let _ = pump.join();
+}
+
+/// Owed-reply buffer flush threshold (bytes): below this, replies wait
+/// for the request stream to pause; beyond it they go out immediately.
+const REPLY_BATCH_BYTES: usize = 64 * 1024;
+
+/// Append one frame's encoding to a reply batch.
+fn append_frame(batch: &mut Vec<u8>, frame: &Frame) -> Result<(), ()> {
+    batch.extend_from_slice(&frame.encode().map_err(|_| ())?);
+    Ok(())
+}
+
+/// Write a batch of already-encoded frames in one locked write.
+fn write_bytes_locked(writer: &Mutex<Box<dyn Transport>>, bytes: &[u8]) -> Result<(), ()> {
+    use std::io::Write;
+    writer.lock().write_all(bytes).map_err(|_| ())
+}
+
+/// Write one pump batch as an EVENT (single message) or EVENTS frame.
+/// Returns `Err` only for a dying connection; a frame the codec refuses
+/// (a message so large the EVENT envelope pushes it past `MAX_FRAME`)
+/// is dropped rather than allowed to kill the pump — the message is
+/// still in the log for `fetch`, and every other subscription keeps
+/// flowing.
+fn write_event_batch(
+    writer: &Mutex<Box<dyn Transport>>,
+    sub: u64,
+    batch: &mut Vec<Message>,
+) -> Result<(), ()> {
+    let frame = if batch.len() == 1 {
+        Frame::Event {
+            sub,
+            message: batch.pop().expect("len checked"),
+        }
+    } else {
+        Frame::Events {
+            sub,
+            messages: std::mem::take(batch),
+        }
+    };
+    batch.clear();
+    let Ok(bytes) = frame.encode() else {
+        return Ok(());
+    };
+    write_bytes_locked(writer, &bytes)
+}
+
+/// Forward deliveries of scheduled subscriptions as EVENT/EVENTS
+/// frames. Everything queued on a subscription at wakeup is coalesced
+/// into **one** multi-message EVENTS frame (one encode, one locked
+/// write, one syscall) instead of a frame per message — under fan-in
+/// load the per-message cost collapses to a memcpy into the batch.
+/// The per-message byte accounting (payload + topic + key + framing
+/// headroom) is checked *before* a message joins a non-empty batch, so
+/// a batch can never grow past [`EVENT_BATCH_BYTES`] — far inside
+/// `MAX_FRAME` — by the message that lands on top of it.
+fn pump_loop(
+    writer: Arc<Mutex<Box<dyn Transport>>>,
+    rx: Receiver<PumpMsg>,
+    requeue: Sender<PumpMsg>,
+) {
+    while let Ok(msg) = rx.recv() {
+        let entry = match msg {
+            PumpMsg::Stop => return,
+            PumpMsg::Drain(entry) => entry,
+        };
+        let mut batch: Vec<Message> = Vec::new();
+        let mut batch_bytes = 0usize;
+        for _ in 0..event_batch() {
+            match entry.sub.try_recv() {
+                Ok(Some(message)) => {
+                    let msg_bytes = message.payload.len()
+                        + message.topic.len()
+                        + message.key.as_ref().map_or(0, |k| k.len())
+                        + 32;
+                    if !batch.is_empty() && batch_bytes + msg_bytes > EVENT_BATCH_BYTES {
+                        // This message would push the batch over its
+                        // budget: flush what is owed, start fresh.
+                        if write_event_batch(&writer, entry.id, &mut batch).is_err() {
+                            return;
+                        }
+                        batch_bytes = 0;
+                    }
+                    batch_bytes += msg_bytes;
+                    batch.push(message);
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+        if !batch.is_empty() && write_event_batch(&writer, entry.id, &mut batch).is_err() {
+            // Connection is dying; the reader thread tears everything
+            // down.
+            return;
+        }
+        // Same lost-wakeup-free protocol as the scheduler: clear the
+        // bit, then re-check the backlog.
+        entry.scheduled.store(false, Ordering::SeqCst);
+        if entry.sub.backlog() > 0 && !entry.scheduled.swap(true, Ordering::SeqCst) {
+            let _ = requeue.send(PumpMsg::Drain(entry));
+        }
+    }
+}

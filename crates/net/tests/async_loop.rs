@@ -1,0 +1,208 @@
+//! Event-loop daemon behaviors: flat thread count, zero idle CPU,
+//! RECEIPTS range acks under pipelined storms, the in-process
+//! [`Transport`] seam, and flavor selection (programmatic and via the
+//! `GINFLOW_NET_THREADED` knob).
+//!
+//! Tests here share one process, and several read process-wide state
+//! (`/proc/self`, the environment), so every test serializes on [`GATE`].
+
+use ginflow_mq::{Broker, LogBroker, SubscribeMode};
+use ginflow_net::{BrokerServer, RemoteBroker, ServerFlavor};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes the tests in this binary: CPU, thread-count and env-knob
+/// measurements are process-global.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn bind(flavor: ServerFlavor) -> (BrokerServer, Arc<LogBroker>) {
+    let broker = Arc::new(LogBroker::new());
+    let server =
+        BrokerServer::bind_with_flavor("127.0.0.1:0", broker.clone(), None, flavor).unwrap();
+    (server, broker)
+}
+
+/// Open `n` raw sockets that speak no protocol at all — connected but
+/// silent clients, the cheapest way to grow the daemon's fd table
+/// without spawning client threads of our own.
+fn idle_conns(server: &BrokerServer, n: usize) -> Vec<TcpStream> {
+    let addr = server.local_addr();
+    let conns: Vec<TcpStream> = (0..n).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    // One handshaking client proves the accept loop has drained the
+    // backlog past our silent sockets.
+    let probe = RemoteBroker::connect(&format!("tcp://{addr}")).unwrap();
+    probe
+        .publish("probe", None, bytes::Bytes::from_static(b"x"))
+        .unwrap();
+    probe.shutdown();
+    conns
+}
+
+/// Current thread count of this process (`/proc/self/status`).
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// CPU time (user + system) this process has consumed, in milliseconds
+/// (`/proc/self/stat`, fields 14/15 after the comm field, USER_HZ=100).
+fn process_cpu_ms() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap();
+    let rest = &stat[stat.rfind(')').unwrap() + 2..];
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let ticks: u64 = fields[11].parse::<u64>().unwrap() + fields[12].parse::<u64>().unwrap();
+    ticks * 1000 / 100
+}
+
+#[test]
+fn thread_count_is_independent_of_connection_count() {
+    let _gate = gate();
+    let (server, _) = bind(ServerFlavor::EventLoop);
+    let few = idle_conns(&server, 10);
+    let baseline = thread_count();
+    let many = idle_conns(&server, 200);
+    assert_eq!(
+        thread_count(),
+        baseline,
+        "event loop grew threads with connections"
+    );
+    drop((few, many));
+    server.stop();
+}
+
+#[test]
+fn idle_daemon_burns_no_cpu_with_100_quiet_connections() {
+    let _gate = gate();
+    let (server, _) = bind(ServerFlavor::EventLoop);
+    let conns = idle_conns(&server, 100);
+    // Settle any accept/registration work, then measure a quiet window.
+    std::thread::sleep(Duration::from_millis(200));
+    let before = process_cpu_ms();
+    std::thread::sleep(Duration::from_millis(1500));
+    let spent = process_cpu_ms() - before;
+    // A polling or sweeping daemon burns a measurable slice of every
+    // second; a parked epoll loop with no armed timers burns none. The
+    // bound is loose (scheduler noise, /proc reads) but far below any
+    // busy or periodic-wakeup regime.
+    assert!(spent < 300, "idle daemon consumed {spent}ms CPU in 1.5s");
+    drop(conns);
+    server.stop();
+}
+
+#[test]
+fn pipelined_storm_is_acked_by_receipts_ranges() {
+    let _gate = gate();
+    let (server, broker) = bind(ServerFlavor::EventLoop);
+    let client = RemoteBroker::connect(&format!("tcp://{}", server.local_addr())).unwrap();
+    const N: u64 = 5000;
+    for i in 0..N {
+        client
+            .publish_nowait("storm", None, bytes::Bytes::from(i.to_string()))
+            .unwrap();
+    }
+    client.flush().unwrap();
+    assert_eq!(broker.retained("storm"), N);
+    // The pipeline's receipt bookkeeping stayed exact: a blocking
+    // publish after the storm sees the very next offset.
+    let r = client
+        .publish("storm", None, bytes::Bytes::from_static(b"tail"))
+        .unwrap();
+    assert_eq!(r.offset, N);
+    server.stop();
+}
+
+#[test]
+fn in_process_transport_serves_the_full_protocol_without_tcp() {
+    let _gate = gate();
+    for flavor in [ServerFlavor::EventLoop, ServerFlavor::Threaded] {
+        let broker = Arc::new(LogBroker::new());
+        let server = Arc::new(
+            BrokerServer::bind_with_flavor("127.0.0.1:0", broker.clone(), None, flavor).unwrap(),
+        );
+        let s = server.clone();
+        let client = RemoteBroker::connect_with(Box::new(move || s.connect_in_process())).unwrap();
+        let sub = client.subscribe("t", SubscribeMode::Beginning).unwrap();
+        client
+            .publish("t", None, bytes::Bytes::from_static(b"no tcp involved"))
+            .unwrap();
+        let m = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(m.payload_str(), "no tcp involved");
+        for i in 0..500u32 {
+            client
+                .publish_nowait("t", None, bytes::Bytes::from(i.to_string()))
+                .unwrap();
+        }
+        client.flush().unwrap();
+        assert_eq!(broker.retained("t"), 501);
+        client.shutdown();
+        server.stop();
+    }
+}
+
+#[test]
+fn threaded_flavor_still_serves_the_identical_protocol() {
+    let _gate = gate();
+    let (server, broker) = bind(ServerFlavor::Threaded);
+    assert_eq!(server.flavor(), "threaded");
+    let client = RemoteBroker::connect(&format!("tcp://{}", server.local_addr())).unwrap();
+    let sub = client.subscribe("t", SubscribeMode::Beginning).unwrap();
+    for i in 0..1000u32 {
+        client
+            .publish_nowait("t", None, bytes::Bytes::from(i.to_string()))
+            .unwrap();
+    }
+    client.flush().unwrap();
+    assert_eq!(broker.retained("t"), 1000);
+    assert_eq!(
+        sub.recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .payload_str(),
+        "0"
+    );
+    server.stop();
+}
+
+#[test]
+fn env_knob_selects_the_threaded_baseline() {
+    let _gate = gate();
+    std::env::set_var("GINFLOW_NET_THREADED", "1");
+    let (server, _) = bind(ServerFlavor::Auto);
+    let flavor = server.flavor();
+    server.stop();
+    std::env::remove_var("GINFLOW_NET_THREADED");
+    assert_eq!(flavor, "threaded");
+    let (server, _) = bind(ServerFlavor::Auto);
+    assert_eq!(server.flavor(), "event-loop");
+    server.stop();
+}
+
+/// A half-open socket that dies mid-frame must not wedge the loop: the
+/// daemon drops the connection and keeps serving everyone else.
+#[test]
+fn partial_frame_then_disconnect_does_not_wedge_the_loop() {
+    let _gate = gate();
+    let (server, _) = bind(ServerFlavor::EventLoop);
+    let mut half = TcpStream::connect(server.local_addr()).unwrap();
+    // A length prefix promising 100 bytes, then only 3 of them.
+    half.write_all(&100u32.to_be_bytes()).unwrap();
+    half.write_all(b"abc").unwrap();
+    drop(half);
+    let client = RemoteBroker::connect(&format!("tcp://{}", server.local_addr())).unwrap();
+    let r = client
+        .publish("alive", None, bytes::Bytes::from_static(b"x"))
+        .unwrap();
+    assert_eq!(r.offset, 0);
+    server.stop();
+}
