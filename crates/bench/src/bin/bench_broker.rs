@@ -4,19 +4,54 @@
 //! independent runs multiplexed on one daemon), plus a publish storm
 //! isolating raw publish cost (blocking round trip vs pipelined
 //! fire-and-forget) with msgs/sec and p50/p99 publish latency. Writes
-//! `results/BENCH_net.csv`.
+//! `results/BENCH_net.csv`, then runs the durability sweep (in-memory
+//! log vs the segment-backed log per fsync policy, same storm) into
+//! `results/BENCH_durability.csv`.
 
-use ginflow_bench::workload::{csv_rows, CSV_HEADER};
-use ginflow_bench::{broker_net, csv};
+use ginflow_bench::workload::{csv_rows, Sample, CSV_HEADER};
+use ginflow_bench::{broker_net, csv, durability};
 
 fn usage() -> ! {
     println!("bench_broker: in-process log broker vs TCP remote broker on a wide fan-out/fan-in");
     println!("usage: bench_broker [--quick] [--tasks N]");
     println!("  --quick     reduced scale (CI-sized, 202 tasks)");
     println!(
-        "  --tasks N   total task count (default 1002); the publish storm runs 10x N messages"
+        "  --tasks N   total task count (default 1002); the publish storms run 10x N messages"
     );
     std::process::exit(0);
+}
+
+fn print_table(samples: &[Sample]) {
+    println!(
+        "{:<24} {:>7} {:>8} {:>10} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9}",
+        "mode",
+        "tasks",
+        "workers",
+        "wall (s)",
+        "cpu (s)",
+        "completed",
+        "msgs/s",
+        "p50 (us)",
+        "p99 (us)",
+        "rss (MiB)"
+    );
+    for s in samples {
+        println!(
+            "{:<24} {:>7} {:>8} {:>10.3} {:>9.3} {:>10} {:>12} {:>9} {:>9} {:>9}",
+            s.mode,
+            s.tasks,
+            s.workers,
+            s.wall_secs,
+            s.cpu_secs,
+            s.completed,
+            s.msgs_per_sec
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_default(),
+            s.p50_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            s.p99_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            s.rss_mib.map(|v| format!("{v:.1}")).unwrap_or_default(),
+        );
+    }
 }
 
 fn main() {
@@ -51,36 +86,7 @@ fn main() {
         }
     }
     let samples = broker_net::run_with_tasks(tasks);
-    println!(
-        "{:<24} {:>7} {:>8} {:>10} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9}",
-        "mode",
-        "tasks",
-        "workers",
-        "wall (s)",
-        "cpu (s)",
-        "completed",
-        "msgs/s",
-        "p50 (us)",
-        "p99 (us)",
-        "rss (MiB)"
-    );
-    for s in &samples {
-        println!(
-            "{:<24} {:>7} {:>8} {:>10.3} {:>9.3} {:>10} {:>12} {:>9} {:>9} {:>9}",
-            s.mode,
-            s.tasks,
-            s.workers,
-            s.wall_secs,
-            s.cpu_secs,
-            s.completed,
-            s.msgs_per_sec
-                .map(|v| format!("{v:.0}"))
-                .unwrap_or_default(),
-            s.p50_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
-            s.p99_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
-            s.rss_mib.map(|v| format!("{v:.1}")).unwrap_or_default(),
-        );
-    }
+    print_table(&samples);
     let find = |mode: &str| samples.iter().find(|s| s.mode == mode);
     if let (Some(local), Some(remote)) = (find("local_log"), find("remote_1shard")) {
         if local.completed && remote.completed {
@@ -120,4 +126,36 @@ fn main() {
     csv::write_csv("results/BENCH_net.csv", &CSV_HEADER, &csv_rows(&samples))
         .expect("write results/BENCH_net.csv");
     println!("\nwrote results/BENCH_net.csv");
+
+    // Durability sweep: the same publish storm against the in-memory
+    // log and the segment-backed log per fsync policy. Floored at 20k
+    // messages: the CI gate divides two throughputs, and a sub-ms
+    // timed window at smoke scale is too noisy to hold a ratio steady.
+    println!();
+    let durability = durability::run_with_msgs((tasks * 10).max(20_000));
+    print_table(&durability);
+    let dfind = |mode: &str| durability.iter().find(|s| s.mode == mode);
+    if let (Some(memory), Some(interval)) = (dfind("durable_memory"), dfind("durable_interval")) {
+        println!(
+            "\ninterval-fsync durability: {:.2}x the in-memory publish rate ({:.0} vs {:.0} msgs/s)",
+            interval.msgs_per_sec.unwrap_or(0.0) / memory.msgs_per_sec.unwrap_or(f64::MAX),
+            interval.msgs_per_sec.unwrap_or(0.0),
+            memory.msgs_per_sec.unwrap_or(0.0),
+        );
+    }
+    if let (Some(always), Some(never)) = (dfind("durable_always"), dfind("durable_never")) {
+        println!(
+            "per-publish msync (always) costs {:.1}x vs never ({:.0} vs {:.0} msgs/s)",
+            never.msgs_per_sec.unwrap_or(0.0) / always.msgs_per_sec.unwrap_or(f64::MAX),
+            always.msgs_per_sec.unwrap_or(0.0),
+            never.msgs_per_sec.unwrap_or(0.0),
+        );
+    }
+    csv::write_csv(
+        "results/BENCH_durability.csv",
+        &CSV_HEADER,
+        &csv_rows(&durability),
+    )
+    .expect("write results/BENCH_durability.csv");
+    println!("\nwrote results/BENCH_durability.csv");
 }

@@ -381,9 +381,9 @@ pub fn run_connection_storm(idle: usize, msgs: usize) -> Sample {
 /// with the lowest wall time. Scheduling noise on a shared box only
 /// ever *adds* time, so the minimum is the cleanest view of what the
 /// transport itself costs.
-const REPEAT: usize = 5;
+pub(crate) const REPEAT: usize = 5;
 
-fn best_of(f: impl Fn() -> Sample) -> Sample {
+pub(crate) fn best_of(f: impl Fn() -> Sample) -> Sample {
     (0..REPEAT)
         .map(|_| f())
         .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))

@@ -1,0 +1,172 @@
+//! Durability storm: what the file-backed segment store costs per
+//! fsync policy. A steady-state in-process publish storm runs against
+//! (a) the purely in-memory log — the baseline the CI gate normalises
+//! against — and (b) the durable log ([`LogBroker::open`]) under fsync
+//! `always` / `interval` (default 50 ms) / `never`. Topic creation
+//! (and the segment dir + mmap it implies) happens on a warmup publish
+//! before the clock, and the closing flush-to-disk after it: the timed
+//! window holds only the per-publish cost the policy governs. Every
+//! repetition opens a *fresh* scratch data dir, so no run appends to
+//! another's warm segment files; the reported row is the best of
+//! [`REPEAT`](crate::broker_net::REPEAT) repetitions. `bench_broker`
+//! emits the sweep as `results/BENCH_durability.csv`.
+//!
+//! Reading the rows: `always` pays one `msync(MS_SYNC)` per publish
+//! (the machine-crash-proof policy), `interval` queues asynchronous
+//! writeback when the deadline lapses, and `never` isolates the pure
+//! append/memcpy cost — page cache persistence across a killed
+//! *process* is free, which is why `interval` is the default and must
+//! stay within 2x of memory (the CI floor).
+
+use crate::broker_net::best_of;
+use crate::workload::{process_cpu, Sample};
+use ginflow_mq::{Broker, DurabilityConfig, FsyncPolicy, LogBroker};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The policy sweep: row label → fsync policy, `None` for the
+/// in-memory baseline.
+pub const MODES: [(&str, Option<FsyncPolicy>); 4] = [
+    ("durable_memory", None),
+    ("durable_always", Some(FsyncPolicy::Always)),
+    (
+        "durable_interval",
+        Some(FsyncPolicy::Interval(Duration::from_millis(
+            FsyncPolicy::DEFAULT_INTERVAL_MS,
+        ))),
+    ),
+    ("durable_never", Some(FsyncPolicy::Never)),
+];
+
+/// A scratch data dir removed on drop — fresh per storm repetition.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new() -> ScratchDir {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "ginflow-bench-durability-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch data dir");
+        ScratchDir(path)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Steady-state publish storm: a warmup publish creates the topic
+/// (and, for the durable log, its segment dir + active mmap) *before*
+/// the clock starts, then `msgs` timed publishes measure the pure
+/// per-append cost the fsync policy governs. The closing `flush` runs
+/// after the wall clock stops — a one-off `msync(MS_SYNC)` at
+/// teardown is a durability cost, not a throughput cost — but its
+/// success still gates `completed`.
+fn durable_storm(mode: &str, msgs: usize, broker: &dyn Broker) -> Sample {
+    let payload = bytes::Bytes::from_static(&[0x42; 64]);
+    let mut errors = 0usize;
+    if broker
+        .publish("run/storm/status", None, payload.clone())
+        .is_err()
+    {
+        errors += 1;
+    }
+    let mut latencies_us = Vec::with_capacity(msgs);
+    let cpu0 = process_cpu();
+    let started = Instant::now();
+    for _ in 0..msgs {
+        let t0 = Instant::now();
+        if broker
+            .publish("run/storm/status", None, payload.clone())
+            .is_err()
+        {
+            errors += 1;
+        }
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let wall = started.elapsed();
+    let cpu = process_cpu().saturating_sub(cpu0);
+    let flushed = broker.flush().is_ok();
+    Sample::storm(
+        mode,
+        msgs,
+        wall,
+        cpu,
+        errors == 0 && flushed,
+        &mut latencies_us,
+    )
+}
+
+/// One repetition of one mode on a fresh broker (and, for the durable
+/// modes, a fresh scratch data dir — no run appends to another's warm
+/// segment files).
+fn storm_once(mode: &str, policy: Option<FsyncPolicy>, msgs: usize) -> Sample {
+    match policy {
+        None => durable_storm(mode, msgs, &LogBroker::new()),
+        Some(fsync) => {
+            let dir = ScratchDir::new();
+            let config = DurabilityConfig {
+                fsync,
+                ..DurabilityConfig::default()
+            };
+            let (broker, _report) =
+                LogBroker::open(&dir.0, config).expect("open durable broker on scratch dir");
+            durable_storm(mode, msgs, &broker)
+        }
+    }
+}
+
+/// The whole sweep at one message count, best-of-repetitions per mode.
+pub fn run_with_msgs(msgs: usize) -> Vec<Sample> {
+    MODES
+        .iter()
+        .map(|(mode, policy)| best_of(|| storm_once(mode, *policy, msgs)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_completes_every_policy_and_reports_throughput() {
+        let samples = run_with_msgs(200);
+        assert_eq!(samples.len(), MODES.len());
+        for (s, (mode, _)) in samples.iter().zip(MODES) {
+            assert_eq!(s.mode, mode);
+            assert!(s.completed, "{mode} failed");
+            assert_eq!(s.tasks, 200);
+            assert!(s.msgs_per_sec.unwrap() > 0.0, "{mode} reported no rate");
+        }
+    }
+
+    #[test]
+    fn scratch_dirs_do_not_leak() {
+        let before = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("ginflow-bench-durability-")
+            })
+            .count();
+        storm_once("durable_never", Some(FsyncPolicy::Never), 10);
+        let after = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("ginflow-bench-durability-")
+            })
+            .count();
+        assert_eq!(before, after, "scratch data dir leaked");
+    }
+}

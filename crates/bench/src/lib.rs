@@ -17,6 +17,7 @@
 
 pub mod broker_net;
 pub mod csv;
+pub mod durability;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;

@@ -8,7 +8,8 @@
 //!                             [--run-id ID] [--shard I/N] [--workers N] [--shell]
 //!                             [--service-sleep MS] [--timeout SECS] [--follow]
 //! ginflow broker serve [--addr HOST:PORT] [--profile kafka|activemq]
-//!                      [--retention SECS]
+//!                      [--retention SECS] [--data-dir DIR]
+//!                      [--fsync always|interval|interval:<ms>|never]
 //! ginflow broker runs  [--addr HOST:PORT]
 //! ginflow broker close <run> [--addr HOST:PORT]
 //! ginflow broker gc    [--addr HOST:PORT]
@@ -57,8 +58,13 @@
 //! `ginflow broker runs` lists the daemon's runs with per-run topic
 //! accounting; a completed run's topics are reclaimed by
 //! `ginflow broker gc` or automatically after `--retention SECS`. The
-//! daemon's log still lives in memory: a daemon *restart* loses
-//! retained history (file-backed logs are on the ROADMAP).
+//! With `--data-dir DIR` the daemon's log is **durable**: every publish
+//! is appended to segment files under `DIR` before fan-out (`--fsync`
+//! picks the sync policy), and a daemon killed mid-run and relaunched
+//! on the same dir recovers its topics, offsets, and run registry —
+//! clients reconnect and replay as if only the connection had dropped,
+//! so in-flight runs complete exactly-once. Without `--data-dir` the
+//! log lives in memory and a daemon restart loses retained history.
 
 use ginflow_core::{json, ServiceRegistry, ShellService, TraceService, Workflow};
 use ginflow_engine::{Backend, Engine, RunId};
@@ -112,7 +118,8 @@ fn print_usage() {
          \x20                   [--run-id ID] [--shard I/N] [--workers N] [--shell]\n\
          \x20                   [--service-sleep MS] [--timeout SECS] [--follow]\n\
          \x20 ginflow broker    serve [--addr HOST:PORT] [--profile kafka|activemq]\n\
-         \x20                   [--retention SECS]\n\
+         \x20                   [--retention SECS] [--data-dir DIR]\n\
+         \x20                   [--fsync always|interval|interval:<ms>|never]\n\
          \x20 ginflow broker    runs [--addr HOST:PORT]\n\
          \x20 ginflow broker    close <run> [--addr HOST:PORT]\n\
          \x20 ginflow broker    gc [--addr HOST:PORT]\n\
@@ -131,7 +138,10 @@ fn print_usage() {
          every shard exits 0 once all sinks complete; a killed shard can\n\
          be relaunched (same --run-id) and replays its state from the\n\
          persistent log. `broker runs` lists the daemon's runs; completed\n\
-         runs' topics are reclaimed by `broker gc` or --retention SECS."
+         runs' topics are reclaimed by `broker gc` or --retention SECS.\n\
+         with `broker serve --data-dir DIR` the daemon's log is durable:\n\
+         a daemon killed mid-run and relaunched on the same DIR resumes\n\
+         the same offsets and in-flight runs complete via client replay."
     );
 }
 
@@ -156,6 +166,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--profile",
     "--run-id",
     "--retention",
+    "--data-dir",
+    "--fsync",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
@@ -538,7 +550,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 ///   until killed; prints the bound address (port 0 resolves to an
 ///   ephemeral port) so wrappers can parse it. `--retention SECS` makes
 ///   the daemon reclaim a completed run's topics automatically that
-///   long after the run is closed.
+///   long after the run is closed. `--data-dir DIR` (kafka profile
+///   only) backs the log with segment files under `DIR`, recovering
+///   topics, offsets, and the run registry on relaunch — `--fsync`
+///   picks the sync policy (`always`, `interval`, `interval:<ms>`,
+///   `never`; default interval), and the retention GC reclaims a
+///   collected run's segment directories along with its memory.
 /// * `runs`: list the daemon's runs (per-run topic accounting).
 /// * `close`: mark a run completed by hand — how an operator retires an
 ///   abandoned run (e.g. a sharded run whose processes died) so `gc`
@@ -605,15 +622,59 @@ fn cmd_broker_serve(flags: &Flags<'_>) -> Result<(), String> {
         .map(|s| s.parse::<u64>().map_err(|e| format!("--retention: {e}")))
         .transpose()?
         .map(Duration::from_secs);
-    let server = ginflow_net::BrokerServer::bind_with_retention(addr, kind.build(), retention)
+    let fsync = flags
+        .value("--fsync")
+        .map(|policy| {
+            ginflow_mq::FsyncPolicy::parse(policy).ok_or_else(|| {
+                format!("--fsync {policy:?}: expected always|interval|interval:<ms>|never")
+            })
+        })
+        .transpose()?;
+    let (broker, recovery): (Arc<dyn ginflow_mq::Broker>, _) = match flags.value("--data-dir") {
+        Some(dir) => {
+            if kind != BrokerKind::Log {
+                return Err(format!(
+                    "--data-dir needs the kafka profile (the {} profile persists nothing)",
+                    kind.label()
+                ));
+            }
+            let config = ginflow_mq::DurabilityConfig {
+                fsync: fsync.unwrap_or_default(),
+                ..ginflow_mq::DurabilityConfig::default()
+            };
+            let (broker, report) =
+                ginflow_mq::LogBroker::open(dir, config).map_err(|e| e.to_string())?;
+            (Arc::new(broker), Some((dir.to_owned(), report)))
+        }
+        None => {
+            if fsync.is_some() {
+                return Err("--fsync needs --data-dir (the in-memory log never syncs)".to_owned());
+            }
+            (kind.build(), None)
+        }
+    };
+    let server = ginflow_net::BrokerServer::bind_with_retention(addr, broker, retention)
         .map_err(|e| format!("binding {addr}: {e}"))?;
-    println!(
+    // Wrappers (tests, CI) parse the bound address off this first line —
+    // keep its format stable. Writes are allowed to fail: a wrapper
+    // that closes our stdout after parsing the banner must not take
+    // the daemon down with an EPIPE panic.
+    use std::io::Write;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(
+        stdout,
         "ginflow broker ({}) listening on {}",
         kind.label(),
         server.local_addr()
     );
-    use std::io::Write;
-    let _ = std::io::stdout().flush();
+    if let Some((dir, report)) = recovery {
+        let _ = writeln!(
+            stdout,
+            "data dir {dir}: recovered {} topic(s), {} message(s), truncated {} torn byte(s)",
+            report.topics, report.messages, report.truncated_bytes
+        );
+    }
+    let _ = stdout.flush();
     // Serve until killed.
     loop {
         std::thread::sleep(Duration::from_secs(3600));

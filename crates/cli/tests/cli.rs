@@ -228,9 +228,16 @@ impl Drop for Reaper {
 /// Start `ginflow broker serve` on an ephemeral port; return the child
 /// and the parsed `host:port`.
 fn spawn_broker() -> (Reaper, String) {
+    spawn_broker_with("127.0.0.1:0", &[])
+}
+
+/// `spawn_broker` with a pinned address and extra serve flags (e.g.
+/// `--data-dir` for the durable daemon tests).
+fn spawn_broker_with(addr: &str, extra: &[&str]) -> (Reaper, String) {
     use std::io::{BufRead, BufReader};
     let mut child = ginflow()
-        .args(["broker", "serve", "--addr", "127.0.0.1:0"])
+        .args(["broker", "serve", "--addr", addr])
+        .args(extra)
         .stdout(std::process::Stdio::piped())
         .spawn()
         .unwrap();
@@ -449,4 +456,53 @@ fn killed_shard_process_recovers_via_replay() {
     let sink = "\"s(s(s(s(s(s(x))))))\"";
     assert!(out0.contains(sink), "shard 0 sink: {out0}");
     assert!(out1.contains(sink), "respawned shard 1 sink: {out1}");
+}
+
+/// The durable-broker tentpole end-to-end: SIGKILL the *daemon* mid-run
+/// (real OS processes on both sides), relaunch it over the same
+/// `--data-dir` and address, and the in-flight sharded run completes
+/// exactly-once — the shard processes just ride their ordinary
+/// reconnect + replay machinery against the recovered log.
+#[test]
+fn killed_daemon_recovers_from_data_dir() {
+    let pipeline = r#"{
+        "name": "pipeline",
+        "tasks": [
+            {"name": "p0", "service": "s", "inputs": ["x"]},
+            {"name": "p1", "service": "s", "depends_on": ["p0"]},
+            {"name": "p2", "service": "s", "depends_on": ["p1"]},
+            {"name": "p3", "service": "s", "depends_on": ["p2"]},
+            {"name": "p4", "service": "s", "depends_on": ["p3"]},
+            {"name": "p5", "service": "s", "depends_on": ["p4"]}
+        ]
+    }"#;
+    let path = write_workflow(&tmpdir(), "durable-pipeline.json", pipeline);
+    let data_dir = tmpdir().join("daemon-data");
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let data = data_dir.to_str().unwrap().to_owned();
+
+    let (broker, addr) = spawn_broker_with("127.0.0.1:0", &["--data-dir", &data]);
+    let slow = ["--service-sleep", "120"];
+    let shard0 = spawn_shard(&path, &addr, "dkill", "0/2", &slow);
+    let shard1 = spawn_shard(&path, &addr, "dkill", "1/2", &slow);
+
+    // SIGKILL the daemon mid-run: no flush, no shutdown hook. The
+    // shards' publishes so far are in the segment files (page cache
+    // survives the process; only a machine crash needs fsync).
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    drop(broker);
+
+    // Relaunch over the same data dir, pinned to the same port
+    // (SO_REUSEADDR makes the rebind immediate). The recovered daemon
+    // serves the same offsets, so the shards' replay-from-watermark
+    // reconnect finds exactly the log it left.
+    let (_broker2, addr2) = spawn_broker_with(&addr, &["--data-dir", &data]);
+    assert_eq!(addr2, addr, "relaunch must reclaim the same port");
+
+    let out0 = assert_shard_completed("shard 0", shard0.wait_with_output().unwrap());
+    let out1 = assert_shard_completed("shard 1", shard1.wait_with_output().unwrap());
+    let sink = "\"s(s(s(s(s(s(x))))))\"";
+    assert!(out0.contains(sink), "shard 0 sink: {out0}");
+    assert!(out1.contains(sink), "shard 1 sink: {out1}");
+    let _ = std::fs::remove_dir_all(&data_dir);
 }

@@ -116,6 +116,14 @@ pub trait Broker: Send + Sync {
         let _ = topic;
         false
     }
+
+    /// Names of every topic the broker currently knows, in no
+    /// particular order. How a server rehydrates its run registry from
+    /// a broker recovered off disk. Brokers that cannot enumerate
+    /// (e.g. a remote frontend) return nothing — the default.
+    fn topic_names(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Callback invoked (after the broker's topic lock is released)
@@ -296,6 +304,24 @@ impl<S> TopicShards<S> {
     /// Remove `topic` from its shard, returning its state if present.
     pub fn remove(&self, topic: &str) -> Option<S> {
         self.shard(topic).lock().remove(topic)
+    }
+
+    /// Every topic name, shard by shard (no cross-shard snapshot —
+    /// topics created or deleted concurrently may or may not appear).
+    pub fn names(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().keys().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Visit every topic mutably, one shard lock at a time.
+    pub fn for_each_mut(&self, mut f: impl FnMut(&str, &mut S)) {
+        for shard in self.shards.iter() {
+            for (name, state) in shard.lock().iter_mut() {
+                f(name, state);
+            }
+        }
     }
 }
 

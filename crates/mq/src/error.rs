@@ -28,6 +28,12 @@ pub enum MqError {
         /// Server-side error text.
         message: String,
     },
+    /// The segment store refused or failed an operation (foreign or
+    /// incompatible data dir, unrecoverable corruption, I/O failure).
+    Store {
+        /// What went wrong, with enough context to act on.
+        message: String,
+    },
     /// A run id or task name was rejected at the topic boundary (empty,
     /// or containing a path separator / whitespace) — publishing under
     /// it would silently collide or split namespaces.
@@ -56,6 +62,7 @@ impl fmt::Display for MqError {
             MqError::Disconnected => f.write_str("broker disconnected"),
             MqError::Timeout => f.write_str("timed out waiting for a message"),
             MqError::Remote { message } => write!(f, "remote broker: {message}"),
+            MqError::Store { message } => write!(f, "segment store: {message}"),
             MqError::InvalidTopic { what, name, reason } => {
                 write!(f, "invalid {what} {name:?}: {reason}")
             }
@@ -88,5 +95,10 @@ mod tests {
         .to_string();
         assert!(invalid.contains("run id"), "{invalid}");
         assert!(invalid.contains("a/b"), "{invalid}");
+        let store = MqError::Store {
+            message: "schema version 2, this build supports 1".into(),
+        }
+        .to_string();
+        assert!(store.contains("segment store"), "{store}");
     }
 }

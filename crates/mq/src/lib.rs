@@ -29,12 +29,21 @@
 //! in-process or a long-lived daemon — serves any number of concurrent
 //! or back-to-back runs without replaying one run's history into
 //! another.
+//!
+//! The Kafka profile can be made **durable**: [`LogBroker::open`]
+//! backs every partition with the [`store`] module's file-based
+//! segmented log (append-before-fan-out, torn-tail crash recovery,
+//! fsync policy knobs), so a daemon restart resumes the same offsets
+//! and in-flight runs complete through the clients' ordinary
+//! reconnect-replay — the persistence half of §IV-B's resilience
+//! story.
 
 pub mod broker;
 pub mod error;
 pub mod log;
 pub mod message;
 pub mod namespace;
+pub mod store;
 pub mod transient;
 pub mod wire;
 
@@ -46,6 +55,7 @@ pub use error::MqError;
 pub use log::LogBroker;
 pub use message::Message;
 pub use namespace::{RunId, TopicNamespace};
+pub use store::{DurabilityConfig, FsyncPolicy};
 pub use transient::{TransientBroker, DEFAULT_QUEUE_CAPACITY};
 
 use std::sync::Arc;

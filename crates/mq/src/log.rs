@@ -6,6 +6,14 @@
 //! from an offset; [`Broker::fetch`] reads retained messages directly —
 //! "we exploit the ability of Kafka to persist the messages exchanged by
 //! the services and to replay them on demand" (§IV-B).
+//!
+//! Retention is layered: every partition keeps a bounded in-memory window
+//! of recent messages (the hot path for fan-out and replay), and a broker
+//! opened with [`LogBroker::open`] additionally appends every publish to
+//! the [`crate::store`] segment files *before* fan-out. Offsets evicted
+//! from the memory window fall through to segment reads transparently, so
+//! replay depth is bounded by disk, not RAM — and a restarted broker
+//! resumes the same offsets it crashed with.
 
 use crate::broker::{
     fnv1a, subscription_pair, wake_all, Broker, Receipt, SubscribeMode, SubscriberHandle,
@@ -13,14 +21,69 @@ use crate::broker::{
 };
 use crate::error::MqError;
 use crate::message::Message;
+use crate::store::{DurabilityConfig, PartitionStore, SegmentStore};
 use bytes::Bytes;
+use std::collections::hash_map::Entry;
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// One partition's log: a bounded in-memory window over an optional
+/// on-disk segment store. `base` is the offset of `log[0]` — always 0
+/// for a purely in-memory broker, and the eviction watermark for a
+/// durable one.
+struct PartitionLog {
+    base: u64,
+    log: VecDeque<Message>,
+    store: Option<PartitionStore>,
+}
+
+impl PartitionLog {
+    fn new(store: Option<PartitionStore>) -> Self {
+        PartitionLog {
+            base: store.as_ref().map_or(0, PartitionStore::next_offset),
+            log: VecDeque::new(),
+            store,
+        }
+    }
+
+    /// Offset the next publish gets.
+    fn next_offset(&self) -> u64 {
+        self.base + self.log.len() as u64
+    }
+
+    /// Messages `[from, …)` read back from the segment store as
+    /// [`Message`]s (empty without a store).
+    fn read_store(
+        &self,
+        name: &Arc<str>,
+        partition: u32,
+        from: u64,
+        max: usize,
+    ) -> Result<Vec<Message>, MqError> {
+        let Some(store) = &self.store else {
+            return Ok(Vec::new());
+        };
+        let records = store.read(from, max).map_err(|e| MqError::Store {
+            message: format!("reading partition {partition}: {e}"),
+        })?;
+        Ok(records
+            .into_iter()
+            .map(|(offset, key, payload)| Message {
+                topic: name.clone(),
+                partition,
+                offset,
+                key,
+                payload,
+            })
+            .collect())
+    }
+}
 
 struct TopicState {
     /// The shared topic name every delivered [`Message`] clones — one
     /// allocation per topic lifetime, not one per publish.
     name: Arc<str>,
-    partitions: Vec<Vec<Message>>,
+    partitions: Vec<PartitionLog>,
     subscribers: Vec<SubscriberHandle>,
     round_robin: u32,
 }
@@ -29,21 +92,54 @@ impl TopicState {
     fn new(topic: &str, partitions: u32) -> Self {
         TopicState {
             name: Arc::from(topic),
-            partitions: (0..partitions.max(1)).map(|_| Vec::new()).collect(),
+            partitions: (0..partitions.max(1))
+                .map(|_| PartitionLog::new(None))
+                .collect(),
+            subscribers: Vec::new(),
+            round_robin: 0,
+        }
+    }
+
+    fn from_stores(topic: &str, stores: Vec<PartitionStore>) -> Self {
+        TopicState {
+            name: Arc::from(topic),
+            partitions: stores
+                .into_iter()
+                .map(|s| PartitionLog::new(Some(s)))
+                .collect(),
             subscribers: Vec::new(),
             round_robin: 0,
         }
     }
 }
 
-/// Persistent, partitioned, replayable in-memory broker. The topic map
-/// is split into lock shards keyed by topic hash
+/// What [`LogBroker::open`] reconstructed from a data dir.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Topics found on disk.
+    pub topics: usize,
+    /// Total records across their partitions (sum of next-offsets).
+    pub messages: u64,
+    /// Torn-tail bytes truncated (crash artifacts, not corruption).
+    pub truncated_bytes: u64,
+}
+
+/// Persistent, partitioned, replayable broker. The topic map is split
+/// into lock shards keyed by topic hash
 /// ([`crate::broker::TOPIC_SHARDS`]), so publishes to distinct topics —
 /// different agents' inboxes, different runs' namespaces — never
 /// contend on a shared lock.
+///
+/// [`LogBroker::new`] retains messages in memory only; [`LogBroker::open`]
+/// backs every partition with the file-based segment store, making
+/// retention and offsets survive a broker restart.
 pub struct LogBroker {
     topics: TopicShards<TopicState>,
     default_partitions: u32,
+    store: Option<SegmentStore>,
+    /// Per-partition in-memory window when a store is present
+    /// (`usize::MAX` otherwise — a memory-only broker never evicts).
+    memory_messages: usize,
 }
 
 impl Default for LogBroker {
@@ -53,30 +149,85 @@ impl Default for LogBroker {
 }
 
 impl LogBroker {
-    /// Broker creating single-partition topics on demand.
+    /// In-memory broker creating single-partition topics on demand.
     pub fn new() -> Self {
         LogBroker {
             topics: TopicShards::default(),
             default_partitions: 1,
+            store: None,
+            memory_messages: usize::MAX,
         }
     }
 
-    /// Broker creating `n`-partition topics on demand.
+    /// In-memory broker creating `n`-partition topics on demand.
     pub fn with_default_partitions(n: u32) -> Self {
         LogBroker {
-            topics: TopicShards::default(),
             default_partitions: n.max(1),
+            ..LogBroker::new()
         }
+    }
+
+    /// Durable broker over the segment store at `dir`: validates the
+    /// data dir (refusing foreign or schema-incompatible ones),
+    /// recovers every topic found in it — truncating torn tails and
+    /// rebuilding next-offsets — and appends each subsequent publish to
+    /// disk before fan-out.
+    pub fn open(
+        dir: impl Into<std::path::PathBuf>,
+        config: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), MqError> {
+        let (store, recovered) = SegmentStore::open(dir, config)?;
+        let broker = LogBroker {
+            topics: TopicShards::default(),
+            default_partitions: 1,
+            store: Some(store),
+            memory_messages: config.memory_messages,
+        };
+        let mut report = RecoveryReport {
+            topics: recovered.len(),
+            ..RecoveryReport::default()
+        };
+        for topic in recovered {
+            report.truncated_bytes += topic.truncated_bytes;
+            report.messages += topic
+                .partitions
+                .iter()
+                .map(PartitionStore::next_offset)
+                .sum::<u64>();
+            // Recovered partitions start with an *empty* memory window
+            // at their recovered next-offset: history is served from
+            // segment reads on demand instead of being loaded eagerly.
+            let state = TopicState::from_stores(&topic.name, topic.partitions);
+            broker
+                .topics
+                .shard(&topic.name)
+                .lock()
+                .insert(topic.name.clone(), state);
+        }
+        Ok((broker, report))
     }
 
     /// Explicitly create (or resize-check) a topic with `n` partitions.
     /// Existing topics keep their partition count.
     pub fn create_topic(&self, topic: &str, partitions: u32) {
-        self.topics
-            .shard(topic)
-            .lock()
-            .entry(topic.to_owned())
-            .or_insert_with(|| TopicState::new(topic, partitions));
+        let mut topics = self.topics.shard(topic).lock();
+        if let Entry::Vacant(e) = topics.entry(topic.to_owned()) {
+            // A store failure here surfaces on the first publish, which
+            // retries creation through the same path.
+            if let Ok(state) = self.new_topic_state(topic, partitions) {
+                e.insert(state);
+            }
+        }
+    }
+
+    fn new_topic_state(&self, topic: &str, partitions: u32) -> Result<TopicState, MqError> {
+        match &self.store {
+            Some(store) => Ok(TopicState::from_stores(
+                topic,
+                store.create_partitions(topic, partitions)?,
+            )),
+            None => Ok(TopicState::new(topic, partitions)),
+        }
     }
 
     fn route(state: &mut TopicState, key: Option<&Bytes>) -> u32 {
@@ -96,13 +247,23 @@ impl Broker for LogBroker {
     fn publish(&self, topic: &str, key: Option<Bytes>, payload: Bytes) -> Result<Receipt, MqError> {
         let (wakers, receipt) = {
             let mut topics = self.topics.shard(topic).lock();
-            let default_partitions = self.default_partitions;
-            let state = topics
-                .entry(topic.to_owned())
-                .or_insert_with(|| TopicState::new(topic, default_partitions));
+            let state = match topics.entry(topic.to_owned()) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => e.insert(self.new_topic_state(topic, self.default_partitions)?),
+            };
             let partition = Self::route(state, key.as_ref());
-            let log = &mut state.partitions[partition as usize];
-            let offset = log.len() as u64;
+            let part = &mut state.partitions[partition as usize];
+            let offset = part.next_offset();
+            // Durability first: the record is on the (page-cached) log
+            // before any subscriber can observe it, so an acknowledged
+            // offset is always replayable after a crash.
+            if let Some(store) = &mut part.store {
+                store
+                    .append(key.as_deref(), &payload)
+                    .map_err(|e| MqError::Store {
+                        message: format!("appending to {topic:?}: {e}"),
+                    })?;
+            }
             let message = Message {
                 topic: state.name.clone(),
                 partition,
@@ -110,7 +271,15 @@ impl Broker for LogBroker {
                 key,
                 payload,
             };
-            log.push(message.clone());
+            part.log.push_back(message.clone());
+            // The memory window is a cache, not the log: evicted offsets
+            // stay readable through the store.
+            if part.store.is_some() {
+                while part.log.len() > self.memory_messages {
+                    part.log.pop_front();
+                    part.base += 1;
+                }
+            }
             state.subscribers.retain(|sub| sub.deliver(message.clone()));
             let wakers = state.subscribers.iter().filter_map(|s| s.waker()).collect();
             (wakers, Receipt { partition, offset })
@@ -123,28 +292,31 @@ impl Broker for LogBroker {
     fn subscribe(&self, topic: &str, mode: SubscribeMode) -> Result<Subscription, MqError> {
         let (handle, subscription) = subscription_pair();
         let mut topics = self.topics.shard(topic).lock();
-        let default_partitions = self.default_partitions;
-        let state = topics
-            .entry(topic.to_owned())
-            .or_insert_with(|| TopicState::new(topic, default_partitions));
+        let state = match topics.entry(topic.to_owned()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(self.new_topic_state(topic, self.default_partitions)?),
+        };
         // Replay happens under the topic lock, so no message published
         // concurrently can be missed or duplicated. No waker can be
         // registered yet — `Subscription::set_waker` fires immediately
         // when it finds this backlog.
-        match mode {
-            SubscribeMode::Latest => {}
-            SubscribeMode::Beginning => {
-                for log in &state.partitions {
-                    for m in log {
-                        let _ = handle.deliver(m.clone());
+        if let Some(from) = match mode {
+            SubscribeMode::Latest => None,
+            SubscribeMode::Beginning => Some(0),
+            SubscribeMode::FromOffset(from) => Some(from),
+        } {
+            for (p, part) in state.partitions.iter().enumerate() {
+                if from < part.base {
+                    // The requested history predates the memory window:
+                    // replay the gap from the segment store.
+                    let gap = (part.base - from) as usize;
+                    for m in part.read_store(&state.name, p as u32, from, gap)? {
+                        let _ = handle.deliver(m);
                     }
                 }
-            }
-            SubscribeMode::FromOffset(from) => {
-                for log in &state.partitions {
-                    for m in log.iter().skip(from as usize) {
-                        let _ = handle.deliver(m.clone());
-                    }
+                let skip = from.saturating_sub(part.base) as usize;
+                for m in part.log.iter().skip(skip) {
+                    let _ = handle.deliver(m.clone());
                 }
             }
         }
@@ -164,7 +336,7 @@ impl Broker for LogBroker {
             Some(s) => s,
             None => return Ok(Vec::new()),
         };
-        let log =
+        let part =
             state
                 .partitions
                 .get(partition as usize)
@@ -172,12 +344,38 @@ impl Broker for LogBroker {
                     topic: topic.to_owned(),
                     partition,
                 })?;
-        Ok(log
+        if from_offset < part.base {
+            // The store holds the full log (its tail duplicates the
+            // memory window), so an evicted starting offset is served
+            // entirely from disk — no stitching.
+            return part.read_store(&state.name, partition, from_offset, max);
+        }
+        Ok(part
+            .log
             .iter()
-            .skip(from_offset as usize)
+            .skip((from_offset - part.base) as usize)
             .take(max)
             .cloned()
             .collect())
+    }
+
+    fn flush(&self) -> Result<(), MqError> {
+        if self.store.is_none() {
+            return Ok(());
+        }
+        let mut first_err = None;
+        self.topics.for_each_mut(|_, state| {
+            for part in &mut state.partitions {
+                if let Some(store) = &mut part.store {
+                    if let (Err(e), None) = (store.sync(), &first_err) {
+                        first_err = Some(MqError::Store {
+                            message: format!("fsync: {e}"),
+                        });
+                    }
+                }
+            }
+        });
+        first_err.map_or(Ok(()), Err)
     }
 
     fn persistent(&self) -> bool {
@@ -193,21 +391,34 @@ impl Broker for LogBroker {
     fn retained(&self, topic: &str) -> u64 {
         self.topics
             .with(topic, |s| {
-                s.map(|s| s.partitions.iter().map(|p| p.len() as u64).sum())
+                s.map(|s| s.partitions.iter().map(PartitionLog::next_offset).sum())
             })
             .unwrap_or(0)
     }
 
     fn delete_topic(&self, topic: &str) -> bool {
-        // Dropping the state drops every SubscriberHandle with it;
-        // live subscriptions observe disconnection on their next recv.
-        self.topics.remove(topic).is_some()
+        // Dropping the state drops every SubscriberHandle with it
+        // (live subscriptions observe disconnection on their next recv)
+        // and unmaps the partition stores — which must happen *before*
+        // their directory is removed.
+        let in_memory = self.topics.remove(topic).is_some();
+        let on_disk = self
+            .store
+            .as_ref()
+            .is_some_and(|s| s.delete_topic(topic).unwrap_or(false));
+        in_memory || on_disk
+    }
+
+    fn topic_names(&self) -> Vec<String> {
+        self.topics.names()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::testutil::TestDir;
+    use crate::store::{dir_disk_bytes, FsyncPolicy};
     use std::time::Duration;
 
     fn payload(s: &str) -> Bytes {
@@ -360,5 +571,101 @@ mod tests {
         assert_eq!(fnv1a(b""), 0x811c9dc5);
         assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    // -- durable-broker tests ------------------------------------------
+
+    fn durable_config() -> DurabilityConfig {
+        DurabilityConfig {
+            fsync: FsyncPolicy::Never,
+            segment_bytes: 512,
+            memory_messages: 8,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_broker_survives_reopen_with_same_offsets() {
+        let dir = TestDir::new("log-reopen");
+        {
+            let (b, report) = LogBroker::open(dir.path(), durable_config()).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            for i in 0..30 {
+                b.publish("run/r1/status", None, payload(&format!("m{i}")))
+                    .unwrap();
+            }
+            b.publish("run/r1/result/T", Some(payload("k")), payload("done"))
+                .unwrap();
+        }
+        let (b, report) = LogBroker::open(dir.path(), durable_config()).unwrap();
+        assert_eq!(report.topics, 2);
+        assert_eq!(report.messages, 31);
+        // Offsets resume where they left off…
+        let r = b.publish("run/r1/status", None, payload("m30")).unwrap();
+        assert_eq!(r.offset, 30);
+        assert_eq!(b.retained("run/r1/status"), 31);
+        let mut names = b.topic_names();
+        names.sort();
+        assert_eq!(names, vec!["run/r1/result/T", "run/r1/status"]);
+        // …and the full history replays from disk, key included.
+        let all = b.fetch("run/r1/status", 0, 0, 100).unwrap();
+        assert_eq!(all.len(), 31);
+        assert_eq!(all[0].payload_str(), "m0");
+        assert_eq!(all[30].payload_str(), "m30");
+        let result = b.fetch("run/r1/result/T", 0, 0, 10).unwrap();
+        assert_eq!(result[0].key.as_deref(), Some(&b"k"[..]));
+    }
+
+    #[test]
+    fn evicted_offsets_fall_through_to_segment_reads() {
+        let dir = TestDir::new("log-evict");
+        let (b, _) = LogBroker::open(dir.path(), durable_config()).unwrap();
+        for i in 0..100 {
+            b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+        }
+        // The window keeps only the last 8 messages in memory…
+        assert_eq!(b.retained("t"), 100);
+        // …but fetch and subscribe still reach offset 0.
+        let head = b.fetch("t", 0, 0, 3).unwrap();
+        assert_eq!(head.len(), 3);
+        assert_eq!(head[0].payload_str(), "m0");
+        assert_eq!(head[0].offset, 0);
+        let sub = b.subscribe("t", SubscribeMode::Beginning).unwrap();
+        for i in 0..100 {
+            let m = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.payload_str(), format!("m{i}"));
+            assert_eq!(m.offset, i as u64);
+        }
+        let mid = b.subscribe("t", SubscribeMode::FromOffset(42)).unwrap();
+        assert_eq!(mid.recv().unwrap().payload_str(), "m42");
+    }
+
+    #[test]
+    fn durable_delete_topic_reclaims_disk() {
+        let dir = TestDir::new("log-delete");
+        let (b, _) = LogBroker::open(dir.path(), durable_config()).unwrap();
+        for i in 0..50 {
+            b.publish("run/gone/status", None, payload(&format!("m{i}")))
+                .unwrap();
+        }
+        b.flush().unwrap();
+        assert!(dir_disk_bytes(&dir.path().join("topics")) > 0);
+        assert!(b.delete_topic("run/gone/status"));
+        assert_eq!(
+            dir_disk_bytes(&dir.path().join("topics")),
+            0,
+            "deleted run's bytes must leave the disk"
+        );
+        assert_eq!(b.retained("run/gone/status"), 0);
+    }
+
+    #[test]
+    fn open_refuses_foreign_dir() {
+        let dir = TestDir::new("log-foreign");
+        std::fs::write(dir.path().join("precious.txt"), b"not ours").unwrap();
+        let err = LogBroker::open(dir.path(), DurabilityConfig::default())
+            .err()
+            .expect("a foreign dir must be refused");
+        assert!(matches!(err, MqError::Store { .. }), "{err}");
     }
 }

@@ -1,0 +1,148 @@
+//! The data-dir manifest: schema-versioned ownership stamp.
+//!
+//! A data dir is only ever opened when its `MANIFEST` proves it was
+//! written by a compatible version of this store. The discipline is
+//! deliberately strict — refusing early with a clear error beats
+//! silently misreading someone else's bytes:
+//!
+//! * empty / nonexistent dir → initialise (write a fresh manifest)
+//! * `MANIFEST` present, schema matches → open
+//! * `MANIFEST` present, schema differs → refuse (incompatible)
+//! * non-empty dir without `MANIFEST` → refuse (foreign dir — never
+//!   adopt a directory we did not create)
+//!
+//! ## Manifest format (`MANIFEST`, text)
+//!
+//! | line | content                  |
+//! |------|--------------------------|
+//! | 1    | `ginflow segment store`  |
+//! | 2    | `schema 1`               |
+//!
+//! The file is written atomically (tmp + rename) so a crash during
+//! initialisation leaves either no manifest (dir re-initialised next
+//! time) or a complete one.
+
+use std::io;
+use std::path::Path;
+
+use crate::MqError;
+
+const MAGIC_LINE: &str = "ginflow segment store";
+
+/// Current on-disk schema version. Bump on any incompatible change to
+/// the record, index, or layout formats.
+pub const SCHEMA_VERSION: u32 = 1;
+
+const FILE_NAME: &str = "MANIFEST";
+
+fn io_err(context: &str, err: io::Error) -> MqError {
+    MqError::Store {
+        message: format!("{context}: {err}"),
+    }
+}
+
+/// True if `dir` exists and contains any entry at all.
+fn dir_non_empty(dir: &Path) -> io::Result<bool> {
+    match std::fs::read_dir(dir) {
+        Ok(mut entries) => Ok(entries.next().is_some()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Validate or initialise the manifest of `dir` per the rules above.
+pub fn init_or_check(dir: &Path) -> Result<(), MqError> {
+    let path = dir.join(FILE_NAME);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let mut lines = text.lines();
+            if lines.next() != Some(MAGIC_LINE) {
+                return Err(MqError::Store {
+                    message: format!(
+                        "{} is not a ginflow segment store manifest; refusing to open {}",
+                        path.display(),
+                        dir.display()
+                    ),
+                });
+            }
+            let schema = lines
+                .next()
+                .and_then(|l| l.strip_prefix("schema "))
+                .and_then(|v| v.trim().parse::<u32>().ok());
+            match schema {
+                Some(v) if v == SCHEMA_VERSION => Ok(()),
+                Some(v) => Err(MqError::Store {
+                    message: format!(
+                        "data dir {} has schema version {v}, this build supports {SCHEMA_VERSION}; \
+                         refusing to open incompatible store",
+                        dir.display()
+                    ),
+                }),
+                None => Err(MqError::Store {
+                    message: format!(
+                        "manifest {} is malformed (missing schema line); refusing to open",
+                        path.display()
+                    ),
+                }),
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            if dir_non_empty(dir).map_err(|e| io_err("inspecting data dir", e))? {
+                return Err(MqError::Store {
+                    message: format!(
+                        "data dir {} is non-empty but has no MANIFEST; refusing to adopt a \
+                         foreign directory",
+                        dir.display()
+                    ),
+                });
+            }
+            std::fs::create_dir_all(dir).map_err(|e| io_err("creating data dir", e))?;
+            let tmp = dir.join(".MANIFEST.tmp");
+            std::fs::write(&tmp, format!("{MAGIC_LINE}\nschema {SCHEMA_VERSION}\n"))
+                .map_err(|e| io_err("writing manifest", e))?;
+            std::fs::rename(&tmp, &path).map_err(|e| io_err("committing manifest", e))?;
+            Ok(())
+        }
+        Err(e) => Err(io_err("reading manifest", e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::testutil::TestDir;
+
+    #[test]
+    fn initialises_fresh_and_reopens() {
+        let dir = TestDir::new("manifest-fresh");
+        init_or_check(dir.path()).unwrap();
+        assert!(dir.path().join("MANIFEST").exists());
+        init_or_check(dir.path()).unwrap(); // idempotent
+    }
+
+    #[test]
+    fn refuses_foreign_dir() {
+        let dir = TestDir::new("manifest-foreign");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        std::fs::write(dir.path().join("stuff.txt"), b"hi").unwrap();
+        let err = init_or_check(dir.path()).unwrap_err();
+        assert!(err.to_string().contains("foreign"), "{err}");
+    }
+
+    #[test]
+    fn refuses_version_bump_and_garbage() {
+        let dir = TestDir::new("manifest-bump");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        std::fs::write(
+            dir.path().join("MANIFEST"),
+            format!("{MAGIC_LINE}\nschema {}\n", SCHEMA_VERSION + 1),
+        )
+        .unwrap();
+        let err = init_or_check(dir.path()).unwrap_err();
+        assert!(err.to_string().contains("incompatible"), "{err}");
+
+        std::fs::write(dir.path().join("MANIFEST"), "something else\n").unwrap();
+        let err = init_or_check(dir.path()).unwrap_err();
+        assert!(err.to_string().contains("refusing"), "{err}");
+    }
+}

@@ -72,11 +72,13 @@
 //! The recovery contract covers **connection** loss: the daemon keeps
 //! the log, the client reconnects and replays subscriptions
 //! exactly-once (the offset-watermark dedupe is unchanged by
-//! pipelining). It does not cover a *daemon* restart — the daemon's
-//! log is in-memory, so restarting it loses the retained history that
-//! replay (and the offset watermarks this client keeps) are defined
-//! against; restart the workflow run too (file-backed logs remain on
-//! the ROADMAP).
+//! pipelining). Against a daemon serving with `--data-dir`, the same
+//! contract extends to a *daemon* crash: the relaunched daemon
+//! recovers its segment files at the offsets this client's watermarks
+//! are defined against, so the ordinary reconnect + replay path
+//! completes the run with no client-side changes. Only against a
+//! purely in-memory daemon does a restart invalidate the watermarks —
+//! there, restart the workflow run too.
 //!
 //! One daemon serves **many workflow runs**: topics are run-scoped
 //! (`run/<id>/…`, [`ginflow_mq::namespace`]), so concurrent and

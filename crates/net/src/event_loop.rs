@@ -208,7 +208,7 @@ impl EventLoopServer {
         registry: Arc<RunRegistry>,
         retention: Option<Duration>,
     ) -> std::io::Result<EventLoopServer> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = crate::listen::bind_reuse(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let poll = Poll::new()?;

@@ -53,6 +53,23 @@
 //! `ginflow broker serve --retention SECS`) reclaims them automatically
 //! so the in-memory log doesn't grow without bound.
 //!
+//! ## Daemon crash recovery
+//!
+//! With `ginflow broker serve --data-dir D` the daemon fronts a
+//! *durable* log broker
+//! ([`LogBroker::open`](ginflow_mq::LogBroker::open)): every publish is
+//! appended to `D`'s segment files before fan-out, and a relaunch on
+//! the same dir recovers every topic's offsets (truncating at most one
+//! torn tail record per partition) and rehydrates the run registry
+//! from the recovered topic names — so runs that predate the process
+//! appear in `RUN_LIST` and age out through the ordinary retention GC,
+//! whose `delete_topic` also reclaims the segment directories on disk.
+//! Listeners are bound with `SO_REUSEADDR` (the `listen` module), so the
+//! relaunched daemon takes the old port over immediately instead of
+//! waiting out `TIME_WAIT`. Clients need no changes: their existing
+//! reconnect machinery (replay from the last seen offset + dedupe)
+//! completes in-flight runs against the revived daemon exactly-once.
+//!
 //! ## Wire protocol
 //!
 //! Length-prefixed binary frames, defined (with the full grammar) in
@@ -86,6 +103,7 @@
 
 pub mod client;
 mod event_loop;
+mod listen;
 mod registry;
 pub mod server;
 mod threaded;

@@ -1,0 +1,163 @@
+//! Listener construction with `SO_REUSEADDR`.
+//!
+//! `std::net::TcpListener::bind` does not set `SO_REUSEADDR`, so a
+//! daemon relaunched on the same port — the crash-recovery story —
+//! can get `EADDRINUSE` for up to a minute while the dead process's
+//! connections sit in `TIME_WAIT`. The std API exposes no socket
+//! options before bind, so the socket is built with raw calls (the
+//! platform libc is always linked by std) and wrapped with
+//! `FromRawFd` afterwards.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::FromRawFd;
+
+extern "C" {
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_void, len: u32) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const BACKLOG: c_int = 128;
+
+#[repr(C)]
+struct SockaddrIn {
+    family: u16,
+    port: u16,     // network byte order
+    addr: [u8; 4], // network byte order
+    zero: [u8; 8],
+}
+
+#[repr(C)]
+struct SockaddrIn6 {
+    family: u16,
+    port: u16, // network byte order
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
+    let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+    let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let guard = |e: io::Error| {
+        unsafe { close(fd) };
+        e
+    };
+    let one: c_int = 1;
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &one as *const c_int as *const c_void,
+            std::mem::size_of::<c_int>() as u32,
+        )
+    };
+    if rc != 0 {
+        return Err(guard(io::Error::last_os_error()));
+    }
+    let rc = match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockaddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            unsafe {
+                bind(
+                    fd,
+                    &sa as *const SockaddrIn as *const c_void,
+                    std::mem::size_of::<SockaddrIn>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockaddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be(),
+                flowinfo: v6.flowinfo(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            unsafe {
+                bind(
+                    fd,
+                    &sa as *const SockaddrIn6 as *const c_void,
+                    std::mem::size_of::<SockaddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if rc != 0 {
+        return Err(guard(io::Error::last_os_error()));
+    }
+    if unsafe { listen(fd, BACKLOG) } != 0 {
+        return Err(guard(io::Error::last_os_error()));
+    }
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+/// Resolve `addr` and bind a listening socket with `SO_REUSEADDR` set,
+/// trying each resolved address in order.
+pub(crate) fn bind_reuse(addr: &str) -> io::Result<TcpListener> {
+    let mut last = None;
+    for resolved in addr.to_socket_addrs()? {
+        match bind_one(resolved) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn listener_accepts_and_port_is_immediately_reusable() {
+        let listener = bind_reuse("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Plumb one round trip through an accepted connection.
+        let client = std::thread::spawn(move || {
+            let mut c = std::net::TcpStream::connect(addr).unwrap();
+            c.write_all(b"ping").unwrap();
+            let mut buf = [0u8; 4];
+            c.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"pong");
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        conn.write_all(b"pong").unwrap();
+        client.join().unwrap();
+        drop(conn);
+
+        // While the listener lives, the port is taken…
+        assert!(bind_one(addr).is_err());
+        // …but the moment it is gone — connections possibly still in
+        // TIME_WAIT — a relaunch binds at once.
+        drop(listener);
+        let relaunched = bind_reuse(&addr.to_string()).unwrap();
+        assert_eq!(relaunched.local_addr().unwrap().port(), addr.port());
+    }
+}

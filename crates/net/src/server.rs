@@ -141,6 +141,14 @@ impl BrokerServer {
         flavor: ServerFlavor,
     ) -> std::io::Result<BrokerServer> {
         let registry = Arc::new(RunRegistry::new(broker.clone()));
+        // Rehydrate the registry from whatever the broker already
+        // knows: a durable broker recovered off disk reports its
+        // topics through `topic_names`, so runs that predate this
+        // process show up in `RUN_LIST` and age out through the same
+        // retention GC as live ones.
+        for topic in broker.topic_names() {
+            registry.observe(&topic);
+        }
         let threaded = match flavor {
             ServerFlavor::Threaded => true,
             ServerFlavor::EventLoop => false,

@@ -16,7 +16,7 @@ use ginflow_mq::{Broker, Message, Subscription};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -54,7 +54,7 @@ impl ThreadedServer {
         registry: Arc<RunRegistry>,
         retention: Option<Duration>,
     ) -> std::io::Result<ThreadedServer> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = crate::listen::bind_reuse(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<ConnEntry>>> = Arc::new(Mutex::new(Vec::new()));
