@@ -576,6 +576,13 @@ pub struct RunReport {
     /// silent. Always 0 on unbounded (persistent) subscriptions and on
     /// the sim backend.
     pub lagged: u64,
+    /// Final snapshot of this run's slice of the process-global metrics
+    /// registry (`(metric name, value)` rows — see
+    /// [`ginflow_mq::metrics::Metrics::snapshot_run`]): per-run publish
+    /// counts and bytes, lag drops and topic gauges, collected at
+    /// report time. Empty on backends that don't feed the registry
+    /// (sim) and when metrics are disabled (`GINFLOW_MQ_NO_METRICS`).
+    pub metrics: Vec<(String, u64)>,
     /// Per-task detail, keyed by task name (every task of the workflow,
     /// observed or not).
     pub tasks: BTreeMap<String, TaskReport>,

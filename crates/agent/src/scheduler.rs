@@ -41,17 +41,55 @@ use crate::message::SaMessage;
 use crate::runtime::{launch_legacy, LegacyRun, RunOptions, WaitError};
 use ginflow_core::{ServiceRegistry, TaskState, Value, Workflow};
 use ginflow_hoclflow::{agent_programs, AdaptPlan, AgentProgram};
+use ginflow_mq::metrics::{Counter, Gauge, Histogram};
 use ginflow_mq::{Broker, LagProbe, RunId, SubscribeMode, Subscription, TopicNamespace};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Max events one slot processes per scheduling turn before yielding the
 /// worker — keeps one chatty agent from starving its shard.
 const BATCH: usize = 64;
+
+/// Scheduler-side handles into the process-global metrics registry
+/// (`gf_sched_*`), resolved once — every pool in the process shares
+/// them, so the gauges aggregate across concurrent runs.
+struct SchedMetrics {
+    /// Agent turns currently queued on (or being drained from) the
+    /// shard ready-queues.
+    ready_depth: Arc<Gauge>,
+    /// Wakeups enqueued: schedule-bit false→true transitions, from
+    /// inbox wakers and control-plane scheduling alike.
+    wakeups: Arc<Counter>,
+    /// Events an agent drained in one scheduling turn (capped at
+    /// [`BATCH`]) — the wakeup batching the event-driven pool buys
+    /// over per-message thread wakeups.
+    wakeup_batch: Arc<Histogram>,
+}
+
+fn sched_metrics() -> &'static SchedMetrics {
+    static M: OnceLock<SchedMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let m = ginflow_mq::metrics::global();
+        SchedMetrics {
+            ready_depth: m.gauge(
+                "gf_sched_ready_depth",
+                "Agent turns queued on worker-pool shard ready-queues",
+            ),
+            wakeups: m.counter(
+                "gf_sched_wakeups_total",
+                "Agent wakeups enqueued (schedule-bit transitions)",
+            ),
+            wakeup_batch: m.histogram(
+                "gf_sched_wakeup_batch",
+                "Events drained per agent scheduling turn",
+            ),
+        }
+    })
+}
 
 /// The launcher: compiles workflows and runs every agent on the worker
 /// pool (or, with [`RunOptions::legacy_threads`], on the seed's
@@ -267,6 +305,7 @@ impl WorkflowRun {
             adaptations_fired,
             respawns,
             lagged: self.lagged(),
+            metrics: ginflow_mq::metrics::global().snapshot_run(tracker.run_id().as_str()),
             tasks,
         }
     }
@@ -674,6 +713,9 @@ impl PoolInner {
             if let Some(slot) = weak.upgrade() {
                 if !slot.dead.load(Ordering::SeqCst) && !slot.scheduled.swap(true, Ordering::SeqCst)
                 {
+                    let m = sched_metrics();
+                    m.wakeups.inc();
+                    m.ready_depth.add(1);
                     let _ = shard.send(WorkItem::Run(slot));
                 }
             }
@@ -683,6 +725,9 @@ impl PoolInner {
     /// Enqueue the slot if it is not already queued/running.
     fn schedule(&self, slot: &Arc<AgentSlot>) {
         if !slot.dead.load(Ordering::SeqCst) && !slot.scheduled.swap(true, Ordering::SeqCst) {
+            let m = sched_metrics();
+            m.wakeups.inc();
+            m.ready_depth.add(1);
             let _ = self.shards[slot.shard].send(WorkItem::Run(slot.clone()));
         }
     }
@@ -779,7 +824,10 @@ fn worker_loop(inner: Arc<PoolInner>, rx: crossbeam::channel::Receiver<WorkItem>
     while let Ok(item) = rx.recv() {
         match item {
             WorkItem::Shutdown => return,
-            WorkItem::Run(slot) => process(&inner, &slot),
+            WorkItem::Run(slot) => {
+                sched_metrics().ready_depth.sub(1);
+                process(&inner, &slot);
+            }
         }
     }
 }
@@ -810,6 +858,7 @@ fn process(inner: &Arc<PoolInner>, slot: &Arc<AgentSlot>) {
                 return;
             }
         }
+        let mut drained: u64 = 0;
         for _ in 0..BATCH {
             // A crash between reception and processing loses the event
             // locally — the log broker still has it for replay.
@@ -820,6 +869,7 @@ fn process(inner: &Arc<PoolInner>, slot: &Arc<AgentSlot>) {
             }
             match slot.sub.try_recv() {
                 Ok(Some(msg)) => {
+                    drained += 1;
                     let Some(message) = SaMessage::decode(&msg.payload) else {
                         continue;
                     };
@@ -837,6 +887,7 @@ fn process(inner: &Arc<PoolInner>, slot: &Arc<AgentSlot>) {
                 }
             }
         }
+        sched_metrics().wakeup_batch.observe(drained);
     }
     // Park again. Clear the schedule bit *before* re-checking the
     // backlog: a publish that raced the drain either landed before the

@@ -23,7 +23,7 @@ fn usage() -> ! {
 
 fn print_table(samples: &[Sample]) {
     println!(
-        "{:<24} {:>7} {:>8} {:>10} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9}",
+        "{:<24} {:>7} {:>8} {:>10} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9}  metrics delta",
         "mode",
         "tasks",
         "workers",
@@ -33,11 +33,23 @@ fn print_table(samples: &[Sample]) {
         "msgs/s",
         "p50 (us)",
         "p99 (us)",
-        "rss (MiB)"
+        "rss (MiB)",
     );
     for s in samples {
+        // The registry's view of the scenario next to the measured row:
+        // daemon-side publish counts/bytes, store fsyncs and lag drops
+        // observed while it ran (blank when no probe was taken).
+        let delta = s
+            .metrics
+            .map(|d| {
+                format!(
+                    "msgs={} bytes={} fsyncs={} lagged={}",
+                    d.msgs, d.bytes, d.fsyncs, d.lag_drops
+                )
+            })
+            .unwrap_or_default();
         println!(
-            "{:<24} {:>7} {:>8} {:>10.3} {:>9.3} {:>10} {:>12} {:>9} {:>9} {:>9}",
+            "{:<24} {:>7} {:>8} {:>10.3} {:>9.3} {:>10} {:>12} {:>9} {:>9} {:>9}  {}",
             s.mode,
             s.tasks,
             s.workers,
@@ -50,6 +62,7 @@ fn print_table(samples: &[Sample]) {
             s.p50_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
             s.p99_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
             s.rss_mib.map(|v| format!("{v:.1}")).unwrap_or_default(),
+            delta,
         );
     }
 }
@@ -103,6 +116,17 @@ fn main() {
             pipelined.msgs_per_sec.unwrap_or(0.0) / rtt.msgs_per_sec.unwrap_or(f64::MAX),
             pipelined.msgs_per_sec.unwrap_or(0.0),
             rtt.msgs_per_sec.unwrap_or(0.0),
+        );
+    }
+    if let (Some(on), Some(off)) = (
+        find("storm_remote_pipelined"),
+        find("storm_remote_nometrics"),
+    ) {
+        println!(
+            "metrics overhead: instrumented pipelined storm runs at {:.2}x the uninstrumented rate ({:.0} vs {:.0} msgs/s)",
+            on.msgs_per_sec.unwrap_or(0.0) / off.msgs_per_sec.unwrap_or(f64::MAX),
+            on.msgs_per_sec.unwrap_or(0.0),
+            off.msgs_per_sec.unwrap_or(0.0),
         );
     }
     let conn = |idle: usize| {

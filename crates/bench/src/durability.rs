@@ -19,7 +19,7 @@
 //! stay within 2x of memory (the CI floor).
 
 use crate::broker_net::best_of;
-use crate::workload::{process_cpu, Sample};
+use crate::workload::{process_cpu, MetricsProbe, Sample};
 use ginflow_mq::{Broker, DurabilityConfig, FsyncPolicy, LogBroker};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,6 +78,7 @@ fn durable_storm(mode: &str, msgs: usize, broker: &dyn Broker) -> Sample {
         errors += 1;
     }
     let mut latencies_us = Vec::with_capacity(msgs);
+    let probe = MetricsProbe::start();
     let cpu0 = process_cpu();
     let started = Instant::now();
     for _ in 0..msgs {
@@ -93,14 +94,16 @@ fn durable_storm(mode: &str, msgs: usize, broker: &dyn Broker) -> Sample {
     let wall = started.elapsed();
     let cpu = process_cpu().saturating_sub(cpu0);
     let flushed = broker.flush().is_ok();
-    Sample::storm(
+    let mut out = Sample::storm(
         mode,
         msgs,
         wall,
         cpu,
         errors == 0 && flushed,
         &mut latencies_us,
-    )
+    );
+    out.metrics = Some(probe.delta());
+    out
 }
 
 /// One repetition of one mode on a fresh broker (and, for the durable

@@ -32,6 +32,60 @@ pub struct Sample {
     /// scenarios only (daemon + clients share the process on loopback,
     /// so this is the whole-stack memory footprint at N connections).
     pub rss_mib: Option<f64>,
+    /// What the metrics registry observed during the scenario — printed
+    /// next to the row (not a CSV column), so a bench run doubles as an
+    /// instrumentation smoke test. `None` where no probe was taken.
+    pub metrics: Option<MetricsDelta>,
+}
+
+/// Delta of the key metric families across one scenario. Daemon and
+/// client share the process in these benches, so daemon-side counters
+/// (`gf_broker_*`) land in the same global registry; purely in-process
+/// scenarios legitimately read 0 there.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsDelta {
+    /// `gf_broker_publish_total` (all shards).
+    pub msgs: u64,
+    /// `gf_broker_publish_bytes_total` (all shards).
+    pub bytes: u64,
+    /// `gf_store_fsyncs_total`.
+    pub fsyncs: u64,
+    /// `gf_run_lagged` (all runs) — slow-subscriber drops.
+    pub lag_drops: u64,
+}
+
+/// A before-snapshot of those families; [`MetricsProbe::delta`] reads
+/// the registry again and differences.
+pub struct MetricsProbe(MetricsDelta);
+
+impl MetricsProbe {
+    pub fn start() -> MetricsProbe {
+        MetricsProbe(metric_totals())
+    }
+
+    pub fn delta(&self) -> MetricsDelta {
+        let now = metric_totals();
+        MetricsDelta {
+            msgs: now.msgs.saturating_sub(self.0.msgs),
+            bytes: now.bytes.saturating_sub(self.0.bytes),
+            fsyncs: now.fsyncs.saturating_sub(self.0.fsyncs),
+            lag_drops: now.lag_drops.saturating_sub(self.0.lag_drops),
+        }
+    }
+}
+
+fn metric_totals() -> MetricsDelta {
+    let mut t = MetricsDelta::default();
+    for row in ginflow_mq::metrics::global().snapshot() {
+        match row.name.as_str() {
+            "gf_broker_publish_total" => t.msgs += row.value,
+            "gf_broker_publish_bytes_total" => t.bytes += row.value,
+            "gf_store_fsyncs_total" => t.fsyncs += row.value,
+            "gf_run_lagged" => t.lag_drops += row.value,
+            _ => {}
+        }
+    }
+    t
 }
 
 impl Sample {
@@ -55,6 +109,7 @@ impl Sample {
             p50_us: None,
             p99_us: None,
             rss_mib: None,
+            metrics: None,
         }
     }
 
@@ -82,6 +137,7 @@ impl Sample {
             p50_us: percentile(latencies_us, 0.50),
             p99_us: percentile(latencies_us, 0.99),
             rss_mib: None,
+            metrics: None,
         }
     }
 }

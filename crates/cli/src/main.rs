@@ -10,7 +10,9 @@
 //! ginflow broker serve [--addr HOST:PORT] [--profile kafka|activemq]
 //!                      [--retention SECS] [--data-dir DIR]
 //!                      [--fsync always|interval|interval:<ms>|never]
+//!                      [--metrics-addr HOST:PORT]
 //! ginflow broker runs  [--addr HOST:PORT]
+//! ginflow broker top   [--addr HOST:PORT] [--interval SECS] [--count N]
 //! ginflow broker close <run> [--addr HOST:PORT]
 //! ginflow broker gc    [--addr HOST:PORT]
 //! ginflow simulate <workflow.json> [--broker activemq|kafka] [--seed N]
@@ -120,7 +122,9 @@ fn print_usage() {
          \x20 ginflow broker    serve [--addr HOST:PORT] [--profile kafka|activemq]\n\
          \x20                   [--retention SECS] [--data-dir DIR]\n\
          \x20                   [--fsync always|interval|interval:<ms>|never]\n\
+         \x20                   [--metrics-addr HOST:PORT]\n\
          \x20 ginflow broker    runs [--addr HOST:PORT]\n\
+         \x20 ginflow broker    top [--addr HOST:PORT] [--interval SECS] [--count N]\n\
          \x20 ginflow broker    close <run> [--addr HOST:PORT]\n\
          \x20 ginflow broker    gc [--addr HOST:PORT]\n\
          \x20 ginflow simulate  <workflow.json> [--broker activemq|kafka] [--seed N]\n\
@@ -168,6 +172,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--retention",
     "--data-dir",
     "--fsync",
+    "--metrics-addr",
+    "--interval",
+    "--count",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
@@ -556,7 +563,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 ///   picks the sync policy (`always`, `interval`, `interval:<ms>`,
 ///   `never`; default interval), and the retention GC reclaims a
 ///   collected run's segment directories along with its memory.
+///   `--metrics-addr HOST:PORT` additionally serves the daemon's
+///   metrics registry as Prometheus text at `GET /metrics`.
 /// * `runs`: list the daemon's runs (per-run topic accounting).
+/// * `top`: live metrics dashboard — polls the daemon's `STATS` verb
+///   every `--interval` seconds and renders per-run publish rates next
+///   to the topic/retained/lag gauges and the store totals. `--count N`
+///   stops after N frames (for scripts); default runs until killed.
 /// * `close`: mark a run completed by hand — how an operator retires an
 ///   abandoned run (e.g. a sharded run whose processes died) so `gc`
 ///   can reclaim it.
@@ -565,6 +578,7 @@ fn cmd_broker(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     match flags.positional.first() {
         Some(&"serve") => cmd_broker_serve(&flags),
+        Some(&"top") => cmd_broker_top(&flags),
         Some(&"close") => {
             let run = flags
                 .positional
@@ -602,7 +616,7 @@ fn cmd_broker(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "broker subcommand {:?}: expected serve|runs|close|gc",
+            "broker subcommand {:?}: expected serve|runs|top|close|gc",
             other.unwrap_or(&"<none>")
         )),
     }
@@ -612,6 +626,152 @@ fn cmd_broker(args: &[String]) -> Result<(), String> {
 fn broker_client(flags: &Flags<'_>) -> Result<ginflow_net::RemoteBroker, String> {
     let addr = flags.value("--addr").unwrap_or("127.0.0.1:7433");
     ginflow_net::RemoteBroker::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))
+}
+
+/// A snapshot's rows keyed by `(family name, label)` for lookups and
+/// frame-to-frame rate differencing.
+type StatTable = std::collections::HashMap<(String, String), u64>;
+
+/// `ginflow broker top` — poll `STATS` and render the daemon's metrics
+/// as a terminal dashboard: one global line (connections, publish and
+/// fan-out totals with rates, store disk/fsync accounting), then one
+/// row per live run.
+fn cmd_broker_top(flags: &Flags<'_>) -> Result<(), String> {
+    let interval: f64 = flags
+        .value("--interval")
+        .unwrap_or("2")
+        .parse()
+        .map_err(|e| format!("--interval: {e}"))?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err("--interval must be a positive number of seconds".to_owned());
+    }
+    let count: u64 = flags
+        .value("--count")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("--count: {e}"))?;
+    let client = broker_client(flags)?;
+    let mut prev: Option<(std::time::Instant, StatTable)> = None;
+    let mut frames = 0u64;
+    loop {
+        let rows = client.stats().map_err(|e| e.to_string())?;
+        let now = std::time::Instant::now();
+        let table: StatTable = rows
+            .iter()
+            .map(|r| ((r.name.clone(), r.label.clone()), r.value))
+            .collect();
+        let since = prev
+            .as_ref()
+            .map(|(at, p)| (now.duration_since(*at).as_secs_f64(), p));
+        render_top(&rows, &table, since);
+        frames += 1;
+        if count != 0 && frames >= count {
+            return Ok(());
+        }
+        prev = Some((now, table));
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}
+
+/// One `broker top` frame. `since` is `(elapsed seconds, previous
+/// snapshot)` — absent on the first frame, where rates print as `-`.
+fn render_top(
+    rows: &[ginflow_mq::wire::StatRow],
+    table: &StatTable,
+    since: Option<(f64, &StatTable)>,
+) {
+    let get = |name: &str, label: &str| {
+        table
+            .get(&(name.to_owned(), label.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    };
+    let sum = |name: &str| {
+        rows.iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.value)
+            .sum::<u64>()
+    };
+    // Per-second rate of a (name, label) series between the frames;
+    // `-` until there are two frames to difference.
+    let rate = |name: &str, label: &str| -> String {
+        match since {
+            Some((dt, prev)) if dt > 0.0 => {
+                let before = prev
+                    .get(&(name.to_owned(), label.to_owned()))
+                    .copied()
+                    .unwrap_or(0);
+                format!("{:.0}", get(name, label).saturating_sub(before) as f64 / dt)
+            }
+            _ => "-".to_owned(),
+        }
+    };
+    let sum_rate = |name: &str| -> String {
+        match since {
+            Some((dt, prev)) if dt > 0.0 => {
+                let before = prev
+                    .iter()
+                    .filter(|((n, _), _)| n == name)
+                    .map(|(_, v)| *v)
+                    .sum::<u64>();
+                format!("{:.0}", sum(name).saturating_sub(before) as f64 / dt)
+            }
+            _ => "-".to_owned(),
+        }
+    };
+    println!(
+        "conns={} publishes={} ({}/s) fanout={} ({}/s) store={} fsyncs={} lagged={}",
+        get("gf_loop_connections", ""),
+        sum("gf_broker_publish_total"),
+        sum_rate("gf_broker_publish_total"),
+        get("gf_loop_fanout_messages_total", ""),
+        sum_rate("gf_loop_fanout_messages_total"),
+        human_bytes(get("gf_store_disk_bytes", "")),
+        get("gf_store_fsyncs_total", ""),
+        sum("gf_run_lagged"),
+    );
+    // Every run any `gf_run_*` family knows about, sorted for a stable
+    // frame-to-frame layout.
+    let runs: std::collections::BTreeSet<&str> = rows
+        .iter()
+        .filter(|r| r.name.starts_with("gf_run_"))
+        .map(|r| r.label.as_str())
+        .collect();
+    if runs.is_empty() {
+        println!("  (no runs)");
+        return;
+    }
+    println!(
+        "  {:<24} {:>10} {:>10} {:>7} {:>9} {:>6}",
+        "RUN", "PUB/s", "BYTES/s", "TOPICS", "RETAINED", "LAG"
+    );
+    for run in runs {
+        println!(
+            "  {:<24} {:>10} {:>10} {:>7} {:>9} {:>6}",
+            run,
+            rate("gf_run_publish_total", run),
+            rate("gf_run_publish_bytes_total", run),
+            get("gf_run_topics", run),
+            get("gf_run_retained", run),
+            get("gf_run_lagged", run),
+        );
+    }
+}
+
+/// `1234567` → `"1.2MB"` — rough and line-width-stable.
+fn human_bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = n as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n}B")
+    } else {
+        format!("{value:.1}{}", UNITS[unit])
+    }
 }
 
 fn cmd_broker_serve(flags: &Flags<'_>) -> Result<(), String> {
@@ -655,6 +815,14 @@ fn cmd_broker_serve(flags: &Flags<'_>) -> Result<(), String> {
     };
     let server = ginflow_net::BrokerServer::bind_with_retention(addr, broker, retention)
         .map_err(|e| format!("binding {addr}: {e}"))?;
+    let metrics_bound = flags
+        .value("--metrics-addr")
+        .map(|a| {
+            server
+                .serve_metrics(a)
+                .map_err(|e| format!("binding metrics endpoint {a}: {e}"))
+        })
+        .transpose()?;
     // Wrappers (tests, CI) parse the bound address off this first line —
     // keep its format stable. Writes are allowed to fail: a wrapper
     // that closes our stdout after parsing the banner must not take
@@ -667,6 +835,9 @@ fn cmd_broker_serve(flags: &Flags<'_>) -> Result<(), String> {
         kind.label(),
         server.local_addr()
     );
+    if let Some(bound) = metrics_bound {
+        let _ = writeln!(stdout, "metrics on http://{bound}/metrics");
+    }
     if let Some((dir, report)) = recovery {
         let _ = writeln!(
             stdout,

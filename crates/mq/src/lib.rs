@@ -42,6 +42,7 @@ pub mod broker;
 pub mod error;
 pub mod log;
 pub mod message;
+pub mod metrics;
 pub mod namespace;
 pub mod store;
 pub mod transient;

@@ -194,10 +194,26 @@ impl LogBroker {
                 .iter()
                 .map(PartitionStore::next_offset)
                 .sum::<u64>();
-            // Recovered partitions start with an *empty* memory window
-            // at their recovered next-offset: history is served from
-            // segment reads on demand instead of being loaded eagerly.
-            let state = TopicState::from_stores(&topic.name, topic.partitions);
+            // Recovered partitions re-warm their memory window from the
+            // tail of the on-disk log, so a restarted broker serves the
+            // hot tail — fan-out replay, FromOffset near the head — from
+            // RAM exactly like the broker that crashed did. Only deeper
+            // history falls through to segment reads.
+            let mut state = TopicState::from_stores(&topic.name, topic.partitions);
+            let TopicState {
+                name, partitions, ..
+            } = &mut state;
+            for (p, part) in partitions.iter_mut().enumerate() {
+                let next = part.next_offset();
+                let want = broker.memory_messages.min(next as usize);
+                if want == 0 {
+                    continue;
+                }
+                let from = next - want as u64;
+                let tail = part.read_store(name, p as u32, from, want)?;
+                part.base = from;
+                part.log = tail.into();
+            }
             broker
                 .topics
                 .shard(&topic.name)
@@ -657,6 +673,49 @@ mod tests {
             "deleted run's bytes must leave the disk"
         );
         assert_eq!(b.retained("run/gone/status"), 0);
+    }
+
+    #[test]
+    fn recovered_topics_reload_memory_window_tail() {
+        let dir = TestDir::new("log-warm-tail");
+        {
+            let (b, _) = LogBroker::open(dir.path(), durable_config()).unwrap();
+            for i in 0..100 {
+                b.publish("t", None, payload(&format!("m{i}"))).unwrap();
+            }
+            // Killed here: no flush, no graceful close.
+        }
+        let (b, report) = LogBroker::open(dir.path(), durable_config()).unwrap();
+        assert_eq!(report.messages, 100);
+        // The last `memory_messages` records are hot again, at the same
+        // eviction watermark the crashed broker had…
+        b.topics.with("t", |s| {
+            let part = &s.expect("recovered topic").partitions[0];
+            assert_eq!(part.base, 92);
+            assert_eq!(part.log.len(), 8);
+            assert_eq!(part.log[0].offset, 92);
+            assert_eq!(part.log.back().unwrap().payload_str(), "m99");
+        });
+        // …so a tail subscriber replays from memory, a historical one
+        // crosses the disk/memory seam without gap or duplicate…
+        let tail = b.subscribe("t", SubscribeMode::FromOffset(95)).unwrap();
+        for i in 95..100 {
+            let m = tail.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.offset, i);
+            assert_eq!(m.payload_str(), format!("m{i}"));
+        }
+        let full = b.subscribe("t", SubscribeMode::Beginning).unwrap();
+        for i in 0..100 {
+            let m = full.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.offset, i);
+        }
+        // …and publishing resumes at the recovered offset.
+        let r = b.publish("t", None, payload("m100")).unwrap();
+        assert_eq!(r.offset, 100);
+        assert_eq!(
+            tail.recv_timeout(Duration::from_secs(1)).unwrap().offset,
+            100
+        );
     }
 
     #[test]

@@ -41,12 +41,64 @@ pub mod segment;
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use bytes::Bytes;
 
+use crate::metrics::{self, Counter, Gauge};
 use crate::MqError;
 use segment::{record_frame_len, SealedSegment, SegmentWriter};
+
+/// The store's instrumentation handles, registered once in the global
+/// metric registry and shared by every partition (one relaxed add per
+/// append — no per-store registration bookkeeping).
+struct StoreMetrics {
+    appends: Arc<Counter>,
+    append_bytes: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    rotations: Arc<Counter>,
+    read_batches: Arc<Counter>,
+    recovery_truncated: Arc<Counter>,
+    disk_bytes: Arc<Gauge>,
+}
+
+fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let m = metrics::global();
+        StoreMetrics {
+            appends: m.counter(
+                "gf_store_appends_total",
+                "records appended to segment files",
+            ),
+            append_bytes: m.counter(
+                "gf_store_append_bytes_total",
+                "record frame bytes appended to segment files",
+            ),
+            fsyncs: m.counter(
+                "gf_store_fsyncs_total",
+                "msync calls issued by the fsync policy",
+            ),
+            rotations: m.counter(
+                "gf_store_rotations_total",
+                "segment rotations (seal + fresh active segment)",
+            ),
+            read_batches: m.counter(
+                "gf_store_read_batches_total",
+                "cold reads served from segment files instead of the memory window",
+            ),
+            recovery_truncated: m.counter(
+                "gf_store_recovery_truncated_bytes_total",
+                "torn-tail bytes truncated during crash recovery",
+            ),
+            disk_bytes: m.gauge(
+                "gf_store_disk_bytes",
+                "approximate bytes occupied by the data dir",
+            ),
+        }
+    })
+}
 
 /// When appended records are forced to stable storage.
 ///
@@ -278,9 +330,20 @@ impl PartitionStore {
             self.active.ensure_cap(frame)?;
         }
         self.active.append(key, payload);
+        let m = store_metrics();
+        m.appends.inc();
+        m.append_bytes.add(frame as u64);
+        m.disk_bytes.add(frame as u64);
         match self.config.fsync {
-            FsyncPolicy::Always => self.active.sync()?,
-            FsyncPolicy::Interval(interval) => self.active.sync_if_due(interval)?,
+            FsyncPolicy::Always => {
+                self.active.sync()?;
+                m.fsyncs.inc();
+            }
+            FsyncPolicy::Interval(interval) => {
+                if self.active.sync_if_due(interval)? {
+                    m.fsyncs.inc();
+                }
+            }
             FsyncPolicy::Never => {}
         }
         Ok(())
@@ -291,12 +354,14 @@ impl PartitionStore {
         let fresh = SegmentWriter::create(&self.dir, next_base, self.config.segment_bytes)?;
         let old = std::mem::replace(&mut self.active, fresh);
         self.sealed.push(old.seal()?);
+        store_metrics().rotations.inc();
         Ok(())
     }
 
     /// Read up to `max` records starting at offset `from` (clamped up
     /// to the log's start) as `(offset, key, payload)`.
     pub fn read(&self, from: u64, max: usize) -> io::Result<Vec<(u64, Option<Bytes>, Bytes)>> {
+        store_metrics().read_batches.inc();
         let mut out = Vec::new();
         let first = self
             .sealed
@@ -354,6 +419,10 @@ impl SegmentStore {
         let root = root.into();
         manifest::init_or_check(&root)?;
         let recovered = recovery::scan(&root, config)?;
+        let m = store_metrics();
+        m.recovery_truncated
+            .add(recovered.iter().map(|t| t.truncated_bytes).sum());
+        m.disk_bytes.set(dir_disk_bytes(&root));
         Ok((SegmentStore { root, config }, recovered))
     }
 
@@ -390,6 +459,7 @@ impl SegmentStore {
     /// [`PartitionStore`]s first.
     pub fn delete_topic(&self, topic: &str) -> Result<bool, MqError> {
         let dir = topic_dir(&self.root, topic);
+        store_metrics().disk_bytes.sub(dir_disk_bytes(&dir));
         match std::fs::remove_dir_all(&dir) {
             Ok(()) => {
                 // Prune empty ancestors so `topics/run/<id>/` vanishes

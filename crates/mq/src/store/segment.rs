@@ -543,12 +543,14 @@ impl SegmentWriter {
     /// loses at most ~`interval` plus the writeback in flight, which
     /// is the deal the knob advertises. [`SegmentWriter::sync`]
     /// (driven by `flush`, seal, and drop) remains fully blocking.
-    pub fn sync_if_due(&mut self, interval: std::time::Duration) -> io::Result<()> {
+    /// Returns whether a sync was actually issued.
+    pub fn sync_if_due(&mut self, interval: std::time::Duration) -> io::Result<bool> {
         if coarse_millis().saturating_sub(self.last_sync_ms) >= interval.as_millis() as u64 {
             self.map.sync_flags(self.len, MS_ASYNC)?;
             self.last_sync_ms = coarse_millis();
+            return Ok(true);
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Read records `[rel, …)` from the mapping into `out`, at most

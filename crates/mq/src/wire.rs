@@ -31,6 +31,7 @@
 //!   0x06 RUN_LIST      seq:u64
 //!   0x07 RUN_CLOSE     seq:u64 run:str
 //!   0x08 RUN_GC        seq:u64
+//!   0x09 STATS         seq:u64
 //!
 //! server → client:
 //!   0x81 RECEIPT       seq:u64 partition:u32 offset:u64
@@ -40,6 +41,8 @@
 //!   0x85 ERROR         seq:u64 message:str
 //!   0x86 RUN_LIST_REPLY seq:u64 count:u32 run_stat…
 //!   0x87 RUN_GC_REPLY  seq:u64 runs:u32 topics:u32
+//!   0x88 STATS_REPLY   seq:u64 count:u32 stat_row…
+//!                      (the daemon's full metrics snapshot, flattened)
 //!   0x90 EVENT         sub:u64 message       (unsolicited push delivery)
 //!   0x91 EVENTS        sub:u64 count:u32 message…
 //!                      (coalesced push: one frame per pump wakeup)
@@ -50,6 +53,7 @@
 //!                       of EVENTS; count ≤ MAX_RECEIPT_RUN)
 //!
 //! run_stat := run:str topics:u32 retained:u64 completed:u8
+//! stat_row := name:str label:str value:u64    (label empty = unlabelled)
 //! ```
 //!
 //! The `RUN_*` verbs are the daemon's run registry (topics are
@@ -60,6 +64,7 @@
 
 use crate::broker::SubscribeMode;
 use crate::message::Message;
+pub use crate::metrics::StatRow;
 use bytes::Bytes;
 use std::fmt;
 use std::io::{Read, Write};
@@ -213,6 +218,12 @@ pub enum Frame {
         /// Correlation id.
         seq: u64,
     },
+    /// Ask for the daemon's metrics snapshot (client → server) — the
+    /// operator surface `ginflow broker top` polls.
+    Stats {
+        /// Correlation id.
+        seq: u64,
+    },
     /// Publish acknowledgement (server → client).
     Receipt {
         /// Echoed correlation id.
@@ -291,6 +302,14 @@ pub enum Frame {
         runs: u32,
         /// Topics dropped (always 0 for close).
         topics: u32,
+    },
+    /// The daemon's flattened metrics snapshot (server → client): the
+    /// same rows its `/metrics` endpoint renders, in wire form.
+    StatsReply {
+        /// Echoed correlation id.
+        seq: u64,
+        /// `(name, label, value)` rows, sorted by `(name, label)`.
+        stats: Vec<StatRow>,
     },
     /// The request failed (server → client).
     Error {
@@ -431,6 +450,10 @@ impl Frame {
                 buf.push(0x08);
                 put_u64(&mut buf, *seq);
             }
+            Frame::Stats { seq } => {
+                buf.push(0x09);
+                put_u64(&mut buf, *seq);
+            }
             Frame::Receipt {
                 seq,
                 partition,
@@ -488,6 +511,16 @@ impl Frame {
                 put_u64(&mut buf, *seq);
                 put_u32(&mut buf, *runs);
                 put_u32(&mut buf, *topics);
+            }
+            Frame::StatsReply { seq, stats } => {
+                buf.push(0x88);
+                put_u64(&mut buf, *seq);
+                put_u32(&mut buf, stats.len() as u32);
+                for row in stats {
+                    put_str(&mut buf, &row.name);
+                    put_str(&mut buf, &row.label);
+                    put_u64(&mut buf, row.value);
+                }
             }
             Frame::Receipts {
                 seq_first,
@@ -563,6 +596,7 @@ impl Frame {
                 run: r.str()?,
             },
             0x08 => Frame::RunGc { seq: r.u64()? },
+            0x09 => Frame::Stats { seq: r.u64()? },
             0x81 => Frame::Receipt {
                 seq: r.u64()?,
                 partition: r.u32()?,
@@ -629,6 +663,24 @@ impl Frame {
                 runs: r.u32()?,
                 topics: r.u32()?,
             },
+            0x88 => {
+                let seq = r.u64()?;
+                let count = r.u32()? as usize;
+                // Each stat row is at least 16 bytes; a count claiming
+                // more than fits in the body is corrupt.
+                if count > body.len() / 16 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let mut stats = Vec::with_capacity(count);
+                for _ in 0..count {
+                    stats.push(StatRow {
+                        name: r.str()?,
+                        label: r.str()?,
+                        value: r.u64()?,
+                    });
+                }
+                Frame::StatsReply { seq, stats }
+            }
             0x92 => {
                 let seq_first = r.u64()?;
                 let count = r.u32()?;
@@ -920,6 +972,26 @@ mod tests {
                 runs: 2,
                 topics: 11,
             },
+            Frame::Stats { seq: 10 },
+            Frame::StatsReply {
+                seq: 10,
+                stats: vec![
+                    StatRow {
+                        name: "gf_broker_publish_total".into(),
+                        label: String::new(),
+                        value: 12345,
+                    },
+                    StatRow {
+                        name: "gf_run_publish_total".into(),
+                        label: "r1f".into(),
+                        value: 99,
+                    },
+                ],
+            },
+            Frame::StatsReply {
+                seq: 11,
+                stats: Vec::new(),
+            },
             Frame::Receipts {
                 seq_first: 100,
                 count: 64,
@@ -1000,6 +1072,25 @@ mod tests {
             matches!(Frame::decode(&body), Err(WireError::Truncated)),
             "count beyond MAX_RECEIPT_RUN must be rejected"
         );
+    }
+
+    #[test]
+    fn stats_reply_with_absurd_count_is_rejected() {
+        let encoded = Frame::StatsReply {
+            seq: 1,
+            stats: vec![StatRow {
+                name: "n".into(),
+                label: String::new(),
+                value: 7,
+            }],
+        }
+        .encode()
+        .unwrap();
+        let mut body = encoded[4..].to_vec();
+        // The count field sits right after opcode + seq; claim far more
+        // rows than the body could hold.
+        body[9..13].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(Frame::decode(&body), Err(WireError::Truncated)));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! trailing garbage) are rejected instead of mis-decoded.
 
 use bytes::Bytes;
-use ginflow_mq::wire::{read_frame, Frame, RunStat, WireError, MAX_FRAME, MAX_RECEIPT_RUN};
+use ginflow_mq::wire::{
+    read_frame, Frame, RunStat, StatRow, WireError, MAX_FRAME, MAX_RECEIPT_RUN,
+};
 use ginflow_mq::{Message, SubscribeMode};
 use proptest::prelude::*;
 
@@ -122,11 +124,20 @@ fn arb_frame() -> BoxedStrategy<Frame> {
             runs,
             topics
         }),
+        seq().prop_map(|seq| Frame::Stats { seq }),
+        (seq(), prop::collection::vec(arb_stat_row(), 0..4))
+            .prop_map(|(seq, stats)| Frame::StatsReply { seq, stats }),
         (any::<u64>(), arb_message()).prop_map(|(sub, message)| Frame::Event { sub, message }),
         (any::<u64>(), prop::collection::vec(arb_message(), 0..6))
             .prop_map(|(sub, messages)| Frame::Events { sub, messages }),
     ]
     .boxed()
+}
+
+fn arb_stat_row() -> BoxedStrategy<StatRow> {
+    (arb_topic(), arb_topic(), any::<u64>())
+        .prop_map(|(name, label, value)| StatRow { name, label, value })
+        .boxed()
 }
 
 fn arb_run_stat() -> BoxedStrategy<RunStat> {
@@ -210,6 +221,33 @@ proptest! {
         prop_assert_eq!(Frame::decode(&body).unwrap(), frame);
         prop_assert!(Frame::decode(&body[..body.len() - cut.min(body.len() - 1)]).is_err());
         body[9..13].copy_from_slice(&(MAX_RECEIPT_RUN + excess).to_be_bytes());
+        prop_assert!(Frame::decode(&body).is_err());
+    }
+}
+
+proptest! {
+    /// STATS_REPLY carries variable-size rows behind a `count` field;
+    /// a count claiming more rows than the body could possibly hold
+    /// (16 bytes minimum each) must be rejected as corruption instead
+    /// of driving a giant allocation, and any strict prefix of the
+    /// body must fail like any frame.
+    #[test]
+    fn stats_reply_over_count_or_truncated_rejected(
+        seq in any::<u64>(),
+        rows in prop::collection::vec(arb_stat_row(), 0..4),
+        excess in 1u32..1024,
+        cut in 1usize..16,
+    ) {
+        let frame = Frame::StatsReply { seq, stats: rows };
+        let encoded = frame.encode().unwrap();
+        let mut body = encoded[4..].to_vec();
+        prop_assert_eq!(Frame::decode(&body).unwrap(), frame);
+        let cut = cut.min(body.len() - 1);
+        prop_assert!(Frame::decode(&body[..body.len() - cut]).is_err());
+        // Patch the count (opcode + seq precede it) past what the body
+        // can hold.
+        let over = (body.len() / 16) as u32 + 1 + excess;
+        body[9..13].copy_from_slice(&over.to_be_bytes());
         prop_assert!(Frame::decode(&body).is_err());
     }
 }

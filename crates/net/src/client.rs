@@ -91,7 +91,8 @@
 
 use crate::transport::{Connector, Transport};
 use crossbeam::channel::{unbounded, Sender};
-use ginflow_mq::wire::{read_frame, write_frame, Frame, RunStat};
+use ginflow_mq::metrics::{self, Counter, Gauge};
+use ginflow_mq::wire::{read_frame, write_frame, Frame, RunStat, StatRow};
 use ginflow_mq::{
     subscription_pair, Broker, Message, MqError, Receipt, SubscribeMode, SubscriberHandle,
     Subscription,
@@ -101,7 +102,7 @@ use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -242,6 +243,36 @@ enum Waiter {
         /// Wire bytes this publish holds in the window.
         bytes: usize,
     },
+}
+
+/// Client-side pipeline instrumentation. Gauges move by deltas, so
+/// several clients in one process (sharded engines, benchmark workers)
+/// aggregate instead of overwriting each other.
+struct ClientMetrics {
+    inflight_bytes: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    lost: Arc<Counter>,
+}
+
+fn client_metrics() -> &'static ClientMetrics {
+    static M: OnceLock<ClientMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let g = metrics::global();
+        ClientMetrics {
+            inflight_bytes: g.gauge(
+                "gf_client_pipeline_inflight_bytes",
+                "Un-acknowledged pipelined publish bytes occupying the in-flight window",
+            ),
+            inflight: g.gauge(
+                "gf_client_pipeline_inflight",
+                "Un-acknowledged pipelined publishes in flight",
+            ),
+            lost: g.counter(
+                "gf_client_pipeline_lost_total",
+                "Pipelined publishes recorded on the loss ledger (died un-acked or refused)",
+            ),
+        }
+    })
 }
 
 /// Un-acknowledged pipelined publishes: the window occupancy publishers
@@ -457,6 +488,17 @@ impl RemoteBroker {
         }
     }
 
+    /// The daemon's metrics snapshot (`STATS`): one flat
+    /// `(name, label, value)` row per registry series, per-run gauges
+    /// refreshed server-side — what `ginflow broker top` polls and
+    /// renders.
+    pub fn stats(&self) -> Result<Vec<StatRow>, MqError> {
+        match self.call(|seq| Frame::Stats { seq })? {
+            Frame::StatsReply { stats, .. } => Ok(stats),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
     /// Register a subscribe waiter and encode its frame; the caller
     /// sends the bytes (possibly concatenated with other requests) and
     /// then awaits the ack with [`RemoteBroker::await_subscribed`].
@@ -620,6 +662,12 @@ impl ClientInner {
         }
         p.inflight_bytes += bytes;
         p.inflight += 1;
+        // Mirror the lock-guarded exact values with plain stores — a
+        // relaxed `set` costs less than a fetch-add on a cache line the
+        // publisher and reader threads would otherwise both RMW.
+        let m = client_metrics();
+        m.inflight_bytes.set(p.inflight_bytes as u64);
+        m.inflight.set(p.inflight as u64);
         Ok(())
     }
 
@@ -632,7 +680,13 @@ impl ClientInner {
         if lost {
             p.lost += 1;
         }
+        let m = client_metrics();
+        m.inflight_bytes.set(p.inflight_bytes as u64);
+        m.inflight.set(p.inflight as u64);
         drop(p);
+        if lost {
+            m.lost.inc();
+        }
         self.pipeline_drained.notify_all();
     }
 
@@ -779,13 +833,15 @@ impl ClientInner {
             | Frame::Messages { .. }
             | Frame::InfoReply { .. }
             | Frame::RunListReply { .. }
-            | Frame::RunGcReply { .. } => {
+            | Frame::RunGcReply { .. }
+            | Frame::StatsReply { .. } => {
                 let seq = match &frame {
                     Frame::Receipt { seq, .. }
                     | Frame::Messages { seq, .. }
                     | Frame::InfoReply { seq, .. }
                     | Frame::RunListReply { seq, .. }
-                    | Frame::RunGcReply { seq, .. } => *seq,
+                    | Frame::RunGcReply { seq, .. }
+                    | Frame::StatsReply { seq, .. } => *seq,
                     _ => unreachable!(),
                 };
                 if let Some(waiter) = self.pending.lock().remove(&seq) {
@@ -828,7 +884,8 @@ impl ClientInner {
             | Frame::Info { .. }
             | Frame::RunList { .. }
             | Frame::RunClose { .. }
-            | Frame::RunGc { .. } => {}
+            | Frame::RunGc { .. }
+            | Frame::Stats { .. } => {}
         }
     }
 }

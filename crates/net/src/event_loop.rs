@@ -33,8 +33,9 @@
 //!   (or forever when there is none), so an idle daemon makes zero
 //!   syscalls between deadlines.
 
+use crate::metrics::{daemon_metrics, topic_shard, TopicMetrics};
 use crate::registry::RunRegistry;
-use crate::server::{error_frame, event_batch, EVENT_BATCH_BYTES};
+use crate::server::{error_frame, event_batch, stats_snapshot, EVENT_BATCH_BYTES};
 use crate::transport::Transport;
 use crossbeam::channel::Sender;
 use ginflow_mq::wire::{Frame, MAX_FRAME, MAX_RECEIPT_RUN};
@@ -42,7 +43,7 @@ use ginflow_mq::{Broker, Message, Subscription};
 use mio::{Events, Interest, Poll, Token, Waker};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::io::AsRawFd;
@@ -157,8 +158,9 @@ struct Conn {
     /// Pending receipt-range coalescing (see [`ReceiptRun`]).
     run: Option<ReceiptRun>,
     /// Topics already reported to the run registry (same steady-state
-    /// shortcut as the threaded flavor).
-    seen_topics: HashSet<String>,
+    /// shortcut as the threaded flavor), with their cached metric
+    /// handles — a repeat publish touches no registry or family lock.
+    seen_topics: HashMap<String, TopicMetrics>,
 }
 
 impl Conn {
@@ -174,13 +176,67 @@ impl Conn {
             next_sub: 1,
             parked: Vec::new(),
             run: None,
-            seen_topics: HashSet::new(),
+            seen_topics: HashMap::new(),
         }
     }
 
     fn out_pending(&self) -> usize {
         self.out.len() - self.out_pos
     }
+}
+
+/// First-touch accounting for `topic` on this connection: report it to
+/// the run registry and resolve its metric handles; thereafter the
+/// cached entry is returned without touching either.
+/// Per-read-turn metric accumulator: frame and publish counts batch in
+/// plain locals while a turn parses its buffered frames, then flush to
+/// the registry in one `add` per counter — a pipelined storm pays a
+/// handful of relaxed RMWs per socket read instead of five per
+/// message. Consecutive publishes to one topic (the storm shape)
+/// coalesce under `pub_topic`; a topic change flushes the pending run.
+#[derive(Default)]
+struct TurnCounts {
+    frames: u64,
+    pub_topic: Option<String>,
+    pub_msgs: u64,
+    pub_bytes: u64,
+}
+
+impl TurnCounts {
+    /// Flush pending publish counts through the topic's cached handles
+    /// (`conn.seen_topics` is populated before anything accumulates).
+    fn flush_publishes(&mut self, conn: &Conn) {
+        let Some(topic) = self.pub_topic.take() else {
+            return;
+        };
+        let tm = &conn.seen_topics[&topic];
+        let m = daemon_metrics();
+        m.shard_publishes.shard(tm.shard).add(self.pub_msgs);
+        m.shard_publish_bytes.shard(tm.shard).add(self.pub_bytes);
+        if let Some((run_msgs, run_bytes)) = &tm.run_publish {
+            run_msgs.add(self.pub_msgs);
+            run_bytes.add(self.pub_bytes);
+        }
+        self.pub_msgs = 0;
+        self.pub_bytes = 0;
+    }
+
+    fn flush(&mut self, conn: &Conn) {
+        self.flush_publishes(conn);
+        if self.frames > 0 {
+            daemon_metrics().frames.add(self.frames);
+            self.frames = 0;
+        }
+    }
+}
+
+fn observe_topic<'a>(registry: &RunRegistry, conn: &'a mut Conn, topic: &str) -> &'a TopicMetrics {
+    if !conn.seen_topics.contains_key(topic) {
+        registry.observe(topic);
+        conn.seen_topics
+            .insert(topic.to_owned(), TopicMetrics::resolve(topic));
+    }
+    &conn.seen_topics[topic]
 }
 
 /// Deadlines on the timer wheel.
@@ -408,6 +464,7 @@ impl LoopState {
                         .map(|(t, _)| *t)
                         .collect();
                     for token in stalled {
+                        daemon_metrics().stall_evictions.inc();
                         self.close_conn(token);
                     }
                     if self.conns.values().any(|c| c.out_pending() > 0) {
@@ -455,11 +512,15 @@ impl LoopState {
             let _ = transport.shutdown();
             return;
         }
+        let m = daemon_metrics();
+        m.accepts.inc();
+        m.connections.add(1);
         self.conns.insert(token, Conn::new(transport));
     }
 
     fn close_conn(&mut self, token: usize) {
         if let Some(conn) = self.conns.remove(&token) {
+            daemon_metrics().connections.sub(1);
             let _ = self.poll.deregister(conn.transport.raw_fd());
             let _ = conn.transport.shutdown();
             // Dropping `conn` drops its subscriptions (parked ones
@@ -500,6 +561,7 @@ impl LoopState {
         // when the peer already hung up: pipelined publishes it sent
         // before closing are applied, matching the at-most-once-on-
         // outage contract the client documents).
+        let mut counts = TurnCounts::default();
         let mut pos = 0usize;
         while conn.in_buf.len() - pos >= 4 {
             let len =
@@ -517,11 +579,12 @@ impl LoopState {
                 break;
             };
             pos += 4 + len;
-            if !self.dispatch(token, &mut conn, frame) {
+            if !self.dispatch(token, &mut conn, frame, &mut counts) {
                 alive = false;
                 break;
             }
         }
+        counts.flush(&conn);
         if pos > 0 {
             conn.in_buf.drain(..pos);
         }
@@ -540,7 +603,14 @@ impl LoopState {
     }
 
     /// Handle one request frame; `false` ends the connection.
-    fn dispatch(&mut self, token: usize, conn: &mut Conn, frame: Frame) -> bool {
+    fn dispatch(
+        &mut self,
+        token: usize,
+        conn: &mut Conn,
+        frame: Frame,
+        counts: &mut TurnCounts,
+    ) -> bool {
+        counts.frames += 1;
         match frame {
             Frame::Publish {
                 seq,
@@ -548,10 +618,14 @@ impl LoopState {
                 key,
                 payload,
             } => {
-                if !conn.seen_topics.contains(&topic) {
-                    self.registry.observe(&topic);
-                    conn.seen_topics.insert(topic.clone());
+                let bytes = payload.len() as u64;
+                observe_topic(&self.registry, conn, &topic);
+                if counts.pub_topic.as_deref() != Some(topic.as_str()) {
+                    counts.flush_publishes(conn);
+                    counts.pub_topic = Some(topic.clone());
                 }
+                counts.pub_msgs += 1;
+                counts.pub_bytes += bytes;
                 match self.broker.publish(&topic, key, payload) {
                     Ok(receipt) => {
                         add_receipt(conn, seq, receipt.partition, receipt.offset).is_ok()
@@ -560,10 +634,8 @@ impl LoopState {
                 }
             }
             Frame::Subscribe { seq, topic, mode } => {
-                if !conn.seen_topics.contains(&topic) {
-                    self.registry.observe(&topic);
-                    conn.seen_topics.insert(topic.clone());
-                }
+                let tm = observe_topic(&self.registry, conn, &topic);
+                daemon_metrics().shard_subscribes.shard(tm.shard).inc();
                 // Same resume-watermark sampling rules as the threaded
                 // flavor: sample *before* attaching, single-partition
                 // persistent topics only.
@@ -574,6 +646,9 @@ impl LoopState {
                 };
                 match self.broker.subscribe(&topic, mode) {
                     Ok(sub) => {
+                        // Fold this subscription's drop-oldest counter
+                        // into its run's lag gauge at snapshot time.
+                        self.registry.attach_lag_probe(&topic, sub.lag_probe());
                         let id = conn.next_sub;
                         conn.next_sub += 1;
                         let entry = Arc::new(ServerSub {
@@ -621,6 +696,10 @@ impl LoopState {
                 from,
                 max,
             } => {
+                daemon_metrics()
+                    .shard_fetches
+                    .shard(topic_shard(&topic))
+                    .inc();
                 let reply = match self.broker.fetch(&topic, partition, from, max as usize) {
                     Ok(messages) => Frame::Messages { seq, messages },
                     Err(e) => error_frame(seq, e),
@@ -668,6 +747,14 @@ impl LoopState {
                 let (runs, topics) = self.registry.gc(Duration::ZERO);
                 push_reply(conn, &Frame::RunGcReply { seq, runs, topics }).is_ok()
             }
+            Frame::Stats { seq } => push_reply(
+                conn,
+                &Frame::StatsReply {
+                    seq,
+                    stats: stats_snapshot(&self.registry),
+                },
+            )
+            .is_ok(),
             // A client speaking server frames is broken: hang up.
             Frame::Receipt { .. }
             | Frame::Receipts { .. }
@@ -676,6 +763,7 @@ impl LoopState {
             | Frame::InfoReply { .. }
             | Frame::RunListReply { .. }
             | Frame::RunGcReply { .. }
+            | Frame::StatsReply { .. }
             | Frame::Error { .. }
             | Frame::Event { .. }
             | Frame::Events { .. } => false,
@@ -697,6 +785,7 @@ impl LoopState {
             return; // unsubscribed meanwhile
         }
         if conn.out_pending() > OUT_HIGH_WATER {
+            daemon_metrics().backpressure_parks.inc();
             conn.parked.push(entry);
             self.conns.insert(token, conn);
             return;
@@ -794,11 +883,14 @@ impl LoopState {
 /// frame refuses to encode (oversized) — connection-fatal for replies.
 fn push_reply(conn: &mut Conn, frame: &Frame) -> Result<(), ()> {
     flush_receipt_run(conn)?;
+    daemon_metrics().replies.inc();
     append_frame(conn, frame)
 }
 
 fn append_frame(conn: &mut Conn, frame: &Frame) -> Result<(), ()> {
-    conn.out.extend_from_slice(&frame.encode().map_err(|_| ())?);
+    let encoded = frame.encode().map_err(|_| ())?;
+    daemon_metrics().reply_bytes.add(encoded.len() as u64);
+    conn.out.extend_from_slice(&encoded);
     Ok(())
 }
 
@@ -847,6 +939,7 @@ fn flush_receipt_run(conn: &mut Conn) -> Result<(), ()> {
             offset_first: run.offset_first,
         }
     };
+    daemon_metrics().replies.inc();
     append_frame(conn, &frame)
 }
 
@@ -854,8 +947,11 @@ fn flush_receipt_run(conn: &mut Conn) -> Result<(), ()> {
 /// EVENT/EVENTS frame appended to the connection's out buffer, then
 /// run the clear-bit/recheck-backlog protocol.
 fn drain_sub(conn: &mut Conn, entry: &Arc<ServerSub>, shared: &Arc<LoopShared>) {
+    let m = daemon_metrics();
     let mut batch: Vec<Message> = Vec::new();
     let mut batch_bytes = 0usize;
+    let mut drained = 0u64;
+    let mut payload_bytes = 0u64;
     for _ in 0..event_batch() {
         match entry.sub.try_recv() {
             Ok(Some(message)) => {
@@ -868,6 +964,8 @@ fn drain_sub(conn: &mut Conn, entry: &Arc<ServerSub>, shared: &Arc<LoopShared>) 
                     batch_bytes = 0;
                 }
                 batch_bytes += msg_bytes;
+                payload_bytes += message.payload.len() as u64;
+                drained += 1;
                 batch.push(message);
             }
             Ok(None) | Err(_) => break,
@@ -875,6 +973,11 @@ fn drain_sub(conn: &mut Conn, entry: &Arc<ServerSub>, shared: &Arc<LoopShared>) 
     }
     if !batch.is_empty() {
         append_event_batch(conn, entry.id, &mut batch);
+    }
+    if drained > 0 {
+        m.fanout_messages.add(drained);
+        m.fanout_bytes.add(payload_bytes);
+        m.fanout_batch.observe(drained);
     }
     // Lost-wakeup-free re-check, same as the scheduler and the pump.
     entry.scheduled.store(false, Ordering::SeqCst);

@@ -86,7 +86,9 @@
 //!   0x05 INFO                0x85 ERROR          (failed request)
 //!   0x06 RUN_LIST            0x86 RUN_LIST_REPLY (ack of RUN_LIST)
 //!   0x07 RUN_CLOSE           0x87 RUN_GC_REPLY   (ack of RUN_CLOSE/RUN_GC)
-//!   0x08 RUN_GC              0x90 EVENT          (push delivery)
+//!   0x08 RUN_GC              0x88 STATS_REPLY    (ack of STATS: flattened
+//!   0x09 STATS                                    metrics snapshot)
+//!                            0x90 EVENT          (push delivery)
 //!                            0x91 EVENTS         (coalesced push delivery)
 //!                            0x92 RECEIPTS       (range ack of consecutive
 //!                                                 PUBLISHes)
@@ -100,10 +102,53 @@
 //! for pipelined publish storms. Frames over
 //! [`MAX_FRAME`](ginflow_mq::wire::MAX_FRAME) are rejected outright on
 //! both sides.
+//!
+//! ## Observability (operator guide)
+//!
+//! Both daemon flavors feed the process-global
+//! [`ginflow_mq::metrics`] registry from their hot paths — relaxed
+//! atomics only, so the accounting rides the publish/fan-out cycle at
+//! negligible cost (`bench_broker` prints the instrumented vs
+//! uninstrumented A/B; CI gates it at ≥ 0.9×). The families:
+//!
+//! * `gf_loop_*` — event-loop health: accepts, live connections,
+//!   frames, replies and reply bytes, fan-out messages/bytes and batch
+//!   sizes, backpressure parks, stall evictions.
+//! * `gf_broker_{publish,publish_bytes,subscribe,fetch}_total{shard}` —
+//!   verb counts per topic-map shard (same FNV-1a shard the lock map
+//!   uses, so a hot shard in metrics *is* the hot lock).
+//! * `gf_run_{publish,publish_bytes}_total{run}` and
+//!   `gf_run_{topics,retained,lagged}{run}` — per-run traffic and
+//!   gauges; the gauges are folded fresh from the run registry on
+//!   every snapshot, and a run's series are dropped when its topics
+//!   are GC'd.
+//! * `gf_store_*` — durable-log appends, bytes, fsyncs, rotations,
+//!   read batches, recovery truncations, disk bytes.
+//! * `gf_sched_*` / `gf_client_pipeline_*` — scheduler ready-queue and
+//!   wakeup-batch accounting, client pipeline window occupancy and
+//!   losses (in whichever process runs them).
+//!
+//! Three surfaces expose the same snapshot:
+//!
+//! * **STATS wire verb** — [`RemoteBroker::stats`] returns the
+//!   flattened rows; `ginflow broker top` polls it and renders per-run
+//!   publish rates, topic/retained counts and subscriber lag.
+//! * **`GET /metrics`** — [`BrokerServer::serve_metrics`] (CLI:
+//!   `ginflow broker serve --metrics-addr HOST:PORT`) serves the
+//!   Prometheus text exposition format from a tiny embedded HTTP
+//!   responder; point a scraper at it.
+//! * **`RunReport` (ginflow-agent)** — every run's final report
+//!   carries its own slice of the registry (its `metrics` field), so
+//!   per-run counters survive the run's GC.
+//!
+//! Set `GINFLOW_MQ_NO_METRICS=1` to disable all instrumentation writes
+//! at process start.
 
 pub mod client;
 mod event_loop;
 mod listen;
+mod metrics;
+mod metrics_http;
 mod registry;
 pub mod server;
 mod threaded;

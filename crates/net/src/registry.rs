@@ -4,18 +4,23 @@
 //! side channel — the topic name itself is the account key, so even a
 //! client that never speaks the `RUN_*` verbs is accounted correctly.
 
+use crate::metrics::daemon_metrics;
 use ginflow_mq::wire::RunStat;
-use ginflow_mq::{namespace, Broker};
+use ginflow_mq::{namespace, Broker, LagProbe};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One run as the registry sees it: the run-scoped topics touched so
-/// far, and when (if) a client marked the run completed.
+/// far, the lag probes of its live subscriptions, and when (if) a
+/// client marked the run completed.
 #[derive(Default)]
 struct RunEntry {
     topics: HashSet<String>,
+    /// Drop-oldest counters of every subscription opened on the run's
+    /// topics — folded into the `gf_run_lagged` gauge at snapshot time.
+    probes: Vec<LagProbe>,
     completed_at: Option<Instant>,
 }
 
@@ -52,6 +57,39 @@ impl RunRegistry {
                         .insert(topic.to_owned());
                 }
             }
+        }
+    }
+
+    /// Remember a subscription's lag counter under its topic's run (a
+    /// no-op for non-run-scoped topics). The probe is a detached
+    /// `Arc`-backed reader, so it stays accurate after the subscription
+    /// moves into the server's fan-out machinery and keeps its final
+    /// value once the subscription drops.
+    pub(crate) fn attach_lag_probe(&self, topic: &str, probe: LagProbe) {
+        if let Some(run) = namespace::run_of(topic) {
+            let mut runs = self.runs.lock();
+            match runs.get_mut(run) {
+                Some(entry) => entry.probes.push(probe),
+                None => runs.entry(run.to_owned()).or_default().probes.push(probe),
+            }
+        }
+    }
+
+    /// Refresh the per-run gauge families (`gf_run_topics`,
+    /// `gf_run_retained`, `gf_run_lagged`) from the registry's current
+    /// accounting — called before a STATS or `/metrics` snapshot so
+    /// snapshot-derived gauges are as fresh as the counters.
+    pub(crate) fn fold_into_metrics(&self) {
+        let m = daemon_metrics();
+        let runs = self.runs.lock();
+        for (run, entry) in runs.iter() {
+            m.run_topics.with(run).set(entry.topics.len() as u64);
+            m.run_retained
+                .with(run)
+                .set(entry.topics.iter().map(|t| self.broker.retained(t)).sum());
+            m.run_lagged
+                .with(run)
+                .set(entry.probes.iter().map(LagProbe::get).sum());
         }
     }
 
@@ -117,12 +155,16 @@ impl RunRegistry {
         };
         let mut topics = 0u32;
         let runs = victims.len() as u32;
-        for (_, run_topics) in victims {
+        for (run, run_topics) in victims {
             for topic in run_topics {
                 if self.broker.delete_topic(&topic) {
                     topics += 1;
                 }
             }
+            // Drop the reclaimed run's per-run metric series with it,
+            // so a standing daemon's registry stays bounded by *live*
+            // runs, not every run it has ever served.
+            ginflow_mq::metrics::global().remove_label(&run);
         }
         (runs, topics)
     }

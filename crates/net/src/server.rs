@@ -31,11 +31,13 @@
 //! [`Subscription::set_waker`]: ginflow_mq::Subscription::set_waker
 
 use crate::event_loop::EventLoopServer;
+use crate::metrics_http::MetricsExporter;
 use crate::registry::RunRegistry;
 use crate::threaded::ThreadedServer;
 use crate::transport::Transport;
-use ginflow_mq::wire::{Frame, RunStat};
+use ginflow_mq::wire::{Frame, RunStat, StatRow};
 use ginflow_mq::Broker;
+use parking_lot::Mutex;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -84,6 +86,15 @@ pub(crate) fn error_frame(seq: u64, e: ginflow_mq::MqError) -> Frame {
     }
 }
 
+/// One flat snapshot of the process-global metrics registry with the
+/// per-run gauges (`gf_run_topics`, `gf_run_retained`, `gf_run_lagged`)
+/// refreshed from `registry` first — the payload of a STATS reply, and
+/// the same rows `/metrics` renders in Prometheus form.
+pub(crate) fn stats_snapshot(registry: &RunRegistry) -> Vec<StatRow> {
+    registry.fold_into_metrics();
+    ginflow_mq::metrics::global().snapshot()
+}
+
 /// Which I/O architecture a [`BrokerServer`] runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ServerFlavor {
@@ -107,6 +118,7 @@ enum Flavor {
 /// server thread.
 pub struct BrokerServer {
     flavor: Flavor,
+    metrics_http: Mutex<Option<MetricsExporter>>,
 }
 
 impl BrokerServer {
@@ -159,7 +171,17 @@ impl BrokerServer {
         } else {
             Flavor::EventLoop(EventLoopServer::bind(addr, broker, registry, retention)?)
         };
-        Ok(BrokerServer { flavor })
+        Ok(BrokerServer {
+            flavor,
+            metrics_http: Mutex::new(None),
+        })
+    }
+
+    fn registry(&self) -> &Arc<RunRegistry> {
+        match &self.flavor {
+            Flavor::EventLoop(s) => s.registry(),
+            Flavor::Threaded(s) => s.registry(),
+        }
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -181,10 +203,29 @@ impl BrokerServer {
 
     /// Snapshot of the run registry (what `RUN_LIST` answers).
     pub fn runs(&self) -> Vec<RunStat> {
-        match &self.flavor {
-            Flavor::EventLoop(s) => s.registry().list(),
-            Flavor::Threaded(s) => s.registry().list(),
-        }
+        self.registry().list()
+    }
+
+    /// Flat snapshot of the process-global metrics registry, per-run
+    /// gauges refreshed — what a `STATS` request answers, available
+    /// in-process for embedding servers and benchmarks.
+    pub fn stats(&self) -> Vec<StatRow> {
+        stats_snapshot(self.registry())
+    }
+
+    /// Start the embedded Prometheus endpoint on `addr` (port 0 for
+    /// ephemeral): `GET /metrics` serves the process-global registry in
+    /// the text exposition format, per-run gauges refreshed per scrape.
+    /// Returns the bound address. The endpoint stops with the server.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<SocketAddr> {
+        let registry = self.registry().clone();
+        let exporter = MetricsExporter::bind(addr, move || {
+            registry.fold_into_metrics();
+            ginflow_mq::metrics::global().render_prometheus()
+        })?;
+        let bound = exporter.local_addr();
+        *self.metrics_http.lock() = Some(exporter);
+        Ok(bound)
     }
 
     /// Open an in-process connection to this daemon: a socketpair half
@@ -212,8 +253,9 @@ impl BrokerServer {
     }
 
     /// Stop accepting, close every live connection, join every server
-    /// thread. Idempotent.
+    /// thread (the metrics endpoint included). Idempotent.
     pub fn stop(&self) {
+        self.metrics_http.lock().take();
         match &self.flavor {
             Flavor::EventLoop(s) => s.stop(),
             Flavor::Threaded(s) => s.stop(),

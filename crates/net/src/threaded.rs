@@ -7,14 +7,17 @@
 //! isolates exactly what the loop's RECEIPTS range acks and
 //! shared-nothing buffering buy.
 
+use crate::metrics::{daemon_metrics, TopicMetrics};
 use crate::registry::RunRegistry;
-use crate::server::{error_frame, event_batch, EVENT_BATCH_BYTES, SWEEP_FLOOR, SWEEP_INTERVAL};
+use crate::server::{
+    error_frame, event_batch, stats_snapshot, EVENT_BATCH_BYTES, SWEEP_FLOOR, SWEEP_INTERVAL,
+};
 use crate::transport::Transport;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ginflow_mq::wire::{read_frame, Frame};
 use ginflow_mq::{Broker, Message, Subscription};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -251,8 +254,9 @@ fn serve_connection(
     // take one local lookup instead of the cross-connection registry
     // mutex. Safe to cache because registry entries only disappear when
     // a *completed* run is GC'd — a run still publishing has no
-    // business being closed.
-    let mut seen_topics: HashSet<String> = HashSet::new();
+    // business being closed. The cached metric handles make repeat
+    // publishes equally lock-free on the metrics side.
+    let mut seen_topics: HashMap<String, TopicMetrics> = HashMap::new();
     let mut reader = BufReader::new(stream);
     // Reply frames are coalesced here and flushed in one locked write
     // whenever the request stream pauses (or the buffer grows large):
@@ -286,9 +290,19 @@ fn serve_connection(
                 key,
                 payload,
             } => {
-                if !seen_topics.contains(&topic) {
+                if !seen_topics.contains_key(&topic) {
                     registry.observe(&topic);
-                    seen_topics.insert(topic.clone());
+                    seen_topics.insert(topic.clone(), TopicMetrics::resolve(&topic));
+                }
+                let bytes = payload.len() as u64;
+                let tm = &seen_topics[&topic];
+                let m = daemon_metrics();
+                m.frames.inc();
+                m.shard_publishes.shard(tm.shard).inc();
+                m.shard_publish_bytes.shard(tm.shard).add(bytes);
+                if let Some((run_msgs, run_bytes)) = &tm.run_publish {
+                    run_msgs.inc();
+                    run_bytes.add(bytes);
                 }
                 Some(match broker.publish(&topic, key, payload) {
                     Ok(receipt) => Frame::Receipt {
@@ -300,10 +314,14 @@ fn serve_connection(
                 })
             }
             Frame::Subscribe { seq, topic, mode } => {
-                if !seen_topics.contains(&topic) {
+                if !seen_topics.contains_key(&topic) {
                     registry.observe(&topic);
-                    seen_topics.insert(topic.clone());
+                    seen_topics.insert(topic.clone(), TopicMetrics::resolve(&topic));
                 }
+                daemon_metrics()
+                    .shard_subscribes
+                    .shard(seen_topics[&topic].shard)
+                    .inc();
                 // Sample the resume watermark *before* attaching: a
                 // message published after this point either replays on
                 // resume (offset >= watermark) or arrives live — never
@@ -320,6 +338,7 @@ fn serve_connection(
                 };
                 match broker.subscribe(&topic, mode) {
                     Ok(sub) => {
+                        registry.attach_lag_probe(&topic, sub.lag_probe());
                         let id = next_sub;
                         next_sub += 1;
                         let entry = Arc::new(ServerSub {
@@ -394,6 +413,10 @@ fn serve_connection(
                 let (runs, topics) = registry.gc(Duration::ZERO);
                 Some(Frame::RunGcReply { seq, runs, topics })
             }
+            Frame::Stats { seq } => Some(Frame::StatsReply {
+                seq,
+                stats: stats_snapshot(&registry),
+            }),
             // A client speaking server frames is broken: hang up.
             Frame::Receipt { .. }
             | Frame::Receipts { .. }
@@ -402,6 +425,7 @@ fn serve_connection(
             | Frame::InfoReply { .. }
             | Frame::RunListReply { .. }
             | Frame::RunGcReply { .. }
+            | Frame::StatsReply { .. }
             | Frame::Error { .. }
             | Frame::Event { .. }
             | Frame::Events { .. } => break,

@@ -507,3 +507,98 @@ fn burst_fanout_is_delivered_completely_under_batching() {
     }
     assert_eq!(sub.lagged(), 0);
 }
+
+#[test]
+fn stats_counters_advance_across_a_publish_storm() {
+    let (server, _broker) = serve_log();
+    let remote = client(&server);
+    let sum = |rows: &[ginflow_mq::wire::StatRow], name: &str| -> u64 {
+        rows.iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.value)
+            .sum()
+    };
+
+    let before = remote.stats().unwrap();
+    const STORM: u64 = 200;
+    let sub = remote
+        .subscribe("run/stats-storm/status", SubscribeMode::Latest)
+        .unwrap();
+    for i in 0..STORM {
+        remote
+            .publish_nowait("run/stats-storm/status", None, payload(&format!("m{i}")))
+            .unwrap();
+    }
+    remote.flush().unwrap();
+    for _ in 0..STORM {
+        sub.recv_timeout(Duration::from_secs(10)).unwrap();
+    }
+    let after = remote.stats().unwrap();
+
+    // Counters are process-global (other tests share them), so assert
+    // on deltas and lower bounds only.
+    let delta = |name: &str| sum(&after, name).saturating_sub(sum(&before, name));
+    assert!(
+        delta("gf_broker_publish_total") >= STORM,
+        "publish counter only advanced by {}",
+        delta("gf_broker_publish_total")
+    );
+    assert!(
+        delta("gf_broker_publish_bytes_total") >= STORM,
+        "publish byte counter stuck"
+    );
+    assert!(
+        delta("gf_loop_frames_total") >= STORM,
+        "frame counter stuck"
+    );
+    assert!(
+        delta("gf_loop_fanout_messages_total") >= STORM,
+        "fan-out counter stuck"
+    );
+    // The run-scoped families carry this run's label, and the gauges
+    // are folded fresh on every STATS request.
+    let labelled = |name: &str| {
+        after
+            .iter()
+            .find(|r| r.name == name && r.label == "stats-storm")
+            .map(|r| r.value)
+    };
+    assert!(labelled("gf_run_publish_total") >= Some(STORM));
+    assert!(labelled("gf_run_topics") >= Some(1));
+    assert!(labelled("gf_run_retained").is_some());
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    use std::io::{Read, Write};
+    let (server, _broker) = serve_log();
+    let remote = client(&server);
+    remote
+        .publish("run/prom/status", None, payload("x"))
+        .unwrap();
+
+    let addr = server.serve_metrics("127.0.0.1:0").unwrap();
+    let fetch = |request: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    let response = fetch("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("text/plain; version=0.0.4"));
+    assert!(response.contains("# TYPE gf_broker_publish_total counter"));
+    assert!(
+        response.contains("gf_run_publish_total{run=\"prom\"}"),
+        "per-run series missing from exposition"
+    );
+    assert!(
+        response.contains("gf_run_topics{run=\"prom\"} 1"),
+        "per-run gauge not folded on scrape"
+    );
+    assert!(fetch("GET /nope HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
+    assert!(fetch("POST /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+    server.stop();
+}

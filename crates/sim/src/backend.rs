@@ -203,6 +203,7 @@ impl RunControl for SimRun {
             adaptations_fired,
             respawns,
             lagged: 0,
+            metrics: Vec::new(),
             tasks: self.tasks.clone(),
         }
     }
