@@ -23,7 +23,7 @@ fn usage() -> ! {
 
 fn print_table(samples: &[Sample]) {
     println!(
-        "{:<24} {:>7} {:>8} {:>10} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9}  metrics delta",
+        "{:<24} {:>7} {:>8} {:>10} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9} {:>8}  metrics delta",
         "mode",
         "tasks",
         "workers",
@@ -34,6 +34,7 @@ fn print_table(samples: &[Sample]) {
         "p50 (us)",
         "p99 (us)",
         "rss (MiB)",
+        "threads",
     );
     for s in samples {
         // The registry's view of the scenario next to the measured row:
@@ -49,7 +50,7 @@ fn print_table(samples: &[Sample]) {
             })
             .unwrap_or_default();
         println!(
-            "{:<24} {:>7} {:>8} {:>10.3} {:>9.3} {:>10} {:>12} {:>9} {:>9} {:>9}  {}",
+            "{:<24} {:>7} {:>8} {:>10.3} {:>9.3} {:>10} {:>12} {:>9} {:>9} {:>9} {:>8}  {}",
             s.mode,
             s.tasks,
             s.workers,
@@ -62,6 +63,7 @@ fn print_table(samples: &[Sample]) {
             s.p50_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
             s.p99_us.map(|v| format!("{v:.2}")).unwrap_or_default(),
             s.rss_mib.map(|v| format!("{v:.1}")).unwrap_or_default(),
+            s.threads.map(|t| t.to_string()).unwrap_or_default(),
             delta,
         );
     }
@@ -147,6 +149,27 @@ fn main() {
             }
         }
     }
+    let scale = |n: usize, mode: &str| samples.iter().find(|s| s.mode == mode && s.workers == n);
+    if let Some(s) = scale(128, "client_scale") {
+        println!(
+            "client scale @ 128 conns: {} process threads, {:.0} msgs/s (reactor)",
+            s.threads.map(|t| t.to_string()).unwrap_or_default(),
+            s.msgs_per_sec.unwrap_or(0.0),
+        );
+    }
+    if let (Some(reactor), Some(pair)) = (
+        scale(16, "client_scale"),
+        scale(16, "client_scale_threaded"),
+    ) {
+        println!(
+            "client scale @ 16 conns: reactor runs at {:.2}x the thread-pair baseline ({:.0} vs {:.0} msgs/s, {} vs {} threads)",
+            reactor.msgs_per_sec.unwrap_or(0.0) / pair.msgs_per_sec.unwrap_or(f64::MAX),
+            reactor.msgs_per_sec.unwrap_or(0.0),
+            pair.msgs_per_sec.unwrap_or(0.0),
+            reactor.threads.map(|t| t.to_string()).unwrap_or_default(),
+            pair.threads.map(|t| t.to_string()).unwrap_or_default(),
+        );
+    }
     csv::write_csv("results/BENCH_net.csv", &CSV_HEADER, &csv_rows(&samples))
         .expect("write results/BENCH_net.csv");
     println!("\nwrote results/BENCH_net.csv");
@@ -156,7 +179,10 @@ fn main() {
     // messages: the CI gate divides two throughputs, and a sub-ms
     // timed window at smoke scale is too noisy to hold a ratio steady.
     println!();
-    let durability = durability::run_with_msgs((tasks * 10).max(20_000));
+    let mut durability = durability::run_with_msgs((tasks * 10).max(20_000));
+    // Cold-read fetch latency on a large sealed segment, old 64-record
+    // index stride vs the current 16 — the read-path A/B row pair.
+    durability.extend(durability::run_read_path((tasks * 10).max(20_000), 2_000));
     print_table(&durability);
     let dfind = |mode: &str| durability.iter().find(|s| s.mode == mode);
     if let (Some(memory), Some(interval)) = (dfind("durable_memory"), dfind("durable_interval")) {
@@ -173,6 +199,14 @@ fn main() {
             never.msgs_per_sec.unwrap_or(0.0) / always.msgs_per_sec.unwrap_or(f64::MAX),
             always.msgs_per_sec.unwrap_or(0.0),
             never.msgs_per_sec.unwrap_or(0.0),
+        );
+    }
+    if let (Some(coarse), Some(fine)) = (dfind("read_seek_64"), dfind("read_seek_16")) {
+        println!(
+            "cold-read index stride: 16-record index fetches at {:.2}x the 64-record p50 ({:.2} vs {:.2} us)",
+            coarse.p50_us.unwrap_or(0.0) / fine.p50_us.unwrap_or(f64::MAX),
+            fine.p50_us.unwrap_or(0.0),
+            coarse.p50_us.unwrap_or(0.0),
         );
     }
     csv::write_csv(

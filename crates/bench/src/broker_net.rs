@@ -19,11 +19,11 @@
 //! flat-throughput claim at 10k+ connections. Emits
 //! `results/BENCH_net.csv`.
 
-use crate::workload::{fan_out_fan_in, process_cpu, MetricsProbe, Sample};
+use crate::workload::{fan_out_fan_in, process_cpu, process_threads, MetricsProbe, Sample};
 use ginflow_core::ServiceRegistry;
 use ginflow_engine::{Backend, Engine, RunId};
 use ginflow_mq::{Broker, LogBroker};
-use ginflow_net::{BrokerServer, RemoteBroker};
+use ginflow_net::{BrokerServer, ClientFlavor, RemoteBroker, Transport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -397,6 +397,85 @@ pub fn run_connection_storm(idle: usize, msgs: usize) -> Sample {
     best
 }
 
+/// The client-scale storm: `n` live `RemoteBroker`s in *one* process,
+/// all publishing a pipelined storm round-robin, then sitting idle
+/// while the row is stamped. The `workers` column carries `n`, and
+/// `threads` records `/proc/self/status` with every client still
+/// connected — under the shared reactor that count stays flat in `n`
+/// (one loop thread however many connections), where the thread-pair
+/// baseline (`threaded = true`, the `GINFLOW_CLIENT_THREADED=1`
+/// flavor) costs 2·n. CI gates the 128-connection reactor row at ≤ 6
+/// process I/O threads and the reactor storm throughput at ≥ 0.9x the
+/// threaded baseline at the same message count.
+pub fn run_client_scale(n: usize, msgs: usize, threaded: bool) -> Sample {
+    let mode = if threaded {
+        "client_scale_threaded"
+    } else {
+        "client_scale"
+    };
+    let flavor = if threaded {
+        ClientFlavor::Threaded
+    } else {
+        ClientFlavor::Reactor
+    };
+    raise_fd_limit(n as u64 * 2 + 512);
+    let server = BrokerServer::bind("127.0.0.1:0", Arc::new(LogBroker::new()))
+        .expect("bind loopback broker");
+    let addr = server.local_addr().to_string();
+    let clients: Vec<RemoteBroker> = (0..n)
+        .map(|_| {
+            let addr = addr.clone();
+            RemoteBroker::connect_with_flavor(
+                Box::new(move || {
+                    let stream = std::net::TcpStream::connect(&addr)?;
+                    let _ = stream.set_nodelay(true);
+                    Ok(Box::new(stream) as Box<dyn Transport>)
+                }),
+                flavor,
+            )
+            .expect("connect client-scale client")
+        })
+        .collect();
+    // One connection set serves all repetitions — reconnect churn is
+    // not what this row measures.
+    let mut best = (0..REPEAT)
+        .map(|_| {
+            let mut latencies_us = Vec::with_capacity(msgs);
+            let mut errors = 0usize;
+            let cpu0 = process_cpu();
+            let started = Instant::now();
+            for i in 0..msgs {
+                let t0 = Instant::now();
+                if clients[i % n]
+                    .publish_nowait("run/storm/status", None, storm_payload())
+                    .is_err()
+                {
+                    errors += 1;
+                }
+                latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            }
+            let flushed = clients.iter().all(|c| c.flush().is_ok());
+            let wall = started.elapsed();
+            let cpu = process_cpu().saturating_sub(cpu0);
+            Sample::storm(
+                mode,
+                msgs,
+                wall,
+                cpu,
+                errors == 0 && flushed,
+                &mut latencies_us,
+            )
+        })
+        .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
+        .expect("REPEAT >= 1");
+    best.workers = n;
+    best.rss_mib = crate::workload::process_rss_mib();
+    best.threads = process_threads();
+    drop(clients);
+    server.stop();
+    best
+}
+
 /// How often each scenario runs; the reported row is the repetition
 /// with the lowest wall time. Scheduling noise on a shared box only
 /// ever *adds* time, so the minimum is the cleanest view of what the
@@ -451,6 +530,15 @@ pub fn run_with_tasks(tasks: usize) -> Vec<Sample> {
         }
         samples.push(run_connection_storm(idle, tasks * 10));
     }
+    // Client scale: N live clients sharing one process. Reactor rows
+    // at 1/16/128 connections show the flat thread count; the threaded
+    // row at 16 is the 2·N thread-pair baseline CI holds the reactor's
+    // throughput against (≥ 0.9x at the same message count).
+    let scale_msgs = (tasks * 10).max(20_000);
+    for n in [1usize, 16, 128] {
+        samples.push(run_client_scale(n, scale_msgs, false));
+    }
+    samples.push(run_client_scale(16, scale_msgs, true));
     samples
 }
 
@@ -482,6 +570,25 @@ mod tests {
             let (p50, p99) = (s.p50_us.unwrap(), s.p99_us.unwrap());
             assert!(p50 <= p99, "{}: p50 {p50} > p99 {p99}", s.mode);
         }
+    }
+
+    #[test]
+    fn client_scale_reports_threads_under_both_flavors() {
+        let reactor = run_client_scale(8, 200, false);
+        assert!(reactor.completed, "reactor client-scale storm failed");
+        assert_eq!(reactor.mode, "client_scale");
+        assert_eq!(reactor.workers, 8);
+        let threads = reactor.threads.expect("threads column measured");
+        let threaded = run_client_scale(8, 200, true);
+        assert!(threaded.completed, "threaded client-scale storm failed");
+        assert_eq!(threaded.mode, "client_scale_threaded");
+        // The pair baseline carries 2·8 client I/O threads the reactor
+        // does not; other test threads in this process only ever add
+        // to both counts equally at worst.
+        assert!(
+            threaded.threads.expect("threads column measured") > threads,
+            "thread-pair baseline must cost more threads than the reactor ({threads})"
+        );
     }
 
     #[test]

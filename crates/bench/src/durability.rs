@@ -133,6 +133,81 @@ pub fn run_with_msgs(msgs: usize) -> Vec<Sample> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Cold-read fetch latency vs index stride.
+// ---------------------------------------------------------------------
+
+/// The index-stride A/B: the historical 64-record stride against the
+/// current [`ginflow_mq::store::index::INDEX_EVERY`] default (16). The
+/// row pair proves the read-path tuning — seek-to-floor plus a finer
+/// index — on a large sealed segment: a cold fetch's forward scan is
+/// bounded by the stride, so `read_seek_16` must not be slower than
+/// `read_seek_64`.
+pub const READ_STRIDES: [(&str, u64); 2] = [("read_seek_64", 64), ("read_seek_16", 16)];
+
+/// Payload size of the read-path storm: 1 KiB makes the per-record
+/// scan cost (CRC + decode past the index floor) large enough that
+/// stride differences are visible over the seek + read.
+const READ_PAYLOAD: usize = 1024;
+
+/// Single-record fetches at pseudo-random offsets of a sealed segment
+/// holding `records` 1 KiB records, indexed every `index_every`th
+/// record. The timed window holds only the fetches; segment fill and
+/// seal happen before the clock.
+fn read_storm_once(mode: &str, index_every: u64, records: usize, fetches: usize) -> Sample {
+    use ginflow_mq::store::{segment::record_frame_len, SegmentStore};
+    let dir = ScratchDir::new();
+    let payload = [0x42u8; READ_PAYLOAD];
+    // Capacity for exactly `records` frames: the next append rotates,
+    // sealing the segment the fetches then hit.
+    let config = DurabilityConfig {
+        fsync: FsyncPolicy::Never,
+        segment_bytes: records * record_frame_len(None, READ_PAYLOAD),
+        index_every,
+        ..DurabilityConfig::default()
+    };
+    let (store, _) = SegmentStore::open(&dir.0, config).expect("open scratch store");
+    let mut parts = store
+        .create_partitions("bench/read", 1)
+        .expect("create read-path partition");
+    let p = &mut parts[0];
+    for _ in 0..=records {
+        p.append(None, &payload).expect("fill segment");
+    }
+    assert_eq!(p.sealed_segments(), 1, "fill must seal exactly one segment");
+
+    let mut errors = 0usize;
+    let mut latencies_us = Vec::with_capacity(fetches);
+    // Deterministic LCG (Knuth's MMIX constants): same offset sequence
+    // for both strides, so the rows differ only by index granularity.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let cpu0 = process_cpu();
+    let started = Instant::now();
+    for _ in 0..fetches {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let offset = (state >> 33) % records as u64;
+        let t0 = Instant::now();
+        match p.read(offset, 1) {
+            Ok(batch) if batch.first().is_some_and(|r| r.0 == offset) => {}
+            _ => errors += 1,
+        }
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let wall = started.elapsed();
+    let cpu = process_cpu().saturating_sub(cpu0);
+    Sample::storm(mode, fetches, wall, cpu, errors == 0, &mut latencies_us)
+}
+
+/// The stride A/B at one segment size, best-of-repetitions per stride.
+pub fn run_read_path(records: usize, fetches: usize) -> Vec<Sample> {
+    READ_STRIDES
+        .iter()
+        .map(|(mode, every)| best_of(|| read_storm_once(mode, *every, records, fetches)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +221,18 @@ mod tests {
             assert!(s.completed, "{mode} failed");
             assert_eq!(s.tasks, 200);
             assert!(s.msgs_per_sec.unwrap() > 0.0, "{mode} reported no rate");
+        }
+    }
+
+    #[test]
+    fn read_path_sweep_fetches_correct_records_under_both_strides() {
+        let samples = run_read_path(256, 64);
+        assert_eq!(samples.len(), READ_STRIDES.len());
+        for (s, (mode, _)) in samples.iter().zip(READ_STRIDES) {
+            assert_eq!(s.mode, mode);
+            assert!(s.completed, "{mode}: a fetch returned the wrong record");
+            assert_eq!(s.tasks, 64);
+            assert!(s.p50_us.is_some(), "{mode} reported no latency");
         }
     }
 

@@ -32,6 +32,10 @@ pub struct Sample {
     /// scenarios only (daemon + clients share the process on loopback,
     /// so this is the whole-stack memory footprint at N connections).
     pub rss_mib: Option<f64>,
+    /// Process thread count at scenario end (`/proc/self/status`) —
+    /// client-scale scenarios only, where it proves N connections
+    /// share one reactor thread instead of costing 2·N.
+    pub threads: Option<usize>,
     /// What the metrics registry observed during the scenario — printed
     /// next to the row (not a CSV column), so a bench run doubles as an
     /// instrumentation smoke test. `None` where no probe was taken.
@@ -109,6 +113,7 @@ impl Sample {
             p50_us: None,
             p99_us: None,
             rss_mib: None,
+            threads: None,
             metrics: None,
         }
     }
@@ -137,6 +142,7 @@ impl Sample {
             p50_us: percentile(latencies_us, 0.50),
             p99_us: percentile(latencies_us, 0.99),
             rss_mib: None,
+            threads: None,
             metrics: None,
         }
     }
@@ -198,10 +204,25 @@ pub fn process_rss_mib() -> Option<f64> {
     Some(pages * 4096.0 / (1024.0 * 1024.0))
 }
 
+/// Process thread count — Linux `/proc/self/status` `Threads:` line;
+/// `None` on other platforms. The `client_scale` scenario records this
+/// to prove N connections multiplex onto one reactor thread.
+pub fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))?
+        .trim()
+        .parse()
+        .ok()
+}
+
 /// The common CSV header of `results/BENCH_scheduler.csv` and
 /// `results/BENCH_net.csv`. Latency columns are empty for workflow
-/// scenarios.
-pub const CSV_HEADER: [&str; 10] = [
+/// scenarios; `threads` only fills for client-scale scenarios. New
+/// columns append at the end so positional gates (the CI awk scripts)
+/// keep their indices.
+pub const CSV_HEADER: [&str; 11] = [
     "mode",
     "tasks",
     "workers",
@@ -212,6 +233,7 @@ pub const CSV_HEADER: [&str; 10] = [
     "p50_us",
     "p99_us",
     "rss_mib",
+    "threads",
 ];
 
 fn opt_cell(v: Option<f64>, precision: usize) -> String {
@@ -234,6 +256,7 @@ pub fn csv_rows(samples: &[Sample]) -> Vec<Vec<String>> {
                 opt_cell(s.p50_us, 2),
                 opt_cell(s.p99_us, 2),
                 opt_cell(s.rss_mib, 1),
+                s.threads.map(|t| t.to_string()).unwrap_or_default(),
             ]
         })
         .collect()
@@ -280,14 +303,21 @@ mod tests {
         assert_eq!(rows[0][6], "300");
         assert_eq!(rows[0][7], "2.00");
         assert_eq!(rows[0][9], "", "rss blank unless measured");
+        assert_eq!(rows[0][10], "", "threads blank unless measured");
     }
 
     #[test]
-    fn rss_cell_renders_when_measured() {
+    fn rss_and_thread_cells_render_when_measured() {
         let mut s = Sample::workflow("m", 1, 1, Duration::from_millis(1), Duration::ZERO, true);
         s.rss_mib = Some(12.34);
-        assert_eq!(csv_rows(&[s])[0][9], "12.3");
+        s.threads = Some(4);
+        let row = &csv_rows(&[s])[0];
+        assert_eq!(row.len(), CSV_HEADER.len());
+        assert_eq!(row[9], "12.3");
+        assert_eq!(row[10], "4");
         let rss = process_rss_mib().expect("linux statm");
         assert!(rss > 1.0, "a running test binary is resident: {rss}");
+        let threads = process_threads().expect("linux status");
+        assert!(threads >= 1, "at least the main thread: {threads}");
     }
 }

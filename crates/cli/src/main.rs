@@ -145,7 +145,11 @@ fn print_usage() {
          runs' topics are reclaimed by `broker gc` or --retention SECS.\n\
          with `broker serve --data-dir DIR` the daemon's log is durable:\n\
          a daemon killed mid-run and relaunched on the same DIR resumes\n\
-         the same offsets and in-flight runs complete via client replay."
+         the same offsets and in-flight runs complete via client replay.\n\
+         client I/O: every tcp:// connection in a process multiplexes\n\
+         onto one shared reactor thread; GINFLOW_CLIENT_THREADED=1\n\
+         selects the thread-pair-per-connection baseline instead (the\n\
+         client mirror of the daemon's GINFLOW_NET_THREADED knob)."
     );
 }
 
@@ -623,6 +627,9 @@ fn cmd_broker(args: &[String]) -> Result<(), String> {
 }
 
 /// Connect to a daemon for the registry subcommands (`runs`, `gc`).
+/// Like every client connection, it rides the process-wide shared
+/// reactor (or the thread-pair baseline under
+/// `GINFLOW_CLIENT_THREADED=1`).
 fn broker_client(flags: &Flags<'_>) -> Result<ginflow_net::RemoteBroker, String> {
     let addr = flags.value("--addr").unwrap_or("127.0.0.1:7433");
     ginflow_net::RemoteBroker::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))

@@ -63,6 +63,9 @@ pub enum Backend {
     /// launch the same workflow in `of` processes (one per shard). The
     /// status topic is the cross-shard membrane, so every shard's
     /// [`RunHandle`] still observes (and waits on) the whole workflow.
+    /// A shard's broker connections all multiplex onto the client's
+    /// shared reactor thread by default; set `GINFLOW_CLIENT_THREADED=1`
+    /// to fall back to the thread-pair-per-connection baseline.
     Sharded {
         /// This process's shard index (`0..of`).
         shard: u32,

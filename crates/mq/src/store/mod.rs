@@ -159,6 +159,10 @@ pub struct DurabilityConfig {
     /// Per-partition cap on messages kept in memory for hot replay;
     /// older offsets are served from segment reads. Default 1024.
     pub memory_messages: usize,
+    /// Sparse-index stride: one index entry per this many records, so
+    /// a cold fetch scans at most `index_every − 1` records past its
+    /// floor. Default [`index::INDEX_EVERY`] (16).
+    pub index_every: u64,
 }
 
 impl Default for DurabilityConfig {
@@ -168,6 +172,7 @@ impl Default for DurabilityConfig {
             segment_bytes: 64 * 1024 * 1024,
             segment_max_age: None,
             memory_messages: 1024,
+            index_every: index::INDEX_EVERY,
         }
     }
 }
@@ -273,7 +278,7 @@ pub struct PartitionStore {
 impl PartitionStore {
     fn create(dir: PathBuf, config: DurabilityConfig) -> io::Result<PartitionStore> {
         std::fs::create_dir_all(&dir)?;
-        let active = SegmentWriter::create(&dir, 0, config.segment_bytes)?;
+        let active = SegmentWriter::create(&dir, 0, config.segment_bytes, config.index_every)?;
         Ok(PartitionStore {
             dir,
             config,
@@ -351,7 +356,12 @@ impl PartitionStore {
 
     fn roll(&mut self) -> io::Result<()> {
         let next_base = self.next_offset();
-        let fresh = SegmentWriter::create(&self.dir, next_base, self.config.segment_bytes)?;
+        let fresh = SegmentWriter::create(
+            &self.dir,
+            next_base,
+            self.config.segment_bytes,
+            self.config.index_every,
+        )?;
         let old = std::mem::replace(&mut self.active, fresh);
         self.sealed.push(old.seal()?);
         store_metrics().rotations.inc();

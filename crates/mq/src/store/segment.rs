@@ -328,20 +328,36 @@ pub(crate) struct SealedSegment {
 }
 
 impl SealedSegment {
+    /// Bytes fetched per `read(2)` while satisfying a cold read. One
+    /// chunk covers the index floor's forward scan (`index_every`
+    /// records) plus a typical batch, so most fetches cost one seek
+    /// and one read instead of the whole-file `fs::read` this path
+    /// used before the read-path tuning.
+    const READ_CHUNK: usize = 64 * 1024;
+
     /// Read records `[rel, …)` (relative to `base_offset`) into `out`
     /// as `(offset, key, payload)`, at most `max` of them.
+    ///
+    /// Seeks straight to the sparse-index floor and streams forward in
+    /// [`Self::READ_CHUNK`] slices, so a fetch touches `O(scan + batch)`
+    /// bytes — not the whole segment. The scan past the floor is at
+    /// most `index_every − 1` records, which is what the index stride
+    /// knob bounds.
     pub fn read(
         &self,
         rel: u64,
         max: usize,
         out: &mut Vec<(u64, Option<bytes::Bytes>, bytes::Bytes)>,
     ) -> io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
         let (mut at, pos) = self.index.floor(rel);
-        let data = std::fs::read(&self.path)?;
-        let mut buf = &data[pos.min(data.len())..];
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(pos as u64))?;
+        let mut data: Vec<u8> = Vec::new();
+        let mut consumed = 0usize;
         let mut took = 0usize;
         while took < max && at < self.records {
-            match decode_record(buf) {
+            match decode_record(&data[consumed..]) {
                 Decoded::Record {
                     key,
                     payload,
@@ -356,12 +372,24 @@ impl SealedSegment {
                         took += 1;
                     }
                     at += 1;
-                    buf = &buf[frame..];
+                    consumed += frame;
                 }
-                // A sealed segment was scanned whole at recovery; a torn
-                // record here means concurrent external damage — stop
-                // rather than serve garbage.
-                Decoded::End | Decoded::Torn => break,
+                // `End`/`Torn` here usually just means the buffered
+                // window ends mid-record — fetch another chunk and
+                // retry. A refill that yields nothing is the real
+                // verdict: end of file, or (since a sealed segment was
+                // scanned whole at recovery) concurrent external
+                // damage — stop rather than serve garbage.
+                Decoded::End | Decoded::Torn => {
+                    data.drain(..consumed);
+                    consumed = 0;
+                    let filled = (&mut file)
+                        .take(Self::READ_CHUNK as u64)
+                        .read_to_end(&mut data)?;
+                    if filled == 0 {
+                        break;
+                    }
+                }
             }
         }
         Ok(())
@@ -388,8 +416,14 @@ pub(crate) struct SegmentWriter {
 }
 
 impl SegmentWriter {
-    /// Create a fresh segment of `cap` bytes (sparse until written).
-    pub fn create(dir: &Path, base_offset: u64, cap: usize) -> io::Result<SegmentWriter> {
+    /// Create a fresh segment of `cap` bytes (sparse until written),
+    /// indexing every `index_every`th record.
+    pub fn create(
+        dir: &Path,
+        base_offset: u64,
+        cap: usize,
+        index_every: u64,
+    ) -> io::Result<SegmentWriter> {
         let path = dir.join(segment_file_name(base_offset));
         let file = OpenOptions::new()
             .read(true)
@@ -402,7 +436,7 @@ impl SegmentWriter {
         Ok(SegmentWriter {
             base_offset,
             records: 0,
-            index: SparseIndex::default(),
+            index: SparseIndex::with_every(index_every),
             len: 0,
             cap,
             map,
@@ -421,6 +455,7 @@ impl SegmentWriter {
         path: PathBuf,
         base_offset: u64,
         cap_hint: usize,
+        index_every: u64,
     ) -> io::Result<SegmentWriter> {
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
         let cap = (file.metadata()?.len() as usize).max(cap_hint);
@@ -429,7 +464,7 @@ impl SegmentWriter {
         Ok(SegmentWriter {
             base_offset,
             records: 0,
-            index: SparseIndex::default(),
+            index: SparseIndex::with_every(index_every),
             len: 0,
             cap,
             map,
@@ -448,7 +483,7 @@ impl SegmentWriter {
         let data = self.map.as_slice();
         let mut pos = 0usize;
         let mut records = 0u64;
-        let mut index = SparseIndex::default();
+        let mut index = SparseIndex::with_every(self.index.every());
         while let Decoded::Record { frame, .. } = decode_record(&data[pos..]) {
             index.note(records, pos);
             records += 1;

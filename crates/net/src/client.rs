@@ -42,6 +42,21 @@
 //! in-process socketpair, a fault-injecting wrapper), and the same
 //! connector is re-invoked on every reconnect.
 //!
+//! ## I/O flavors
+//!
+//! Everything above is the *contract*; how the socket is driven is a
+//! [`ClientFlavor`]. The default **reactor** flavor parks every
+//! connection in the process on one shared epoll thread (the
+//! `client_reactor` module): reads, writes, and reconnect timers for
+//! N brokers cost one thread. The **threaded** flavor is the
+//! pre-reactor baseline — a dedicated reader + writer thread pair per
+//! connection — kept verbatim behind `GINFLOW_CLIENT_THREADED=1` (or
+//! an explicit [`RemoteBroker::connect_with_flavor`]) as the A/B
+//! foil, mirroring the server's `GINFLOW_NET_THREADED` convention.
+//! Both flavors share this module's frame dispatch, pipeline window,
+//! loss ledger, watermark replay, and reconnect semantics — the
+//! flavor only decides which thread performs the socket I/O.
+//!
 //! **Ordering.** Both paths write frames to one socket under one lock
 //! and the daemon processes a connection's requests in order, so
 //! publishes from one client — pipelined, blocking, or interleaved —
@@ -89,6 +104,7 @@
 //! and [`RemoteBroker::gc_runs`] reclaims completed runs' topics (the
 //! daemon's retention window does the same automatically).
 
+use crate::client_reactor::ConnHandle;
 use crate::transport::{Connector, Transport};
 use crossbeam::channel::{unbounded, Sender};
 use ginflow_mq::metrics::{self, Counter, Gauge};
@@ -289,16 +305,63 @@ struct PipelineState {
     lost: u64,
 }
 
-struct ClientInner {
+/// How a [`RemoteBroker`] drives its socket. Selected per connection
+/// at connect time; both flavors speak the identical protocol with
+/// identical pipeline/reconnect semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientFlavor {
+    /// [`ClientFlavor::Reactor`] unless `GINFLOW_CLIENT_THREADED` is
+    /// set in the environment (checked at connect time — the client
+    /// mirror of the server's `GINFLOW_NET_THREADED`).
+    Auto,
+    /// All connections in the process share one epoll loop thread
+    /// (the `client_reactor` module). The default.
+    Reactor,
+    /// A dedicated reader + writer OS thread pair per connection —
+    /// the pre-reactor baseline, kept as the A/B foil.
+    Threaded,
+}
+
+impl ClientFlavor {
+    fn resolve_threaded(self) -> bool {
+        match self {
+            ClientFlavor::Threaded => true,
+            ClientFlavor::Reactor => false,
+            ClientFlavor::Auto => std::env::var_os("GINFLOW_CLIENT_THREADED").is_some(),
+        }
+    }
+}
+
+/// The flavor-specific outbound seam: everything else in
+/// [`ClientInner`] is shared between flavors.
+enum Egress {
+    /// Threaded flavor: the write half (+ reconnect condvar senders
+    /// park on) and the writer thread's frame queue.
+    Threaded {
+        /// The write half; `None` while disconnected. Senders wait on
+        /// `conn_ready` for the reconnect loop to restore it.
+        conn: Mutex<Option<Box<dyn Transport>>>,
+        conn_ready: Condvar,
+        /// Outbound frame queue drained by the writer thread, which
+        /// coalesces every frame available at wakeup into one socket
+        /// write — a burst of pipelined publishes costs one syscall,
+        /// not one each. A single FIFO queue for *all* request frames
+        /// preserves the per-connection ordering contract.
+        out_tx: Sender<Vec<u8>>,
+    },
+    /// Reactor flavor: the shared loop's per-connection handle (its
+    /// outbound buffer is the same single FIFO, drained by the loop).
+    Reactor(Arc<ConnHandle>),
+}
+
+pub(crate) struct ClientInner {
     /// Dials a fresh transport to the daemon — the reconnect seam.
     /// TCP for [`RemoteBroker::connect`]; anything (an in-process
     /// socketpair, a fault-injecting wrapper) for
     /// [`RemoteBroker::connect_with`].
     connector: Connector,
-    /// The write half; `None` while disconnected. Senders wait on
-    /// `conn_ready` for the reconnect loop to restore it.
-    conn: Mutex<Option<Box<dyn Transport>>>,
-    conn_ready: Condvar,
+    /// How encoded frames reach the socket (flavor-specific).
+    egress: Egress,
     pending: Mutex<HashMap<u64, Waiter>>,
     pipeline: Mutex<PipelineState>,
     /// Signalled whenever pipeline occupancy drops (ack consumed,
@@ -308,24 +371,29 @@ struct ClientInner {
     /// Subscriptions whose re-subscription was in flight when the
     /// connection died again; the next reconnect pass re-issues them.
     orphans: Mutex<Vec<Arc<RemoteSub>>>,
-    /// Outbound frame queue drained by the writer thread, which
-    /// coalesces every frame available at wakeup into one socket write
-    /// — a burst of pipelined publishes costs one syscall, not one
-    /// each. A single FIFO queue for *all* request frames preserves the
-    /// per-connection ordering contract.
-    out_tx: Sender<Vec<u8>>,
     seq: AtomicU64,
     persistent: AtomicBool,
     shutdown: AtomicBool,
 }
 
 /// A [`Broker`] living in another process, reached over TCP. Dropping
-/// the value closes the connection and joins the reader and writer
-/// threads.
+/// the value closes the connection and releases its I/O resources
+/// (joins the reader/writer threads in the threaded flavor;
+/// deregisters from the shared loop in the reactor flavor).
 pub struct RemoteBroker {
     inner: Arc<ClientInner>,
-    reader: Mutex<Option<JoinHandle<()>>>,
-    writer: Mutex<Option<JoinHandle<()>>>,
+    io: IoThreads,
+}
+
+/// Flavor-specific I/O resources owned by the broker value itself.
+enum IoThreads {
+    Threaded {
+        reader: Mutex<Option<JoinHandle<()>>>,
+        writer: Mutex<Option<JoinHandle<()>>>,
+    },
+    /// The reactor flavor owns no threads; the shared loop's handle
+    /// lives in [`Egress::Reactor`].
+    Reactor,
 }
 
 impl RemoteBroker {
@@ -347,20 +415,67 @@ impl RemoteBroker {
     /// [`BrokerServer::connect_in_process`](crate::BrokerServer::connect_in_process),
     /// or a fault-injecting wrapper. The connector is also the
     /// reconnect path: it is re-invoked whenever the connection drops.
+    /// Flavor resolves via [`ClientFlavor::Auto`].
     pub fn connect_with(connector: Connector) -> std::io::Result<RemoteBroker> {
+        RemoteBroker::connect_with_flavor(connector, ClientFlavor::Auto)
+    }
+
+    /// [`RemoteBroker::connect_with`] with an explicit I/O flavor —
+    /// the A/B seam benchmarks and parity tests drive.
+    pub fn connect_with_flavor(
+        connector: Connector,
+        flavor: ClientFlavor,
+    ) -> std::io::Result<RemoteBroker> {
+        if flavor.resolve_threaded() {
+            RemoteBroker::connect_threaded(connector)
+        } else {
+            RemoteBroker::connect_reactor(connector)
+        }
+    }
+
+    /// Reactor flavor: hand the dialed socket to the process-shared
+    /// epoll loop; this connection owns no threads.
+    fn connect_reactor(connector: Connector) -> std::io::Result<RemoteBroker> {
         let stream = connector()?;
-        let write_half = stream.try_clone()?;
-        let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+        let handle = ConnHandle::acquire()?;
         let inner = Arc::new(ClientInner {
             connector,
-            conn: Mutex::new(Some(write_half)),
-            conn_ready: Condvar::new(),
+            egress: Egress::Reactor(handle.clone()),
             pending: Mutex::new(HashMap::new()),
             pipeline: Mutex::new(PipelineState::default()),
             pipeline_drained: Condvar::new(),
             subs: Mutex::new(HashMap::new()),
             orphans: Mutex::new(Vec::new()),
-            out_tx,
+            seq: AtomicU64::new(0),
+            persistent: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        handle.register(stream, inner.clone());
+        let broker = RemoteBroker {
+            inner,
+            io: IoThreads::Reactor,
+        };
+        RemoteBroker::handshake(broker)
+    }
+
+    /// Threaded flavor: the verbatim pre-reactor reader + writer
+    /// thread pair.
+    fn connect_threaded(connector: Connector) -> std::io::Result<RemoteBroker> {
+        let stream = connector()?;
+        let write_half = stream.try_clone()?;
+        let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+        let inner = Arc::new(ClientInner {
+            connector,
+            egress: Egress::Threaded {
+                conn: Mutex::new(Some(write_half)),
+                conn_ready: Condvar::new(),
+                out_tx,
+            },
+            pending: Mutex::new(HashMap::new()),
+            pipeline: Mutex::new(PipelineState::default()),
+            pipeline_drained: Condvar::new(),
+            subs: Mutex::new(HashMap::new()),
+            orphans: Mutex::new(Vec::new()),
             seq: AtomicU64::new(0),
             persistent: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
@@ -381,11 +496,17 @@ impl RemoteBroker {
         };
         let broker = RemoteBroker {
             inner,
-            reader: Mutex::new(Some(reader)),
-            writer: Mutex::new(Some(writer)),
+            io: IoThreads::Threaded {
+                reader: Mutex::new(Some(reader)),
+                writer: Mutex::new(Some(writer)),
+            },
         };
-        // Handshake: learn whether the far side retains messages (the
-        // sync `Broker::persistent` contract needs a cached answer).
+        RemoteBroker::handshake(broker)
+    }
+
+    /// Handshake: learn whether the far side retains messages (the
+    /// sync `Broker::persistent` contract needs a cached answer).
+    fn handshake(broker: RemoteBroker) -> std::io::Result<RemoteBroker> {
         match broker.info("") {
             Ok((persistent, _, _)) => {
                 broker.inner.persistent.store(persistent, Ordering::SeqCst);
@@ -395,22 +516,35 @@ impl RemoteBroker {
         }
     }
 
-    /// Close the connection and join the reader thread. Idempotent;
+    /// Close the connection and release its I/O resources. Idempotent;
     /// also runs on drop.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        if let Some(conn) = self.inner.conn.lock().take() {
-            let _ = conn.shutdown();
-        }
-        self.inner.conn_ready.notify_all();
-        // An empty buffer is the writer's wakeup sentinel: it re-checks
-        // the shutdown flag and exits.
-        let _ = self.inner.out_tx.send(Vec::new());
-        if let Some(t) = self.reader.lock().take() {
-            let _ = t.join();
-        }
-        if let Some(t) = self.writer.lock().take() {
-            let _ = t.join();
+        match &self.inner.egress {
+            Egress::Threaded {
+                conn,
+                conn_ready,
+                out_tx,
+            } => {
+                if let Some(c) = conn.lock().take() {
+                    let _ = c.shutdown();
+                }
+                conn_ready.notify_all();
+                // An empty buffer is the writer's wakeup sentinel: it
+                // re-checks the shutdown flag and exits.
+                let _ = out_tx.send(Vec::new());
+                if let IoThreads::Threaded { reader, writer } = &self.io {
+                    if let Some(t) = reader.lock().take() {
+                        let _ = t.join();
+                    }
+                    if let Some(t) = writer.lock().take() {
+                        let _ = t.join();
+                    }
+                }
+            }
+            // Deregistering closes the socket and, if this was the last
+            // connection, lets the shared loop retire itself.
+            Egress::Reactor(handle) => handle.close(),
         }
         // Drain whatever was still pending (pipelined publishes
         // included) so window waiters and flushers unblock promptly
@@ -606,21 +740,51 @@ impl ClientInner {
         self.enqueue(buf)
     }
 
-    /// Hand encoded frame bytes to the writer thread. The single FIFO
-    /// queue is what preserves ordering across pipelined and blocking
-    /// requests from any number of caller threads.
+    /// The threaded flavor's connection seam; must never be reached on
+    /// a reactor-flavor client.
+    fn threaded_conn(&self) -> (&Mutex<Option<Box<dyn Transport>>>, &Condvar) {
+        match &self.egress {
+            Egress::Threaded {
+                conn, conn_ready, ..
+            } => (conn, conn_ready),
+            Egress::Reactor(_) => unreachable!("threaded I/O seam used on a reactor client"),
+        }
+    }
+
+    /// Whether [`RemoteBroker::shutdown`] has begun (reactor loop's
+    /// redial gate).
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Invoke the connector — the reactor's redial seam.
+    pub(crate) fn dial(&self) -> std::io::Result<Box<dyn Transport>> {
+        (self.connector)()
+    }
+
+    /// Hand encoded frame bytes to the socket driver (writer thread or
+    /// shared reactor loop). A single FIFO per connection is what
+    /// preserves ordering across pipelined and blocking requests from
+    /// any number of caller threads.
     fn enqueue(&self, buf: Vec<u8>) -> Result<(), MqError> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(MqError::Disconnected);
         }
-        self.out_tx.send(buf).map_err(|_| MqError::Disconnected)
+        match &self.egress {
+            Egress::Threaded { out_tx, .. } => out_tx.send(buf).map_err(|_| MqError::Disconnected),
+            Egress::Reactor(handle) => {
+                handle.enqueue(buf);
+                Ok(())
+            }
+        }
     }
 
     /// Write an already-encoded frame batch, waiting out a reconnect if
-    /// necessary (writer thread and reconnect path only).
+    /// necessary (threaded flavor's writer thread only).
     fn send_bytes(&self, buf: &[u8]) -> Result<(), MqError> {
+        let (conn_lock, conn_ready) = self.threaded_conn();
         let deadline = Instant::now() + RECONNECT_GRACE;
-        let mut conn = self.conn.lock();
+        let mut conn = conn_lock.lock();
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return Err(MqError::Disconnected);
@@ -642,7 +806,7 @@ impl ClientInner {
             if now >= deadline {
                 return Err(MqError::Disconnected);
             }
-            self.conn_ready.wait_for(&mut conn, deadline - now);
+            conn_ready.wait_for(&mut conn, deadline - now);
         }
     }
 
@@ -691,20 +855,63 @@ impl ClientInner {
     }
 
     /// Send without waiting for a live connection — for best-effort
-    /// frames issued from the reader thread, which must never block on
-    /// a reconnect only it can perform.
+    /// frames issued from the frame-dispatch path, which must never
+    /// block on a reconnect. Dropped (not queued) while disconnected:
+    /// these frames carry server-assigned ids that are meaningless on
+    /// a fresh connection.
     fn send_best_effort(&self, frame: &Frame) {
         let Ok(buf) = frame.encode() else { return };
-        if let Some(stream) = self.conn.lock().as_mut() {
-            use std::io::Write;
-            let _ = stream.write_all(&buf);
+        match &self.egress {
+            Egress::Threaded { conn, .. } => {
+                if let Some(stream) = conn.lock().as_mut() {
+                    use std::io::Write;
+                    let _ = stream.write_all(&buf);
+                }
+            }
+            Egress::Reactor(handle) => handle.best_effort(buf),
         }
+    }
+
+    /// Encode the re-subscribe batch for a fresh connection,
+    /// registering a [`Waiter::Resubscribe`] per live subscription —
+    /// the reactor flavor's half of [`reconnect`]'s handshake (the
+    /// loop queues these bytes ahead of anything published during the
+    /// outage). If the fresh connection dies before the batch is
+    /// written, [`ClientInner::fail_pending`] routes the waiters to
+    /// the orphan list and the next reconnect pass re-issues them —
+    /// the same retry the threaded path performs inline.
+    pub(crate) fn resubscribe_batch(&self) -> Vec<u8> {
+        let mut live: Vec<Arc<RemoteSub>> = self.subs.lock().drain().map(|(_, e)| e).collect();
+        live.append(&mut self.orphans.lock());
+        let persistent = self.persistent.load(Ordering::SeqCst);
+        let mut batch = Vec::new();
+        for entry in live {
+            let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+            let frame = Frame::Subscribe {
+                seq,
+                topic: entry.topic.clone(),
+                mode: entry.resume_mode(persistent),
+            };
+            match frame.encode() {
+                Ok(buf) => {
+                    self.pending
+                        .lock()
+                        .insert(seq, Waiter::Resubscribe { entry });
+                    batch.extend_from_slice(&buf);
+                }
+                // An unencodable subscribe cannot happen for topics
+                // that subscribed once already; park it for the next
+                // pass rather than lose the subscription.
+                Err(_) => self.orphans.lock().push(entry),
+            }
+        }
+        batch
     }
 
     /// Fail every in-flight request: requesters see `Disconnected` and
     /// retry; re-subscriptions in flight move to the orphan list so the
     /// next reconnect pass re-issues them.
-    fn fail_pending(&self) {
+    pub(crate) fn fail_pending(&self) {
         let pending: Vec<Waiter> = {
             let mut map = self.pending.lock();
             map.drain().map(|(_, w)| w).collect()
@@ -729,8 +936,10 @@ impl ClientInner {
         }
     }
 
-    /// Handle one frame from the server.
-    fn on_frame(&self, frame: Frame) {
+    /// Handle one frame from the server — the single dispatch path
+    /// both flavors feed (threaded reader thread, shared reactor
+    /// loop).
+    pub(crate) fn on_frame(&self, frame: Frame) {
         match frame {
             Frame::Events { sub, messages } => {
                 let entry = self.subs.lock().get(&sub).cloned();
@@ -937,7 +1146,7 @@ fn reader_loop(inner: Arc<ClientInner>, stream: Box<dyn Transport>) {
             return;
         }
         // Connection lost: park senders, fail requests, redial.
-        *inner.conn.lock() = None;
+        *inner.threaded_conn().0.lock() = None;
         inner.fail_pending();
         match reconnect(&inner) {
             Some(fresh) => stream = fresh,
@@ -1001,8 +1210,9 @@ fn reconnect(inner: &Arc<ClientInner>) -> Option<Box<dyn Transport>> {
                 .retain(|_, w| !matches!(w, Waiter::Resubscribe { .. }));
             continue;
         }
-        *inner.conn.lock() = Some(write_half);
-        inner.conn_ready.notify_all();
+        let (conn, conn_ready) = inner.threaded_conn();
+        *conn.lock() = Some(write_half);
+        conn_ready.notify_all();
         return Some(stream);
     }
 }

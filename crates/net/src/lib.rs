@@ -34,6 +34,38 @@
 //!   on a subscription into one multi-message EVENTS frame per pump
 //!   wakeup.
 //!
+//! ## Client architecture: the shared reactor
+//!
+//! The daemon side went single-threaded in the server event loop; the
+//! client side completes the story. By default every [`RemoteBroker`]
+//! in a process — however many daemons it talks to — is driven by
+//! **one** shared epoll thread (`gf-client-loop`, the `client_reactor`
+//! module), lazily spawned by the first connection, refcounted, and
+//! retired when the last connection closes. Publishers never touch
+//! the socket: they append encoded frames to a per-connection
+//! outbound buffer and ring an eventfd doorbell; the loop drains the
+//! buffer through a non-blocking write state machine, feeds received
+//! bytes through the shared frame dispatch, and runs reconnect
+//! backoff on its deadline heap (dial syscalls themselves run on a
+//! short-lived helper thread so a hanging TCP connect never stalls
+//! other connections' traffic). The pre-reactor path — a dedicated
+//! reader + writer thread pair per connection — is kept verbatim as
+//! [`ClientFlavor::Threaded`] for A/B comparison, mirroring the
+//! server's `ServerFlavor` convention.
+//!
+//! Thread model per process, N connections, steady state:
+//!
+//! | flavor | knob | I/O threads |
+//! |---|---|---|
+//! | reactor (default) | `ClientFlavor::Reactor` | 1 (shared loop) |
+//! | threaded baseline | `ClientFlavor::Threaded` / `GINFLOW_CLIENT_THREADED=1` | 2·N (reader + writer each) |
+//!
+//! Both flavors share the pipeline window, loss ledger, offset
+//! watermarks and re-subscribe handshake — `bench_broker`'s
+//! `client_scale` scenario measures the difference (128 connections:
+//! ~3 process threads vs ~259) and `crates/net/tests/client_flavors.rs`
+//! holds the semantics identical.
+//!
 //! With a daemon in the middle, `Backend::Sharded` (in
 //! `ginflow-engine`) runs one workflow across multiple OS processes:
 //! each process executes only the agents whose FNV name-hash lands in
@@ -127,6 +159,9 @@
 //! * `gf_sched_*` / `gf_client_pipeline_*` — scheduler ready-queue and
 //!   wakeup-batch accounting, client pipeline window occupancy and
 //!   losses (in whichever process runs them).
+//! * `gf_client_reactor_*` — shared client-loop health: wakeups,
+//!   frames dispatched per readiness turn (histogram), reconnects,
+//!   live connections.
 //!
 //! Three surfaces expose the same snapshot:
 //!
@@ -145,6 +180,7 @@
 //! at process start.
 
 pub mod client;
+mod client_reactor;
 mod event_loop;
 mod listen;
 mod metrics;
@@ -154,7 +190,7 @@ pub mod server;
 mod threaded;
 pub mod transport;
 
-pub use client::RemoteBroker;
+pub use client::{ClientFlavor, RemoteBroker};
 pub use server::{BrokerServer, ServerFlavor};
 pub use transport::{Connector, Transport};
 

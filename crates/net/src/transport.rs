@@ -1,8 +1,9 @@
 //! The [`Transport`] abstraction both sides of the wire protocol speak
 //! through: a bidirectional byte stream with just enough socket surface
 //! (clone, shutdown, non-blocking mode, raw fd) for the blocking client
-//! threads *and* the readiness-driven server loop to share one code
-//! path.
+//! threads, the readiness-driven server loop, *and* the shared client
+//! reactor (which flips a dialed transport non-blocking and parks its
+//! fd on the process-wide epoll) to share one code path.
 //!
 //! Two implementations ship: [`TcpStream`] (the real network membrane)
 //! and [`UnixStream`] (an in-process socketpair — real fds, so the
