@@ -34,6 +34,17 @@ pub enum MqError {
         /// What went wrong, with enough context to act on.
         message: String,
     },
+    /// `flush()` gave up waiting for the pipeline to drain: the
+    /// connection stayed severed (or the server stalled) past the
+    /// flush timeout, with acknowledgements still outstanding. The
+    /// publishes are not necessarily lost — a later flush after the
+    /// connection heals reports the final ledger.
+    FlushTimeout {
+        /// Publishes still awaiting acknowledgement at expiry.
+        inflight: u64,
+        /// How long the flush waited, in milliseconds.
+        waited_ms: u64,
+    },
     /// A run id or task name was rejected at the topic boundary (empty,
     /// or containing a path separator / whitespace) — publishing under
     /// it would silently collide or split namespaces.
@@ -63,6 +74,16 @@ impl fmt::Display for MqError {
             MqError::Timeout => f.write_str("timed out waiting for a message"),
             MqError::Remote { message } => write!(f, "remote broker: {message}"),
             MqError::Store { message } => write!(f, "segment store: {message}"),
+            MqError::FlushTimeout {
+                inflight,
+                waited_ms,
+            } => {
+                write!(
+                    f,
+                    "flush timed out after {waited_ms} ms with {inflight} \
+                     publish(es) still unacknowledged"
+                )
+            }
             MqError::InvalidTopic { what, name, reason } => {
                 write!(f, "invalid {what} {name:?}: {reason}")
             }
@@ -95,6 +116,12 @@ mod tests {
         .to_string();
         assert!(invalid.contains("run id"), "{invalid}");
         assert!(invalid.contains("a/b"), "{invalid}");
+        let flush = MqError::FlushTimeout {
+            inflight: 7,
+            waited_ms: 1500,
+        }
+        .to_string();
+        assert!(flush.contains("7") && flush.contains("1500"), "{flush}");
         let store = MqError::Store {
             message: "schema version 2, this build supports 1".into(),
         }

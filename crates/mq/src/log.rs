@@ -321,18 +321,37 @@ impl Broker for LogBroker {
             SubscribeMode::Beginning => Some(0),
             SubscribeMode::FromOffset(from) => Some(from),
         } {
+            let mut backlogs: Vec<std::collections::VecDeque<Message>> =
+                Vec::with_capacity(state.partitions.len());
             for (p, part) in state.partitions.iter().enumerate() {
+                let mut backlog = std::collections::VecDeque::new();
                 if from < part.base {
                     // The requested history predates the memory window:
                     // replay the gap from the segment store.
                     let gap = (part.base - from) as usize;
-                    for m in part.read_store(&state.name, p as u32, from, gap)? {
-                        let _ = handle.deliver(m);
-                    }
+                    backlog.extend(part.read_store(&state.name, p as u32, from, gap)?);
                 }
                 let skip = from.saturating_sub(part.base) as usize;
-                for m in part.log.iter().skip(skip) {
-                    let _ = handle.deliver(m.clone());
+                backlog.extend(part.log.iter().skip(skip).cloned());
+                backlogs.push(backlog);
+            }
+            // Interleave the replay round-robin across partitions
+            // (per-partition order is the only ordering the broker
+            // guarantees, so this is free to do). Sequential replay —
+            // all of partition 0, then all of partition 1 — livelocks
+            // a resumed subscriber on a flaky link: resuming from the
+            // *lowest* partition watermark, every short-lived
+            // connection spends its whole life re-receiving the lead
+            // partition's duplicates and dies before the lagging
+            // partition's first new message (chaos-suite find).
+            let mut live = true;
+            while live {
+                live = false;
+                for backlog in &mut backlogs {
+                    if let Some(m) = backlog.pop_front() {
+                        let _ = handle.deliver(m);
+                        live = true;
+                    }
                 }
             }
         }

@@ -252,6 +252,87 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Flip one arbitrary bit anywhere in a multi-frame stream — the
+    /// same byte sequence both the server's connection reader and the
+    /// clients' reader threads parse — and the reader must (a) never
+    /// panic, (b) decode every frame wholly before the flipped byte
+    /// exactly as sent, and (c) terminate: the corruption surfaces as
+    /// a decode error, an EOF, or (the wire has no checksum) a
+    /// misparsed-but-valid frame, never a wedge or an abort.
+    #[test]
+    fn bit_flipped_streams_error_cleanly_and_preserve_the_prefix(
+        frames in prop::collection::vec(arb_frame(), 1..5),
+        flip_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let mut stream = Vec::new();
+        let mut ends = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode().unwrap());
+            ends.push(stream.len());
+        }
+        let flip_at = (((stream.len() - 1) as f64) * flip_frac) as usize;
+        stream[flip_at] ^= 1 << bit;
+        // Frames whose bytes all precede the flipped byte must still
+        // decode verbatim.
+        let intact = ends.iter().take_while(|&&end| end <= flip_at).count();
+
+        let mut cursor = std::io::Cursor::new(&stream);
+        let mut got = 0usize;
+        // Each round consumes at least the 4-byte length prefix, so
+        // this loop is bounded by the stream length; the corruption
+        // surfaces as a decode error or EOF (`Ok(None)`), never a wedge.
+        while let Ok(Some(f)) = read_frame(&mut cursor) {
+            if got < intact {
+                prop_assert_eq!(&f, &frames[got]);
+            }
+            got += 1;
+        }
+        prop_assert!(got >= intact);
+    }
+
+    /// Truncate a multi-frame stream at an arbitrary byte: every frame
+    /// that survives whole decodes verbatim, and the cut surfaces as a
+    /// clean end-of-stream or error — a truncation can never invent a
+    /// frame that was not sent.
+    #[test]
+    fn truncated_streams_yield_only_genuine_frames(
+        frames in prop::collection::vec(arb_frame(), 1..5),
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode().unwrap());
+        }
+        let keep = ((stream.len() as f64) * keep_frac) as usize;
+        stream.truncate(keep);
+
+        let mut cursor = std::io::Cursor::new(&stream);
+        let mut got = 0usize;
+        while let Ok(Some(f)) = read_frame(&mut cursor) {
+            prop_assert!(got < frames.len(), "phantom frame past the cut");
+            prop_assert_eq!(&f, &frames[got]);
+            got += 1;
+        }
+    }
+
+    /// Arbitrary byte soup into the stream reader: no panic, no giant
+    /// allocation (the length prefix is bounded by MAX_FRAME before
+    /// any buffer is sized), and guaranteed termination.
+    #[test]
+    fn garbage_streams_never_panic(junk in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut cursor = std::io::Cursor::new(&junk);
+        let mut rounds = 0usize;
+        while let Ok(Some(_)) = read_frame(&mut cursor) {
+            rounds += 1;
+            prop_assert!(rounds <= junk.len(), "reader failed to make progress");
+        }
+    }
+}
+
 #[test]
 fn length_prefix_over_max_frame_is_rejected() {
     let mut bogus = Vec::new();

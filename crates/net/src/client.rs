@@ -128,6 +128,70 @@ const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
 /// How long a send blocks waiting for a reconnect before giving up.
 pub const RECONNECT_GRACE: Duration = Duration::from_secs(30);
 
+/// Default bound on [`Broker::flush`]: generous enough to ride out a
+/// reconnect-and-replay cycle, but finite — a severed-and-never-healed
+/// connection surfaces as [`MqError::FlushTimeout`] instead of hanging
+/// the flushing shard forever. Override per client with
+/// [`RemoteBroker::set_flush_timeout`] or process-wide with
+/// `GINFLOW_FLUSH_TIMEOUT_MS`.
+pub const DEFAULT_FLUSH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The configured flush bound at client construction:
+/// `GINFLOW_FLUSH_TIMEOUT_MS` if set, else [`DEFAULT_FLUSH_TIMEOUT`].
+fn default_flush_timeout_ms() -> u64 {
+    std::env::var("GINFLOW_FLUSH_TIMEOUT_MS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|ms| *ms > 0)
+        .unwrap_or(DEFAULT_FLUSH_TIMEOUT.as_millis() as u64)
+}
+
+/// Reconnect backoff ladder start, shared by both flavors: the first
+/// redial is (near-)immediate, each failure doubles the ladder up to
+/// [`reconnect_cap`].
+pub(crate) const RECONNECT_BASE: Duration = Duration::from_millis(20);
+
+/// The hard cap on reconnect backoff: the ladder never sleeps longer
+/// than this between redials, jitter included. Defaults to 2 s;
+/// override with `GINFLOW_RECONNECT_CAP_MS` (read once per process).
+pub(crate) fn reconnect_cap() -> Duration {
+    static CAP_MS: OnceLock<u64> = OnceLock::new();
+    Duration::from_millis(*CAP_MS.get_or_init(|| {
+        std::env::var("GINFLOW_RECONNECT_CAP_MS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .filter(|ms| *ms > 0)
+            .unwrap_or(2_000)
+    }))
+}
+
+/// A per-ladder-instance jitter seed (hashmap `RandomState` is the
+/// stdlib's per-process entropy — no clock involved).
+pub(crate) fn jitter_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
+        | 1
+}
+
+/// Equal-jitter backoff: sleep `ladder/2 + uniform(0..=ladder/2)`,
+/// clamped to [`reconnect_cap`]. The spread de-synchronises reconnect
+/// storms — N clients severed by one daemon restart redial spread over
+/// half the ladder instead of in lockstep — while keeping the sleep
+/// within 2× of the deterministic ladder. `state` is a caller-held
+/// xorshift64 register (seed with [`jitter_seed`]).
+pub(crate) fn jittered_backoff(ladder: Duration, state: &mut u64) -> Duration {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    let d = ladder.min(reconnect_cap());
+    let half_us = d.as_micros() as u64 / 2;
+    (d / 2 + Duration::from_micros(x % (half_us + 1))).min(reconnect_cap())
+}
+
 /// Socket write timeout: bounds how long the connection mutex can be
 /// held against a stalled peer (blackholed network, SIGSTOPped daemon),
 /// so shutdown/cancel never wedge behind a blocked `write_all`. A write
@@ -196,7 +260,10 @@ impl RemoteSub {
         let mut next = self.next_offset.lock();
         let watermark = next.entry(message.partition).or_insert(0);
         if message.offset < *watermark {
-            return false; // duplicate from a reconnect replay
+            // Duplicate from a reconnect replay — absorbed, unless the
+            // chaos suite has deliberately broken the filter to prove
+            // it would catch exactly this regression.
+            return !watermark_dedupe_enabled();
         }
         *watermark = message.offset + 1;
         true
@@ -268,6 +335,7 @@ struct ClientMetrics {
     inflight_bytes: Arc<Gauge>,
     inflight: Arc<Gauge>,
     lost: Arc<Counter>,
+    reconnects: Arc<Counter>,
 }
 
 fn client_metrics() -> &'static ClientMetrics {
@@ -287,8 +355,34 @@ fn client_metrics() -> &'static ClientMetrics {
                 "gf_client_pipeline_lost_total",
                 "Pipelined publishes recorded on the loss ledger (died un-acked or refused)",
             ),
+            reconnects: g.counter(
+                "gf_client_reconnects_total",
+                "Connections re-established by any client flavor after a drop",
+            ),
         }
     })
+}
+
+/// Count one successful reconnect on the flavor-agnostic
+/// `gf_client_reconnects_total` counter (the reactor additionally
+/// keeps its own `gf_client_reactor_reconnects_total`).
+pub(crate) fn note_reconnect() {
+    client_metrics().reconnects.inc();
+}
+
+/// Validation backdoor for the chaos suite: disabling the reconnect
+/// watermark dedupe must make the exactly-once property fail with a
+/// seed repro — proving the harness detects that regression. Process-
+/// global; never touch outside a dedicated test process.
+#[doc(hidden)]
+pub fn set_watermark_dedupe(enabled: bool) {
+    WATERMARK_DEDUPE_DISABLED.store(!enabled, Ordering::SeqCst);
+}
+
+static WATERMARK_DEDUPE_DISABLED: AtomicBool = AtomicBool::new(false);
+
+fn watermark_dedupe_enabled() -> bool {
+    !WATERMARK_DEDUPE_DISABLED.load(Ordering::SeqCst)
 }
 
 /// Un-acknowledged pipelined publishes: the window occupancy publishers
@@ -374,6 +468,9 @@ pub(crate) struct ClientInner {
     seq: AtomicU64,
     persistent: AtomicBool,
     shutdown: AtomicBool,
+    /// Upper bound on one [`Broker::flush`] call, in milliseconds
+    /// ([`default_flush_timeout_ms`]; [`RemoteBroker::set_flush_timeout`]).
+    flush_timeout_ms: AtomicU64,
 }
 
 /// A [`Broker`] living in another process, reached over TCP. Dropping
@@ -449,6 +546,7 @@ impl RemoteBroker {
             seq: AtomicU64::new(0),
             persistent: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            flush_timeout_ms: AtomicU64::new(default_flush_timeout_ms()),
         });
         handle.register(stream, inner.clone());
         let broker = RemoteBroker {
@@ -479,6 +577,7 @@ impl RemoteBroker {
             seq: AtomicU64::new(0),
             persistent: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            flush_timeout_ms: AtomicU64::new(default_flush_timeout_ms()),
         });
         let reader = {
             let inner = inner.clone();
@@ -550,6 +649,17 @@ impl RemoteBroker {
         // included) so window waiters and flushers unblock promptly
         // instead of timing out against a closed connection.
         self.inner.fail_pending();
+    }
+
+    /// Bound how long one [`Broker::flush`] call may wait for the
+    /// pipeline to drain before returning [`MqError::FlushTimeout`].
+    /// Defaults to [`DEFAULT_FLUSH_TIMEOUT`] (or
+    /// `GINFLOW_FLUSH_TIMEOUT_MS` from the environment); sub-
+    /// millisecond durations round up to 1 ms so the bound stays
+    /// finite and nonzero.
+    pub fn set_flush_timeout(&self, timeout: Duration) {
+        let ms = (timeout.as_millis() as u64).max(1);
+        self.inner.flush_timeout_ms.store(ms, Ordering::SeqCst);
     }
 
     fn next_seq(&self) -> u64 {
@@ -1164,14 +1274,15 @@ fn reconnect(inner: &Arc<ClientInner>) -> Option<Box<dyn Transport>> {
     let mut live: Vec<Arc<RemoteSub>> = inner.subs.lock().drain().map(|(_, e)| e).collect();
     live.append(&mut inner.orphans.lock());
     let persistent = inner.persistent.load(Ordering::SeqCst);
-    let mut delay = Duration::from_millis(20);
+    let mut delay = RECONNECT_BASE;
+    let mut jitter = jitter_seed();
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return None;
         }
         let Ok(stream) = (inner.connector)() else {
-            std::thread::sleep(delay);
-            delay = (delay * 2).min(Duration::from_millis(500));
+            std::thread::sleep(jittered_backoff(delay, &mut jitter));
+            delay = (delay * 2).min(reconnect_cap());
             continue;
         };
         let Ok(mut write_half) = stream.try_clone() else {
@@ -1213,6 +1324,21 @@ fn reconnect(inner: &Arc<ClientInner>) -> Option<Box<dyn Transport>> {
         let (conn, conn_ready) = inner.threaded_conn();
         *conn.lock() = Some(write_half);
         conn_ready.notify_all();
+        // Close the race with a concurrent `shutdown()`: it sets the
+        // flag *before* taking the conn lock, so either it found our
+        // fresh conn in the slot and severed it, or this check sees
+        // the flag and tears the dial down ourselves. Without it a
+        // reconnect landing just after shutdown leaves the reader
+        // blocked on a healthy socket nobody will ever close — and
+        // `drop` joins that reader (chaos-suite find).
+        if inner.shutdown.load(Ordering::SeqCst) {
+            if let Some(c) = conn.lock().take() {
+                let _ = c.shutdown();
+            }
+            let _ = stream.shutdown();
+            return None;
+        }
+        note_reconnect();
         return Some(stream);
     }
 }
@@ -1282,7 +1408,9 @@ impl Broker for RemoteBroker {
     /// un-acked with a severed connection or were refused by the
     /// server since the previous flush.
     fn flush(&self) -> Result<(), MqError> {
-        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        let budget_ms = self.inner.flush_timeout_ms.load(Ordering::SeqCst);
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(budget_ms);
         let mut p = self.inner.pipeline.lock();
         loop {
             if p.inflight == 0 {
@@ -1298,7 +1426,10 @@ impl Broker for RemoteBroker {
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(MqError::Timeout);
+                return Err(MqError::FlushTimeout {
+                    inflight: p.inflight as u64,
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
             }
             self.inner.pipeline_drained.wait_for(&mut p, deadline - now);
         }

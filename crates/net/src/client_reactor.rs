@@ -30,8 +30,10 @@
 //!   pipeline window release are one code path across flavors.
 //! * **Reconnect rides the deadline heap.** A dead connection fails
 //!   its in-flight waiters (loss ledger and all, identical to the
-//!   threaded path), then arms a backoff timer (20 ms doubling to
-//!   500 ms). Dial attempts run on a short-lived helper thread so a
+//!   threaded path), then arms a backoff timer (20 ms doubling to a
+//!   hard cap, default 2 s via `GINFLOW_RECONNECT_CAP_MS`, with
+//!   equal-jitter so storms de-synchronise; the same ladder as the
+//!   threaded flavor). Dial attempts run on a short-lived helper thread so a
 //!   hanging TCP connect can never freeze the other connections; the
 //!   result is posted back as a loop message. On success the
 //!   re-subscribe batch is queued *before* any frames published during
@@ -39,6 +41,7 @@
 //!   publishes.
 
 use crate::client::ClientInner;
+use crate::client::{jitter_seed, jittered_backoff, reconnect_cap, RECONNECT_BASE};
 use crate::transport::Transport;
 use crossbeam::channel::Sender;
 use ginflow_mq::metrics::{self, Counter, Gauge, Histogram};
@@ -64,11 +67,10 @@ const READ_TURN_BYTES: usize = 1 << 20;
 /// Scratch read chunk size.
 const READ_CHUNK: usize = 64 * 1024;
 
-/// Reconnect backoff: first redial is immediate, failures double the
-/// delay from here to [`RECONNECT_CAP`] — the same ladder as the
-/// threaded flavor's reconnect loop.
-const RECONNECT_BASE: Duration = Duration::from_millis(20);
-const RECONNECT_CAP: Duration = Duration::from_millis(500);
+// Reconnect backoff: failures double the ladder from RECONNECT_BASE to
+// the shared hard cap (client::reconnect_cap, default 2 s,
+// GINFLOW_RECONNECT_CAP_MS), with equal-jitter applied to every sleep —
+// the same ladder as the threaded flavor's reconnect loop.
 
 /// A connection owing bytes that makes no write progress for this long
 /// is dead — the non-blocking replacement for the threaded flavor's
@@ -321,6 +323,8 @@ struct RConn {
     last_progress: Instant,
     /// Next redial delay after a failed attempt.
     backoff: Duration,
+    /// xorshift64 state for backoff jitter (equal-jitter spread).
+    jitter: u64,
     /// A dial helper thread is in flight.
     dialing: bool,
 }
@@ -454,6 +458,7 @@ impl Reactor {
             want_write: false,
             last_progress: Instant::now(),
             backoff: RECONNECT_BASE,
+            jitter: jitter_seed(),
             dialing: false,
         };
         let adopted = transport.set_nonblocking(true).is_ok()
@@ -699,8 +704,8 @@ impl Reactor {
             .is_ok();
         if !spawned {
             conn.dialing = false;
-            conn.backoff = (conn.backoff * 2).min(RECONNECT_CAP);
-            let at = Instant::now() + conn.backoff;
+            let at = Instant::now() + jittered_backoff(conn.backoff, &mut conn.jitter);
+            conn.backoff = (conn.backoff * 2).min(reconnect_cap());
             self.timers.push(Reverse((at, id)));
         }
     }
@@ -723,8 +728,8 @@ impl Reactor {
         let stream = match result {
             Ok(stream) => stream,
             Err(_) => {
-                let at = Instant::now() + conn.backoff;
-                conn.backoff = (conn.backoff * 2).min(RECONNECT_CAP);
+                let at = Instant::now() + jittered_backoff(conn.backoff, &mut conn.jitter);
+                conn.backoff = (conn.backoff * 2).min(reconnect_cap());
                 self.timers.push(Reverse((at, id)));
                 return;
             }
@@ -736,8 +741,8 @@ impl Reactor {
                 .is_ok();
         if !adopted {
             let _ = stream.shutdown();
-            let at = Instant::now() + conn.backoff;
-            conn.backoff = (conn.backoff * 2).min(RECONNECT_CAP);
+            let at = Instant::now() + jittered_backoff(conn.backoff, &mut conn.jitter);
+            conn.backoff = (conn.backoff * 2).min(reconnect_cap());
             self.timers.push(Reverse((at, id)));
             return;
         }
@@ -753,6 +758,7 @@ impl Reactor {
         let m = reactor_metrics();
         m.connections.add(1);
         m.reconnects.inc();
+        crate::client::note_reconnect();
         self.drain_outbound(id);
     }
 

@@ -178,10 +178,56 @@
 //!
 //! Set `GINFLOW_MQ_NO_METRICS=1` to disable all instrumentation writes
 //! at process start.
+//!
+//! ## Fault testing (operator & contributor guide)
+//!
+//! The [`fault`] module is a deterministic fault-injection harness for
+//! *this* wire protocol: a seeded relay
+//! ([`fault::ChaosNet`]) spliced between an unmodified [`RemoteBroker`]
+//! and an unmodified [`BrokerServer`] over the in-process transport
+//! seam. Per-direction pump threads parse real frames off the link and
+//! apply a [`fault::FaultPlan`] — latency jitter, frame drops, bit
+//! corruption, clean and **mid-frame** connection severs, repeated
+//! sever/reconnect storms, and dial-refusing partition windows — on a
+//! virtual clock (`time_scale`) so a multi-thousand-event schedule
+//! runs in real seconds. Both client flavors run their production
+//! code; determinism comes from one master seed fanned out per link
+//! (`client name` × `dial ordinal`), so every reconnect draws a fresh
+//! but reproducible schedule.
+//!
+//! The property suites live in `crates/net/tests/chaos.rs` (delivery:
+//! exactly-once inboxes under sever storms, loss-ledger accounting,
+//! bounded flush, counted reconnects, corruption blast radius) and
+//! `crates/engine/tests/chaos_workflow.rs` (sharded workflow runs:
+//! lossless chaos must agree with a fault-free reference; sever storms
+//! must complete correctly or fail as a structured timeout, never
+//! hang). `cargo run -p ginflow-bench --bin chaos_soak` sweeps many
+//! seeds with per-seed fault accounting; CI's `chaos-smoke` job runs a
+//! fixed sweep plus a fresh random base seed every build.
+//!
+//! Operator knobs (read once per process):
+//!
+//! * `GINFLOW_FAULT_SEED=<n>` — base seed; **every failure message
+//!   names the seed that produced it**, so any red run reproduces with
+//!   `GINFLOW_FAULT_SEED=<n> GINFLOW_CHAOS_SEEDS=1 cargo test …`.
+//! * `GINFLOW_CHAOS_SEEDS=<k>` — seeds swept per property per flavor.
+//! * `GINFLOW_FLUSH_TIMEOUT_MS` — bound on [`RemoteBroker`]'s
+//!   `flush()`; on expiry it returns a structured
+//!   `MqError::FlushTimeout` instead of blocking on a wedged link.
+//! * `GINFLOW_RECONNECT_CAP_MS` — hard cap of the jittered exponential
+//!   reconnect backoff (default 2000 ms; both flavors). Reconnects are
+//!   counted on `gf_client_reconnects_total`.
+//!
+//! Contributors adding protocol or client behavior: wire a property
+//! into the chaos suite rather than a bespoke sleep-and-hope test —
+//! the harness has already paid for the hard parts (real frames, real
+//! epoll, reproducible schedules, a watchdog that turns hangs into
+//! structured failures).
 
 pub mod client;
 mod client_reactor;
 mod event_loop;
+pub mod fault;
 mod listen;
 mod metrics;
 mod metrics_http;

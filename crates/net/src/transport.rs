@@ -23,7 +23,7 @@ use std::os::unix::net::UnixStream;
 /// surface the two I/O architectures need: the threaded paths clone a
 /// write half and inject shutdowns from other threads, the event loop
 /// flips streams non-blocking and registers their fd with epoll.
-pub trait Transport: Read + Write + Send {
+pub trait Transport: Read + Write + Send + Sync {
     /// A second handle to the same stream (shared kernel object, like
     /// [`TcpStream::try_clone`]).
     fn try_clone(&self) -> std::io::Result<Box<dyn Transport>>;
